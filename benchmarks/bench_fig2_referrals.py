@@ -1,0 +1,86 @@
+"""E2 — Figure 2: distributed operation processing via referrals.
+
+Paper: a subtree search for ``o=xyz`` sent to the wrong server of a
+three-server partition takes **four round trips** (default referral to
+the superior, then continuation references to the two subordinate
+servers).  This is the cost the replication models exist to avoid — a
+replica hit answers in one round trip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import DistributedDirectory, LdapClient
+
+from .common import report
+
+
+def build_figure2() -> DistributedDirectory:
+    dist = DistributedDirectory()
+    host_a = dist.add_server("hostA", "o=xyz")
+    host_b = dist.add_server(
+        "hostB", "ou=research,c=us,o=xyz", default_referral="ldap://hostA"
+    )
+    host_c = dist.add_server("hostC", "c=in,o=xyz", default_referral="ldap://hostA")
+    host_a.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    host_a.add(Entry("c=us,o=xyz", {"objectClass": ["country"], "c": "us"}))
+    host_a.add(
+        Entry(
+            "cn=Fred Jones,c=us,o=xyz",
+            {"objectClass": ["person"], "cn": "Fred Jones", "sn": "Jones"},
+        )
+    )
+    dist.add_referral("hostA", "ou=research,c=us,o=xyz", "hostB")
+    dist.add_referral("hostA", "c=in,o=xyz", "hostC")
+    host_b.add(
+        Entry(
+            "ou=research,c=us,o=xyz",
+            {"objectClass": ["organizationalUnit"], "ou": "research"},
+        )
+    )
+    host_b.add(
+        Entry(
+            "cn=John Doe,ou=research,c=us,o=xyz",
+            {"objectClass": ["inetOrgPerson"], "cn": "John Doe", "sn": "Doe"},
+        )
+    )
+    host_c.add(Entry("c=in,o=xyz", {"objectClass": ["country"], "c": "in"}))
+    host_c.add(
+        Entry("cn=Ravi,c=in,o=xyz", {"objectClass": ["person"], "cn": "Ravi", "sn": "K"})
+    )
+    return dist
+
+
+def test_fig2_referral_round_trips(benchmark):
+    dist = build_figure2()
+    client = LdapClient(dist.network)
+    request = SearchRequest("o=xyz", Scope.SUB)
+
+    # The paper's scenario: request sent to hostB, which does not hold
+    # the target.
+    worst = client.search("ldap://hostB", request)
+    assert worst.round_trips == 4, "Figure 2 prescribes exactly 4 round trips"
+    assert worst.complete and len(worst.entries) == 7
+
+    # Best case: the right server first — still 3 (continuations).
+    direct = client.search("ldap://hostA", request)
+    assert direct.round_trips == 3
+
+    # A replica hit would be 1 round trip; that asymmetry is §3's point.
+    local = client.search("ldap://hostC", SearchRequest("c=in,o=xyz", Scope.SUB))
+    assert local.round_trips == 1
+
+    report(
+        "fig2",
+        "Distributed operation processing (round trips per request)",
+        ["entry server", "round trips", "entries", "referrals chased"],
+        [
+            ("hostB (wrong)", worst.round_trips, len(worst.entries), 3),
+            ("hostA (right)", direct.round_trips, len(direct.entries), 2),
+            ("replica-local", local.round_trips, len(local.entries), 0),
+        ],
+    )
+
+    benchmark(lambda: LdapClient(dist.network).search("ldap://hostB", request))

@@ -1,0 +1,102 @@
+"""E3 — Figure 3: an example ReSync session.
+
+Paper: message sequence chart of a poll → poll → persist session over
+entries E1..E5, with A/M/D/R updates in between.  The bench replays the
+exact sequence, checks every PDU against the figure, and times a full
+poll cycle (the protocol's steady-state unit of work).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import DirectoryServer, Modification
+from repro.sync import ResyncProvider, SyncedContent
+
+from .common import report
+
+
+def build_master() -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for name in ("E1", "E2", "E3"):
+        master.add(
+            Entry(
+                f"cn={name},o=xyz",
+                {"objectClass": ["person"], "cn": name, "sn": "T"},
+            )
+        )
+    return master
+
+
+def test_fig3_resync_session(benchmark):
+    master = build_master()
+    request = SearchRequest("o=xyz", Scope.SUB, "(objectClass=person)")
+    provider = ResyncProvider(master)
+    content = SyncedContent(request)
+    rows = []
+
+    # poll(null) → E1,E2,E3 add + cookie
+    r1 = content.poll(provider)
+    rows.append(("poll(null)", "E1,E2,E3 add", len(r1.updates)))
+    assert r1.initial and len(r1.updates) == 3
+
+    master.add(Entry("cn=E4,o=xyz", {"objectClass": ["person"], "cn": "E4", "sn": "T"}))
+    master.delete("cn=E1,o=xyz")
+    master.delete("cn=E2,o=xyz")
+    master.modify("cn=E3,o=xyz", [Modification.replace("title", "mod")])
+
+    # poll(cookie) → E4 add; E1,E2 delete; E3 mod + cookie1
+    r2 = content.poll(provider)
+    got = sorted((u.action.value, str(u.dn)) for u in r2.updates)
+    assert got == [
+        ("add", "cn=E4,o=xyz"),
+        ("delete", "cn=E1,o=xyz"),
+        ("delete", "cn=E2,o=xyz"),
+        ("modify", "cn=E3,o=xyz"),
+    ]
+    rows.append(("poll(cookie)", "E4 add / E1,E2 del / E3 mod", len(r2.updates)))
+
+    # persist(cookie1); E3 renamed → E3 delete + E5 add notifications
+    notes = []
+    r3, handle = provider.persist(request, notes.append, cookie=content.cookie)
+    for update in r3.updates:
+        content.apply_notification(update)
+    master.modify_dn("cn=E3,o=xyz", new_rdn="cn=E5")
+    assert [(u.action.value, str(u.dn)) for u in notes] == [
+        ("delete", "cn=E3,o=xyz"),
+        ("add", "cn=E5,o=xyz"),
+    ]
+    for update in notes:
+        content.apply_notification(update)
+    rows.append(("persist(cookie1)", "E3 del + E5 add (rename)", len(notes)))
+
+    assert content.matches_master(master)
+    handle.abandon()
+    rows.append(("abandon", "session ended", 0))
+    assert provider.active_session_count == 0
+
+    report(
+        "fig3",
+        "ReSync example session (message sequence of Figure 3)",
+        ["request", "PDUs sent", "count"],
+        rows,
+    )
+
+    # Timed unit: a full poll cycle with one pending change.
+    timed_master = build_master()
+    timed_provider = ResyncProvider(timed_master)
+    timed_content = SyncedContent(request)
+    timed_content.poll(timed_provider)
+    toggle = [0]
+
+    def poll_cycle():
+        toggle[0] += 1
+        timed_master.modify(
+            "cn=E3,o=xyz", [Modification.replace("title", f"t{toggle[0]}")]
+        )
+        timed_content.poll(timed_provider)
+
+    benchmark(poll_cycle)

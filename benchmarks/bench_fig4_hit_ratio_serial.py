@@ -1,0 +1,111 @@
+"""E4 — Figure 4: hit ratio vs replica size, serialNumber query.
+
+Paper: for ``(serialNumber=_)`` lookups, the filter based model reaches
+**hit ratio 0.5 with a replica smaller than 10% of the person entries**,
+while a subtree based replica — unable to selectively replicate
+employees from a country's flat namespace (§3.3) — needs whole-country
+replicas and trails at every size.
+
+Method: day 1 ranks site blocks (filter model) and countries (subtree
+model) by access count — the static benefit/size selection of §6.2 —
+and day 2's serialNumber queries are evaluated.  Subtree replicas are
+given the scoped (country-based) query variants, their most favourable
+interpretation (§3.1.1); filter replicas answer the faithful null-based
+queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import QueryType
+
+from .common import (
+    BenchEnv,
+    block_filter,
+    hot_blocks,
+    hot_countries,
+    report,
+    run_filter_point,
+    run_subtree_point,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4_rows(env: BenchEnv):
+    eval_trace = env.day(2).of_type(QueryType.SERIAL)
+    blocks = hot_blocks(env)
+    rows = []
+
+    for k in (5, 10, 20, 25, 40, 80, 160):
+        filters = [block_filter(b, cc) for b, cc, _hits in blocks[:k]]
+        result, replica = run_filter_point(env, filters, eval_trace)
+        rows.append(
+            (
+                "filter",
+                k,
+                result.replica_entries,
+                result.replica_entries / env.person_entries,
+                result.hit_ratio,
+            )
+        )
+
+    countries = [cc for cc, _hits in hot_countries(env)]
+    for k in (1, 2, 4, len(countries)):
+        result, replica = run_subtree_point(env, countries[:k], eval_trace)
+        rows.append(
+            (
+                "subtree",
+                k,
+                result.replica_entries,
+                result.replica_entries / env.person_entries,
+                result.hit_ratio,
+            )
+        )
+    return rows
+
+
+def test_fig4_hit_ratio_vs_replica_size(benchmark, env: BenchEnv, fig4_rows):
+    report(
+        "fig4",
+        "Hit ratio vs replica size — serialNumber query (filter vs subtree)",
+        ["model", "units", "entries", "size frac", "hit ratio"],
+        fig4_rows,
+    )
+
+    filter_rows = [r for r in fig4_rows if r[0] == "filter"]
+    subtree_rows = [r for r in fig4_rows if r[0] == "subtree"]
+
+    # Paper anchor: hit ratio ≈0.5 below 10% of the person entries.
+    assert any(
+        frac < 0.10 and hit >= 0.45 for (_m, _k, _e, frac, hit) in filter_rows
+    ), "filter model must reach ~0.5 hit ratio under 10% replica size"
+
+    # Shape: for every *partial* subtree replica, some filter replica of
+    # equal-or-smaller size matches or beats it (a full replica trivially
+    # hits 1.0 and is excluded).
+    for _m, _k, _e, sfrac, shit in subtree_rows:
+        if sfrac >= 0.95:
+            continue
+        dominating = [
+            hit
+            for (_m2, _k2, _e2, ffrac, hit) in filter_rows
+            if ffrac <= sfrac + 0.05  # nearest sweep point within 5pp
+        ]
+        if dominating:
+            assert max(dominating) >= shit - 0.02, (
+                "filter replicas must match/beat subtree replicas at equal size"
+            )
+
+    # Monotonicity: more replicated blocks → no lower hit ratio.
+    hits = [hit for *_rest, hit in filter_rows]
+    assert all(b >= a - 0.01 for a, b in zip(hits, hits[1:]))
+
+    # Timed unit: one small filter-replica evaluation pass.
+    blocks = hot_blocks(env)[:10]
+    eval_trace = env.day(2).of_type(QueryType.SERIAL)[:500]
+    benchmark(
+        lambda: run_filter_point(
+            env, [block_filter(b, cc) for b, cc, _h in blocks], eval_trace
+        )
+    )

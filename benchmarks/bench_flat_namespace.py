@@ -1,0 +1,132 @@
+"""E13 — §3.3 ablation: partial replication of a flat namespace.
+
+Paper: carrier directories keep millions of subscribers under a single
+container entry.  "Since subtree based replicas can not partially
+replicate the container's children, large replicas need to be
+deployed. Filter based replication can be used to selectively
+replicate entries from a flat namespace."
+
+The bench builds a scaled-down carrier DIT (all subscribers flat under
+``ou=subscribers``), a Zipf-skewed MSISDN lookup workload, and compares:
+
+* subtree model — its only useful unit is the whole container (a
+  per-subscriber context would carry meta information per entry);
+* filter model — generalized ``(telephoneNumber=<prefix>*)`` exchange
+  filters selecting just the hot prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import FilterReplica, SubtreeReplica
+from repro.ldap import Scope, SearchRequest
+from repro.server import DirectoryServer, SimulatedNetwork
+from repro.sync import ResyncProvider
+from repro.workload import CarrierConfig, generate_carrier_directory
+from repro.workload.distributions import ZipfSampler
+
+from .common import report
+
+N_QUERIES = 4000
+
+
+@pytest.fixture(scope="module")
+def carrier_setup():
+    directory = generate_carrier_directory(CarrierConfig(subscribers=4000))
+    master = DirectoryServer("master")
+    master.add_naming_context(directory.suffix)
+    master.load(directory.entries)
+
+    rng = random.Random(17)
+    by_prefix = {}
+    for sub in directory.subscribers:
+        by_prefix.setdefault(sub.first("telephoneNumber")[:6], []).append(sub)
+    prefix_sampler = ZipfSampler(sorted(by_prefix), exponent=1.0, rng=rng)
+    queries = []
+    for _ in range(N_QUERIES):
+        prefix = prefix_sampler.sample()
+        sub = rng.choice(by_prefix[prefix])
+        queries.append(
+            SearchRequest(
+                "", Scope.SUB, f"(telephoneNumber={sub.first('telephoneNumber')})"
+            )
+        )
+    return directory, master, queries
+
+
+def run_replica(replica, queries):
+    hits = 0
+    for query in queries:
+        if replica.answer(query).is_hit:
+            hits += 1
+    return hits / len(queries)
+
+
+def test_flat_namespace_partial_replication(benchmark, carrier_setup):
+    directory, master, queries = carrier_setup
+    total = len(directory.subscribers)
+    train, evaluate = queries[: N_QUERIES // 2], queries[N_QUERIES // 2 :]
+    rows = []
+
+    # Filter model: hot exchange prefixes from the training half.
+    counts = {}
+    for query in train:
+        prefix = str(query.filter)[len("(telephoneNumber=") : -1][:6]
+        counts[prefix] = counts.get(prefix, 0) + 1
+    hot = sorted(counts, key=counts.get, reverse=True)
+
+    provider = ResyncProvider(master)
+    for k in (2, 5, 10, 20):
+        replica = FilterReplica("branch", network=SimulatedNetwork())
+        for prefix in hot[:k]:
+            replica.add_filter(
+                SearchRequest("", Scope.SUB, f"(telephoneNumber={prefix}*)"),
+                provider,
+            )
+        hit = run_replica(replica, evaluate)
+        rows.append(
+            ("filter", k, replica.entry_count(), replica.entry_count() / total, hit)
+        )
+
+    # Subtree model: the only unit below the suffix is the whole flat
+    # container (§3.3) — all or nothing.
+    subtree = SubtreeReplica("branch", network=SimulatedNetwork())
+    subtree.add_context(directory.container_dn)
+    subtree.sync(provider)
+    scoped = [q.with_base(directory.container_dn) for q in evaluate]
+    hits = sum(1 for q in scoped if subtree.answer(q).is_hit)
+    rows.append(
+        (
+            "subtree",
+            1,
+            subtree.entry_count(),
+            subtree.entry_count() / total,
+            hits / len(scoped),
+        )
+    )
+
+    report(
+        "flat_namespace",
+        "Flat carrier namespace: selective filters vs all-or-nothing subtree",
+        ["model", "units", "entries", "size frac", "hit ratio"],
+        rows,
+    )
+
+    filter_rows = [r for r in rows if r[0] == "filter"]
+    # Paper shape: useful hit ratios at small fractions of the container.
+    assert any(frac <= 0.25 and hit >= 0.5 for _m, _k, _e, frac, hit in filter_rows)
+    # The subtree replica must hold (essentially) everything for its hit.
+    subtree_row = rows[-1]
+    assert subtree_row[3] > 0.99
+
+    # Timed unit: one filter-replica answer on the flat namespace.
+    replica = FilterReplica("bench", network=SimulatedNetwork())
+    for prefix in hot[:5]:
+        replica.add_filter(
+            SearchRequest("", Scope.SUB, f"(telephoneNumber={prefix}*)"), provider
+        )
+    sample = evaluate[0]
+    benchmark(lambda: replica.answer(sample))

@@ -1,0 +1,47 @@
+"""E10 — §7.2(c): location queries.
+
+Paper: "The access rate of location entries was seen to be high
+compared to the relatively small number of location entries. Thus the
+entire location tree can be replicated ensuring a hit ratio of 1 for
+this type of query while using a very small fraction of the total
+replica size."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ldap import Scope, SearchRequest
+from repro.workload import QueryType
+
+from .common import BenchEnv, report, run_filter_point
+
+LOCATION_TREE = SearchRequest("", Scope.SUB, "(objectClass=location)")
+
+
+def test_location_tree_replication(benchmark, env: BenchEnv):
+    eval_trace = env.day(2).of_type(QueryType.LOCATION)
+    result, replica = run_filter_point(env, [LOCATION_TREE], eval_trace)
+
+    directory_entries = len(env.directory.entries)
+    size_fraction = result.replica_entries / directory_entries
+
+    report(
+        "location",
+        "Whole location tree as one replicated filter",
+        ["metric", "value"],
+        [
+            ("location queries", result.queries),
+            ("hit ratio", result.hit_ratio),
+            ("replica entries", result.replica_entries),
+            ("directory entries", directory_entries),
+            ("size fraction", size_fraction),
+        ],
+    )
+
+    assert result.hit_ratio == 1.0, "location tree replica must answer everything"
+    assert size_fraction < 0.03, "location tree must be a tiny fraction of the DIT"
+
+    # Timed unit: answering a location query from the replicated tree.
+    sample = eval_trace[0].request
+    benchmark(lambda: replica.answer(sample))

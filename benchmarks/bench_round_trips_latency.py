@@ -1,0 +1,95 @@
+"""E15 — derived: remote round trips and latency vs hit ratio.
+
+The paper's motivation (§1–§3): every query a partial replica answers
+locally avoids a WAN exchange with the central directory; hit ratio is
+the fraction of queries that never leave the site.  This bench closes
+the loop — it drives the day-2 serialNumber workload against filter
+replicas of growing size, chases every miss to the master over a
+simulated WAN (150 ms per round trip vs 2 ms locally), and reports the
+average per-query latency a remote user would see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FilterReplica
+from repro.ldap import Scope, SearchRequest
+from repro.server import LdapClient, SimulatedNetwork
+from repro.sync import ResyncProvider
+from repro.workload import QueryType
+
+from .common import BenchEnv, block_filter, hot_blocks, report
+
+LAN_MS = 2.0
+WAN_MS = 150.0
+N_QUERIES = 1500
+
+
+def run_config(env: BenchEnv, k: int):
+    master = env.fresh_master()
+    provider = ResyncProvider(master)
+    wan = SimulatedNetwork(round_trip_latency_ms=WAN_MS)
+    wan.register(master)
+    client = LdapClient(wan)
+    replica = FilterReplica("branch", network=SimulatedNetwork())
+    for block, cc, _h in hot_blocks(env)[:k]:
+        replica.add_filter(block_filter(block, cc), provider)
+
+    queries = env.day(2).of_type(QueryType.SERIAL)[:N_QUERIES]
+    hits = 0
+    total_latency = 0.0
+    wan_round_trips = 0
+    for record in queries:
+        total_latency += LAN_MS  # asking the local replica
+        answer = replica.answer(record.request)
+        if answer.is_hit:
+            hits += 1
+            continue
+        before = wan.stats.round_trips
+        chased = client.search(answer.referrals[0].url, record.request)
+        assert chased.complete
+        wan_round_trips += wan.stats.round_trips - before
+        total_latency += (wan.stats.round_trips - before) * WAN_MS
+    n = len(queries)
+    return hits / n, wan_round_trips / n, total_latency / n
+
+
+@pytest.fixture(scope="module")
+def latency_rows(env: BenchEnv):
+    rows = []
+    for k in (0, 5, 25, 80):
+        hit_ratio, wan_per_query, avg_ms = run_config(env, k)
+        rows.append((k, hit_ratio, wan_per_query, avg_ms))
+    return rows
+
+
+def test_round_trips_and_latency_vs_hit_ratio(benchmark, env: BenchEnv, latency_rows):
+    report(
+        "round_trips_latency",
+        f"Remote round trips / latency vs hit ratio (WAN={WAN_MS:.0f}ms, LAN={LAN_MS:.0f}ms)",
+        ["filters", "hit ratio", "WAN RT/query", "avg ms/query"],
+        latency_rows,
+    )
+
+    by_k = {k: (hit, wan, ms) for k, hit, wan, ms in latency_rows}
+
+    # No replica: every query crosses the WAN.
+    assert by_k[0][1] >= 1.0
+
+    # Latency falls monotonically as the hit ratio rises.
+    latencies = [ms for _k, _h, _w, ms in latency_rows]
+    assert latencies == sorted(latencies, reverse=True)
+
+    # At the Figure 4 anchor (~0.5 hit ratio with 25 block filters) the
+    # average latency is roughly halved.
+    assert by_k[25][2] < 0.65 * by_k[0][2]
+
+    # Timed unit: the local answer path (what a hit costs).
+    master = env.fresh_master()
+    provider = ResyncProvider(master)
+    replica = FilterReplica("bench", network=SimulatedNetwork())
+    for block, cc, _h in hot_blocks(env)[:25]:
+        replica.add_filter(block_filter(block, cc), provider)
+    sample = env.day(2).of_type(QueryType.SERIAL)[0].request
+    benchmark(lambda: replica.answer(sample))

@@ -1,0 +1,42 @@
+"""E1 — Table 1: workload distribution.
+
+Paper: query-type shares of the real two-day trace —
+(serialNumber=_) 58%, (mail=_) 24%, (&(dept=_)(div=_)) 16%,
+(location=_) 2%.  The synthetic workload must reproduce this mix, since
+every downstream figure weights the per-type results by it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import QueryType, WorkloadConfig, WorkloadGenerator
+
+from .common import BenchEnv, report
+
+PAPER_SHARES = {
+    QueryType.SERIAL: 0.58,
+    QueryType.MAIL: 0.24,
+    QueryType.DEPARTMENT: 0.16,
+    QueryType.LOCATION: 0.02,
+}
+
+
+def test_table1_workload_distribution(benchmark, env: BenchEnv):
+    dist = env.trace.distribution()
+
+    rows = []
+    for qtype, paper in PAPER_SHARES.items():
+        measured = dist.get(qtype, 0.0)
+        rows.append((qtype.value, paper, round(measured, 4)))
+        assert abs(measured - paper) < 0.03, f"{qtype} share off Table 1"
+    report(
+        "table1",
+        "Workload distribution (paper % vs measured %)",
+        ["query type", "paper", "measured"],
+        rows,
+    )
+
+    # Timed unit: generating a 1000-query trace from the directory.
+    generator = WorkloadGenerator(env.directory, WorkloadConfig(seed=77))
+    benchmark(lambda: generator.generate(1000, days=1))

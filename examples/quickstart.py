@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: a master directory, a filter based replica, and queries.
+
+Builds a small DIT on a master server, replicates one generalized
+filter to a branch replica through the ReSync protocol, and shows the
+three outcomes a client can see: a containment hit, a miss (referral to
+the master), and staying consistent across master updates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FilterReplica, query_contained_in
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import DirectoryServer, Modification
+from repro.sync import ResyncProvider
+
+
+def build_master() -> DirectoryServer:
+    master = DirectoryServer("master")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    master.add(Entry("c=in,o=xyz", {"objectClass": ["country"], "c": "in"}))
+    people = [
+        ("Asha Rao", "004201IN", "2406"),
+        ("Vikram Iyer", "004202IN", "2406"),
+        ("Meera Nair", "004203IN", "2410"),
+        ("Rohan Das", "009901IN", "2410"),
+    ]
+    for cn, serial, dept in people:
+        master.add(
+            Entry(
+                f"cn={cn},c=in,o=xyz",
+                {
+                    "objectClass": ["inetOrgPerson", "person", "top"],
+                    "cn": cn,
+                    "sn": cn.split()[-1],
+                    "serialNumber": serial,
+                    "departmentNumber": dept,
+                    "mail": f"{cn.split()[0].lower()}@in.xyz.com",
+                },
+            )
+        )
+    return master
+
+
+def main() -> None:
+    master = build_master()
+    provider = ResyncProvider(master)
+
+    # Replicate one generalized query: site block 0042, geography IN.
+    replica = FilterReplica("branch", master_url="ldap://master")
+    stored = SearchRequest("", Scope.SUB, "(serialNumber=0042*IN)")
+    replica.add_filter(stored, provider)
+    print(f"replica holds {replica.entry_count()} entries for {stored}")
+
+    # A user query contained in the stored filter → answered locally.
+    query = SearchRequest("", Scope.SUB, "(serialNumber=004202IN)")
+    print(f"\nQC(query, stored) = {query_contained_in(query, stored)}")
+    answer = replica.answer(query)
+    print(f"{query}\n  -> {answer.status.value}: "
+          f"{[e.first('cn') for e in answer.entries]}")
+
+    # A query outside the stored content → referral to the master.
+    miss = SearchRequest("", Scope.SUB, "(serialNumber=009901IN)")
+    answer = replica.answer(miss)
+    print(f"{miss}\n  -> {answer.status.value}: referral to "
+          f"{answer.referrals[0].url}")
+
+    # The master changes; one poll brings the replica back in sync.
+    master.modify(
+        "cn=Asha Rao,c=in,o=xyz",
+        [Modification.replace("departmentNumber", "2499")],
+    )
+    master.add(
+        Entry(
+            "cn=Kiran Joshi,c=in,o=xyz",
+            {
+                "objectClass": ["inetOrgPerson", "person", "top"],
+                "cn": "Kiran Joshi",
+                "sn": "Joshi",
+                "serialNumber": "004204IN",
+                "departmentNumber": "2406",
+            },
+        )
+    )
+    replica.sync(provider)
+    answer = replica.answer(SearchRequest("", Scope.SUB, "(serialNumber=0042*IN)"))
+    print(f"\nafter sync the replica answers with "
+          f"{[e.first('cn') for e in answer.entries]}")
+    print(f"hit ratio so far: {replica.stats.hit_ratio:.2f} "
+          f"({replica.stats.hits}/{replica.stats.queries})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Figure 3 walkthrough: a complete ReSync session, message by message.
+
+Replays the paper's example session — entries E1..E5, update operations
+A/M/D/R at the master, a poll → poll → persist sequence at the replica
+— and prints the message sequence chart as it happens.
+
+Run:  python examples/resync_session.py
+"""
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import DirectoryServer, Modification
+from repro.sync import ResyncProvider, SyncedContent
+
+
+def person(name: str) -> Entry:
+    return Entry(
+        f"cn={name},o=xyz",
+        {"objectClass": ["person"], "cn": name, "sn": "Example"},
+    )
+
+
+def show(label: str, updates) -> None:
+    print(f"\n<- {label}")
+    for update in updates:
+        detail = str(update.dn)
+        print(f"     {update.action.value:<7} {detail}")
+
+
+def main() -> None:
+    master = DirectoryServer("master")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for name in ("E1", "E2", "E3"):
+        master.add(person(name))
+
+    S = SearchRequest("o=xyz", Scope.SUB, "(objectClass=person)")
+    provider = ResyncProvider(master)
+    content = SyncedContent(S)
+
+    print(f"synchronized search S: {S}")
+
+    # ---- request 1: S, (poll, null) ---------------------------------
+    print("\n-> S, (poll, null)")
+    response = content.poll(provider)
+    show("initial content + cookie", response.updates)
+    print(f"     cookie: {content.cookie}")
+
+    # ---- updates at the master --------------------------------------
+    print("\n[master] A: add E4 | D: delete E1, E2 | M: modify E3")
+    master.add(person("E4"))
+    master.delete("cn=E1,o=xyz")
+    master.delete("cn=E2,o=xyz")
+    master.modify("cn=E3,o=xyz", [Modification.replace("title", "modified")])
+
+    # ---- request 2: S, (poll, cookie) -------------------------------
+    print("\n-> S, (poll, cookie)")
+    response = content.poll(provider)
+    show("accumulated session updates + cookie1", response.updates)
+    print(f"     cookie: {content.cookie}")
+
+    # ---- request 3: S, (persist, cookie1) ----------------------------
+    print("\n-> S, (persist, cookie1)")
+    notifications = []
+    response, handle = provider.persist(S, notifications.append, cookie=content.cookie)
+    for update in response.updates:
+        content.apply_notification(update)
+    print("<- (connection stays open)")
+
+    # R: modify DN — in-content rename is delete(old) + add(new) (§5.2)
+    print("\n[master] R: rename E3 -> E5")
+    master.modify_dn("cn=E3,o=xyz", new_rdn="cn=E5")
+    show("change notifications", notifications)
+    for update in notifications:
+        content.apply_notification(update)
+
+    # ---- abandon ------------------------------------------------------
+    print("\n-> abandon")
+    handle.abandon()
+    print(f"<- session closed (active sessions: {provider.active_session_count})")
+
+    ok = content.matches_master(master)
+    print(f"\nreplica content: {sorted(str(dn) for dn in content.dns())}")
+    print(f"converged with master: {ok}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Four subcommands wrap the library for shell use::
+
+    repro-ldap gen-directory --employees 5000 --out directory.ldif
+    repro-ldap gen-carrier --subscribers 10000 --out carrier.ldif
+    repro-ldap gen-workload --queries 10000 --days 2 --out trace.txt
+    repro-ldap case-study --employees 4000 --queries 6000
+
+``gen-directory`` / ``gen-carrier`` write the synthetic DITs as LDIF;
+``gen-workload`` writes one query per line (tab-separated: day, type,
+filter, scoped base); ``case-study`` runs the §7 filter-vs-subtree
+comparison and prints the summary table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .core import FilterReplica, SubtreeReplica
+from .ldap import Scope, SearchRequest, entries_to_ldif
+from .metrics import ReplicaDriver
+from .server import DirectoryServer, SimulatedNetwork
+from .sync import ResyncProvider
+from .workload import (
+    CarrierConfig,
+    DirectoryConfig,
+    QueryType,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_carrier_directory,
+    generate_directory,
+)
+
+__all__ = ["main"]
+
+
+def _open_out(path: Optional[str]) -> TextIO:
+    if path is None or path == "-":
+        return sys.stdout
+    return open(path, "w", encoding="utf-8")
+
+
+def _cmd_gen_directory(args: argparse.Namespace) -> int:
+    directory = generate_directory(
+        DirectoryConfig(employees=args.employees, seed=args.seed)
+    )
+    out = _open_out(args.out)
+    try:
+        out.write(entries_to_ldif(directory.entries))
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(
+        f"wrote {len(directory.entries)} entries "
+        f"({directory.employee_count} employees)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_gen_carrier(args: argparse.Namespace) -> int:
+    directory = generate_carrier_directory(
+        CarrierConfig(subscribers=args.subscribers, seed=args.seed)
+    )
+    out = _open_out(args.out)
+    try:
+        out.write(entries_to_ldif(directory.entries))
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(f"wrote {len(directory.entries)} entries", file=sys.stderr)
+    return 0
+
+
+def _cmd_gen_workload(args: argparse.Namespace) -> int:
+    directory = generate_directory(
+        DirectoryConfig(employees=args.employees, seed=args.seed)
+    )
+    generator = WorkloadGenerator(directory, WorkloadConfig(seed=args.seed + 1))
+    trace = generator.generate(args.queries, days=args.days)
+    out = _open_out(args.out)
+    try:
+        trace.save(out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    shares = ", ".join(
+        f"{t.value}={s:.0%}" for t, s in sorted(
+            trace.distribution().items(), key=lambda kv: -kv[1]
+        )
+    )
+    print(f"wrote {len(trace)} queries ({shares})", file=sys.stderr)
+    return 0
+
+
+def _cmd_case_study(args: argparse.Namespace) -> int:
+    directory = generate_directory(
+        DirectoryConfig(employees=args.employees, seed=args.seed)
+    )
+    trace = WorkloadGenerator(directory, WorkloadConfig(seed=args.seed + 1)).generate(
+        args.queries, days=2
+    )
+    day2 = trace.day(2)
+
+    # day-1 hot block statistics → static filter selection (§6.2)
+    counts = {}
+    for record in trace.day(1).of_type(QueryType.SERIAL):
+        value = str(record.request.filter)[len("(serialNumber=") : -1]
+        counts[(value[:4], value[6:])] = counts.get((value[:4], value[6:]), 0) + 1
+    hot_blocks = sorted(counts, key=counts.get, reverse=True)[: args.filters]
+
+    def fresh_master() -> DirectoryServer:
+        master = DirectoryServer("master")
+        master.add_naming_context(directory.suffix)
+        master.load(directory.entries)
+        return master
+
+    master = fresh_master()
+    provider = ResyncProvider(master)
+    subtree = SubtreeReplica("subtree", network=SimulatedNetwork())
+    for cc in directory.geography_countries(args.geography):
+        subtree.add_context(f"c={cc},o=xyz")
+    subtree.sync(provider)
+    subtree_result = ReplicaDriver(
+        master, subtree, provider=provider, use_scoped=True
+    ).run(day2)
+
+    master = fresh_master()
+    provider = ResyncProvider(master)
+    filt = FilterReplica("filter", network=SimulatedNetwork(), cache_capacity=50)
+    for block, cc in hot_blocks:
+        filt.add_filter(
+            SearchRequest("", Scope.SUB, f"(serialNumber={block}*{cc})"), provider
+        )
+    filt.add_filter(SearchRequest("", Scope.SUB, "(objectClass=location)"), provider)
+    filter_result = ReplicaDriver(master, filt, provider=provider).run(day2)
+
+    print(f"{'metric':<24}{'subtree':>12}{'filter':>12}")
+    print(f"{'replica entries':<24}{subtree_result.replica_entries:>12}{filter_result.replica_entries:>12}")
+    print(f"{'hit ratio':<24}{subtree_result.hit_ratio:>12.3f}{filter_result.hit_ratio:>12.3f}")
+    for qtype in QueryType:
+        s = subtree_result.hit_ratio_by_type.get(qtype.value, 0.0)
+        f = filter_result.hit_ratio_by_type.get(qtype.value, 0.0)
+        print(f"{'  ' + qtype.value:<24}{s:>12.3f}{f:>12.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ldap",
+        description="Filter based directory replication (ICDCS 2005) tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-directory", help="write the enterprise DIT as LDIF")
+    p.add_argument("--employees", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=20050607)
+    p.add_argument("--out", default="-")
+    p.set_defaults(func=_cmd_gen_directory)
+
+    p = sub.add_parser("gen-carrier", help="write the flat carrier DIT as LDIF")
+    p.add_argument("--subscribers", type=int, default=5_000)
+    p.add_argument("--seed", type=int, default=33)
+    p.add_argument("--out", default="-")
+    p.set_defaults(func=_cmd_gen_carrier)
+
+    p = sub.add_parser("gen-workload", help="write a Table 1 query trace")
+    p.add_argument("--employees", type=int, default=10_000)
+    p.add_argument("--queries", type=int, default=10_000)
+    p.add_argument("--days", type=int, default=2)
+    p.add_argument("--seed", type=int, default=20050607)
+    p.add_argument("--out", default="-")
+    p.set_defaults(func=_cmd_gen_workload)
+
+    p = sub.add_parser("case-study", help="run the §7 filter-vs-subtree comparison")
+    p.add_argument("--employees", type=int, default=4_000)
+    p.add_argument("--queries", type=int, default=6_000)
+    p.add_argument("--filters", type=int, default=25)
+    p.add_argument("--geography", default="AP")
+    p.add_argument("--seed", type=int, default=20050607)
+    p.set_defaults(func=_cmd_case_study)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

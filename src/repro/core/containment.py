@@ -1,0 +1,99 @@
+"""LDAP query containment — the ``QC`` algorithm of §4.
+
+A query ``Q`` is semantically contained in a stored query ``Qs`` when:
+
+(i)   the region defined by Q's base and scope falls completely inside
+      the corresponding region of Qs,
+(ii)  Q's requested attributes are a subset of Qs's, and
+(iii) Q's filter is more restrictive than Qs's filter.
+
+Scope values are the integers BASE=0, SINGLE LEVEL=1, SUBTREE=2, as the
+paper's pseudocode assumes.  Region containment enumerates the three
+ways Qs's region can cover Q's:
+
+* same base, Qs's scope at least as deep,
+* Qs is a SUBTREE search over an ancestor(-or-self) of Q's base,
+* Qs is a SINGLE LEVEL search on the parent of a BASE search's target.
+
+Condition (iii) delegates to
+:func:`repro.core.filter_containment.filter_contained_in` — sound and
+template-friendly — so ``query_contained_in(Q, Qs) == True`` guarantees
+``answer(Q) ⊆ answer(Qs)`` on every directory (property-tested).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from ..ldap.attributes import AttributeRegistry
+from ..ldap.query import Scope, SearchRequest
+from .filter_containment import filter_contained_in
+
+__all__ = ["region_contained_in", "attributes_contained_in", "query_contained_in"]
+
+
+def region_contained_in(q: SearchRequest, qs: SearchRequest) -> bool:
+    """True when (base, scope) of *q* lies inside the region of *qs*.
+
+    Transcription of the region part of the paper's ``QC`` pseudocode::
+
+        if (bS = b & sS >= s)            -> NEXT
+        else if (!issuffix(bS, b))       -> FALSE
+        if (sS = SUBTREE)                -> NEXT
+        else if ((sS > s) & isparent(bS, b)) -> NEXT
+        FALSE
+
+    Deviation from the paper (found by property testing): with equal
+    bases the paper's ``sS >= s`` admits BASE ⊆ SINGLE LEVEL, but a
+    single-level search does *not* return the base entry itself
+    (RFC 2251 §4.5.1), so region(BASE) ⊄ region(ONE).  The correct
+    same-base rule is ``sS == s or sS == SUBTREE``.
+    """
+    b, s = q.base, q.scope
+    bs, ss = qs.base, qs.scope
+    if bs == b:
+        return ss == s or ss is Scope.SUB
+    if not bs.is_suffix_of(b):
+        return False
+    if ss is Scope.SUB:
+        return True
+    return ss > s and bs.is_parent_of(b)
+
+
+def attributes_contained_in(q: SearchRequest, qs: SearchRequest) -> bool:
+    """Condition (ii): A ⊆ As, with ``*`` meaning all user attributes."""
+    if qs.wants_all_attributes:
+        return True
+    if q.wants_all_attributes:
+        return False
+    return q.attributes <= qs.attributes
+
+
+def query_contained_in(
+    q: SearchRequest,
+    qs: SearchRequest,
+    registry: Optional[AttributeRegistry] = None,
+) -> bool:
+    """The full ``QC(Q, Qs)`` check: region, attributes and filter.
+
+    Results under the default attribute registry are memoized — queries
+    and requests are immutable, and temporal locality in workloads makes
+    repeat checks the common case.
+    """
+    if registry is None:
+        return _query_contained_in_cached(q, qs)
+    if not region_contained_in(q, qs):
+        return False
+    if not attributes_contained_in(q, qs):
+        return False
+    return filter_contained_in(q.filter, qs.filter, registry)
+
+
+@lru_cache(maxsize=262_144)
+def _query_contained_in_cached(q: SearchRequest, qs: SearchRequest) -> bool:
+    if not region_contained_in(q, qs):
+        return False
+    if not attributes_contained_in(q, qs):
+        return False
+    return filter_contained_in(q.filter, qs.filter, None)

@@ -1,0 +1,353 @@
+"""Filter based replication — the paper's proposed model (§3, §6).
+
+A :class:`FilterReplica` stores entries satisfying one or more LDAP
+queries.  For each replicated query it keeps meta information (the
+search specification) and the synchronized content; an incoming query
+is answered locally iff it is semantically contained in some stored
+query (the ``QC`` algorithm of §4), otherwise a referral to the master
+is generated.
+
+The replica combines the three content sources of §7:
+
+* **stored filters** — generalized queries (and whole-subtree queries
+  like the location tree), kept consistent through a ReSync provider;
+* **recent user queries** — an optional :class:`RecentQueryCache`
+  window exploiting temporal locality (cached, never updated);
+* **dynamic selection** — stored filters can be installed/discarded at
+  runtime by :class:`repro.core.selection.FilterSelector` revolutions.
+
+Template-based containment (§3.4.2) prunes the stored filters checked
+per query; ``containment_checks`` counts the comparisons actually made
+(the query-processing-overhead metric of §7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.query import SearchRequest
+from ..server.network import SimulatedNetwork
+from ..server.operations import Referral
+from ..sync.consumer import SyncedContent
+from .containment import query_contained_in
+from .query_cache import RecentQueryCache
+from .replica import AnswerStatus, HitStats, ReplicaAnswer
+from .templates import TemplateRegistry, template_key
+
+__all__ = ["StoredFilter", "FilterReplica"]
+
+
+@dataclass
+class StoredFilter:
+    """One replicated query: meta information plus synchronized content.
+
+    ``sync_interval`` implements §3.2's per-object-type consistency
+    levels: a filter with interval *n* is only polled every *n*-th sync
+    round (1 = every round).  A subtree replica must apply the most
+    stringent requirement to a whole subtree; a filter replica tunes it
+    per replicated query.
+    """
+
+    request: SearchRequest
+    content: SyncedContent
+    key: str
+    hits: int = 0
+    sync_interval: int = 1
+
+    def entry_count(self) -> int:
+        return len(self.content)
+
+
+class FilterReplica:
+    """A partial replica whose unit of replication is an LDAP query.
+
+    Args:
+        name: replica name for diagnostics.
+        master_url: referral target for misses.
+        network: optional traffic accounting shared with sync.
+        templates: when given, only queries belonging to the registered
+            templates are considered answerable (template-based
+            containment); other queries miss immediately.
+        cache_capacity: size of the recent-user-query window (0 = off).
+        compose_unions: extension beyond the paper's single-containment
+            rule — a disjunctive query is answered when *every* disjunct
+            is contained in some stored query, by uniting the per-
+            disjunct evaluations.  Sound (each disjunct's answer set is
+            complete) and strictly increases hit ratio.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        master_url: str = "ldap://master",
+        network: Optional[SimulatedNetwork] = None,
+        templates: Optional[TemplateRegistry] = None,
+        cache_capacity: int = 0,
+        compose_unions: bool = False,
+        cache_policy: str = "fifo",
+    ):
+        self.name = name
+        self.master_url = master_url
+        self.network = network
+        self.templates = templates
+        self.compose_unions = compose_unions
+        self.cache = RecentQueryCache(cache_capacity, policy=cache_policy)
+        self._stored: Dict[SearchRequest, StoredFilter] = {}
+        self._persist_handles: Dict[SearchRequest, object] = {}
+        self.stats = HitStats()
+        self.containment_checks = 0
+        self._sync_round = 0
+
+    # ------------------------------------------------------------------
+    # stored-filter management
+    # ------------------------------------------------------------------
+    def add_filter(
+        self,
+        request: SearchRequest,
+        provider=None,
+        sync_interval: int = 1,
+    ) -> StoredFilter:
+        """Replicate *request*; polls *provider* for the initial content.
+
+        Without a provider the filter starts empty (tests/benches may
+        install content via :meth:`load_directly`).  *sync_interval*
+        sets this filter's consistency level (§3.2): poll every n-th
+        sync round.
+        """
+        if sync_interval < 1:
+            raise ValueError("sync_interval must be >= 1")
+        if request in self._stored:
+            return self._stored[request]
+        stored = StoredFilter(
+            request=request,
+            content=SyncedContent(request, network=self.network),
+            key=template_key(request.filter),
+            sync_interval=sync_interval,
+        )
+        if provider is not None:
+            stored.content.poll(provider)
+        self._stored[request] = stored
+        return stored
+
+    def remove_filter(self, request: SearchRequest, provider=None) -> None:
+        """Discard a replicated query (ending its sync session)."""
+        stored = self._stored.pop(request, None)
+        handle = self._persist_handles.pop(request, None)
+        if handle is not None:
+            handle.abandon()
+            if self.network is not None:
+                self.network.connection_closed()
+        if stored is not None and provider is not None and stored.content.cookie:
+            stored.content.end(provider)
+
+    def load_directly(self, request: SearchRequest, entries: Sequence[Entry]) -> StoredFilter:
+        """Install a stored filter's content without a provider."""
+        stored = self.add_filter(request)
+        stored.content.entries = {e.dn: e.copy() for e in entries}
+        return stored
+
+    def stored_filters(self) -> List[StoredFilter]:
+        return list(self._stored.values())
+
+    def holds(self, request: SearchRequest) -> bool:
+        return request in self._stored
+
+    @property
+    def filter_count(self) -> int:
+        """Stored filters + cached queries (Figures 8/9's x-axis)."""
+        return len(self._stored) + len(self.cache)
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def subscribe_persist(self, provider) -> int:
+        """Switch every stored filter to persist-mode ReSync (§5.2).
+
+        Persistent search gives strong consistency — every master change
+        is applied to the replica the moment it commits — but costs one
+        open connection *per replicated filter*, the scaling concern the
+        paper raises.  Connections are accounted on the replica's
+        network; returns the number opened.
+
+        Filters already holding a poll cookie resume their session, so
+        no content is retransmitted.
+        """
+        opened = 0
+        for stored in self._stored.values():
+            if stored.request in self._persist_handles:
+                continue
+            response, handle = provider.persist(
+                stored.request,
+                stored.content.apply_notification,
+                cookie=stored.content.cookie,
+            )
+            for update in response.updates:
+                stored.content.apply_notification(update)
+            stored.content.cookie = None  # session is now connection-bound
+            self._persist_handles[stored.request] = handle
+            if self.network is not None:
+                self.network.connection_opened()
+            opened += 1
+        return opened
+
+    def unsubscribe_persist(self) -> None:
+        """Abandon all persist sessions (back to polling mode)."""
+        for handle in self._persist_handles.values():
+            handle.abandon()
+            if self.network is not None:
+                self.network.connection_closed()
+        self._persist_handles.clear()
+
+    @property
+    def persist_connections(self) -> int:
+        """Open persist-mode connections (one per subscribed filter)."""
+        return len(self._persist_handles)
+
+    def sync(self, provider) -> None:
+        """One sync round: poll every stored filter that is due.
+
+        A filter with ``sync_interval`` n is polled on every n-th round
+        (per-object-type consistency levels, §3.2).
+        """
+        self._sync_round += 1
+        for stored in self._stored.values():
+            if self._sync_round % stored.sync_interval == 0:
+                stored.content.poll(provider)
+
+    # ------------------------------------------------------------------
+    # answering
+    # ------------------------------------------------------------------
+    def answer(self, request: SearchRequest) -> ReplicaAnswer:
+        """Answer *request* locally or refer to the master.
+
+        Order: template admission check, stored filters (template-pruned
+        containment), then the recent-query cache.
+        """
+        qkey = template_key(request.filter)
+        admitted = self._admitted(request, qkey)
+
+        if admitted:
+            for stored in self._stored.values():
+                if self.templates is not None and not self.templates.may_answer(
+                    stored.key, qkey
+                ):
+                    continue
+                self.containment_checks += 1
+                if query_contained_in(request, stored.request):
+                    stored.hits += 1
+                    answer = ReplicaAnswer(
+                        AnswerStatus.HIT,
+                        entries=self._evaluate(request, stored),
+                        answered_by=str(stored.request),
+                    )
+                    self.stats.record(answer)
+                    return answer
+
+            cached = self.cache.lookup(request)
+            if cached is not None:
+                entries, source = cached
+                answer = ReplicaAnswer(
+                    AnswerStatus.HIT, entries=entries, answered_by=f"cache:{source}"
+                )
+                self.stats.record(answer)
+                return answer
+
+            if self.compose_unions:
+                composed = self._answer_union(request)
+                if composed is not None:
+                    self.stats.record(composed)
+                    return composed
+
+        answer = ReplicaAnswer(
+            AnswerStatus.MISS,
+            referrals=[Referral(self.master_url, request.base)],
+        )
+        self.stats.record(answer)
+        return answer
+
+    def _answer_union(self, request: SearchRequest) -> Optional[ReplicaAnswer]:
+        """Union composition: each disjunct answered by some stored query.
+
+        Only applies to top-level OR filters.  Every disjunct's sub-query
+        (same base/scope/attributes, the disjunct as filter) must be
+        contained in a stored query; the answer is the DN-deduplicated
+        union of the per-disjunct evaluations.
+        """
+        from ..ldap.filters import Or, simplify
+
+        flt = simplify(request.filter)
+        if not isinstance(flt, Or):
+            return None
+        merged: Dict[DN, Entry] = {}
+        sources: List[str] = []
+        for disjunct in flt.children:
+            sub_request = request.with_filter(disjunct)
+            holder: Optional[StoredFilter] = None
+            for stored in self._stored.values():
+                self.containment_checks += 1
+                if query_contained_in(sub_request, stored.request):
+                    holder = stored
+                    break
+            if holder is None:
+                return None  # one uncovered disjunct forfeits the union
+            holder.hits += 1
+            for entry in self._evaluate(sub_request, holder):
+                merged.setdefault(entry.dn, entry)
+            sources.append(str(holder.request))
+        return ReplicaAnswer(
+            AnswerStatus.HIT,
+            entries=list(merged.values()),
+            answered_by="union:" + " + ".join(sources),
+        )
+
+    def _admitted(self, request: SearchRequest, qkey: str) -> bool:
+        """Template admission: with a registry, only member queries are
+        candidates for local answering."""
+        if self.templates is None:
+            return True
+        return self.templates.classify(request.filter) is not None
+
+    def _evaluate(self, request: SearchRequest, stored: StoredFilter) -> List[Entry]:
+        """Evaluate *request* over the containing stored query's content."""
+        return [
+            request.project(entry)
+            for entry in stored.content.entries.values()
+            if request.selects(entry)
+        ]
+
+    def observe_miss(self, request: SearchRequest, entries: Sequence[Entry]) -> None:
+        """Feed a master-answered query back into the recent-query cache."""
+        self.cache.insert(request, entries)
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+    def entry_count(self, include_cache: bool = True) -> int:
+        """Unique entries held (the paper's replica-size metric)."""
+        dns: Set[DN] = set()
+        for stored in self._stored.values():
+            dns.update(stored.content.entries)
+        count = len(dns)
+        if include_cache:
+            count += self.cache.entry_count()
+        return count
+
+    def size_bytes(self) -> int:
+        """Approximate stored bytes across stored filters."""
+        seen: Set[DN] = set()
+        total = 0
+        for stored in self._stored.values():
+            for dn, entry in stored.content.entries.items():
+                if dn not in seen:
+                    seen.add(dn)
+                    total += entry.estimated_size()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"FilterReplica({self.name!r}, {len(self._stored)} filters, "
+            f"{self.entry_count()} entries)"
+        )

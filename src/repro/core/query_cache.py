@@ -1,0 +1,116 @@
+"""Sliding-window cache of recent user queries (§7.4).
+
+Besides replicating generalized filters, it is advantageous to store
+recently performed user queries: they capture *temporal* locality.
+Cached queries are "simply cached for a short time window and not
+updated" — the window is a FIFO of the last N queries with their result
+entries, answered through the same containment machinery as stored
+filters, and results may be slightly stale by design.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.filters import attributes_of
+from ..ldap.query import SearchRequest
+from .containment import query_contained_in
+
+__all__ = ["CachedQuery", "RecentQueryCache"]
+
+
+@dataclass
+class CachedQuery:
+    """One cached user query and its (frozen) result entries."""
+
+    request: SearchRequest
+    entries: Dict[DN, Entry]
+    filter_attrs: frozenset = frozenset()
+    """Attributes of the cached filter — a cheap containment prescreen:
+    our sound checker can only prove ``q ⊆ qs`` when every attribute
+    *qs* constrains is also constrained by *q*."""
+
+
+class RecentQueryCache:
+    """Window of the last *capacity* user queries.
+
+    The paper caches "recently performed user queries … for a short time
+    window" — a FIFO of arrivals.  The ``lru`` policy is the classical
+    alternative (hits refresh a query's position), exposed for the
+    replacement-policy ablation; FIFO remains the paper-faithful
+    default.
+
+    Queries identical to an already-cached one refresh its result but do
+    not consume an extra slot.
+    """
+
+    POLICIES = ("fifo", "lru")
+
+    def __init__(self, capacity: int = 50, policy: str = "fifo"):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; pick from {self.POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self._window: "OrderedDict[SearchRequest, CachedQuery]" = OrderedDict()
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def insert(self, request: SearchRequest, entries: Sequence[Entry]) -> None:
+        """Cache *request* with its result, evicting the oldest entry."""
+        if self.capacity == 0:
+            return
+        if request in self._window:
+            self._window.move_to_end(request)
+        self._window[request] = CachedQuery(
+            request=request,
+            entries={e.dn: e.copy() for e in entries},
+            filter_attrs=attributes_of(request.filter),
+        )
+        while len(self._window) > self.capacity:
+            self._window.popitem(last=False)
+
+    def lookup(self, request: SearchRequest) -> Optional[Tuple[List[Entry], str]]:
+        """Answer *request* from a containing cached query, if any.
+
+        Returns (entries, cache key) on a hit, None on a miss.  Newest
+        cached queries are consulted first (temporal locality).
+        """
+        self.lookups += 1
+        request_attrs = attributes_of(request.filter)
+        for cached in reversed(self._window.values()):
+            if not cached.filter_attrs <= request_attrs:
+                continue
+            if query_contained_in(request, cached.request):
+                self.hits += 1
+                answer = [
+                    request.project(entry)
+                    for entry in cached.entries.values()
+                    if request.selects(entry)
+                ]
+                if self.policy == "lru":
+                    self._window.move_to_end(cached.request)
+                return answer, str(cached.request)
+        return None
+
+    def entry_count(self) -> int:
+        """Unique entries held in the window (counts toward replica size)."""
+        dns: Set[DN] = set()
+        for cached in self._window.values():
+            dns.update(cached.entries)
+        return len(dns)
+
+    def stored_queries(self) -> List[SearchRequest]:
+        """Cached requests, oldest first."""
+        return list(self._window.keys())
+
+    def clear(self) -> None:
+        self._window.clear()

@@ -1,0 +1,71 @@
+"""LDAP controls.
+
+Controls are attached to operations to alter their behaviour (§2.2).
+The paper uses two: the server-side sort control of RFC 2891 (only as an
+example) and its own **reSyncControl** (§5.2), the heart of the ReSync
+filter-synchronization protocol::
+
+    reSyncControl = (mode, cookie)
+
+Update/notification PDUs carry a per-entry control specifying the action
+the replica must take: ``add``, ``modify``, ``delete`` or ``retain``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Control", "SortControl", "SyncMode", "ReSyncControl", "SyncAction"]
+
+
+@dataclass(frozen=True)
+class Control:
+    """Base class for controls; *criticality* follows RFC 2251 semantics."""
+
+    criticality: bool = False
+
+
+@dataclass(frozen=True)
+class SortControl(Control):
+    """RFC 2891 server-side sorting control (mentioned in §2.2)."""
+
+    keys: Tuple[str, ...] = ()
+    reverse: bool = False
+
+
+class SyncMode(enum.Enum):
+    """Mode of update in a reSync request (§5.2)."""
+
+    POLL = "poll"
+    PERSIST = "persist"
+    SYNC_END = "sync_end"
+
+
+@dataclass(frozen=True)
+class ReSyncControl(Control):
+    """The paper's resync control attached to a normal search request.
+
+    ``cookie=None`` marks the initial request of an update session: the
+    master sends the entire content and (in poll mode) a cookie to resume
+    the session.  Subsequent requests present the cookie and receive only
+    the updates accumulated since the last request.
+    """
+
+    mode: SyncMode = SyncMode.POLL
+    cookie: Optional[str] = None
+
+
+class SyncAction(enum.Enum):
+    """Per-entry action carried on a ReSync update PDU (§5.2).
+
+    ``ADD``/``MODIFY`` PDUs carry the complete entry; ``DELETE`` carries
+    only the DN; ``RETAIN`` (incomplete-history mode, eq. 3) carries only
+    the DN of an entry the replica should keep.
+    """
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+    RETAIN = "retain"

@@ -1,0 +1,242 @@
+"""Directory entries.
+
+An LDAP entry is a set of attribute/value pairs named by a DN.  The
+mandatory ``objectClass`` attribute ties the entry to its schema classes
+(Figure 1 of the paper shows an ``inetOrgPerson`` example).
+
+:class:`Entry` stores attributes case-insensitively, supports multiple
+values per attribute (LDAP attributes are multi-valued by default) and
+keeps both the original value spelling (for serialization and for
+returning search results) and the normalized form (for matching).
+
+Entries are mutable — the directory server applies modify operations in
+place — but expose :meth:`Entry.copy` for replicas, which must hold
+independent copies of master entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from .attributes import AttributeRegistry, DEFAULT_REGISTRY
+from .dn import DN
+
+__all__ = ["Entry"]
+
+AttrValues = Union[str, int, Sequence[Union[str, int]]]
+
+
+def _as_value_list(values: AttrValues) -> List[str]:
+    if isinstance(values, (str, int)):
+        return [str(values)]
+    return [str(v) for v in values]
+
+
+class Entry:
+    """A directory entry: a DN plus a multi-valued attribute map.
+
+    Args:
+        dn: the entry's distinguished name (a :class:`~repro.ldap.dn.DN`
+            or a string, which is parsed).
+        attributes: mapping of attribute name to a value or list of values.
+        registry: attribute registry supplying syntaxes; defaults to the
+            standard registry.
+
+    Example::
+
+        Entry("cn=John Doe,ou=research,c=us,o=xyz", {
+            "cn": ["John Doe", "John M Doe"],
+            "objectClass": "inetOrgPerson",
+            "telephoneNumber": "2618-2618",
+            "mail": "john@us.xyz.com",
+            "serialNumber": "0456",
+            "departmentNumber": "80",
+        })
+    """
+
+    __slots__ = ("_dn", "_attrs", "_registry")
+
+    def __init__(
+        self,
+        dn: Union[DN, str],
+        attributes: Optional[Mapping[str, AttrValues]] = None,
+        registry: Optional[AttributeRegistry] = None,
+    ):
+        self._dn = dn if isinstance(dn, DN) else DN.parse(dn)
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        # attribute key (lowercase) -> (canonical name, [values])
+        self._attrs: Dict[str, Tuple[str, List[str]]] = {}
+        if attributes:
+            for name, values in attributes.items():
+                self.put(name, values)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def dn(self) -> DN:
+        """The entry's distinguished name."""
+        return self._dn
+
+    @property
+    def registry(self) -> AttributeRegistry:
+        """The attribute registry supplying value syntaxes."""
+        return self._registry
+
+    def with_dn(self, dn: Union[DN, str]) -> "Entry":
+        """A copy of this entry renamed to *dn* (used by modifyDN)."""
+        clone = self.copy()
+        clone._dn = dn if isinstance(dn, DN) else DN.parse(dn)
+        return clone
+
+    # ------------------------------------------------------------------
+    # attribute access
+    # ------------------------------------------------------------------
+    def put(self, name: str, values: AttrValues) -> None:
+        """Replace all values of attribute *name*."""
+        vals = _as_value_list(values)
+        canonical = self._registry.canonical(name)
+        if vals:
+            self._attrs[name.lower()] = (canonical, vals)
+        else:
+            self._attrs.pop(name.lower(), None)
+
+    def add_values(self, name: str, values: AttrValues) -> None:
+        """Append values to attribute *name*, skipping duplicates."""
+        new_vals = _as_value_list(values)
+        key = name.lower()
+        atype = self._registry.get(name)
+        if key in self._attrs:
+            canonical, existing = self._attrs[key]
+            have = {atype.normalize(v) for v in existing}
+            merged = list(existing)
+            for v in new_vals:
+                if atype.normalize(v) not in have:
+                    merged.append(v)
+                    have.add(atype.normalize(v))
+            self._attrs[key] = (canonical, merged)
+        else:
+            self.put(name, new_vals)
+
+    def remove_values(self, name: str, values: Optional[AttrValues] = None) -> None:
+        """Delete listed values of *name*, or the whole attribute if None."""
+        key = name.lower()
+        if key not in self._attrs:
+            return
+        if values is None:
+            del self._attrs[key]
+            return
+        atype = self._registry.get(name)
+        drop = {atype.normalize(v) for v in _as_value_list(values)}
+        canonical, existing = self._attrs[key]
+        remaining = [v for v in existing if atype.normalize(v) not in drop]
+        if remaining:
+            self._attrs[key] = (canonical, remaining)
+        else:
+            del self._attrs[key]
+
+    def get(self, name: str) -> List[str]:
+        """Values of attribute *name* (empty list when absent)."""
+        found = self._attrs.get(name.lower())
+        return list(found[1]) if found is not None else []
+
+    def first(self, name: str) -> Optional[str]:
+        """First value of *name*, or None when absent."""
+        found = self._attrs.get(name.lower())
+        return found[1][0] if found is not None and found[1] else None
+
+    def has_attribute(self, name: str) -> bool:
+        """True when the entry carries at least one value for *name*."""
+        return name.lower() in self._attrs
+
+    def normalized_values(self, name: str) -> Set:
+        """Normalized value set of *name* under its syntax."""
+        atype = self._registry.get(name)
+        return {atype.normalize(v) for v in self.get(name)}
+
+    def attribute_names(self) -> List[str]:
+        """Canonical names of all attributes present."""
+        return [canonical for canonical, _values in self._attrs.values()]
+
+    @property
+    def object_classes(self) -> Set[str]:
+        """Lower-cased object classes of the entry."""
+        return {v.lower() for v in self.get("objectClass")}
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_attribute(name)
+
+    def __iter__(self) -> Iterator[Tuple[str, List[str]]]:
+        for canonical, values in self._attrs.values():
+            yield canonical, list(values)
+
+    # ------------------------------------------------------------------
+    # projection and copying
+    # ------------------------------------------------------------------
+    def copy(self) -> "Entry":
+        """Deep-enough copy (values are immutable strings)."""
+        clone = Entry(self._dn, registry=self._registry)
+        clone._attrs = {k: (c, list(v)) for k, (c, v) in self._attrs.items()}
+        return clone
+
+    def project(self, attributes: Optional[Iterable[str]] = None) -> "Entry":
+        """Copy restricted to *attributes* (``None`` / ``*`` keeps all).
+
+        This implements the *attributes* parameter of the LDAP search
+        operation: the server only returns requested attributes.
+        """
+        if attributes is None:
+            return self.copy()
+        wanted = {a.lower() for a in attributes}
+        if "*" in wanted:
+            return self.copy()
+        clone = Entry(self._dn, registry=self._registry)
+        clone._attrs = {
+            k: (c, list(v)) for k, (c, v) in self._attrs.items() if k in wanted
+        }
+        return clone
+
+    def estimated_size(self) -> int:
+        """Approximate wire size of the entry in bytes.
+
+        Used by the update-traffic experiments.  When the generator stamped
+        an explicit ``entrySizeBytes`` (to model the paper's ~6KB employee
+        entries without storing 6KB of filler), that wins; otherwise the
+        size of the textual representation is used.
+        """
+        stamped = self.first("entrySizeBytes")
+        if stamped is not None:
+            try:
+                return int(stamped)
+            except ValueError:
+                pass
+        total = len(str(self._dn))
+        for _canonical, values in self._attrs.values():
+            for v in values:
+                total += len(_canonical) + len(v) + 2
+        return total
+
+    # ------------------------------------------------------------------
+    # equality / repr
+    # ------------------------------------------------------------------
+    def semantically_equal(self, other: "Entry") -> bool:
+        """True when DNs match and every attribute's value set matches."""
+        if self._dn != other._dn:
+            return False
+        if set(self._attrs) != set(other._attrs):
+            return False
+        return all(
+            self.normalized_values(name) == other.normalized_values(name)
+            for name in self._attrs
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return self.semantically_equal(other)
+
+    def __hash__(self) -> int:  # pragma: no cover - entries are mutable
+        raise TypeError("Entry is mutable and unhashable; key by entry.dn")
+
+    def __repr__(self) -> str:
+        return f"Entry({str(self._dn)!r}, {len(self._attrs)} attrs)"

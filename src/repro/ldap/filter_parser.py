@@ -1,0 +1,192 @@
+"""RFC 2254 filter string parser.
+
+Parses the string representation of LDAP search filters into the AST of
+:mod:`repro.ldap.filters`.  Supports the full grammar the paper uses:
+
+* boolean operators ``&``, ``|``, ``!``,
+* equality ``=``, ordering ``>=`` / ``<=``, approximate ``~=``,
+* presence ``(attr=*)`` and substring ``(attr=a*b*c)`` assertions,
+* hex escapes ``\\2a`` ``\\28`` ``\\29`` ``\\5c`` inside assertion values.
+
+Round-trips with the AST's ``str()``: ``parse_filter(str(f)) == f`` for
+every filter ``f`` built from parsed input (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .filters import (
+    And,
+    Approx,
+    Equality,
+    Filter,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+)
+
+__all__ = ["parse_filter", "FilterParseError"]
+
+
+class FilterParseError(ValueError):
+    """Raised when a filter string cannot be parsed."""
+
+    def __init__(self, message: str, text: str, position: int):
+        super().__init__(f"{message} at position {position} in {text!r}")
+        self.text = text
+        self.position = position
+
+
+class _Parser:
+    """Recursive-descent parser over the RFC 2254 grammar."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- low-level cursor helpers -------------------------------------
+    def peek(self) -> str:
+        if self.pos >= len(self.text):
+            raise FilterParseError("unexpected end of filter", self.text, self.pos)
+        return self.text[self.pos]
+
+    def expect(self, ch: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != ch:
+            raise FilterParseError(f"expected {ch!r}", self.text, self.pos)
+        self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> Filter:
+        node = self.parse_filter()
+        if not self.at_end():
+            raise FilterParseError("trailing characters", self.text, self.pos)
+        return node
+
+    def parse_filter(self) -> Filter:
+        self.expect("(")
+        ch = self.peek()
+        if ch == "&":
+            self.pos += 1
+            node: Filter = And(tuple(self.parse_filter_list()))
+        elif ch == "|":
+            self.pos += 1
+            node = Or(tuple(self.parse_filter_list()))
+        elif ch == "!":
+            self.pos += 1
+            node = Not(self.parse_filter())
+        else:
+            node = self.parse_item()
+        self.expect(")")
+        return node
+
+    def parse_filter_list(self) -> List[Filter]:
+        children = []
+        while not self.at_end() and self.peek() == "(":
+            children.append(self.parse_filter())
+        if not children:
+            raise FilterParseError("empty filter list", self.text, self.pos)
+        return children
+
+    def parse_item(self) -> Filter:
+        attr = self.parse_attribute()
+        op = self.parse_operator()
+        raw = self.parse_raw_value()
+        if op == ">=":
+            return GreaterOrEqual(attr, _unescape(raw, self.text, self.pos))
+        if op == "<=":
+            return LessOrEqual(attr, _unescape(raw, self.text, self.pos))
+        if op == "~=":
+            return Approx(attr, _unescape(raw, self.text, self.pos))
+        # Equality operator: the raw value decides between presence,
+        # substring and plain equality.  Unescaped '*' characters are
+        # substring separators; escaped \2a stars are literal.
+        if raw == "*":
+            return Present(attr)
+        if "*" in raw:
+            parts = [
+                _unescape(piece, self.text, self.pos) for piece in raw.split("*")
+            ]
+            initial, *middle, final = parts
+            any_parts = tuple(p for p in middle if p != "")
+            if not initial and not final and not any_parts:
+                return Present(attr)
+            return Substring(attr, initial=initial, any_parts=any_parts, final=final)
+        return Equality(attr, _unescape(raw, self.text, self.pos))
+
+    def parse_attribute(self) -> str:
+        start = self.pos
+        while not self.at_end() and self.text[self.pos] not in "=<>~()":
+            self.pos += 1
+        attr = self.text[start : self.pos].strip()
+        if not attr:
+            raise FilterParseError("missing attribute name", self.text, start)
+        return attr
+
+    def parse_operator(self) -> str:
+        ch = self.peek()
+        if ch == "=":
+            self.pos += 1
+            return "="
+        if ch in "<>~":
+            self.pos += 1
+            self.expect("=")
+            return ch + "="
+        raise FilterParseError("expected an operator", self.text, self.pos)
+
+    def parse_raw_value(self) -> str:
+        """Consume up to the closing paren, keeping escapes unresolved."""
+        start = self.pos
+        while not self.at_end():
+            ch = self.text[self.pos]
+            if ch == ")":
+                return self.text[start : self.pos]
+            if ch == "(":
+                raise FilterParseError(
+                    "unescaped '(' in assertion value", self.text, self.pos
+                )
+            if ch == "\\":
+                self.pos += 1  # skip the escape introducer; hex digits follow
+            self.pos += 1
+        raise FilterParseError("unterminated assertion value", self.text, start)
+
+
+_HEX_ESCAPES = {"2a": "*", "28": "(", "29": ")", "5c": "\\", "00": "\0"}
+
+
+def _unescape(raw: str, text: str, position: int) -> str:
+    """Resolve RFC 2254 ``\\xx`` hex escapes in an assertion value."""
+    out = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\":
+            hexpair = raw[i + 1 : i + 3].lower()
+            if len(hexpair) < 2:
+                raise FilterParseError("truncated escape", text, position)
+            try:
+                out.append(chr(int(hexpair, 16)))
+            except ValueError:
+                raise FilterParseError(
+                    f"invalid hex escape \\{hexpair}", text, position
+                ) from None
+            i += 3
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse an RFC 2254 filter string into a :class:`Filter` AST.
+
+    >>> parse_filter("(&(sn=Doe)(givenName=John))")
+    And(children=(Equality(attr='sn', value='Doe'), Equality(attr='givenName', value='John')))
+    """
+    return _Parser(text.strip()).parse()

@@ -1,0 +1,103 @@
+"""Minimal LDIF (LDAP Data Interchange Format, RFC 2849) support.
+
+Used by the examples and by tests to snapshot directory content in a
+human-readable, diff-friendly form.  Supports the content subset
+(``dn:`` + attribute lines, records separated by blank lines) with
+base64 encoding of unsafe values.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Iterable, Iterator, List, TextIO
+
+from .entry import Entry
+
+__all__ = ["entry_to_ldif", "entries_to_ldif", "parse_ldif", "write_ldif"]
+
+
+def _is_safe(value: str) -> bool:
+    """RFC 2849 SAFE-STRING test (conservative)."""
+    if value == "":
+        return True
+    if value[0] in {" ", ":", "<"}:
+        return False
+    return all(32 <= ord(ch) < 127 for ch in value)
+
+
+def _attr_line(name: str, value: str) -> str:
+    if _is_safe(value):
+        return f"{name}: {value}"
+    encoded = base64.b64encode(value.encode("utf-8")).decode("ascii")
+    return f"{name}:: {encoded}"
+
+
+def entry_to_ldif(entry: Entry) -> str:
+    """Render one entry as an LDIF record (no trailing blank line)."""
+    lines: List[str] = [_attr_line("dn", str(entry.dn))]
+    for name, values in sorted(entry, key=lambda item: item[0].lower()):
+        for value in values:
+            lines.append(_attr_line(name, value))
+    return "\n".join(lines)
+
+
+def entries_to_ldif(entries: Iterable[Entry]) -> str:
+    """Render entries as LDIF, sorted by DN for deterministic diffs."""
+    ordered = sorted(entries, key=lambda e: str(e.dn).lower())
+    return "\n\n".join(entry_to_ldif(e) for e in ordered) + "\n"
+
+
+def write_ldif(entries: Iterable[Entry], stream: TextIO) -> None:
+    """Write entries to *stream* in LDIF form."""
+    stream.write(entries_to_ldif(entries))
+
+
+def parse_ldif(text: str) -> Iterator[Entry]:
+    """Parse LDIF content records back into entries.
+
+    Handles continuation lines (leading space), ``::`` base64 values and
+    ``#`` comments.  Raises :class:`ValueError` on records without a
+    ``dn:`` line.
+    """
+    # Unfold continuation lines first.
+    unfolded: List[str] = []
+    for raw in text.splitlines():
+        if raw.startswith(" ") and unfolded:
+            unfolded[-1] += raw[1:]
+        else:
+            unfolded.append(raw)
+
+    record: List[str] = []
+    for line in unfolded + [""]:
+        stripped = line.rstrip("\n")
+        if stripped.startswith("#"):
+            continue
+        if stripped == "":
+            if record:
+                yield _record_to_entry(record)
+                record = []
+            continue
+        record.append(stripped)
+
+
+def _record_to_entry(lines: List[str]) -> Entry:
+    dn_value = None
+    attrs: List[tuple] = []
+    for line in lines:
+        if "::" in line and line.index("::") < line.index(":") + 1:
+            name, _, value = line.partition("::")
+            decoded = base64.b64decode(value.strip()).decode("utf-8")
+        else:
+            name, _, value = line.partition(":")
+            decoded = value.strip()
+        name = name.strip()
+        if name.lower() == "dn":
+            dn_value = decoded
+        else:
+            attrs.append((name, decoded))
+    if dn_value is None:
+        raise ValueError(f"LDIF record without dn line: {lines!r}")
+    entry = Entry(dn_value)
+    for name, value in attrs:
+        entry.add_values(name, value)
+    return entry

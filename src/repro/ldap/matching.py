@@ -1,0 +1,131 @@
+"""Filter evaluation: does an entry match a filter?
+
+Implements LDAP's three-ish-valued matching pragmatically as two-valued:
+an assertion on an absent attribute evaluates FALSE (and its negation
+TRUE), which is the behaviour of the deployed servers the paper measures
+against and the one its algorithms assume.
+
+Matching respects attribute syntaxes from the entry's registry:
+directory strings compare case-insensitively, integers numerically.
+Ordering assertions on attributes whose values mix syntaxes degrade to
+string comparison rather than failing, mirroring real servers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .attributes import AttributeType
+from .entry import Entry
+from .filters import (
+    And,
+    Approx,
+    Equality,
+    Filter,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Predicate,
+    Present,
+    Substring,
+)
+
+__all__ = ["matches", "substring_match", "compare_values"]
+
+
+def compare_values(atype: AttributeType, left: str, right: str) -> int:
+    """Three-way comparison of two attribute values under *atype*'s syntax.
+
+    Returns -1 / 0 / +1.  When normalization yields mixed types (e.g. an
+    integer-syntax attribute holding a non-numeric value), both sides are
+    compared as normalized strings.
+    """
+    lnorm = atype.normalize(left)
+    rnorm = atype.normalize(right)
+    if type(lnorm) is not type(rnorm):
+        lnorm, rnorm = str(lnorm), str(rnorm)
+    if lnorm < rnorm:
+        return -1
+    if lnorm > rnorm:
+        return 1
+    return 0
+
+
+def substring_match(
+    atype: AttributeType,
+    value: str,
+    initial: str,
+    any_parts: Iterable[str],
+    final: str,
+) -> bool:
+    """Match one value against a substring assertion.
+
+    Components must appear in order without overlap; comparison is under
+    the attribute's normalization (case-insensitive for directory
+    strings).
+    """
+    norm = str(atype.normalize(value))
+    cursor = 0
+    if initial:
+        prefix = str(atype.normalize(initial))
+        if not norm.startswith(prefix):
+            return False
+        cursor = len(prefix)
+    for part in any_parts:
+        needle = str(atype.normalize(part))
+        found = norm.find(needle, cursor)
+        if found < 0:
+            return False
+        cursor = found + len(needle)
+    if final:
+        suffix = str(atype.normalize(final))
+        if len(norm) - cursor < len(suffix):
+            return False
+        if not norm.endswith(suffix):
+            return False
+    return True
+
+
+def _match_predicate(pred: Predicate, entry: Entry) -> bool:
+    atype = entry.registry.get(pred.attr)
+    if isinstance(pred, Present):
+        return entry.has_attribute(pred.attr)
+    values = entry.get(pred.attr)
+    if not values:
+        return False
+    if isinstance(pred, Equality):
+        assertion = atype.normalize(pred.value)
+        return any(atype.normalize(v) == assertion for v in values)
+    if isinstance(pred, Approx):
+        # Approximate matching is server-defined; case/space-insensitive
+        # equality is the common lowest denominator.
+        assertion = str(atype.normalize(pred.value)).lower()
+        return any(str(atype.normalize(v)).lower() == assertion for v in values)
+    if isinstance(pred, GreaterOrEqual):
+        if not atype.ordered:
+            return False
+        return any(compare_values(atype, v, pred.value) >= 0 for v in values)
+    if isinstance(pred, LessOrEqual):
+        if not atype.ordered:
+            return False
+        return any(compare_values(atype, v, pred.value) <= 0 for v in values)
+    if isinstance(pred, Substring):
+        return any(
+            substring_match(atype, v, pred.initial, pred.any_parts, pred.final)
+            for v in values
+        )
+    raise TypeError(f"unknown predicate {pred!r}")  # pragma: no cover
+
+
+def matches(node: Filter, entry: Entry) -> bool:
+    """True when *entry* satisfies filter *node*."""
+    if isinstance(node, Predicate):
+        return _match_predicate(node, entry)
+    if isinstance(node, And):
+        return all(matches(child, entry) for child in node.children)
+    if isinstance(node, Or):
+        return any(matches(child, entry) for child in node.children)
+    if isinstance(node, Not):
+        return not matches(node.child, entry)
+    raise TypeError(f"unknown filter node {node!r}")  # pragma: no cover

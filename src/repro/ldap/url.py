@@ -1,0 +1,134 @@
+"""LDAP URLs (RFC 2255).
+
+Referral objects and continuation references name subordinate servers
+with LDAP URLs: ``ldap://host:port/base?attrs?scope?filter``.  The
+paper's Figure 2 uses the short form ``ldap://hostB``; full URLs let a
+referral carry the re-based search with it.
+
+:class:`LdapUrl` parses and formats the subset used by directory
+referrals: scheme, host, optional port, base DN and the optional
+attribute/scope/filter query components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+from urllib.parse import quote, unquote
+
+from .dn import DN, ROOT_DN
+from .filter_parser import parse_filter
+from .filters import Filter
+from .query import Scope, SearchRequest
+
+__all__ = ["LdapUrl", "LdapUrlParseError"]
+
+_SCOPE_NAMES = {"base": Scope.BASE, "one": Scope.ONE, "sub": Scope.SUB}
+_SCOPE_TEXT = {Scope.BASE: "base", Scope.ONE: "one", Scope.SUB: "sub"}
+
+
+class LdapUrlParseError(ValueError):
+    """Raised when an LDAP URL cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class LdapUrl:
+    """One parsed LDAP URL.
+
+    >>> url = LdapUrl.parse("ldap://hostB/ou=research,c=us,o=xyz??sub?(sn=Doe)")
+    >>> url.host, str(url.base), url.scope
+    ('hostB', 'ou=research,c=us,o=xyz', <Scope.SUB: 2>)
+    """
+
+    host: str
+    port: Optional[int] = None
+    base: DN = ROOT_DN
+    attributes: Tuple[str, ...] = ()
+    scope: Optional[Scope] = None
+    filter: Optional[Filter] = None
+
+    @classmethod
+    def parse(cls, text: str) -> "LdapUrl":
+        if not text.startswith("ldap://"):
+            raise LdapUrlParseError(f"not an ldap:// URL: {text!r}")
+        rest = text[len("ldap://") :]
+        hostport, _, tail = rest.partition("/")
+        if not hostport:
+            raise LdapUrlParseError(f"missing host in {text!r}")
+        host, _, port_text = hostport.partition(":")
+        port: Optional[int] = None
+        if port_text:
+            if not port_text.isdigit():
+                raise LdapUrlParseError(f"bad port in {text!r}")
+            port = int(port_text)
+
+        parts = tail.split("?") if tail else [""]
+        if len(parts) > 4:
+            raise LdapUrlParseError(f"too many '?' components in {text!r}")
+        base = DN.parse(unquote(parts[0])) if parts[0] else ROOT_DN
+        attributes: Tuple[str, ...] = ()
+        scope: Optional[Scope] = None
+        flt: Optional[Filter] = None
+        if len(parts) > 1 and parts[1]:
+            attributes = tuple(a for a in unquote(parts[1]).split(",") if a)
+        if len(parts) > 2 and parts[2]:
+            name = unquote(parts[2]).strip().lower()
+            if name not in _SCOPE_NAMES:
+                raise LdapUrlParseError(f"unknown scope {name!r} in {text!r}")
+            scope = _SCOPE_NAMES[name]
+        if len(parts) > 3 and parts[3]:
+            flt = parse_filter(unquote(parts[3]))
+        return cls(
+            host=host,
+            port=port,
+            base=base,
+            attributes=attributes,
+            scope=scope,
+            filter=flt,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def server_url(self) -> str:
+        """Just the scheme+host(+port) part, e.g. ``ldap://hostB``."""
+        port = f":{self.port}" if self.port is not None else ""
+        return f"ldap://{self.host}{port}"
+
+    def to_request(self, default: Optional[SearchRequest] = None) -> SearchRequest:
+        """The search request this URL describes.
+
+        Missing components inherit from *default* (the request being
+        continued), per referral-chasing semantics: a continuation
+        reference typically carries only the new base.
+        """
+        scope = self.scope
+        flt = self.filter
+        attributes = self.attributes or None
+        if default is not None:
+            if scope is None:
+                scope = default.scope
+            if flt is None:
+                flt = default.filter
+            if attributes is None and not default.wants_all_attributes:
+                attributes = tuple(default.attributes)
+        return SearchRequest(
+            self.base,
+            scope if scope is not None else Scope.SUB,
+            flt if flt is not None else "(objectClass=*)",
+            attributes,
+        )
+
+    def __str__(self) -> str:
+        out = self.server_url
+        has_query = self.attributes or self.scope is not None or self.filter is not None
+        if not self.base.is_root or has_query:
+            out += "/" + quote(str(self.base), safe="=,+ ")
+        if has_query:
+            out += "?" + ",".join(self.attributes)
+            out += "?" + (_SCOPE_TEXT[self.scope] if self.scope is not None else "")
+            if self.filter is not None:
+                out += "?" + quote(str(self.filter), safe="()=*&|!<>~ ")
+            # trailing empty components are omitted
+            while out.endswith("?"):
+                out = out[:-1]
+        return out

@@ -1,0 +1,5 @@
+"""Metrics and experiment harness shared by tests, examples and benches."""
+
+from .experiment import ExperimentResult, ReplicaDriver
+
+__all__ = ["ExperimentResult", "ReplicaDriver"]

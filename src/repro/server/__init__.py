@@ -1,0 +1,49 @@
+"""Directory server substrate: backends, servers, partitioning, network.
+
+Simulated LDAP servers implementing the functional model of §2.2 and
+the distributed directory model of §2.3, joined by a message-counting
+network so experiments can measure round trips and transferred entries.
+"""
+
+from .backend import EntryStore
+from .client import ChasedResult, LdapClient, ReferralLimitExceeded
+from .connection import BindState, Connection, ConnectionError_, connect
+from .directory import DirectoryServer, NamingContext, UpdateListener
+from .network import SimulatedNetwork, TrafficStats
+from .operations import (
+    LdapError,
+    Modification,
+    ModType,
+    Referral,
+    ResultCode,
+    SearchResult,
+    UpdateOp,
+    UpdateRecord,
+)
+from .partition import DistributedDirectory, make_referral_entry
+
+__all__ = [
+    "EntryStore",
+    "Connection",
+    "BindState",
+    "ConnectionError_",
+    "connect",
+    "DirectoryServer",
+    "NamingContext",
+    "UpdateListener",
+    "LdapClient",
+    "ChasedResult",
+    "ReferralLimitExceeded",
+    "SimulatedNetwork",
+    "TrafficStats",
+    "DistributedDirectory",
+    "make_referral_entry",
+    "LdapError",
+    "ResultCode",
+    "Modification",
+    "ModType",
+    "UpdateOp",
+    "UpdateRecord",
+    "Referral",
+    "SearchResult",
+]

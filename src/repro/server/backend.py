@@ -1,0 +1,250 @@
+"""In-memory directory backend: the entry store.
+
+One :class:`EntryStore` holds the entries of one server, keyed by DN,
+with a parent→children tree index for scope traversal and per-attribute
+value indexes (:mod:`repro.server.indexes`) for filter evaluation.
+
+The store is deliberately dumb about LDAP semantics — naming contexts,
+referrals and schema live in :class:`repro.server.directory.DirectoryServer`.
+It guarantees:
+
+* hierarchy integrity: an entry's parent must exist (except context
+  suffixes, which the server registers as roots),
+* index consistency: every mutation goes through :meth:`put` /
+  :meth:`delete` which keep value indexes in sync (property-tested),
+* candidate soundness: :meth:`candidates_for` returns a superset of the
+  entries matching a filter within the store.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..ldap.attributes import AttributeRegistry, DEFAULT_REGISTRY
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.filters import (
+    And,
+    Equality,
+    Filter,
+    GreaterOrEqual,
+    LessOrEqual,
+    Present,
+    Substring,
+)
+from ..ldap.query import Scope
+from .indexes import AttributeIndexSet
+
+__all__ = ["EntryStore"]
+
+
+class EntryStore:
+    """DN-keyed entry storage with tree and attribute indexes."""
+
+    def __init__(
+        self,
+        registry: Optional[AttributeRegistry] = None,
+        indexed_attributes: Iterable[str] = (),
+        index_all: bool = True,
+    ):
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._entries: Dict[DN, Entry] = {}
+        self._children: Dict[DN, Set[DN]] = defaultdict(set)
+        self._roots: Set[DN] = set()
+        self._indexes: Dict[str, AttributeIndexSet] = {}
+        self._index_all = index_all
+        self._referral_dns: Set[DN] = set()
+        for attr in indexed_attributes:
+            self._ensure_index(attr)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, dn: DN) -> bool:
+        return dn in self._entries
+
+    def get(self, dn: DN) -> Optional[Entry]:
+        """The entry at *dn*, or None."""
+        return self._entries.get(dn)
+
+    def children_of(self, dn: DN) -> List[DN]:
+        """DNs of the direct children of *dn*."""
+        return sorted(self._children.get(dn, ()), key=str)
+
+    def roots(self) -> List[DN]:
+        """Registered root DNs (naming-context suffixes)."""
+        return sorted(self._roots, key=str)
+
+    def all_dns(self) -> Iterator[DN]:
+        """Every DN in the store (arbitrary order)."""
+        return iter(list(self._entries.keys()))
+
+    def all_entries(self) -> Iterator[Entry]:
+        """Every entry in the store (arbitrary order)."""
+        return iter(list(self._entries.values()))
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def register_root(self, dn: DN) -> None:
+        """Declare *dn* a tree root (a naming-context suffix).
+
+        Root entries are exempt from the parent-must-exist rule.
+        """
+        self._roots.add(dn)
+
+    def has_parent(self, dn: DN) -> bool:
+        """True when *dn* is a root or its parent entry exists."""
+        if dn in self._roots or dn.is_root:
+            return True
+        return dn.parent in self._entries
+
+    def put(self, entry: Entry) -> None:
+        """Insert or replace the entry at ``entry.dn``, updating indexes."""
+        existing = self._entries.get(entry.dn)
+        if existing is not None:
+            self._unindex(existing)
+        else:
+            if not entry.dn.is_root:
+                self._children[entry.dn.parent].add(entry.dn)
+        stored = entry.copy()
+        self._entries[entry.dn] = stored
+        self._index(stored)
+        if "referral" in stored.object_classes:
+            self._referral_dns.add(entry.dn)
+        else:
+            self._referral_dns.discard(entry.dn)
+
+    def delete(self, dn: DN) -> Optional[Entry]:
+        """Remove the entry at *dn*; returns it (or None if absent).
+
+        Children are untouched — the caller (the server) enforces the
+        leaf-only rule or performs subtree deletes child-first.
+        """
+        entry = self._entries.pop(dn, None)
+        if entry is None:
+            return None
+        self._unindex(entry)
+        self._referral_dns.discard(dn)
+        if not dn.is_root:
+            siblings = self._children.get(dn.parent)
+            if siblings is not None:
+                siblings.discard(dn)
+                if not siblings:
+                    del self._children[dn.parent]
+        return entry
+
+    def has_children(self, dn: DN) -> bool:
+        """True when *dn* has at least one child entry."""
+        return bool(self._children.get(dn))
+
+    def referral_dns(self) -> Set[DN]:
+        """DNs of held referral objects (maintained on put/delete)."""
+        return set(self._referral_dns)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def iter_scope(self, base: DN, scope: Scope) -> Iterator[Entry]:
+        """Yield entries in the (base, scope) region, base first.
+
+        The base entry must exist for BASE/ONE/SUB per LDAP semantics;
+        callers check existence beforehand (the server returns
+        NO_SUCH_OBJECT otherwise).
+        """
+        if scope is Scope.BASE:
+            entry = self._entries.get(base)
+            if entry is not None:
+                yield entry
+            return
+        if scope is Scope.ONE:
+            for child in self.children_of(base):
+                yield self._entries[child]
+            return
+        # SUBTREE: depth-first, base included.  Absent intermediate DNs
+        # (e.g. the virtual root) are traversed but not yielded.
+        stack = [base]
+        while stack:
+            dn = stack.pop()
+            entry = self._entries.get(dn)
+            if entry is not None:
+                yield entry
+            stack.extend(self._children.get(dn, ()))
+
+    def subtree_dns(self, base: DN) -> List[DN]:
+        """All DNs in the subtree rooted at *base* (base included)."""
+        return [e.dn for e in self.iter_scope(base, Scope.SUB)]
+
+    # ------------------------------------------------------------------
+    # index-accelerated candidate selection
+    # ------------------------------------------------------------------
+    def candidates_for(self, flt: Filter) -> Optional[Set[DN]]:
+        """Candidate DNs possibly matching *flt*, or None for "scan all".
+
+        Uses the most selective indexable conjunct of a top-level AND, or
+        the predicate itself.  Sound (never drops a true match) because
+        an AND result is a subset of every conjunct's result.  OR/NOT
+        nodes are not narrowed — the server falls back to scanning the
+        scope region, which stays correct.
+        """
+        best: Optional[Set[DN]] = None
+        for conjunct in self._indexable_conjuncts(flt):
+            candidate = self._lookup(conjunct)
+            if candidate is None:
+                continue
+            if best is None or len(candidate) < len(best):
+                best = candidate
+        return best
+
+    def _indexable_conjuncts(self, flt: Filter) -> Iterator[Filter]:
+        if isinstance(flt, And):
+            for child in flt.children:
+                yield child
+        else:
+            yield flt
+
+    def _lookup(self, pred: Filter) -> Optional[Set[DN]]:
+        if isinstance(pred, (Equality, Substring, GreaterOrEqual, LessOrEqual)):
+            index = self._indexes.get(pred.attr_key)
+            if index is None:
+                return None
+            if isinstance(pred, Equality):
+                return index.equality.lookup(pred.value)
+            if isinstance(pred, Substring):
+                return index.substring.candidates(pred.components)
+            if index.ordering is None:
+                return None
+            if isinstance(pred, GreaterOrEqual):
+                return index.ordering.greater_or_equal(pred.value)
+            return index.ordering.less_or_equal(pred.value)
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ensure_index(self, attr: str) -> AttributeIndexSet:
+        key = attr.lower()
+        index = self._indexes.get(key)
+        if index is None:
+            index = AttributeIndexSet(self._registry.get(attr))
+            self._indexes[key] = index
+        return index
+
+    def _index(self, entry: Entry) -> None:
+        for name, values in entry:
+            key = name.lower()
+            index = self._indexes.get(key)
+            if index is None and self._index_all:
+                index = self._ensure_index(name)
+            if index is not None:
+                index.insert(entry.dn, values)
+
+    def _unindex(self, entry: Entry) -> None:
+        for name, values in entry:
+            index = self._indexes.get(name.lower())
+            if index is not None:
+                index.remove(entry.dn, values)

@@ -1,0 +1,553 @@
+"""The simulated LDAP directory server.
+
+A :class:`DirectoryServer` holds one or more **naming contexts** (§2.3):
+subtrees rooted at a *suffix* entry and terminated by leaf entries or
+special *referral objects* pointing to subordinate naming contexts held
+elsewhere.  Formally a context is ``C = (S, R1..Rn)``.
+
+The server implements the LDAP functional model:
+
+* **search** — distributed name resolution (superior/default referral
+  when the target is not held locally), scope traversal, filter
+  evaluation (index-accelerated), continuation references for referral
+  objects inside the search region, attribute projection;
+* **update operations** — add, modify, delete, modifyDN (subtree move);
+  every committed update is assigned a change sequence number (CSN) and
+  pushed to registered :class:`UpdateListener`\\ s — the hook the
+  synchronization mechanisms of :mod:`repro.sync` build on.
+
+Referral objects are ordinary entries with object class ``referral`` and
+a ``ref`` attribute holding the subordinate server's URL; the subtree
+beneath a referral object is *not* held by this server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple, Union
+
+from ..ldap.attributes import AttributeRegistry, DEFAULT_REGISTRY
+from ..ldap.dn import DN, ROOT_DN
+from ..ldap.entry import Entry
+from ..ldap.matching import matches
+from ..ldap.query import Scope, SearchRequest
+from ..ldap.schema import DEFAULT_SCHEMA, SchemaRegistry, validate_entry
+from .backend import EntryStore
+from .operations import (
+    LdapError,
+    Modification,
+    ModType,
+    Referral,
+    ResultCode,
+    SearchResult,
+    UpdateOp,
+    UpdateRecord,
+)
+
+__all__ = ["NamingContext", "DirectoryServer", "UpdateListener"]
+
+REFERRAL_CLASS = "referral"
+
+
+@dataclass(frozen=True)
+class NamingContext:
+    """Meta information for one held naming context: ``C = (S, R1..Rn)``.
+
+    ``referral_dns`` is computed on demand from the live store (referral
+    objects can be added/removed at runtime), so this dataclass records
+    only the suffix; :meth:`DirectoryServer.context_referrals` supplies
+    the ``Ri``.
+    """
+
+    suffix: DN
+
+    def contains(self, dn: DN) -> bool:
+        """True when *dn* lies inside this context's subtree region."""
+        return self.suffix.is_ancestor_or_self(dn)
+
+
+class UpdateListener(Protocol):
+    """Anything observing committed updates at a master server."""
+
+    def on_update(self, record: UpdateRecord) -> None:
+        """Called synchronously after each committed update."""
+        ...  # pragma: no cover - protocol
+
+
+class DirectoryServer:
+    """One simulated directory server (master or replica substrate).
+
+    Args:
+        name: host name used in referral URLs, e.g. ``hostA``.
+        default_referral: URL of the superior server to refer clients to
+            when name resolution fails (Figure 2's "default referral"),
+            or None to answer ``NO_SUCH_OBJECT``.
+        registry / schema: attribute and object-class registries.
+        check_schema: when True, add/modify reject schema violations.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        default_referral: Optional[str] = None,
+        registry: Optional[AttributeRegistry] = None,
+        schema: Optional[SchemaRegistry] = None,
+        check_schema: bool = False,
+    ):
+        self.name = name
+        self.default_referral = default_referral
+        #: when True, connections must bind before update operations
+        #: (see :mod:`repro.server.connection`).
+        self.updates_require_bind = False
+        #: when True, the server maintains the ``createTimestamp`` /
+        #: ``modifyTimestamp`` operational attributes as logical CSNs —
+        #: what real servers do with wall-clock timestamps, and what
+        #: tombstone-style synchronization reads (§5.2).
+        self.maintain_timestamps = False
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._schema = schema if schema is not None else DEFAULT_SCHEMA
+        self._check_schema = check_schema
+        self.store = EntryStore(self._registry)
+        self._contexts: List[NamingContext] = []
+        self._listeners: List[UpdateListener] = []
+        self._csn = 0
+
+    @property
+    def url(self) -> str:
+        """This server's LDAP URL."""
+        return f"ldap://{self.name}"
+
+    # ------------------------------------------------------------------
+    # naming contexts
+    # ------------------------------------------------------------------
+    def add_naming_context(self, suffix: Union[DN, str]) -> NamingContext:
+        """Register a naming context rooted at *suffix*.
+
+        The suffix entry itself must subsequently be added via
+        :meth:`add`; registration only exempts it from the
+        parent-must-exist rule.
+        """
+        suffix_dn = suffix if isinstance(suffix, DN) else DN.parse(suffix)
+        context = NamingContext(suffix_dn)
+        self._contexts.append(context)
+        self.store.register_root(suffix_dn)
+        return context
+
+    @property
+    def naming_contexts(self) -> Tuple[NamingContext, ...]:
+        return tuple(self._contexts)
+
+    def context_for(self, dn: DN) -> Optional[NamingContext]:
+        """The most specific held context containing *dn*, or None."""
+        best: Optional[NamingContext] = None
+        for context in self._contexts:
+            if context.contains(dn):
+                if best is None or best.suffix.is_suffix_of(context.suffix):
+                    best = context
+        return best
+
+    def context_referrals(self, context: NamingContext) -> List[DN]:
+        """DNs of referral objects inside *context* (the ``Ri`` of §2.3)."""
+        return sorted(
+            (dn for dn in self.store.referral_dns() if context.contains(dn)),
+            key=str,
+        )
+
+    @staticmethod
+    def _is_referral(entry: Entry) -> bool:
+        return REFERRAL_CLASS in entry.object_classes
+
+    # ------------------------------------------------------------------
+    # update listeners
+    # ------------------------------------------------------------------
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Register *listener* for every subsequently committed update."""
+        self._listeners.append(listener)
+
+    def remove_update_listener(self, listener: UpdateListener) -> None:
+        self._listeners.remove(listener)
+
+    def _commit(self, record: UpdateRecord) -> UpdateRecord:
+        for listener in self._listeners:
+            listener.on_update(record)
+        return record
+
+    def _stamp(self, entry: Entry, csn: int, created: bool) -> None:
+        """Maintain operational timestamps (logical CSNs) when enabled."""
+        if not self.maintain_timestamps:
+            return
+        if created:
+            entry.put("createTimestamp", str(csn))
+        entry.put("modifyTimestamp", str(csn))
+
+    def _next_csn(self) -> int:
+        self._csn += 1
+        return self._csn
+
+    @property
+    def current_csn(self) -> int:
+        """CSN of the most recently committed update (0 when pristine)."""
+        return self._csn
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(
+        self, request: SearchRequest, controls: Sequence["object"] = ()
+    ) -> SearchResult:
+        """Evaluate a search operation against this server.
+
+        Performs the name-resolution and continuation-reference logic of
+        §2.3: a base outside every held context yields the default
+        (superior) referral; referral objects inside the search region
+        yield one continuation reference each and their subtrees are not
+        descended into.
+
+        Null-based searches (base = root DN, §3.1.1's minimally
+        directory enabled applications) are answered across all held
+        contexts when this server is authoritative (no superior
+        referral configured); a distributed member refers them upward.
+        """
+        if request.base.is_root:
+            if self.default_referral is not None:
+                return SearchResult(
+                    referrals=[Referral(self.default_referral, request.base)],
+                    code=ResultCode.REFERRAL,
+                )
+            if self._contexts:
+                return self._search_all_contexts(request, controls)
+            return SearchResult(code=ResultCode.NO_SUCH_OBJECT)
+
+        context = self.context_for(request.base)
+        if context is None:
+            if self.default_referral is not None:
+                return SearchResult(
+                    referrals=[Referral(self.default_referral, request.base)],
+                    code=ResultCode.REFERRAL,
+                )
+            return SearchResult(code=ResultCode.NO_SUCH_OBJECT)
+
+        base_entry = self.store.get(request.base)
+        if base_entry is None:
+            # The base may lie under a referral object we hold: then the
+            # client must continue at the subordinate server.
+            referral = self._referral_above(request.base, context)
+            if referral is not None:
+                return SearchResult(referrals=[referral], code=ResultCode.REFERRAL)
+            return SearchResult(code=ResultCode.NO_SUCH_OBJECT)
+
+        if self._is_referral(base_entry) and request.scope is not Scope.BASE:
+            target = self._referral_of(base_entry, request.base)
+            return SearchResult(referrals=[target], code=ResultCode.REFERRAL)
+
+        result = SearchResult()
+        candidates = self.store.candidates_for(request.filter)
+        for entry in self._iter_region(request, candidates):
+            if self._is_referral(entry):
+                if entry.dn != request.base:
+                    result.referrals.append(self._referral_of(entry, entry.dn))
+                continue
+            if matches(request.filter, entry):
+                result.entries.append(request.project(entry))
+        self._apply_controls(result, controls)
+        return result
+
+    def _apply_controls(self, result: SearchResult, controls: Sequence["object"]) -> None:
+        """Apply search controls to a result (RFC 2891 sorting, §2.2)."""
+        from ..ldap.controls import SortControl
+
+        for control in controls:
+            if isinstance(control, SortControl) and control.keys:
+
+                def sort_key(entry: Entry):
+                    parts = []
+                    for attr in control.keys:
+                        atype = self._registry.get(attr)
+                        value = entry.first(attr)
+                        # Absent values sort last, per RFC 2891.
+                        parts.append(
+                            (value is None, str(atype.normalize(value or "")))
+                        )
+                    return tuple(parts)
+
+                result.entries.sort(key=sort_key, reverse=control.reverse)
+
+    def _search_all_contexts(
+        self, request: SearchRequest, controls: Sequence["object"] = ()
+    ) -> SearchResult:
+        """Answer a null-based subtree search across every held context.
+
+        BASE/ONE scopes on the (virtual) root match nothing — the root
+        has no entry; SUBTREE covers the union of the context subtrees.
+        """
+        merged = SearchResult()
+        if request.scope is not Scope.SUB:
+            return merged
+        seen = set()
+        for context in self._contexts:
+            partial = self.search(request.with_base(context.suffix))
+            if partial.code is not ResultCode.SUCCESS:
+                continue
+            for entry in partial.entries:
+                if entry.dn not in seen:
+                    seen.add(entry.dn)
+                    merged.entries.append(entry)
+            merged.referrals.extend(partial.referrals)
+        self._apply_controls(merged, controls)
+        return merged
+
+    def _iter_region(
+        self, request: SearchRequest, candidates: Optional[Set[DN]]
+    ) -> Iterable[Entry]:
+        """Entries in the search region, pruned below referral objects.
+
+        Referral objects themselves are yielded (the caller turns them
+        into continuation references).  When an index produced a small
+        candidate set for a SUBTREE search, iterate candidates instead
+        of walking the region — but referral objects in the region must
+        still surface, so they are scanned separately (there are few).
+        """
+        if request.scope is not Scope.SUB or candidates is None:
+            yield from self._walk_region(request.base, request.scope)
+            return
+        for dn in candidates:
+            if request.in_scope(dn):
+                entry = self.store.get(dn)
+                if entry is not None and not self._under_referral(dn, request.base):
+                    yield entry
+        # Referral objects in the region must surface even when the
+        # index skipped them; the store keeps them indexed separately.
+        for dn in self.store.referral_dns():
+            if dn in candidates or dn == request.base:
+                continue
+            if request.in_scope(dn) and not self._under_referral(dn, request.base):
+                entry = self.store.get(dn)
+                if entry is not None:
+                    yield entry
+
+    def _walk_region(self, base: DN, scope: Scope) -> Iterable[Entry]:
+        if scope is Scope.BASE:
+            entry = self.store.get(base)
+            if entry is not None:
+                yield entry
+            return
+        if scope is Scope.ONE:
+            for child_dn in self.store.children_of(base):
+                yield self.store.get(child_dn)
+            return
+        stack = [base]
+        while stack:
+            dn = stack.pop()
+            entry = self.store.get(dn)
+            if entry is not None:
+                yield entry
+                if self._is_referral(entry) and dn != base:
+                    continue  # do not descend below a referral object
+            stack.extend(self.store.children_of(dn))
+
+    def _referral_of(self, entry: Entry, target: DN) -> Referral:
+        url = entry.first("ref") or (self.default_referral or self.url)
+        return Referral(url, target)
+
+    def _referral_above(self, dn: DN, context: NamingContext) -> Optional[Referral]:
+        for ancestor in dn.ancestors():
+            if not context.contains(ancestor):
+                break
+            entry = self.store.get(ancestor)
+            if entry is not None and self._is_referral(entry):
+                return self._referral_of(entry, dn)
+        return None
+
+    def _under_referral(self, dn: DN, base: DN) -> bool:
+        """True when *dn* sits strictly below a referral object (not held)."""
+        for ancestor in dn.ancestors():
+            if ancestor == base:
+                break
+            entry = self.store.get(ancestor)
+            if entry is not None and self._is_referral(entry):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # update operations
+    # ------------------------------------------------------------------
+    def add(self, entry: Entry) -> UpdateRecord:
+        """Add *entry*; parent must exist (or be a context suffix)."""
+        if self.context_for(entry.dn) is None:
+            raise LdapError(
+                ResultCode.NO_SUCH_OBJECT, f"no naming context for {entry.dn}"
+            )
+        if entry.dn in self.store:
+            raise LdapError(ResultCode.ENTRY_ALREADY_EXISTS, str(entry.dn))
+        if not self.store.has_parent(entry.dn):
+            raise LdapError(
+                ResultCode.NO_SUCH_OBJECT, f"parent of {entry.dn} not found"
+            )
+        if self._check_schema:
+            violations = validate_entry(entry, self._schema)
+            if violations:
+                raise LdapError(
+                    ResultCode.OBJECT_CLASS_VIOLATION, violations[0].problem
+                )
+        csn = self._next_csn()
+        stored = entry.copy()
+        self._stamp(stored, csn, created=True)
+        self.store.put(stored)
+        return self._commit(
+            UpdateRecord(
+                csn=csn,
+                op=UpdateOp.ADD,
+                dn=entry.dn,
+                after=self.store.get(entry.dn).copy(),
+            )
+        )
+
+    def modify(self, dn: Union[DN, str], modifications: Sequence[Modification]) -> UpdateRecord:
+        """Apply LDAP modify semantics to the entry at *dn*."""
+        target = dn if isinstance(dn, DN) else DN.parse(dn)
+        entry = self.store.get(target)
+        if entry is None:
+            raise LdapError(ResultCode.NO_SUCH_OBJECT, str(target))
+        before = entry.copy()
+        updated = entry.copy()
+        for mod in modifications:
+            if mod.mod_type is ModType.ADD:
+                updated.add_values(mod.attr, list(mod.values))
+            elif mod.mod_type is ModType.REPLACE:
+                updated.put(mod.attr, list(mod.values))
+            elif mod.mod_type is ModType.DELETE:
+                updated.remove_values(mod.attr, list(mod.values) or None)
+        if self._check_schema:
+            violations = validate_entry(updated, self._schema)
+            if violations:
+                raise LdapError(
+                    ResultCode.OBJECT_CLASS_VIOLATION, violations[0].problem
+                )
+        csn = self._next_csn()
+        self._stamp(updated, csn, created=False)
+        self.store.put(updated)
+        return self._commit(
+            UpdateRecord(
+                csn=csn,
+                op=UpdateOp.MODIFY,
+                dn=target,
+                before=before,
+                after=updated.copy(),
+                modifications=tuple(modifications),
+            )
+        )
+
+    def delete(self, dn: Union[DN, str]) -> UpdateRecord:
+        """Delete the (leaf) entry at *dn*."""
+        target = dn if isinstance(dn, DN) else DN.parse(dn)
+        if target not in self.store:
+            raise LdapError(ResultCode.NO_SUCH_OBJECT, str(target))
+        if self.store.has_children(target):
+            raise LdapError(ResultCode.NOT_ALLOWED_ON_NON_LEAF, str(target))
+        before = self.store.delete(target)
+        return self._commit(
+            UpdateRecord(
+                csn=self._next_csn(),
+                op=UpdateOp.DELETE,
+                dn=target,
+                before=before,
+            )
+        )
+
+    def delete_subtree(self, dn: Union[DN, str]) -> List[UpdateRecord]:
+        """Delete *dn* and everything beneath it, child-first."""
+        target = dn if isinstance(dn, DN) else DN.parse(dn)
+        if target not in self.store:
+            raise LdapError(ResultCode.NO_SUCH_OBJECT, str(target))
+        doomed = sorted(self.store.subtree_dns(target), key=len, reverse=True)
+        return [self.delete(d) for d in doomed]
+
+    def modify_dn(
+        self,
+        dn: Union[DN, str],
+        new_rdn: Optional[str] = None,
+        new_superior: Optional[Union[DN, str]] = None,
+    ) -> List[UpdateRecord]:
+        """Rename/move the entry at *dn* (and its subtree).
+
+        Emits one MODIFY_DN record per affected entry so downstream
+        synchronization sees every DN change (§5.2: a rename is a delete
+        action for the old DN followed by an add for the new one, from
+        the point of view of a filter's content).
+        """
+        old_dn = dn if isinstance(dn, DN) else DN.parse(dn)
+        entry = self.store.get(old_dn)
+        if entry is None:
+            raise LdapError(ResultCode.NO_SUCH_OBJECT, str(old_dn))
+        superior = (
+            old_dn.parent
+            if new_superior is None
+            else (new_superior if isinstance(new_superior, DN) else DN.parse(new_superior))
+        )
+        if new_superior is not None and superior not in self.store:
+            if self.context_for(superior) is None or not self.store.has_parent(superior):
+                raise LdapError(ResultCode.NO_SUCH_OBJECT, f"new superior {superior}")
+        rdn_text = new_rdn if new_rdn is not None else str(old_dn.rdn)
+        new_dn = superior.child(rdn_text)
+        if new_dn == old_dn:
+            raise LdapError(ResultCode.UNWILLING_TO_PERFORM, "no-op modifyDN")
+        if new_dn in self.store:
+            raise LdapError(ResultCode.ENTRY_ALREADY_EXISTS, str(new_dn))
+        if old_dn.is_ancestor_or_self(new_dn):
+            raise LdapError(
+                ResultCode.UNWILLING_TO_PERFORM, "cannot move a subtree under itself"
+            )
+
+        records: List[UpdateRecord] = []
+        moved = sorted(self.store.subtree_dns(old_dn), key=len)
+        for source in moved:
+            source_entry = self.store.delete(source)
+            target_dn = source.rename(old_dn, new_dn)
+            renamed = source_entry.with_dn(target_dn)
+            if source == old_dn:
+                # Update the naming attribute of the renamed entry itself.
+                new_leaf = target_dn.rdn
+                renamed.put(new_leaf.attr, [new_leaf.value])
+            csn = self._next_csn()
+            self._stamp(renamed, csn, created=False)
+            self.store.put(renamed)
+            records.append(
+                self._commit(
+                    UpdateRecord(
+                        csn=csn,
+                        op=UpdateOp.MODIFY_DN,
+                        dn=source,
+                        before=source_entry,
+                        after=self.store.get(target_dn).copy(),
+                        new_dn=target_dn,
+                    )
+                )
+            )
+        return records
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+    def load(self, entries: Iterable[Entry]) -> int:
+        """Bulk-add entries (parents before children); returns the count.
+
+        Loading bypasses update listeners — it models the initial state
+        of the master, not live updates.
+        """
+        count = 0
+        for entry in sorted(entries, key=lambda e: len(e.dn)):
+            if self.context_for(entry.dn) is None:
+                raise LdapError(
+                    ResultCode.NO_SUCH_OBJECT, f"no naming context for {entry.dn}"
+                )
+            if not self.store.has_parent(entry.dn):
+                raise LdapError(
+                    ResultCode.NO_SUCH_OBJECT, f"parent of {entry.dn} not found"
+                )
+            self.store.put(entry)
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        suffixes = ", ".join(str(c.suffix) for c in self._contexts)
+        return f"DirectoryServer({self.name!r}, contexts=[{suffixes}], {len(self.store)} entries)"

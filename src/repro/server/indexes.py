@@ -1,0 +1,175 @@
+"""Attribute indexes for the in-memory directory backend.
+
+Directory servers are optimized for read access (§1); real servers keep
+per-attribute indexes so that equality and substring filters do not scan
+the whole database.  The simulated backend does the same:
+
+* :class:`EqualityIndex` — normalized value → set of DNs,
+* :class:`SubstringIndex` — n-gram (trigram by default) posting lists,
+  giving candidate sets for substring filters; candidates are verified
+  against the real filter by the caller,
+* :class:`OrderingIndex` — sorted list of (normalized value, DN) pairs
+  answering ``>=`` / ``<=`` range scans.
+
+Indexes return *candidate supersets* (every true match is included, some
+non-matches may be); the backend always re-verifies candidates with
+:func:`repro.ldap.matching.matches`, so index bugs can cost speed but
+never correctness.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..ldap.attributes import AttributeType
+from ..ldap.dn import DN
+
+__all__ = ["EqualityIndex", "SubstringIndex", "OrderingIndex", "AttributeIndexSet"]
+
+
+class EqualityIndex:
+    """Maps normalized attribute values to the DNs holding them."""
+
+    def __init__(self, atype: AttributeType):
+        self._atype = atype
+        self._postings: Dict[object, Set[DN]] = defaultdict(set)
+
+    def insert(self, dn: DN, values: Iterable[str]) -> None:
+        for value in values:
+            self._postings[self._atype.normalize(value)].add(dn)
+
+    def remove(self, dn: DN, values: Iterable[str]) -> None:
+        for value in values:
+            key = self._atype.normalize(value)
+            postings = self._postings.get(key)
+            if postings is not None:
+                postings.discard(dn)
+                if not postings:
+                    del self._postings[key]
+
+    def lookup(self, value: str) -> Set[DN]:
+        """DNs holding *value* (exact, normalized)."""
+        return set(self._postings.get(self._atype.normalize(value), ()))
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._postings.values())
+
+
+def _ngrams(text: str, n: int) -> Set[str]:
+    if len(text) < n:
+        return {text} if text else set()
+    return {text[i : i + n] for i in range(len(text) - n + 1)}
+
+
+class SubstringIndex:
+    """N-gram index giving candidate DNs for substring assertions."""
+
+    def __init__(self, atype: AttributeType, ngram: int = 3):
+        self._atype = atype
+        self._ngram = ngram
+        self._postings: Dict[str, Set[DN]] = defaultdict(set)
+
+    def _grams_of_value(self, value: str) -> Set[str]:
+        return _ngrams(str(self._atype.normalize(value)), self._ngram)
+
+    def insert(self, dn: DN, values: Iterable[str]) -> None:
+        for value in values:
+            for gram in self._grams_of_value(value):
+                self._postings[gram].add(dn)
+
+    def remove(self, dn: DN, values: Iterable[str]) -> None:
+        for value in values:
+            for gram in self._grams_of_value(value):
+                postings = self._postings.get(gram)
+                if postings is not None:
+                    postings.discard(dn)
+                    if not postings:
+                        del self._postings[gram]
+
+    def candidates(self, components: Iterable[str]) -> Optional[Set[DN]]:
+        """Candidate DNs for a substring assertion with *components*.
+
+        Returns None when no component yields a usable n-gram (the
+        assertion is too short to index), meaning "scan everything".
+        """
+        result: Optional[Set[DN]] = None
+        usable = False
+        for component in components:
+            normalized = str(self._atype.normalize(component))
+            if len(normalized) < self._ngram:
+                continue
+            usable = True
+            for gram in _ngrams(normalized, self._ngram):
+                postings = self._postings.get(gram, set())
+                result = set(postings) if result is None else (result & postings)
+                if not result:
+                    return set()
+        return result if usable else None
+
+
+class OrderingIndex:
+    """Sorted-value index answering ordering (range) assertions."""
+
+    def __init__(self, atype: AttributeType):
+        self._atype = atype
+        # Parallel sorted structures; values stringified so mixed
+        # normalizations stay comparable.
+        self._keys: List[Tuple[str, int]] = []
+        self._dns: List[DN] = []
+        self._counter = 0
+
+    def _key(self, value: str) -> str:
+        return str(self._atype.normalize(value))
+
+    def insert(self, dn: DN, values: Iterable[str]) -> None:
+        for value in values:
+            key = (self._key(value), self._counter)
+            self._counter += 1
+            pos = bisect.bisect_left(self._keys, key)
+            self._keys.insert(pos, key)
+            self._dns.insert(pos, dn)
+
+    def remove(self, dn: DN, values: Iterable[str]) -> None:
+        for value in values:
+            target = self._key(value)
+            pos = bisect.bisect_left(self._keys, (target, -1))
+            while pos < len(self._keys) and self._keys[pos][0] == target:
+                if self._dns[pos] == dn:
+                    del self._keys[pos]
+                    del self._dns[pos]
+                    break
+                pos += 1
+
+    def greater_or_equal(self, value: str) -> Set[DN]:
+        pos = bisect.bisect_left(self._keys, (self._key(value), -1))
+        return set(self._dns[pos:])
+
+    def less_or_equal(self, value: str) -> Set[DN]:
+        pos = bisect.bisect_right(self._keys, (self._key(value), 1 << 62))
+        return set(self._dns[:pos])
+
+
+class AttributeIndexSet:
+    """All indexes for one attribute, kept consistent together."""
+
+    def __init__(self, atype: AttributeType, ngram: int = 3):
+        self.atype = atype
+        self.equality = EqualityIndex(atype)
+        self.substring = SubstringIndex(atype, ngram)
+        self.ordering = OrderingIndex(atype) if atype.ordered else None
+
+    def insert(self, dn: DN, values: Iterable[str]) -> None:
+        values = list(values)
+        self.equality.insert(dn, values)
+        self.substring.insert(dn, values)
+        if self.ordering is not None:
+            self.ordering.insert(dn, values)
+
+    def remove(self, dn: DN, values: Iterable[str]) -> None:
+        values = list(values)
+        self.equality.remove(dn, values)
+        self.substring.remove(dn, values)
+        if self.ordering is not None:
+            self.ordering.remove(dn, values)

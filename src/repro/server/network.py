@@ -1,0 +1,145 @@
+"""Simulated network joining clients, servers and replicas.
+
+The paper's evaluation metrics are protocol-level — round trips between
+client and servers (Figure 2), update PDUs and entries transferred
+(Figures 6/7) — so the "network" here is an in-process message bus that
+*counts* rather than transports:
+
+* one ``round_trip`` per request/response exchange with a server,
+* per-message PDU and byte accounting (entry PDUs, referral PDUs,
+  sync-update PDUs),
+* optional fixed per-round-trip latency so examples can report
+  wall-clock-style comparisons between referral chasing and local
+  answering.
+
+Counters live on :class:`TrafficStats`, which both the client and the
+ReSync sessions share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .directory import DirectoryServer
+
+__all__ = ["TrafficStats", "SimulatedNetwork"]
+
+
+@dataclass
+class TrafficStats:
+    """Protocol-level traffic counters.
+
+    ``entry_pdus``/``referral_pdus`` count search result messages;
+    ``sync_entry_pdus``/``sync_dn_pdus`` count ReSync update messages
+    carrying full entries vs DN-only actions (delete/retain);
+    ``bytes_sent`` approximates wire volume using entry sizes.
+    """
+
+    round_trips: int = 0
+    requests: int = 0
+    entry_pdus: int = 0
+    referral_pdus: int = 0
+    sync_entry_pdus: int = 0
+    sync_dn_pdus: int = 0
+    bytes_sent: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.round_trips = 0
+        self.requests = 0
+        self.entry_pdus = 0
+        self.referral_pdus = 0
+        self.sync_entry_pdus = 0
+        self.sync_dn_pdus = 0
+        self.bytes_sent = 0
+
+    def snapshot(self) -> "TrafficStats":
+        """An independent copy of the current counter values."""
+        return TrafficStats(
+            round_trips=self.round_trips,
+            requests=self.requests,
+            entry_pdus=self.entry_pdus,
+            referral_pdus=self.referral_pdus,
+            sync_entry_pdus=self.sync_entry_pdus,
+            sync_dn_pdus=self.sync_dn_pdus,
+            bytes_sent=self.bytes_sent,
+        )
+
+    def __sub__(self, other: "TrafficStats") -> "TrafficStats":
+        return TrafficStats(
+            round_trips=self.round_trips - other.round_trips,
+            requests=self.requests - other.requests,
+            entry_pdus=self.entry_pdus - other.entry_pdus,
+            referral_pdus=self.referral_pdus - other.referral_pdus,
+            sync_entry_pdus=self.sync_entry_pdus - other.sync_entry_pdus,
+            sync_dn_pdus=self.sync_dn_pdus - other.sync_dn_pdus,
+            bytes_sent=self.bytes_sent - other.bytes_sent,
+        )
+
+
+class SimulatedNetwork:
+    """URL-addressed registry of servers plus shared traffic counters.
+
+    Args:
+        round_trip_latency_ms: simulated latency charged per round trip;
+            purely additive bookkeeping (``elapsed_ms``), no sleeping.
+    """
+
+    def __init__(self, round_trip_latency_ms: float = 0.0):
+        self._servers: Dict[str, DirectoryServer] = {}
+        self.stats = TrafficStats()
+        self.round_trip_latency_ms = round_trip_latency_ms
+        self.elapsed_ms = 0.0
+        self.open_connections = 0
+        self.total_connections = 0
+
+    def register(self, server: DirectoryServer) -> None:
+        """Make *server* reachable at its URL."""
+        self._servers[server.url] = server
+
+    def resolve(self, url: str) -> DirectoryServer:
+        """The server at *url*; raises :class:`KeyError` if unknown."""
+        key = url.split("/", 3)[:3]
+        normalized = "/".join(key)
+        if normalized not in self._servers:
+            raise KeyError(f"no server registered at {url!r}")
+        return self._servers[normalized]
+
+    def charge_round_trip(self) -> None:
+        """Account one request/response exchange."""
+        self.stats.round_trips += 1
+        self.stats.requests += 1
+        self.elapsed_ms += self.round_trip_latency_ms
+
+    def charge_entries(self, count: int, total_bytes: int = 0) -> None:
+        """Account *count* search entry PDUs."""
+        self.stats.entry_pdus += count
+        self.stats.bytes_sent += total_bytes
+
+    def charge_referrals(self, count: int) -> None:
+        """Account *count* referral/continuation PDUs."""
+        self.stats.referral_pdus += count
+
+    def charge_sync_entry(self, entry_bytes: int) -> None:
+        """Account one full-entry sync PDU (add/modify action)."""
+        self.stats.sync_entry_pdus += 1
+        self.stats.bytes_sent += entry_bytes
+
+    def charge_sync_dn(self, dn_bytes: int = 64) -> None:
+        """Account one DN-only sync PDU (delete/retain action)."""
+        self.stats.sync_dn_pdus += 1
+        self.stats.bytes_sent += dn_bytes
+
+    def connection_opened(self) -> None:
+        """Account one opened client connection (§5.2's scaling metric)."""
+        self.open_connections += 1
+        self.total_connections += 1
+
+    def connection_closed(self) -> None:
+        self.open_connections = max(0, self.open_connections - 1)
+
+    @property
+    def servers(self) -> Dict[str, DirectoryServer]:
+        """Registered servers by URL (read-only view by convention)."""
+        return dict(self._servers)

@@ -1,0 +1,160 @@
+"""Operation and result types shared across the server package.
+
+Models the LDAP functional model (§2.2): query operations (search),
+update operations (add, modify, delete, modify DN) and their results,
+plus the :class:`UpdateRecord` stream that the synchronization
+mechanisms of :mod:`repro.sync` consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+
+__all__ = [
+    "ResultCode",
+    "LdapError",
+    "ModType",
+    "Modification",
+    "UpdateOp",
+    "UpdateRecord",
+    "Referral",
+    "SearchResult",
+]
+
+
+class ResultCode(enum.IntEnum):
+    """Subset of RFC 2251 result codes the simulation distinguishes."""
+
+    SUCCESS = 0
+    OPERATIONS_ERROR = 1
+    NO_SUCH_OBJECT = 32
+    INVALID_DN_SYNTAX = 34
+    ENTRY_ALREADY_EXISTS = 68
+    NOT_ALLOWED_ON_NON_LEAF = 66
+    UNWILLING_TO_PERFORM = 53
+    REFERRAL = 10
+    NO_SUCH_ATTRIBUTE = 16
+    OBJECT_CLASS_VIOLATION = 65
+
+
+class LdapError(Exception):
+    """An LDAP operation failed with a result code."""
+
+    def __init__(self, code: ResultCode, message: str = ""):
+        super().__init__(f"{code.name}: {message}" if message else code.name)
+        self.code = code
+        self.message = message
+
+
+class ModType(enum.Enum):
+    """Modification types of the LDAP modify operation."""
+
+    ADD = "add"
+    DELETE = "delete"
+    REPLACE = "replace"
+
+
+@dataclass(frozen=True)
+class Modification:
+    """One change inside a modify operation."""
+
+    mod_type: ModType
+    attr: str
+    values: Tuple[str, ...] = ()
+
+    @classmethod
+    def add(cls, attr: str, *values: str) -> "Modification":
+        return cls(ModType.ADD, attr, tuple(values))
+
+    @classmethod
+    def replace(cls, attr: str, *values: str) -> "Modification":
+        return cls(ModType.REPLACE, attr, tuple(values))
+
+    @classmethod
+    def delete(cls, attr: str, *values: str) -> "Modification":
+        return cls(ModType.DELETE, attr, tuple(values))
+
+
+class UpdateOp(enum.Enum):
+    """The four LDAP update operations (§5.2's A, M, D, R)."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+    MODIFY_DN = "modify_dn"
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One committed update at a master server.
+
+    Carries enough state for every synchronization mechanism in
+    :mod:`repro.sync`:
+
+    * ``before`` — the entry as it was before the update (None for ADD),
+    * ``after`` — the entry after the update (None for DELETE),
+    * ``new_dn`` — for MODIFY_DN, the DN after the rename,
+    * ``csn`` — change sequence number, strictly increasing per master.
+
+    A changelog, by contrast, would persist only the *changed attributes*
+    (§5.2 explains why that loses information); keeping before/after
+    images here lets tests compare mechanisms against ground truth.
+    """
+
+    csn: int
+    op: UpdateOp
+    dn: DN
+    before: Optional[Entry] = None
+    after: Optional[Entry] = None
+    new_dn: Optional[DN] = None
+    modifications: Tuple[Modification, ...] = ()
+
+    @property
+    def effective_dn(self) -> DN:
+        """DN of the entry after the operation (new DN for renames)."""
+        return self.new_dn if self.new_dn is not None else self.dn
+
+
+@dataclass(frozen=True)
+class Referral:
+    """A search continuation reference (SearchResultReference).
+
+    ``url`` names the server holding the subordinate naming context and
+    ``target`` the DN at which the client should re-base its search —
+    together they are the LDAP URL of RFC 2255 in structured form.
+    """
+
+    url: str
+    target: DN
+
+    def __str__(self) -> str:
+        suffix = f"/{self.target}" if not self.target.is_root else ""
+        return f"{self.url}{suffix}"
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search operation against one server.
+
+    Attributes:
+        entries: matching entries (already projected onto the requested
+            attribute set).
+        referrals: continuation references for subordinate contexts, or
+            the single superior referral when name resolution failed.
+        code: SUCCESS when the target was found, REFERRAL when the
+            client must go elsewhere, NO_SUCH_OBJECT otherwise.
+    """
+
+    entries: List[Entry] = field(default_factory=list)
+    referrals: List[Referral] = field(default_factory=list)
+    code: ResultCode = ResultCode.SUCCESS
+
+    @property
+    def complete(self) -> bool:
+        """True when the result is final — no referrals to chase."""
+        return self.code is ResultCode.SUCCESS and not self.referrals

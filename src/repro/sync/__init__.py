@@ -1,0 +1,38 @@
+"""Replica consistency: the ReSync protocol and baseline mechanisms (§5).
+
+Masters expose *providers* (ReSync with complete session history, the
+retain variant for incomplete history, changelog, tombstone and full
+reload baselines); replicas hold :class:`SyncedContent` per replicated
+query and poll providers for the minimal update set.
+"""
+
+from .baselines import (
+    Changelog,
+    ChangelogProvider,
+    ChangelogRecord,
+    FullReloadProvider,
+    TombstoneProvider,
+    TombstoneStore,
+)
+from .consumer import SyncedContent
+from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
+from .resync import PersistHandle, ResyncProvider, RetainResyncProvider
+from .session import Session, SessionStore
+
+__all__ = [
+    "SyncUpdate",
+    "SyncResponse",
+    "SyncProtocolError",
+    "Session",
+    "SessionStore",
+    "ResyncProvider",
+    "RetainResyncProvider",
+    "PersistHandle",
+    "SyncedContent",
+    "Changelog",
+    "ChangelogRecord",
+    "ChangelogProvider",
+    "TombstoneStore",
+    "TombstoneProvider",
+    "FullReloadProvider",
+]

@@ -1,0 +1,151 @@
+"""ReSync consumer: the replica side of filter synchronization.
+
+A :class:`SyncedContent` holds the replicated content of one search
+request (the paper's replication unit) and applies update PDUs:
+
+* ``add`` / ``modify`` — upsert the carried entry,
+* ``delete`` — drop the DN,
+* ``retain`` — incomplete-history mode: after applying a retain-style
+  response, everything neither retained nor upserted is discarded
+  (eq. 3's reconstruction of the content).
+
+Traffic is charged to an optional
+:class:`~repro.server.network.SimulatedNetwork` so the update-traffic
+experiments (Figures 6/7, E11) can read PDU and byte counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..ldap.controls import ReSyncControl, SyncAction, SyncMode
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.query import SearchRequest
+from ..server.network import SimulatedNetwork
+from .protocol import SyncResponse, SyncUpdate
+
+__all__ = ["SyncedContent"]
+
+
+class SyncedContent:
+    """Replicated content of one search request at a consumer.
+
+    Args:
+        request: the replicated query (the unit of replication).
+        network: optional network for traffic accounting.
+    """
+
+    def __init__(
+        self,
+        request: SearchRequest,
+        network: Optional[SimulatedNetwork] = None,
+    ):
+        self.request = request
+        self.network = network
+        self.entries: Dict[DN, Entry] = {}
+        self.cookie: Optional[str] = None
+        self.polls = 0
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # applying responses
+    # ------------------------------------------------------------------
+    def apply(self, response: SyncResponse) -> None:
+        """Apply one synchronization response to the local content."""
+        retained: set = set()
+        upserted: set = set()
+        for update in response.updates:
+            self._charge(update)
+            self.updates_applied += 1
+            if update.action in (SyncAction.ADD, SyncAction.MODIFY):
+                self.entries[update.dn] = update.entry.copy()
+                upserted.add(update.dn)
+            elif update.action is SyncAction.DELETE:
+                self.entries.pop(update.dn, None)
+            elif update.action is SyncAction.RETAIN:
+                retained.add(update.dn)
+        if response.uses_retain:
+            keep = retained | upserted
+            self.entries = {dn: e for dn, e in self.entries.items() if dn in keep}
+        if response.cookie is not None:
+            self.cookie = response.cookie
+        self.polls += 1
+
+    def apply_notification(self, update: SyncUpdate) -> None:
+        """Apply one persist-mode change notification."""
+        self._charge(update)
+        self.updates_applied += 1
+        if update.action in (SyncAction.ADD, SyncAction.MODIFY):
+            self.entries[update.dn] = update.entry.copy()
+        elif update.action is SyncAction.DELETE:
+            self.entries.pop(update.dn, None)
+
+    def _charge(self, update: SyncUpdate) -> None:
+        if self.network is None:
+            return
+        if update.entry is not None:
+            self.network.charge_sync_entry(update.pdu_bytes)
+        else:
+            self.network.charge_sync_dn(update.pdu_bytes)
+
+    # ------------------------------------------------------------------
+    # driving a provider
+    # ------------------------------------------------------------------
+    def poll(self, provider) -> SyncResponse:
+        """One poll cycle against *provider* (either provider class)."""
+        control = ReSyncControl(mode=SyncMode.POLL, cookie=self.cookie)
+        response = provider.handle(self.request, control)
+        if self.network is not None:
+            self.network.charge_round_trip()
+        self.apply(response)
+        return response
+
+    def reload(self, provider) -> SyncResponse:
+        """Full recovery: discard local state, restart with a null cookie.
+
+        The escape hatch for an expired/stale session (the server
+        answers such cookies with :class:`SyncProtocolError`).
+        """
+        self.cookie = None
+        self.entries.clear()
+        return self.poll(provider)
+
+    def resilient_poll(self, provider) -> SyncResponse:
+        """Poll, falling back to a full reload on protocol errors.
+
+        Handles both recoverable failures a consumer can see: an
+        expired session (unknown cookie) and a cookie too old to
+        retransmit.
+        """
+        from .protocol import SyncProtocolError
+
+        try:
+            return self.poll(provider)
+        except SyncProtocolError:
+            return self.reload(provider)
+
+    def end(self, provider) -> None:
+        """Terminate the session at the provider (mode ``sync_end``)."""
+        control = ReSyncControl(mode=SyncMode.SYNC_END, cookie=self.cookie)
+        provider.handle(self.request, control)
+        if self.network is not None:
+            self.network.charge_round_trip()
+        self.cookie = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def dns(self) -> set:
+        """DNs currently held."""
+        return set(self.entries)
+
+    def matches_master(self, master) -> bool:
+        """Ground-truth convergence check against *master*'s live content."""
+        truth = {e.dn: e for e in master.search(self.request).entries}
+        if set(truth) != set(self.entries):
+            return False
+        return all(self.entries[dn].semantically_equal(truth[dn]) for dn in truth)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,121 @@
+"""Wire-level types of the ReSync protocol (§5.2).
+
+A synchronization exchange is: the client (replica) attaches a
+``reSyncControl = (mode, cookie)`` to a normal search request; the
+server answers with a stream of update PDUs — each an entry (or bare
+DN) plus a control specifying the action — followed by a cookie to
+resume the session (poll mode).
+
+:class:`SyncUpdate` is one update PDU; :class:`SyncResponse` is the
+whole poll answer.  Traffic accounting rule (used by the experiments):
+``add``/``modify`` PDUs carry the complete entry, ``delete``/``retain``
+PDUs carry only the DN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..ldap.controls import SyncAction
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+
+__all__ = ["SyncUpdate", "SyncResponse", "SyncProtocolError"]
+
+
+class SyncProtocolError(Exception):
+    """Protocol violation: unknown cookie, bad mode transition, etc."""
+
+
+@dataclass(frozen=True)
+class SyncUpdate:
+    """One update/notification PDU.
+
+    ``entry`` is present exactly when the action carries a full entry
+    (add / modify); delete and retain carry only the DN.
+    """
+
+    action: SyncAction
+    dn: DN
+    entry: Optional[Entry] = None
+
+    def __post_init__(self):
+        carries_entry = self.action in (SyncAction.ADD, SyncAction.MODIFY)
+        if carries_entry and self.entry is None:
+            raise SyncProtocolError(f"{self.action.value} PDU requires an entry")
+        if not carries_entry and self.entry is not None:
+            raise SyncProtocolError(f"{self.action.value} PDU must not carry an entry")
+
+    @property
+    def pdu_bytes(self) -> int:
+        """Approximate wire size of this PDU.
+
+        Uses the entry's modelled size (the ``entrySizeBytes`` stamp
+        emulating the paper's ~6KB employee entries).  For the *actual*
+        BER-encoded size of the simulated entry, use
+        :meth:`measured_bytes`.
+        """
+        if self.entry is not None:
+            return self.entry.estimated_size()
+        return len(str(self.dn)) or 8
+
+    def measured_bytes(self) -> int:
+        """Exact RFC 2251 BER wire size of this PDU's payload."""
+        from ..ldap import ber
+
+        if self.entry is not None:
+            return ber.encoded_entry_size(self.entry)
+        return ber.encoded_dn_size(self.dn)
+
+    @classmethod
+    def add(cls, entry: Entry) -> "SyncUpdate":
+        return cls(SyncAction.ADD, entry.dn, entry.copy())
+
+    @classmethod
+    def modify(cls, entry: Entry) -> "SyncUpdate":
+        return cls(SyncAction.MODIFY, entry.dn, entry.copy())
+
+    @classmethod
+    def delete(cls, dn: DN) -> "SyncUpdate":
+        return cls(SyncAction.DELETE, dn)
+
+    @classmethod
+    def retain(cls, dn: DN) -> "SyncUpdate":
+        return cls(SyncAction.RETAIN, dn)
+
+
+@dataclass
+class SyncResponse:
+    """The server's answer to one synchronization request.
+
+    Attributes:
+        updates: the update PDUs, in application order.
+        cookie: cookie to resume the session (poll mode); None after a
+            ``sync_end`` or for persist deliveries.
+        initial: True when this response carried the entire content
+            (cookie was null — the first request of a session).
+        uses_retain: True when the response follows the
+            incomplete-history scheme of eq. (3): anything not retained,
+            added or modified must be discarded by the replica.
+    """
+
+    updates: List[SyncUpdate] = field(default_factory=list)
+    cookie: Optional[str] = None
+    initial: bool = False
+    uses_retain: bool = False
+
+    @property
+    def entry_pdus(self) -> int:
+        """PDUs carrying full entries (add/modify)."""
+        return sum(1 for u in self.updates if u.entry is not None)
+
+    @property
+    def dn_pdus(self) -> int:
+        """DN-only PDUs (delete/retain)."""
+        return sum(1 for u in self.updates if u.entry is None)
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate wire size of all update PDUs."""
+        return sum(u.pdu_bytes for u in self.updates)

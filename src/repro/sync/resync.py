@@ -1,0 +1,256 @@
+"""The ReSync filter-synchronization protocol (§5.2) — master side.
+
+Two providers implement the two synchronization equations of §5.1:
+
+* :class:`ResyncProvider` — **complete history** (eq. 2).  The master
+  keeps a per-session history of entries leaving the content (via the
+  update-listener hook of :class:`~repro.server.directory.DirectoryServer`)
+  and each poll sends exactly the net adds, modifies and deletes since
+  the last poll.  Supports both modes of update: ``poll`` (cookie-based
+  resumption) and ``persist`` (an open connection carrying change
+  notifications, extending the persistent-search idea of [15]).
+
+* :class:`RetainResyncProvider` — **incomplete history** (eq. 3).  The
+  master keeps no per-session state, only a per-entry last-change CSN.
+  Each poll returns full entries for everything that changed since the
+  cookie's CSN and still matches, plus a DN-only ``retain`` action for
+  every unchanged in-content entry; the replica discards whatever is
+  neither retained nor sent.  Convergent without history, at the price
+  of one retain PDU per unchanged entry per poll.
+
+Both speak the same request/response types, so the consumer
+(:mod:`repro.sync.consumer`) and the experiments treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..ldap.controls import ReSyncControl, SyncMode
+from ..ldap.dn import DN
+from ..ldap.query import SearchRequest
+from ..server.directory import DirectoryServer
+from ..server.operations import UpdateOp, UpdateRecord
+from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
+from .session import Session, SessionStore
+
+__all__ = ["ResyncProvider", "RetainResyncProvider", "PersistHandle"]
+
+DeliverFn = Callable[[SyncUpdate], None]
+
+
+class PersistHandle:
+    """Client-side handle to an open persist-mode connection.
+
+    Abandoning the handle (``abandon()``) models the LDAP abandon
+    operation on a persistent search (Figure 3 ends this way).
+    """
+
+    def __init__(self, provider: "ResyncProvider", session: Session):
+        self._provider = provider
+        self._session = session
+        self.active = True
+
+    def abandon(self) -> None:
+        """Tear down the persistent connection without a sync_end."""
+        if self.active:
+            self._provider._end_persist(self._session)
+            self.active = False
+
+
+class ResyncProvider:
+    """Complete-history ReSync master (eq. 2), one per master server.
+
+    Registers itself as an update listener on *server*; every committed
+    update is folded into each active session's pending actions.
+
+    Args:
+        server: the master directory server.
+        idle_limit: logical-time session expiry (the admin time limit).
+    """
+
+    def __init__(self, server: DirectoryServer, idle_limit: int = 100_000):
+        self.server = server
+        self.sessions = SessionStore(idle_limit=idle_limit)
+        self._persist_callbacks: Dict[str, DeliverFn] = {}
+        server.add_update_listener(self)
+
+    # ------------------------------------------------------------------
+    # update listener
+    # ------------------------------------------------------------------
+    def on_update(self, record: UpdateRecord) -> None:
+        """Fold one committed master update into every active session."""
+        for session in self.sessions.active_sessions():
+            request = session.request
+            in_before = record.before is not None and request.selects(record.before)
+            in_after = record.after is not None and request.selects(record.after)
+            if not in_before and not in_after:
+                continue
+            session.observe(
+                in_before=in_before,
+                in_after=in_after,
+                old_dn=record.dn,
+                new_dn=record.effective_dn,
+                after_entry=record.after,
+            )
+            self._flush_persist(session)
+
+    def _flush_persist(self, session: Session) -> None:
+        if session.persist_queue is None:
+            return
+        deliver = self._persist_callbacks.get(session.session_id)
+        if deliver is None:
+            return
+        queued, session.persist_queue = session.persist_queue, []
+        for update in queued:
+            deliver(update)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        request: SearchRequest,
+        control: ReSyncControl,
+        deliver: Optional[DeliverFn] = None,
+    ) -> SyncResponse:
+        """Service one search request carrying a reSync control.
+
+        The four cases of §5.2: (i) null cookie — initial request, whole
+        content sent; (ii) cookie — session resumed, accumulated updates
+        sent; (iii) mode ``persist`` — connection kept open, *deliver*
+        called for each later change; (iv) mode ``poll`` — a resumption
+        cookie is returned.  Mode ``sync_end`` terminates the session.
+        """
+        response, _session = self._handle(request, control, deliver)
+        return response
+
+    def _handle(
+        self,
+        request: SearchRequest,
+        control: ReSyncControl,
+        deliver: Optional[DeliverFn] = None,
+    ) -> tuple[SyncResponse, Optional[Session]]:
+        if control.mode is SyncMode.SYNC_END:
+            if control.cookie is not None:
+                self.sessions.end(control.cookie)
+            return SyncResponse(updates=[], cookie=None), None
+
+        if control.cookie is None:
+            session = self.sessions.create(request)
+            content = self._search_content(request)
+            session.seed_content(content)
+            updates = [SyncUpdate.add(e) for e in content]
+            response = SyncResponse(updates=updates, initial=True)
+        else:
+            session = self.sessions.lookup(control.cookie)
+            if session.request != request:
+                raise SyncProtocolError(
+                    "cookie presented with a different search request"
+                )
+            response = SyncResponse(
+                updates=self.sessions.service_poll(session, control.cookie)
+            )
+
+        if control.mode is SyncMode.PERSIST:
+            if deliver is None:
+                raise SyncProtocolError("persist mode requires a deliver callback")
+            session.persist_queue = []
+            self._persist_callbacks[session.session_id] = deliver
+            response.cookie = None
+        else:
+            session.persist_queue = None
+            self._persist_callbacks.pop(session.session_id, None)
+            response.cookie = self.sessions.cookie_for(session)
+        return response, session
+
+    def persist(
+        self,
+        request: SearchRequest,
+        deliver: DeliverFn,
+        cookie: Optional[str] = None,
+    ) -> tuple[SyncResponse, PersistHandle]:
+        """Open a persist-mode session; returns (initial response, handle)."""
+        control = ReSyncControl(mode=SyncMode.PERSIST, cookie=cookie)
+        response, session = self._handle(request, control, deliver=deliver)
+        assert session is not None
+        return response, PersistHandle(self, session)
+
+    def _end_persist(self, session: Session) -> None:
+        self._persist_callbacks.pop(session.session_id, None)
+        self.sessions.end(session.session_id)
+
+    def _search_content(self, request: SearchRequest):
+        """Current master content of *request* (a list of entries)."""
+        result = self.server.search(request)
+        return result.entries
+
+    @property
+    def active_session_count(self) -> int:
+        return len(self.sessions)
+
+
+class RetainResyncProvider:
+    """Incomplete-history ReSync master (eq. 3, ``retain`` actions).
+
+    Keeps no per-session state: the cookie encodes the CSN of the last
+    poll, and a per-entry last-change CSN map (maintained from the
+    update stream) decides changed vs unchanged.
+    """
+
+    COOKIE_PREFIX = "csn"
+
+    def __init__(self, server: DirectoryServer):
+        self.server = server
+        self._last_change: Dict[DN, int] = {}
+        server.add_update_listener(self)
+
+    def on_update(self, record: UpdateRecord) -> None:
+        if record.op is UpdateOp.DELETE:
+            self._last_change.pop(record.dn, None)
+            return
+        if record.op is UpdateOp.MODIFY_DN:
+            self._last_change.pop(record.dn, None)
+        self._last_change[record.effective_dn] = record.csn
+
+    def handle(self, request: SearchRequest, control: ReSyncControl) -> SyncResponse:
+        """Service a poll following eq. (3).
+
+        Persist mode is not meaningful without history; only ``poll``
+        and ``sync_end`` are accepted.
+        """
+        if control.mode is SyncMode.SYNC_END:
+            return SyncResponse(updates=[], cookie=None)
+        if control.mode is not SyncMode.POLL:
+            raise SyncProtocolError(
+                "RetainResyncProvider supports poll mode only"
+            )
+        since = self._parse_cookie(control.cookie)
+        now = self.server.current_csn
+        content = self.server.search(request).entries
+        updates: List[SyncUpdate] = []
+        if control.cookie is None:
+            updates.extend(SyncUpdate.add(e) for e in content)
+            initial = True
+        else:
+            for entry in content:
+                changed_at = self._last_change.get(entry.dn, 0)
+                if changed_at > since:
+                    updates.append(SyncUpdate.add(entry))
+                else:
+                    updates.append(SyncUpdate.retain(entry.dn))
+            initial = False
+        return SyncResponse(
+            updates=updates,
+            cookie=f"{self.COOKIE_PREFIX}:{now}",
+            initial=initial,
+            uses_retain=not initial,
+        )
+
+    def _parse_cookie(self, cookie: Optional[str]) -> int:
+        if cookie is None:
+            return 0
+        prefix, _, csn = cookie.partition(":")
+        if prefix != self.COOKIE_PREFIX or not csn.isdigit():
+            raise SyncProtocolError(f"malformed cookie {cookie!r}")
+        return int(csn)

@@ -1,0 +1,294 @@
+"""Server-side ReSync sessions.
+
+§5.2: the ReSync master keeps, per update session, a *session history*
+of entries leaving the content of the synchronized search — the piece
+of state that lets it send the minimal update set (eq. 2) without
+changelogs or tombstones.
+
+A :class:`Session` tracks, between polls, the coalesced pending actions
+for its search request.  Coalescing is per-DN with upsert semantics at
+the consumer, so only the *net* effect of an update burst travels:
+
+=============  ==============  =========================
+pending        new action      result
+=============  ==============  =========================
+(none)         any             that action
+ADD            MODIFY          ADD with the newer entry
+ADD            DELETE          (nothing — never seen)
+MODIFY         MODIFY          MODIFY with newer entry
+MODIFY         DELETE          DELETE
+DELETE         ADD             ADD (replica upserts)
+=============  ==============  =========================
+
+Sessions are identified by opaque cookies and expire after
+``idle_limit`` polls of global session-store activity without being
+polled (the paper's "admin time limit", in logical time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..ldap.controls import SyncAction
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.query import SearchRequest
+from .protocol import SyncProtocolError, SyncUpdate
+
+__all__ = ["Session", "SessionStore"]
+
+
+class Session:
+    """One replica's synchronization session for one search request."""
+
+    def __init__(self, session_id: str, request: SearchRequest):
+        self.session_id = session_id
+        self.request = request
+        # Net pending action per DN since the last served poll.
+        self._pending: Dict[DN, SyncUpdate] = {}
+        # Last served batch, retained until the next cookie acknowledges
+        # it (at-least-once delivery across lost responses).
+        self._unacked: Dict[DN, SyncUpdate] = {}
+        # DNs the consumer holds, assuming it applied everything sent.
+        self.content_dns: Set[DN] = set()
+        self.persist_queue: Optional[List[SyncUpdate]] = None
+        self.polls = 0
+        self.generation = 0
+        self.last_active_tick = 0
+
+    # ------------------------------------------------------------------
+    # update ingestion (called by the provider's update listener)
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        in_before: bool,
+        in_after: bool,
+        old_dn: DN,
+        new_dn: DN,
+        after_entry: Optional[Entry],
+    ) -> None:
+        """Fold one master update into the session's pending actions.
+
+        ``in_before``/``in_after`` say whether the entry was inside the
+        session's content before/after the update; ``old_dn``/``new_dn``
+        differ only for modifyDN.  Figure 3's semantics: a rename that
+        keeps an entry in content is a delete for the old DN plus an add
+        for the new DN.
+        """
+        if not in_before and not in_after:
+            return
+        if in_before and not in_after:
+            self._record(SyncUpdate.delete(old_dn))
+        elif not in_before and in_after:
+            self._record(SyncUpdate.add(after_entry))
+        else:  # stayed in content
+            if old_dn != new_dn:
+                self._record(SyncUpdate.delete(old_dn))
+                self._record(SyncUpdate.add(after_entry))
+            else:
+                self._record(SyncUpdate.modify(after_entry))
+
+    def _record(self, update: SyncUpdate) -> None:
+        if self.persist_queue is not None:
+            # Persist mode: notifications flow immediately, no coalescing.
+            self.persist_queue.append(update)
+            self._track_content(update)
+            return
+        pending = self._pending.get(update.dn)
+        merged = self._coalesce(pending, update)
+        if merged is None:
+            self._pending.pop(update.dn, None)
+        else:
+            self._pending[update.dn] = merged
+        self._track_content(update)
+
+    def _track_content(self, update: SyncUpdate) -> None:
+        if update.action is SyncAction.DELETE:
+            self.content_dns.discard(update.dn)
+        elif update.action in (SyncAction.ADD, SyncAction.MODIFY):
+            self.content_dns.add(update.dn)
+
+    @staticmethod
+    def _coalesce(
+        pending: Optional[SyncUpdate], new: SyncUpdate
+    ) -> Optional[SyncUpdate]:
+        if pending is None:
+            return new
+        if new.action is SyncAction.DELETE:
+            if pending.action is SyncAction.ADD:
+                return None  # consumer never saw this entry
+            return new
+        # new carries an entry (add/modify)
+        if pending.action is SyncAction.DELETE:
+            return SyncUpdate.add(new.entry)
+        if pending.action is SyncAction.ADD:
+            return SyncUpdate.add(new.entry)
+        return SyncUpdate.modify(new.entry)
+
+    # ------------------------------------------------------------------
+    # poll servicing (with at-least-once delivery)
+    # ------------------------------------------------------------------
+    def drain(self) -> List[SyncUpdate]:
+        """Build the next update batch, retaining it until acknowledged.
+
+        The batch is kept as the *unacknowledged* set: if the response
+        is lost before the replica applies it, the replica retries with
+        its previous cookie and :meth:`retransmit` replays the batch
+        (merged with anything newer).  The next poll with the fresh
+        cookie acknowledges and discards it.
+
+        Deletes are emitted before adds so that a rename whose old and
+        new DNs both appear applies cleanly at the consumer.
+        """
+        self._unacked = dict(self._pending)
+        self._pending.clear()
+        updates = self._sorted(self._unacked)
+        self.generation += 1
+        self.polls += 1
+        return updates
+
+    def acknowledge(self) -> None:
+        """The replica presented the latest cookie: drop the retained
+        batch."""
+        self._unacked = {}
+
+    def retransmit(self) -> List[SyncUpdate]:
+        """Replay the unacknowledged batch, folding in newer pending
+        updates (a retry after a lost response).
+
+        The merged batch becomes the new retained set; the generation
+        (and thus the cookie) does not advance, so a further retry
+        replays again.
+
+        Merging differs from fresh-pending coalescing in one rule: a
+        retained ADD followed by a DELETE must stay a DELETE — the lost
+        response may in fact have been applied (response received,
+        cookie lost), so the consumer might hold the entry.  Every
+        action is idempotent at the consumer, so over-sending is safe;
+        under-sending is not.
+        """
+        for dn, update in self._pending.items():
+            sent = self._unacked.get(dn)
+            if sent is None:
+                merged: Optional[SyncUpdate] = update
+            elif update.action is SyncAction.DELETE:
+                merged = update  # never drop a delete against a sent add
+            elif sent.action is SyncAction.DELETE:
+                merged = SyncUpdate.add(update.entry)
+            elif sent.action is SyncAction.ADD:
+                merged = SyncUpdate.add(update.entry)
+            else:
+                merged = SyncUpdate.modify(update.entry)
+            self._unacked[dn] = merged
+        self._pending.clear()
+        self.polls += 1
+        return self._sorted(self._unacked)
+
+    @staticmethod
+    def _sorted(batch: Dict[DN, SyncUpdate]) -> List[SyncUpdate]:
+        updates = list(batch.values())
+        updates.sort(key=lambda u: (u.action is not SyncAction.DELETE, str(u.dn)))
+        return updates
+
+    def seed_content(self, entries: List[Entry]) -> None:
+        """Record the initial content sent on the session's first poll."""
+        self.content_dns = {e.dn for e in entries}
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def retained_count(self) -> int:
+        """Size of the unacknowledged batch retained for retransmission."""
+        return len(self._unacked)
+
+
+class SessionStore:
+    """Cookie-keyed session registry with logical-time expiry."""
+
+    def __init__(self, idle_limit: int = 1000):
+        self._sessions: Dict[str, Session] = {}
+        self._ids = itertools.count(1)
+        self.idle_limit = idle_limit
+        self._tick = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def create(self, request: SearchRequest) -> Session:
+        """Open a new session for *request* and return it."""
+        session_id = f"s{next(self._ids)}"
+        session = Session(session_id, request)
+        session.last_active_tick = self._tick
+        self._sessions[session_id] = session
+        return session
+
+    def lookup(self, cookie: str) -> Session:
+        """Resolve a cookie to its session.
+
+        Raises :class:`SyncProtocolError` for unknown/expired cookies —
+        the consumer must restart with a full reload (cookie=None).
+        """
+        session_id = cookie.split(":", 1)[0]
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SyncProtocolError(f"unknown or expired cookie {cookie!r}")
+        self._touch(session)
+        return session
+
+    def end(self, cookie: str) -> None:
+        """Terminate the session named by *cookie* (mode ``sync_end``)."""
+        session_id = cookie.split(":", 1)[0]
+        self._sessions.pop(session_id, None)
+
+    def cookie_for(self, session: Session) -> str:
+        """Cookie handed to the consumer to resume *session*.
+
+        Encodes the session's batch generation: presenting the latest
+        cookie acknowledges the previous batch; presenting the previous
+        one requests a retransmission (lost-response recovery).
+        """
+        return f"{session.session_id}:{session.generation}"
+
+    @staticmethod
+    def generation_of(cookie: str) -> int:
+        """The generation number encoded in *cookie*."""
+        _sid, _, gen = cookie.partition(":")
+        if not gen.isdigit():
+            raise SyncProtocolError(f"malformed cookie {cookie!r}")
+        return int(gen)
+
+    def service_poll(self, session: Session, cookie: str) -> List[SyncUpdate]:
+        """Ack/advance or retransmit, per the cookie's generation."""
+        generation = self.generation_of(cookie)
+        if generation == session.generation:
+            session.acknowledge()
+            return session.drain()
+        if generation == session.generation - 1:
+            return session.retransmit()
+        raise SyncProtocolError(
+            f"cookie {cookie!r} is too old for session {session.session_id} "
+            f"(at generation {session.generation}); full reload required"
+        )
+
+    def _touch(self, session: Session) -> None:
+        self._tick += 1
+        session.last_active_tick = self._tick
+        self._expire()
+
+    def _expire(self) -> None:
+        """Drop sessions idle for more than ``idle_limit`` ticks."""
+        cutoff = self._tick - self.idle_limit
+        stale = [
+            sid
+            for sid, session in self._sessions.items()
+            if session.last_active_tick < cutoff
+        ]
+        for sid in stale:
+            del self._sessions[sid]
+
+    def active_sessions(self) -> List[Session]:
+        return list(self._sessions.values())

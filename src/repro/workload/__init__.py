@@ -1,0 +1,39 @@
+"""Workload substrate: synthetic enterprise directory + query traces.
+
+Substitutes the paper's proprietary IBM directory and two-day access
+trace with structure-preserving synthetic equivalents (see DESIGN.md §4
+for the substitution argument).
+"""
+
+from .datagen import (
+    CarrierConfig,
+    CarrierDirectory,
+    DirectoryConfig,
+    EnterpriseDirectory,
+    GeographyConfig,
+    ORG_SUFFIX,
+    generate_carrier_directory,
+    generate_directory,
+)
+from .distributions import TemporalMixer, WeightedChoice, ZipfSampler
+from .querygen import WorkloadConfig, WorkloadGenerator
+from .trace import QueryRecord, QueryType, Trace
+
+__all__ = [
+    "CarrierConfig",
+    "CarrierDirectory",
+    "generate_carrier_directory",
+    "DirectoryConfig",
+    "GeographyConfig",
+    "EnterpriseDirectory",
+    "generate_directory",
+    "ORG_SUFFIX",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "QueryRecord",
+    "QueryType",
+    "Trace",
+    "ZipfSampler",
+    "WeightedChoice",
+    "TemporalMixer",
+]

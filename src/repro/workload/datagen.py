@@ -1,0 +1,385 @@
+"""Synthetic enterprise directory generator.
+
+Stands in for the paper's evaluation substrate — the IBM enterprise
+directory of §7.1 ("more than half a million employee and
+organizational records", employee entries ≈6KB) — preserving every
+structural property the algorithms are sensitive to:
+
+* employees organized **by country**, all employees of a country flat
+  under the country entry (the §3.3 flat namespace);
+* one *geography* (a set of countries) holding ≈30% of employees — the
+  remote region the partial replica serves;
+* ``serialNumber`` values structured ``<block:4><seq:2><CC:2>``:
+  consecutive site blocks are allocated within a country, so the serial
+  prefix encodes spatial/organizational locality while the suffix names
+  the country — exactly the organization that makes the paper's
+  ``(serialnumber=_*_)`` generalized filters work;
+* ``mail`` = ``<uid>@<cc>.xyz.com`` with an **unorganized local part**
+  (§7.2(c): no useful generalization exists for it);
+* department entries under division entries, department numbers sharing
+  their division's prefix (semantic locality across countries, §3.1.2);
+* a small location subtree with a high access rate (§7.2(c));
+* entry sizes stamped (≈6KB employees) so byte-level traffic metrics
+  scale like the paper's without storing filler data.
+
+Scale is configurable; defaults are laptop-sized (thousands of entries)
+— the replication results depend on structure and skew, not on the
+absolute half-million.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+
+__all__ = [
+    "GeographyConfig",
+    "DirectoryConfig",
+    "EnterpriseDirectory",
+    "generate_directory",
+    "CarrierConfig",
+    "CarrierDirectory",
+    "generate_carrier_directory",
+]
+
+_SYLLABLES = (
+    "an", "ar", "el", "in", "ka", "la", "ma", "na", "or", "ra",
+    "sa", "ta", "ur", "va", "vi", "yo", "zu", "be", "do", "mi",
+)
+
+ORG_SUFFIX = "o=xyz"
+
+
+@dataclass(frozen=True)
+class GeographyConfig:
+    """One geography: a name and the countries (with employee shares)."""
+
+    name: str
+    countries: Tuple[Tuple[str, float], ...]
+    """(country code, fraction of ALL employees) pairs."""
+
+    @property
+    def share(self) -> float:
+        return sum(fraction for _cc, fraction in self.countries)
+
+
+def _default_geographies() -> Tuple[GeographyConfig, ...]:
+    """Three geographies; AP holds ≈30% of employees (§7.1)."""
+    return (
+        GeographyConfig(
+            "AP", (("in", 0.18), ("cn", 0.06), ("jp", 0.04), ("au", 0.02))
+        ),
+        GeographyConfig(
+            "AM", (("us", 0.30), ("ca", 0.05), ("br", 0.05))
+        ),
+        GeographyConfig(
+            "EU", (("de", 0.12), ("fr", 0.08), ("uk", 0.10))
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class DirectoryConfig:
+    """Knobs of the synthetic directory.
+
+    ``employees_per_block`` bounds how many employees share one
+    4-digit serialNumber site block (the unit the ``_*_`` generalized
+    filters replicate).
+    """
+
+    employees: int = 10_000
+    geographies: Tuple[GeographyConfig, ...] = field(
+        default_factory=_default_geographies
+    )
+    divisions: int = 8
+    departments_per_division: int = 40
+    locations: int = 120
+    employees_per_block: int = 30
+    employee_entry_bytes: int = 6_000
+    org_entry_bytes: int = 1_000
+    seed: int = 20050607  # ICDCS 2005 vintage
+
+
+@dataclass
+class EnterpriseDirectory:
+    """The generated directory plus the metadata workloads sample from."""
+
+    config: DirectoryConfig
+    entries: List[Entry]
+    employees_by_country: Dict[str, List[Entry]]
+    departments: List[Entry]
+    locations: List[Entry]
+    blocks_by_country: Dict[str, List[str]]
+    """serialNumber 4-digit block prefixes allocated to each country."""
+
+    @property
+    def suffix(self) -> str:
+        return ORG_SUFFIX
+
+    @property
+    def employee_count(self) -> int:
+        return sum(len(v) for v in self.employees_by_country.values())
+
+    def countries(self) -> List[str]:
+        return sorted(self.employees_by_country)
+
+    def geography_countries(self, name: str) -> List[str]:
+        for geo in self.config.geographies:
+            if geo.name == name:
+                return [cc for cc, _f in geo.countries]
+        raise KeyError(f"unknown geography {name!r}")
+
+    def geography_employees(self, name: str) -> List[Entry]:
+        out: List[Entry] = []
+        for cc in self.geography_countries(name):
+            out.extend(self.employees_by_country.get(cc, ()))
+        return out
+
+    def all_employees(self) -> List[Entry]:
+        out: List[Entry] = []
+        for cc in sorted(self.employees_by_country):
+            out.extend(self.employees_by_country[cc])
+        return out
+
+
+def _name(rng: random.Random) -> str:
+    return "".join(rng.choice(_SYLLABLES) for _ in range(rng.randint(2, 3))).title()
+
+
+# ----------------------------------------------------------------------
+# carrier directory (§3.3: very flat DN namespaces)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CarrierConfig:
+    """Knobs of the §3.3 carrier (telco) directory.
+
+    "Carrier directories used by large telcos can have all their
+    subscribers (millions of entries) under a single container entry" —
+    scaled down, structure preserved: every subscriber is a direct
+    child of ``ou=subscribers``, with MSISDNs allocated in exchange
+    prefixes so filter replication has something to select on.
+    """
+
+    subscribers: int = 5_000
+    prefix_digits: int = 6  # exchange prefix length of the 10-digit MSISDN
+    subscribers_per_prefix: int = 100
+    entry_bytes: int = 800
+    seed: int = 33
+
+
+@dataclass
+class CarrierDirectory:
+    """The generated carrier DIT plus sampling metadata."""
+
+    config: CarrierConfig
+    entries: List[Entry]
+    subscribers: List[Entry]
+    prefixes: List[str]
+
+    @property
+    def suffix(self) -> str:
+        return "o=telco"
+
+    @property
+    def container_dn(self) -> str:
+        return "ou=subscribers,o=telco"
+
+
+def generate_carrier_directory(config: Optional[CarrierConfig] = None) -> CarrierDirectory:
+    """Generate the flat-namespace carrier directory of §3.3."""
+    cfg = config if config is not None else CarrierConfig()
+    rng = random.Random(cfg.seed)
+    entries: List[Entry] = [
+        Entry("o=telco", {"objectClass": ["organization", "top"], "o": "telco"}),
+        Entry(
+            "ou=subscribers,o=telco",
+            {"objectClass": ["organizationalUnit", "top"], "ou": "subscribers"},
+        ),
+    ]
+    container = DN.parse("ou=subscribers,o=telco")
+    subscribers: List[Entry] = []
+    prefixes: List[str] = []
+    prefix_value = 910_000
+    line = 0
+    capacity = 0
+    prefix = ""
+    for i in range(cfg.subscribers):
+        if line >= capacity:
+            prefix = str(prefix_value)[: cfg.prefix_digits]
+            prefix_value += 1
+            prefixes.append(prefix)
+            capacity = rng.randint(
+                cfg.subscribers_per_prefix // 2, cfg.subscribers_per_prefix
+            )
+            line = 0
+        msisdn = f"{prefix}{line:0{10 - cfg.prefix_digits}d}"
+        line += 1
+        name = _name(rng)
+        subscriber = Entry(
+            container.child(f"uid=s{i}"),
+            {
+                "objectClass": ["inetOrgPerson", "person", "top"],
+                "uid": f"s{i}",
+                "cn": f"{name} {i}",
+                "sn": name,
+                "telephoneNumber": msisdn,
+                "entrySizeBytes": cfg.entry_bytes,
+            },
+        )
+        subscribers.append(subscriber)
+        entries.append(subscriber)
+    return CarrierDirectory(
+        config=cfg, entries=entries, subscribers=subscribers, prefixes=prefixes
+    )
+
+
+def generate_directory(config: Optional[DirectoryConfig] = None) -> EnterpriseDirectory:
+    """Generate the synthetic enterprise directory deterministically."""
+    cfg = config if config is not None else DirectoryConfig()
+    rng = random.Random(cfg.seed)
+    entries: List[Entry] = []
+
+    root = Entry(ORG_SUFFIX, {"objectClass": ["organization", "top"], "o": "xyz"})
+    entries.append(root)
+
+    # ------------------------------------------------------------------
+    # organizational containers
+    # ------------------------------------------------------------------
+    divisions_base = DN.parse(f"ou=divisions,{ORG_SUFFIX}")
+    entries.append(
+        Entry(divisions_base, {"objectClass": ["organizationalUnit", "top"], "ou": "divisions"})
+    )
+    locations_base = DN.parse(f"ou=locations,{ORG_SUFFIX}")
+    entries.append(
+        Entry(locations_base, {"objectClass": ["organizationalUnit", "top"], "ou": "locations"})
+    )
+
+    # Divisions and departments.  Department numbers share the division
+    # prefix: division d=3 owns departments 3400..34xx ("240*"-style
+    # semantic locality, §3.1.2).
+    departments: List[Entry] = []
+    division_numbers: List[str] = []
+    for d in range(cfg.divisions):
+        div_number = f"{d + 2}0"
+        division_numbers.append(div_number)
+        div_dn = divisions_base.child(f"ou=div{div_number}")
+        entries.append(
+            Entry(
+                div_dn,
+                {
+                    "objectClass": ["organizationalUnit", "division", "top"],
+                    "ou": f"div{div_number}",
+                    "divisionNumber": div_number,
+                    "entrySizeBytes": cfg.org_entry_bytes,
+                },
+            )
+        )
+        for k in range(cfg.departments_per_division):
+            dept_number = f"{div_number}{k:02d}"
+            dept_dn = div_dn.child(f"departmentNumber={dept_number}")
+            dept = Entry(
+                dept_dn,
+                {
+                    "objectClass": ["department", "top"],
+                    "departmentNumber": dept_number,
+                    "divisionNumber": div_number,
+                    "description": f"department {dept_number}",
+                    "entrySizeBytes": cfg.org_entry_bytes,
+                },
+            )
+            departments.append(dept)
+            entries.append(dept)
+
+    # Locations: small, flat, hot (§7.2(c)).
+    locations: List[Entry] = []
+    for i in range(cfg.locations):
+        loc_name = f"site{i:03d}"
+        loc_dn = locations_base.child(f"l={loc_name}")
+        loc = Entry(
+            loc_dn,
+            {
+                "objectClass": ["location", "top"],
+                "l": loc_name,
+                "buildingName": f"bldg{i % 30:02d}",
+                "entrySizeBytes": cfg.org_entry_bytes // 2,
+            },
+        )
+        locations.append(loc)
+        entries.append(loc)
+
+    # ------------------------------------------------------------------
+    # countries and employees (flat under the country entry, §3.3)
+    # ------------------------------------------------------------------
+    employees_by_country: Dict[str, List[Entry]] = {}
+    blocks_by_country: Dict[str, List[str]] = {}
+    next_block = 1  # 4-digit site blocks allocated sequentially
+    uid_counter = 0
+
+    country_shares: List[Tuple[str, float]] = []
+    for geo in cfg.geographies:
+        country_shares.extend(geo.countries)
+    total_share = sum(f for _cc, f in country_shares)
+
+    for cc, fraction in country_shares:
+        count = max(1, round(cfg.employees * fraction / total_share))
+        country_dn = DN.parse(f"c={cc},{ORG_SUFFIX}")
+        entries.append(
+            Entry(country_dn, {"objectClass": ["country", "top"], "c": cc})
+        )
+        bucket: List[Entry] = []
+        blocks: List[str] = []
+        block_capacity = 0
+        block_prefix = ""
+        seq_in_block = 0
+        for _ in range(count):
+            if seq_in_block >= block_capacity:
+                block_prefix = f"{next_block:04d}"
+                blocks.append(block_prefix)
+                next_block += 1
+                # Blocks fill to a site-dependent level below capacity.
+                block_capacity = rng.randint(
+                    cfg.employees_per_block // 2, cfg.employees_per_block
+                )
+                seq_in_block = 0
+            serial = f"{block_prefix}{seq_in_block:02d}{cc.upper()}"
+            seq_in_block += 1
+            uid_counter += 1
+            given, surname = _name(rng), _name(rng)
+            uid = f"{given.lower()}{surname.lower()}{uid_counter}"
+            division = rng.choice(division_numbers)
+            dept = f"{division}{rng.randrange(cfg.departments_per_division):02d}"
+            employee = Entry(
+                country_dn.child(f"cn={given} {surname} {uid_counter}"),
+                {
+                    "objectClass": ["inetOrgPerson", "organizationalPerson", "person", "top"],
+                    "cn": f"{given} {surname} {uid_counter}",
+                    "sn": surname,
+                    "givenName": given,
+                    "uid": uid,
+                    "mail": f"{uid}@{cc}.xyz.com",
+                    "serialNumber": serial,
+                    "departmentNumber": dept,
+                    "divisionNumber": division,
+                    "l": f"site{rng.randrange(cfg.locations):03d}",
+                    "telephoneNumber": f"{rng.randrange(200, 999)}-{rng.randrange(100,999)}-{rng.randrange(1000, 9999)}",
+                    "entrySizeBytes": cfg.employee_entry_bytes
+                    + rng.randrange(-500, 500),
+                },
+            )
+            bucket.append(employee)
+            entries.append(employee)
+        employees_by_country[cc] = bucket
+        blocks_by_country[cc] = blocks
+
+    return EnterpriseDirectory(
+        config=cfg,
+        entries=entries,
+        employees_by_country=employees_by_country,
+        departments=departments,
+        locations=locations,
+        blocks_by_country=blocks_by_country,
+    )

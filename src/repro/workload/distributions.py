@@ -1,0 +1,126 @@
+"""Sampling distributions for workload generation.
+
+The paper's workloads come from a real two-day trace; what matters to
+the replication results is their *shape*: non-uniform popularity across
+semantic regions (some departments/sites are hot) and temporal locality
+(recently asked queries recur).  Both are standard artifacts of access
+traces and are modelled with the usual tools:
+
+* :class:`ZipfSampler` — power-law popularity over a finite population,
+* :class:`TemporalMixer` — with probability ``p`` re-issue a query from
+  a recency window, else draw fresh (the LRU-stack model of temporal
+  locality).
+
+Deterministic given a seed; no global random state is touched.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from collections import deque
+from typing import Callable, Deque, Generic, List, Optional, Sequence, TypeVar
+
+__all__ = ["ZipfSampler", "TemporalMixer", "WeightedChoice"]
+
+T = TypeVar("T")
+
+
+class ZipfSampler(Generic[T]):
+    """Zipf(s) popularity over a fixed item sequence.
+
+    Item *i* (0-based rank) has weight ``1 / (i+1)**exponent``.  The
+    rank order is shuffled once at construction so that popularity is
+    decoupled from the natural ordering of the population.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[T],
+        exponent: float = 1.0,
+        rng: Optional[random.Random] = None,
+        shuffle: bool = True,
+    ):
+        if not items:
+            raise ValueError("ZipfSampler needs a non-empty population")
+        self._rng = rng if rng is not None else random.Random(0)
+        self._items: List[T] = list(items)
+        if shuffle:
+            self._rng.shuffle(self._items)
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(len(self._items))]
+        total = 0.0
+        self._cumulative: List[float] = []
+        for w in weights:
+            total += w
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self) -> T:
+        """Draw one item by Zipf popularity."""
+        u = self._rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, u)
+        return self._items[min(index, len(self._items) - 1)]
+
+    @property
+    def population(self) -> List[T]:
+        """Items in popularity-rank order (hottest first)."""
+        return list(self._items)
+
+
+class WeightedChoice(Generic[T]):
+    """Categorical sampling with explicit weights (Table 1's query mix)."""
+
+    def __init__(
+        self,
+        items: Sequence[T],
+        weights: Sequence[float],
+        rng: Optional[random.Random] = None,
+    ):
+        if len(items) != len(weights) or not items:
+            raise ValueError("items and weights must be equal-length, non-empty")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        self._rng = rng if rng is not None else random.Random(0)
+        self._items = list(items)
+        self._cumulative: List[float] = []
+        total = 0.0
+        for w in weights:
+            total += w
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self) -> T:
+        u = self._rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, u)
+        return self._items[min(index, len(self._items) - 1)]
+
+
+class TemporalMixer(Generic[T]):
+    """Re-reference model: repeat a recent draw with probability *p*.
+
+    Feeding every emitted item back into a bounded recency window makes
+    the output stream exhibit the temporal locality that drives the
+    cached-user-query curves of Figures 8/9.
+    """
+
+    def __init__(
+        self,
+        fresh: Callable[[], T],
+        repeat_probability: float = 0.2,
+        window: int = 100,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= repeat_probability <= 1.0:
+            raise ValueError("repeat_probability must be within [0, 1]")
+        self._fresh = fresh
+        self._p = repeat_probability
+        self._window: Deque[T] = deque(maxlen=window)
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def sample(self) -> T:
+        if self._window and self._rng.random() < self._p:
+            item = self._rng.choice(list(self._window))
+        else:
+            item = self._fresh()
+        self._window.append(item)
+        return item

@@ -1,0 +1,257 @@
+"""Workload generation: the Table 1 query mix over the synthetic DIT.
+
+Reproduces the *shape* of the paper's real two-day trace (§7.1):
+
+=====================================  =========
+query type                             ≈ share
+=====================================  =========
+``(serialNumber=_)``                     58%
+``(mail=_)``                             24%
+``(&(dept=_)(div=_))``                   16%
+``(location=_)``                          2%
+=====================================  =========
+
+with the locality structure the results depend on:
+
+* person queries target the replica's geography with probability
+  ``local_bias`` (remote users mostly look up nearby colleagues);
+* serialNumber lookups are skewed by **site block** (Zipf over blocks,
+  then within) — the spatial/semantic locality that ``_*_`` generalized
+  filters capture;
+* mail lookups are skewed per employee, but the mail local part carries
+  no block structure, so no generalized filter concentrates them;
+* department queries are Zipf over departments ("not all departments
+  in a division are accessed uniformly", §7.2(b));
+* location queries are Zipf over the small location tree (high access
+  rate on few entries, §7.2(c));
+* the emitted stream passes a re-reference mixer, providing the
+  temporal locality behind the cached-user-query curves (Figures 8/9).
+
+Deterministic given the config seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.filters import And, Equality
+from ..ldap.query import Scope, SearchRequest
+from .datagen import EnterpriseDirectory, ORG_SUFFIX
+from .distributions import TemporalMixer, WeightedChoice, ZipfSampler
+from .trace import QueryRecord, QueryType, Trace
+
+__all__ = ["WorkloadConfig", "WorkloadGenerator"]
+
+ROOT_BASE = ""  # minimally directory enabled applications search from the root
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the workload generator (defaults follow §7.1)."""
+
+    mix: Tuple[Tuple[QueryType, float], ...] = (
+        (QueryType.SERIAL, 58.0),
+        (QueryType.MAIL, 24.0),
+        (QueryType.DEPARTMENT, 16.0),
+        (QueryType.LOCATION, 2.0),
+    )
+    geography: str = "AP"
+    local_bias: float = 0.75
+    block_zipf: float = 0.85
+    employee_zipf: float = 0.3
+    department_zipf: float = 1.1
+    location_zipf: float = 1.0
+    repeat_probability: float = 0.2
+    temporal_window: int = 100
+    seed: int = 42
+
+
+class WorkloadGenerator:
+    """Samples :class:`QueryRecord` streams from an enterprise directory."""
+
+    def __init__(self, directory: EnterpriseDirectory, config: Optional[WorkloadConfig] = None):
+        self.directory = directory
+        self.config = config if config is not None else WorkloadConfig()
+        cfg = self.config
+        self._rng = random.Random(cfg.seed)
+
+        self._type_choice = WeightedChoice(
+            [qtype for qtype, _w in cfg.mix],
+            [w for _qtype, w in cfg.mix],
+            rng=self._rng,
+        )
+
+        local_countries = set(directory.geography_countries(cfg.geography))
+        self._local_employees = [
+            e
+            for cc in sorted(local_countries)
+            for e in directory.employees_by_country[cc]
+        ]
+        self._remote_employees = [
+            e
+            for cc in sorted(set(directory.countries()) - local_countries)
+            for e in directory.employees_by_country[cc]
+        ]
+        if not self._local_employees:
+            raise ValueError(f"geography {cfg.geography!r} has no employees")
+
+        # serialNumber: hierarchical block → employee sampling.
+        self._local_block_sampler = self._block_sampler(self._local_employees)
+        self._remote_block_sampler = (
+            self._block_sampler(self._remote_employees)
+            if self._remote_employees
+            else None
+        )
+        # mail: per-employee popularity, blind to blocks.
+        self._local_mail_sampler = ZipfSampler(
+            self._local_employees, cfg.employee_zipf, rng=self._rng
+        )
+        self._remote_mail_sampler = (
+            ZipfSampler(self._remote_employees, cfg.employee_zipf, rng=self._rng)
+            if self._remote_employees
+            else None
+        )
+        self._department_sampler = ZipfSampler(
+            directory.departments, cfg.department_zipf, rng=self._rng
+        )
+        self._location_sampler = ZipfSampler(
+            directory.locations, cfg.location_zipf, rng=self._rng
+        )
+
+    def _block_sampler(self, employees: Sequence[Entry]):
+        by_block: Dict[str, List[Entry]] = {}
+        for employee in employees:
+            serial = employee.first("serialNumber")
+            by_block.setdefault(serial[:4], []).append(employee)
+        blocks = sorted(by_block)
+        block_zipf = ZipfSampler(blocks, self.config.block_zipf, rng=self._rng)
+        # Within a block, a mild per-employee skew.
+        within: Dict[str, ZipfSampler] = {
+            block: ZipfSampler(
+                by_block[block], self.config.employee_zipf, rng=self._rng
+            )
+            for block in blocks
+        }
+
+        def sample() -> Entry:
+            return within[block_zipf.sample()].sample()
+
+        return sample
+
+    # ------------------------------------------------------------------
+    # per-type query construction
+    # ------------------------------------------------------------------
+    def _pick_person(self, block_based: bool) -> Entry:
+        local = (
+            self._remote_employees == []
+            or self._rng.random() < self.config.local_bias
+        )
+        if block_based:
+            if local or self._remote_block_sampler is None:
+                return self._local_block_sampler()
+            return self._remote_block_sampler()
+        if local or self._remote_mail_sampler is None:
+            return self._local_mail_sampler.sample()
+        return self._remote_mail_sampler.sample()
+
+    def _serial_query(self, day: int) -> QueryRecord:
+        employee = self._pick_person(block_based=True)
+        flt = Equality("serialNumber", employee.first("serialNumber"))
+        country_base = employee.dn.parent
+        return QueryRecord(
+            request=SearchRequest(ROOT_BASE, Scope.SUB, flt),
+            scoped_request=SearchRequest(country_base, Scope.SUB, flt),
+            qtype=QueryType.SERIAL,
+            day=day,
+        )
+
+    def _mail_query(self, day: int) -> QueryRecord:
+        employee = self._pick_person(block_based=False)
+        flt = Equality("mail", employee.first("mail"))
+        country_base = employee.dn.parent
+        return QueryRecord(
+            request=SearchRequest(ROOT_BASE, Scope.SUB, flt),
+            scoped_request=SearchRequest(country_base, Scope.SUB, flt),
+            qtype=QueryType.MAIL,
+            day=day,
+        )
+
+    def _department_query(self, day: int) -> QueryRecord:
+        # Department queries target department *records*; minimally
+        # directory enabled applications (§3.1.1) work with per-object-
+        # class tables, so the objectClass predicate is part of the
+        # query (otherwise the filter would also match every employee
+        # of the department).
+        dept = self._department_sampler.sample()
+        flt = And(
+            (
+                Equality("objectClass", "department"),
+                Equality("departmentNumber", dept.first("departmentNumber")),
+                Equality("divisionNumber", dept.first("divisionNumber")),
+            )
+        )
+        division_base = dept.dn.parent
+        return QueryRecord(
+            request=SearchRequest(ROOT_BASE, Scope.SUB, flt),
+            scoped_request=SearchRequest(division_base, Scope.SUB, flt),
+            qtype=QueryType.DEPARTMENT,
+            day=day,
+        )
+
+    def _location_query(self, day: int) -> QueryRecord:
+        loc = self._location_sampler.sample()
+        flt = And(
+            (Equality("objectClass", "location"), Equality("l", loc.first("l")))
+        )
+        return QueryRecord(
+            request=SearchRequest(ROOT_BASE, Scope.SUB, flt),
+            scoped_request=SearchRequest(loc.dn.parent, Scope.SUB, flt),
+            qtype=QueryType.LOCATION,
+            day=day,
+        )
+
+    def _fresh(self, day: int) -> QueryRecord:
+        qtype = self._type_choice.sample()
+        if qtype is QueryType.SERIAL:
+            return self._serial_query(day)
+        if qtype is QueryType.MAIL:
+            return self._mail_query(day)
+        if qtype is QueryType.DEPARTMENT:
+            return self._department_query(day)
+        return self._location_query(day)
+
+    # ------------------------------------------------------------------
+    # trace generation
+    # ------------------------------------------------------------------
+    def generate(self, n_queries: int, days: int = 2) -> Trace:
+        """A trace of *n_queries* spread evenly over *days* days.
+
+        Each day gets a fresh temporal-locality window (overnight gaps
+        break short-term re-reference) over the same long-term
+        popularity distributions, mirroring a stable two-day workload.
+        """
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        trace = Trace()
+        per_day = n_queries // days
+        remainder = n_queries - per_day * days
+        for day in range(1, days + 1):
+            quota = per_day + (1 if day <= remainder else 0)
+            current_day = day
+
+            def fresh() -> QueryRecord:
+                return self._fresh(current_day)
+
+            mixer: TemporalMixer[QueryRecord] = TemporalMixer(
+                fresh,
+                repeat_probability=self.config.repeat_probability,
+                window=self.config.temporal_window,
+                rng=self._rng,
+            )
+            for _ in range(quota):
+                trace.append(mixer.sample())
+        return trace

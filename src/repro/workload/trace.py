@@ -1,0 +1,137 @@
+"""Query trace model.
+
+A trace is the unit the evaluation consumes: an ordered list of
+:class:`QueryRecord`\\ s, each a full LDAP query plus the metadata the
+benches need (query type for Table 1, the target's country/division for
+scoped-query variants, and the day for train/evaluate splits mirroring
+the paper's two-day workload).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO
+
+from ..ldap.query import Scope, SearchRequest
+
+__all__ = ["QueryType", "QueryRecord", "Trace"]
+
+
+class QueryType(enum.Enum):
+    """The four query types of Table 1."""
+
+    SERIAL = "serialNumber"
+    MAIL = "mail"
+    DEPARTMENT = "department"
+    LOCATION = "location"
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One traced query.
+
+    Attributes:
+        request: the query as a minimally-directory-enabled application
+            issues it — base at the DIT root (§3.1.1).
+        scoped_request: the same query scoped to its natural subtree
+            (country / division / location tree); what a directory-aware
+            application would send, and the most favourable form for
+            subtree replicas.
+        qtype: Table 1 query type.
+        day: 1-based day index (the paper evaluated two days).
+    """
+
+    request: SearchRequest
+    scoped_request: SearchRequest
+    qtype: QueryType
+    day: int = 1
+
+
+class Trace:
+    """An ordered query trace with Table 1-style summary statistics."""
+
+    def __init__(self, records: Optional[Sequence[QueryRecord]] = None):
+        self.records: List[QueryRecord] = list(records) if records else []
+
+    def append(self, record: QueryRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.records[index])
+        return self.records[index]
+
+    def day(self, day: int) -> "Trace":
+        """The sub-trace of one day."""
+        return Trace([r for r in self.records if r.day == day])
+
+    def of_type(self, qtype: QueryType) -> "Trace":
+        """The sub-trace of one query type."""
+        return Trace([r for r in self.records if r.qtype == qtype])
+
+    def distribution(self) -> Dict[QueryType, float]:
+        """Fraction of queries per type (Table 1's rows)."""
+        if not self.records:
+            return {}
+        counts: Dict[QueryType, int] = {}
+        for record in self.records:
+            counts[record.qtype] = counts.get(record.qtype, 0) + 1
+        total = len(self.records)
+        return {qtype: count / total for qtype, count in counts.items()}
+
+    def unique_queries(self) -> int:
+        """Number of distinct root-based queries in the trace."""
+        return len({r.request for r in self.records})
+
+    # ------------------------------------------------------------------
+    # persistence (tab-separated text; one record per line)
+    # ------------------------------------------------------------------
+    def save(self, stream: TextIO) -> None:
+        """Write the trace as tab-separated text.
+
+        Columns: day, query type, scope, filter, scoped base.  Queries
+        are root-based by construction (§3.1.1), so the root base is
+        not stored.
+        """
+        for record in self.records:
+            stream.write(
+                f"{record.day}\t{record.qtype.value}\t"
+                f"{record.request.scope.name}\t{record.request.filter}\t"
+                f"{record.scoped_request.base}\n"
+            )
+
+    @classmethod
+    def load(cls, stream: TextIO) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        by_value = {qtype.value: qtype for qtype in QueryType}
+        records: List[QueryRecord] = []
+        for line_number, line in enumerate(stream, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 5:
+                raise ValueError(
+                    f"trace line {line_number}: expected 5 tab-separated "
+                    f"fields, got {len(parts)}"
+                )
+            day_text, type_text, scope_text, filter_text, base_text = parts
+            if type_text not in by_value:
+                raise ValueError(f"trace line {line_number}: unknown type {type_text!r}")
+            scope = Scope[scope_text]
+            records.append(
+                QueryRecord(
+                    request=SearchRequest("", scope, filter_text),
+                    scoped_request=SearchRequest(base_text, scope, filter_text),
+                    qtype=by_value[type_text],
+                    day=int(day_text),
+                )
+            )
+        return cls(records)

@@ -1,0 +1,61 @@
+"""Shared fixtures: a small master directory and canonical objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ldap import Entry, SearchRequest, Scope
+from repro.server import DirectoryServer
+from repro.workload import DirectoryConfig, EnterpriseDirectory, generate_directory
+
+
+@pytest.fixture(scope="session")
+def small_directory() -> EnterpriseDirectory:
+    """A tiny deterministic enterprise directory (session-cached)."""
+    return generate_directory(
+        DirectoryConfig(
+            employees=600,
+            divisions=4,
+            departments_per_division=10,
+            locations=20,
+            employees_per_block=20,
+            seed=99,
+        )
+    )
+
+
+@pytest.fixture()
+def master(small_directory: EnterpriseDirectory) -> DirectoryServer:
+    """A fresh master server loaded with the small directory."""
+    server = DirectoryServer("master")
+    server.add_naming_context(small_directory.suffix)
+    server.load(small_directory.entries)
+    return server
+
+
+@pytest.fixture()
+def tiny_master() -> DirectoryServer:
+    """A five-entry master for fine-grained sync/update tests."""
+    server = DirectoryServer("master")
+    server.add_naming_context("o=xyz")
+    server.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    server.add(Entry("c=us,o=xyz", {"objectClass": ["country"], "c": "us"}))
+    for i in range(1, 4):
+        server.add(
+            Entry(
+                f"cn=E{i},c=us,o=xyz",
+                {
+                    "objectClass": ["person"],
+                    "cn": f"E{i}",
+                    "sn": "Test",
+                    "departmentNumber": "42",
+                },
+            )
+        )
+    return server
+
+
+@pytest.fixture()
+def dept42() -> SearchRequest:
+    """The query whose content the sync tests track."""
+    return SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")

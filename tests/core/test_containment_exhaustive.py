@@ -1,0 +1,147 @@
+"""Exhaustive containment check over a tiny closed world.
+
+Sampling-based soundness lives in test_containment_property; this file
+*enumerates* every entry over a small value domain, making the
+containment comparison exact on the fragment it covers:
+
+* for equality/range/presence leaf pairs the checker must be **sound
+  and complete** (it equals semantic containment);
+* for substring pairs it must be sound (semantic containment whenever
+  it says True) — completeness is not promised there.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import filter_contained_in, predicate_contained_in
+from repro.ldap import (
+    Entry,
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    Present,
+    Substring,
+    matches,
+)
+
+DOMAIN = ["a", "ab", "b", "ba", "c"]
+
+# Every entry shape over the domain: no sn at all, or 1–2 values.
+ENTRIES = [Entry("cn=e,o=xyz", {"cn": "e"})] + [
+    Entry("cn=e,o=xyz", {"cn": "e", "sn": list(values)})
+    for size in (1, 2)
+    for values in itertools.combinations(DOMAIN, size)
+]
+
+
+def semantic_contained(p1, p2) -> bool:
+    return all(matches(p2, e) for e in ENTRIES if matches(p1, e))
+
+
+def eq_range_predicates():
+    preds = [Present("sn")]
+    for value in DOMAIN:
+        preds.append(Equality("sn", value))
+        preds.append(GreaterOrEqual("sn", value))
+        preds.append(LessOrEqual("sn", value))
+    return preds
+
+
+def substring_predicates():
+    preds = []
+    for value in DOMAIN:
+        preds.append(Substring("sn", initial=value))
+        preds.append(Substring("sn", final=value))
+        preds.append(Substring("sn", any_parts=(value,)))
+    preds.append(Substring("sn", initial="a", final="b"))
+    preds.append(Substring("sn", initial="b", final="a"))
+    return preds
+
+
+class TestExhaustive:
+    def test_eq_range_fragment_sound(self):
+        """Exhaustive soundness: checker True ⇒ no counterexample
+        entry exists.  (The converse cannot be asserted on a finite
+        domain: e.g. ``(sn>=a) ⊆ (sn<=c)`` holds over this five-value
+        world only because 'c' happens to be its maximum — over the
+        unbounded string space the checker rightly answers False.)"""
+        preds = eq_range_predicates()
+        unsound = []
+        for p1 in preds:
+            for p2 in preds:
+                if predicate_contained_in(p1, p2) and not semantic_contained(p1, p2):
+                    unsound.append((str(p1), str(p2)))
+        assert not unsound, unsound[:10]
+
+    def test_eq_range_fragment_complete_where_domain_independent(self):
+        """Completeness on the sub-relations whose truth does not depend
+        on the value domain: same-shape pairs and equality-vs-range."""
+        for v1 in DOMAIN:
+            for v2 in DOMAIN:
+                assert predicate_contained_in(
+                    Equality("sn", v1), Equality("sn", v2)
+                ) == (v1 == v2)
+                assert predicate_contained_in(
+                    Equality("sn", v1), GreaterOrEqual("sn", v2)
+                ) == (v1 >= v2)
+                assert predicate_contained_in(
+                    Equality("sn", v1), LessOrEqual("sn", v2)
+                ) == (v1 <= v2)
+                assert predicate_contained_in(
+                    GreaterOrEqual("sn", v1), GreaterOrEqual("sn", v2)
+                ) == (v1 >= v2)
+                assert predicate_contained_in(
+                    LessOrEqual("sn", v1), LessOrEqual("sn", v2)
+                ) == (v1 <= v2)
+        for value in DOMAIN:
+            for pred in (
+                Equality("sn", value),
+                GreaterOrEqual("sn", value),
+                LessOrEqual("sn", value),
+            ):
+                assert predicate_contained_in(pred, Present("sn"))
+
+    def test_substring_fragment_sound(self):
+        preds = substring_predicates() + eq_range_predicates()
+        unsound = []
+        for p1 in preds:
+            for p2 in preds:
+                if predicate_contained_in(p1, p2) and not semantic_contained(p1, p2):
+                    unsound.append((str(p1), str(p2)))
+        assert not unsound, unsound[:10]
+
+    def test_conjunction_fragment_sound(self):
+        """Two-predicate conjunctions against single predicates."""
+        leaves = eq_range_predicates()
+        from repro.ldap import And
+
+        conjunctions = [
+            And((a, b)) for a, b in itertools.combinations(leaves[:8], 2)
+        ]
+        unsound = []
+        for f1 in conjunctions:
+            for f2 in leaves:
+                if filter_contained_in(f1, f2) and not all(
+                    matches(f2, e) for e in ENTRIES if matches(f1, e)
+                ):
+                    unsound.append((str(f1), str(f2)))
+        assert not unsound, unsound[:10]
+
+    def test_disjunction_or_left_rule_exact(self):
+        """(|(p)(q)) ⊆ r iff p ⊆ r and q ⊆ r — the checker's Or-left
+        rule must agree with the checker's own leaf verdicts exactly,
+        and never contradict semantics."""
+        from repro.ldap import Or
+
+        leaves = eq_range_predicates()
+        for p, q in itertools.combinations(leaves[:8], 2):
+            union = Or((p, q))
+            for r in leaves:
+                checker = filter_contained_in(union, r)
+                leafwise = predicate_contained_in(p, r) and predicate_contained_in(q, r)
+                assert checker == leafwise, (str(union), str(r))
+                if checker:
+                    assert all(
+                        matches(r, e) for e in ENTRIES if matches(union, e)
+                    )

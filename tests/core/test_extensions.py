@@ -1,0 +1,179 @@
+"""Tests for beyond-the-paper extensions: union composition, cache
+policies, operational timestamps."""
+
+import pytest
+
+from repro.core import FilterReplica, RecentQueryCache
+from repro.ldap import DN, Entry, Scope, SearchRequest
+from repro.server import DirectoryServer, Modification
+from repro.sync import ResyncProvider
+
+
+@pytest.fixture()
+def master() -> DirectoryServer:
+    m = DirectoryServer("master")
+    m.add_naming_context("o=xyz")
+    m.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(6):
+        m.add(
+            Entry(
+                f"cn=P{i},o=xyz",
+                {
+                    "objectClass": ["person"],
+                    "cn": f"P{i}",
+                    "sn": "T",
+                    "departmentNumber": str(i % 3),
+                },
+            )
+        )
+    return m
+
+
+def dept(n: int) -> SearchRequest:
+    return SearchRequest("o=xyz", Scope.SUB, f"(departmentNumber={n})")
+
+
+class TestUnionComposition:
+    def test_disjunction_answered_from_two_filters(self, master):
+        provider = ResyncProvider(master)
+        replica = FilterReplica("r", compose_unions=True)
+        replica.add_filter(dept(0), provider)
+        replica.add_filter(dept(1), provider)
+        query = SearchRequest(
+            "o=xyz", Scope.SUB, "(|(departmentNumber=0)(departmentNumber=1))"
+        )
+        answer = replica.answer(query)
+        assert answer.is_hit
+        assert answer.answered_by.startswith("union:")
+        truth = master.search(query).entries
+        assert {str(e.dn) for e in answer.entries} == {str(e.dn) for e in truth}
+
+    def test_uncovered_disjunct_misses(self, master):
+        provider = ResyncProvider(master)
+        replica = FilterReplica("r", compose_unions=True)
+        replica.add_filter(dept(0), provider)
+        query = SearchRequest(
+            "o=xyz", Scope.SUB, "(|(departmentNumber=0)(departmentNumber=2))"
+        )
+        assert not replica.answer(query).is_hit
+
+    def test_disabled_by_default(self, master):
+        provider = ResyncProvider(master)
+        replica = FilterReplica("r")
+        replica.add_filter(dept(0), provider)
+        replica.add_filter(dept(1), provider)
+        query = SearchRequest(
+            "o=xyz", Scope.SUB, "(|(departmentNumber=0)(departmentNumber=1))"
+        )
+        assert not replica.answer(query).is_hit
+
+    def test_overlapping_results_deduplicated(self, master):
+        provider = ResyncProvider(master)
+        replica = FilterReplica("r", compose_unions=True)
+        replica.add_filter(dept(0), provider)
+        replica.add_filter(
+            SearchRequest("o=xyz", Scope.SUB, "(sn=*)"), provider
+        )
+        query = SearchRequest(
+            "o=xyz", Scope.SUB, "(|(departmentNumber=0)(sn=T))"
+        )
+        answer = replica.answer(query)
+        assert answer.is_hit
+        dns = [str(e.dn) for e in answer.entries]
+        assert len(dns) == len(set(dns))
+        truth = master.search(query).entries
+        assert set(dns) == {str(e.dn) for e in truth}
+
+    def test_single_containment_still_preferred(self, master):
+        """A query contained in one stored filter is answered directly,
+        not via union composition."""
+        provider = ResyncProvider(master)
+        replica = FilterReplica("r", compose_unions=True)
+        replica.add_filter(
+            SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=*)"), provider
+        )
+        query = SearchRequest(
+            "o=xyz", Scope.SUB, "(|(departmentNumber=0)(departmentNumber=1))"
+        )
+        answer = replica.answer(query)
+        assert answer.is_hit
+        assert not answer.answered_by.startswith("union:")
+
+
+class TestCachePolicies:
+    def person(self, name: str) -> Entry:
+        return Entry(
+            f"cn={name},o=xyz", {"objectClass": ["person"], "cn": name, "sn": "x"}
+        )
+
+    def q(self, name: str) -> SearchRequest:
+        return SearchRequest("", Scope.SUB, f"(cn={name})")
+
+    def test_lru_keeps_hot_entries(self):
+        cache = RecentQueryCache(2, policy="lru")
+        cache.insert(self.q("hot"), [self.person("hot")])
+        cache.insert(self.q("cold"), [self.person("cold")])
+        assert cache.lookup(self.q("hot")) is not None  # refreshes 'hot'
+        cache.insert(self.q("new"), [self.person("new")])  # evicts 'cold'
+        assert cache.lookup(self.q("hot")) is not None
+        assert cache.lookup(self.q("cold")) is None
+
+    def test_fifo_evicts_by_arrival(self):
+        cache = RecentQueryCache(2, policy="fifo")
+        cache.insert(self.q("hot"), [self.person("hot")])
+        cache.insert(self.q("cold"), [self.person("cold")])
+        assert cache.lookup(self.q("hot")) is not None  # does NOT refresh
+        cache.insert(self.q("new"), [self.person("new")])  # evicts 'hot'
+        assert cache.lookup(self.q("hot")) is None
+        assert cache.lookup(self.q("cold")) is not None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RecentQueryCache(2, policy="random")
+
+    def test_replica_passes_policy_through(self):
+        replica = FilterReplica("r", cache_capacity=5, cache_policy="lru")
+        assert replica.cache.policy == "lru"
+
+
+class TestOperationalTimestamps:
+    def test_disabled_by_default(self, master):
+        entry = master.store.get(DN.parse("cn=P0,o=xyz"))
+        assert not entry.has_attribute("modifyTimestamp")
+
+    def test_stamped_on_add(self):
+        m = DirectoryServer("m")
+        m.maintain_timestamps = True
+        m.add_naming_context("o=xyz")
+        m.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+        entry = m.store.get(DN.parse("o=xyz"))
+        assert entry.first("createTimestamp") == "1"
+        assert entry.first("modifyTimestamp") == "1"
+
+    def test_modify_advances_timestamp(self):
+        m = DirectoryServer("m")
+        m.maintain_timestamps = True
+        m.add_naming_context("o=xyz")
+        m.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+        m.modify("o=xyz", [Modification.replace("description", "x")])
+        entry = m.store.get(DN.parse("o=xyz"))
+        assert entry.first("createTimestamp") == "1"
+        assert int(entry.first("modifyTimestamp")) > 1
+
+    def test_rename_stamps_moved_entries(self):
+        m = DirectoryServer("m")
+        m.maintain_timestamps = True
+        m.add_naming_context("o=xyz")
+        m.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+        m.add(Entry("cn=a,o=xyz", {"objectClass": ["person"], "cn": "a", "sn": "s"}))
+        m.modify_dn("cn=a,o=xyz", new_rdn="cn=b")
+        entry = m.store.get(DN.parse("cn=b,o=xyz"))
+        assert int(entry.first("modifyTimestamp")) >= 3
+
+    def test_caller_entry_not_mutated(self):
+        m = DirectoryServer("m")
+        m.maintain_timestamps = True
+        m.add_naming_context("o=xyz")
+        mine = Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"})
+        m.add(mine)
+        assert not mine.has_attribute("modifyTimestamp")

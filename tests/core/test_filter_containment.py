@@ -1,0 +1,242 @@
+"""Tests for filter containment: Propositions 1–3 machinery."""
+
+import pytest
+
+from repro.core import (
+    filter_contained_in,
+    general_contained_in,
+    predicate_contained_in,
+    prefix_upper_bound,
+)
+from repro.ldap import (
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Present,
+    Substring,
+    parse_filter,
+)
+
+
+def contained(f1: str, f2: str) -> bool:
+    return filter_contained_in(parse_filter(f1), parse_filter(f2))
+
+
+class TestPredicateTable:
+    """The assertion-value comparison table of Proposition 2."""
+
+    def test_different_attrs_never(self):
+        assert not predicate_contained_in(Equality("a", "1"), Equality("b", "1"))
+
+    def test_anything_in_presence(self):
+        p = Present("sn")
+        for pred in (
+            Equality("sn", "x"),
+            GreaterOrEqual("sn", "x"),
+            LessOrEqual("sn", "x"),
+            Substring("sn", initial="x"),
+            Present("sn"),
+        ):
+            assert predicate_contained_in(pred, p)
+
+    def test_presence_in_nothing_else(self):
+        p = Present("sn")
+        assert not predicate_contained_in(p, Equality("sn", "x"))
+        assert not predicate_contained_in(p, GreaterOrEqual("sn", "x"))
+        assert not predicate_contained_in(p, Substring("sn", initial="x"))
+
+    def test_equality_in_equality(self):
+        assert predicate_contained_in(Equality("sn", "Doe"), Equality("sn", "DOE"))
+        assert not predicate_contained_in(Equality("sn", "Doe"), Equality("sn", "Smith"))
+
+    def test_equality_in_ranges(self):
+        assert predicate_contained_in(Equality("age", "35"), GreaterOrEqual("age", "30"))
+        assert not predicate_contained_in(Equality("age", "25"), GreaterOrEqual("age", "30"))
+        assert predicate_contained_in(Equality("age", "25"), LessOrEqual("age", "30"))
+        assert not predicate_contained_in(Equality("age", "35"), LessOrEqual("age", "30"))
+
+    def test_integer_semantics_in_ranges(self):
+        # "9" >= "30" lexicographically, but integers disagree
+        assert not predicate_contained_in(Equality("age", "9"), GreaterOrEqual("age", "30"))
+
+    def test_range_in_range(self):
+        assert predicate_contained_in(GreaterOrEqual("age", "40"), GreaterOrEqual("age", "30"))
+        assert not predicate_contained_in(GreaterOrEqual("age", "20"), GreaterOrEqual("age", "30"))
+        assert predicate_contained_in(LessOrEqual("age", "20"), LessOrEqual("age", "30"))
+        assert not predicate_contained_in(LessOrEqual("age", "40"), LessOrEqual("age", "30"))
+
+    def test_ge_not_in_le(self):
+        assert not predicate_contained_in(GreaterOrEqual("age", "10"), LessOrEqual("age", "90"))
+
+    def test_equality_in_substring(self):
+        assert predicate_contained_in(
+            Equality("serialNumber", "004217IN"), Substring("serialNumber", initial="0042")
+        )
+        assert predicate_contained_in(
+            Equality("serialNumber", "004217IN"),
+            Substring("serialNumber", initial="0042", final="IN"),
+        )
+        assert not predicate_contained_in(
+            Equality("serialNumber", "994217US"), Substring("serialNumber", initial="0042")
+        )
+
+    def test_substring_prefix_as_range(self):
+        """§4.1: substrings interpreted as range assertions."""
+        s = Substring("sn", initial="smi")
+        assert predicate_contained_in(s, GreaterOrEqual("sn", "smi"))
+        assert predicate_contained_in(s, GreaterOrEqual("sn", "sma"))
+        assert not predicate_contained_in(s, GreaterOrEqual("sn", "smz"))
+        assert predicate_contained_in(s, LessOrEqual("sn", "smj"))
+        assert not predicate_contained_in(s, LessOrEqual("sn", "smi"))
+
+    def test_range_not_in_substring(self):
+        assert not predicate_contained_in(
+            GreaterOrEqual("sn", "smi"), Substring("sn", initial="smi")
+        )
+
+    def test_approx_only_identical(self):
+        from repro.ldap import Approx
+
+        assert predicate_contained_in(Approx("sn", "doe"), Approx("sn", "DOE"))
+        assert not predicate_contained_in(Approx("sn", "doe"), Equality("sn", "doe"))
+        assert not predicate_contained_in(Equality("sn", "doe"), Approx("sn", "doe"))
+
+
+class TestSubstringEmbedding:
+    def test_longer_prefix_in_shorter(self):
+        assert contained("(sn=smit*)", "(sn=smi*)")
+        assert not contained("(sn=smi*)", "(sn=smit*)")
+
+    def test_suffix_containment(self):
+        assert contained("(sn=*ith)", "(sn=*th)")
+        assert not contained("(sn=*th)", "(sn=*ith)")
+
+    def test_prefix_suffix_to_prefix(self):
+        assert contained("(serialNumber=0042*IN)", "(serialNumber=0042*)")
+        assert contained("(serialNumber=0042*IN)", "(serialNumber=00*N)")
+
+    def test_any_part_from_initial(self):
+        assert contained("(sn=abcdef*)", "(sn=*cde*)")
+
+    def test_any_part_order_respected(self):
+        assert contained("(sn=*abc*def*)", "(sn=*abc*)")
+        assert contained("(sn=*abc*def*)", "(sn=*def*)")
+        assert not contained("(sn=*abc*)", "(sn=*abc*def*)")
+
+    def test_any_part_cannot_span_blocks(self):
+        # values matching (sn=ab*cd) need not contain "bc"
+        assert not contained("(sn=ab*cd)", "(sn=*bc*)")
+
+    def test_identical_substring(self):
+        assert contained("(sn=a*b*c)", "(sn=a*b*c)")
+
+    def test_case_insensitive(self):
+        assert contained("(sn=SMIT*)", "(sn=smi*)")
+
+
+class TestStructuralRecursion:
+    def test_conjunct_weakening(self):
+        assert contained("(&(sn=Doe)(givenName=John))", "(sn=Doe)")
+        assert not contained("(sn=Doe)", "(&(sn=Doe)(givenName=John))")
+
+    def test_conjunction_both_sides(self):
+        assert contained("(&(sn=Doe)(age>=40))", "(&(sn=Doe)(age>=30))")
+        assert not contained("(&(sn=Doe)(age>=20))", "(&(sn=Doe)(age>=30))")
+
+    def test_disjunct_strengthening(self):
+        assert contained("(sn=Doe)", "(|(sn=Doe)(sn=Smith))")
+        assert not contained("(|(sn=Doe)(sn=Smith))", "(sn=Doe)")
+
+    def test_or_in_or(self):
+        assert contained("(|(sn=A)(sn=B))", "(|(sn=A)(sn=B)(sn=C))")
+        assert not contained("(|(sn=A)(sn=D))", "(|(sn=A)(sn=B)(sn=C))")
+
+    def test_paper_prop2_example(self):
+        """F1=(a<=p)∧(b>=q) ⊆ F2=(a=x)∨(b>=y) iff q>=y (paper §4.1)."""
+        assert contained("(&(sn<=p)(uid>=q))", "(|(sn=x)(uid>=a))")  # q >= a
+        assert not contained("(&(sn<=p)(uid>=b))", "(|(sn=x)(uid>=q))")  # b < q
+
+    def test_not_containment_antimonotone(self):
+        assert contained("(!(age>=30))", "(!(age>=40))")
+        assert not contained("(!(age>=40))", "(!(age>=30))")
+
+    def test_mixed_not_and_positive_false(self):
+        assert not contained("(!(sn=Doe))", "(sn=Doe)")
+
+    def test_reflexive(self):
+        for text in ("(sn=Doe)", "(&(a=1)(b=2))", "(!(a=1))", "(sn=s*)"):
+            assert contained(text, text)
+
+    def test_identical_modulo_order_and_case(self):
+        assert contained("(&(sn=Doe)(givenName=J))", "(&(givenname=j)(SN=doe))")
+
+    def test_same_template_prop3(self):
+        """Proposition 3: predicate-wise comparison within a template."""
+        assert contained(
+            "(&(serialNumber=0042*IN)(departmentNumber=2406))",
+            "(&(serialNumber=00*IN)(departmentNumber=2406))",
+        )
+        assert not contained(
+            "(&(serialNumber=0042*IN)(departmentNumber=2406))",
+            "(&(serialNumber=00*IN)(departmentNumber=2407))",
+        )
+
+
+class TestGeneralContainment:
+    """Proposition 1: DNF-based inconsistency checking."""
+
+    def test_agrees_on_simple_cases(self):
+        cases = [
+            ("(sn=Doe)", "(sn=*)", True),
+            ("(&(sn=Doe)(age>=40))", "(age>=30)", True),
+            ("(sn=Doe)", "(sn=Smith)", False),
+            ("(|(a=1)(b=2))", "(|(a=1)(b=2)(c=3))", True),
+        ]
+        for f1, f2, expected in cases:
+            assert general_contained_in(parse_filter(f1), parse_filter(f2)) is expected
+
+    def test_paper_example(self):
+        f1 = parse_filter("(&(age<=30)(serialNumber>=500))")
+        f2 = parse_filter("(|(age=25)(serialNumber>=400))")
+        assert general_contained_in(f1, f2)
+        f2_bad = parse_filter("(|(age=25)(serialNumber>=600))")
+        assert not general_contained_in(f1, f2_bad)
+
+    def test_negated_presence(self):
+        # (sn=Doe) ⊆ ¬¬(sn=*): F1 ∧ ¬F2 = (sn=Doe) ∧ ¬(sn=*) inconsistent
+        assert general_contained_in(parse_filter("(sn=Doe)"), parse_filter("(sn=*)"))
+
+    def test_multivalued_soundness(self):
+        """(a=1)∧(a=2) is satisfiable for multi-valued attributes, so
+        it must NOT be treated as contained in an unrelated filter."""
+        f1 = parse_filter("(&(cn=x)(cn=y))")
+        f2 = parse_filter("(sn=zzz)")
+        assert not general_contained_in(f1, f2)
+
+    def test_overflow_guard(self):
+        big = parse_filter(
+            "(&" + "".join(f"(|(x{i}=1)(y{i}=2))" for i in range(12)) + ")"
+        )
+        with pytest.raises(OverflowError):
+            general_contained_in(big, parse_filter("(zz=1)"), max_terms=64)
+
+    def test_handles_not_on_either_side(self):
+        assert general_contained_in(
+            parse_filter("(&(sn=Doe)(!(age>=40)))"), parse_filter("(sn=Doe)")
+        )
+
+
+class TestPrefixUpperBound:
+    def test_increments_last_char(self):
+        assert prefix_upper_bound("abc") == "abd"
+        assert prefix_upper_bound("a") == "b"
+
+    def test_bounds_all_prefixed_strings(self):
+        bound = prefix_upper_bound("smi")
+        for value in ("smi", "smith", "smizzzz"):
+            assert value < bound
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_upper_bound("")

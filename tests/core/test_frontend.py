@@ -1,0 +1,115 @@
+"""Tests for replica frontends: clients chasing misses to the master."""
+
+import pytest
+
+from repro.core import FilterReplica, ReplicaFrontend, SubtreeReplica
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import DirectoryServer, LdapClient, SimulatedNetwork
+from repro.sync import ResyncProvider
+
+
+@pytest.fixture()
+def deployment():
+    """Master + filter replica, both addressable on one network."""
+    network = SimulatedNetwork()
+    master = DirectoryServer("master")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(4):
+        master.add(
+            Entry(
+                f"cn=P{i},o=xyz",
+                {
+                    "objectClass": ["person"],
+                    "cn": f"P{i}",
+                    "sn": "T",
+                    "serialNumber": f"000{i}00IN",
+                },
+            )
+        )
+    network.register(master)
+
+    provider = ResyncProvider(master)
+    replica = FilterReplica("branch", master_url="ldap://master")
+    replica.add_filter(
+        SearchRequest("", Scope.SUB, "(serialNumber=0000*IN)"), provider
+    )
+    network.register(ReplicaFrontend("branch", replica))
+    return network, master, replica
+
+
+class TestFilterReplicaFrontend:
+    def test_hit_served_locally(self, deployment):
+        network, _master, _replica = deployment
+        client = LdapClient(network)
+        result = client.search(
+            "ldap://branch", SearchRequest("", Scope.SUB, "(serialNumber=000000IN)")
+        )
+        assert result.round_trips == 1
+        assert [e.first("cn") for e in result.entries] == ["P0"]
+
+    def test_miss_chased_to_master(self, deployment):
+        network, _master, _replica = deployment
+        client = LdapClient(network)
+        result = client.search(
+            "ldap://branch", SearchRequest("", Scope.SUB, "(serialNumber=000300IN)")
+        )
+        assert result.round_trips == 2
+        assert result.servers_contacted == ["ldap://branch", "ldap://master"]
+        assert [e.first("cn") for e in result.entries] == ["P3"]
+        assert result.complete
+
+    def test_round_trip_asymmetry(self, deployment):
+        """The §3 payoff: hits cost 1 round trip, misses cost 2."""
+        network, _master, _replica = deployment
+        client = LdapClient(network)
+        hit = client.search(
+            "ldap://branch", SearchRequest("", Scope.SUB, "(serialNumber=000000IN)")
+        )
+        miss = client.search(
+            "ldap://branch", SearchRequest("", Scope.SUB, "(cn=P3)")
+        )
+        assert hit.round_trips < miss.round_trips
+
+
+class TestSubtreeReplicaFrontend:
+    def test_partial_answer_chased(self):
+        network = SimulatedNetwork()
+        master = DirectoryServer("master")
+        master.add_naming_context("c=us,o=xyz")
+        master.add(Entry("c=us,o=xyz", {"objectClass": ["country"], "c": "us"}))
+        master.add(
+            Entry("cn=A,c=us,o=xyz", {"objectClass": ["person"], "cn": "A", "sn": "a"})
+        )
+        sub_server = DirectoryServer("hostB")
+        sub_server.add_naming_context("ou=r,c=us,o=xyz")
+        sub_server.add(
+            Entry("ou=r,c=us,o=xyz", {"objectClass": ["organizationalUnit"], "ou": "r"})
+        )
+        sub_server.add(
+            Entry(
+                "cn=B,ou=r,c=us,o=xyz",
+                {"objectClass": ["person"], "cn": "B", "sn": "b"},
+            )
+        )
+        network.register(master)
+        network.register(sub_server)
+
+        replica = SubtreeReplica("branch", master_url="ldap://master")
+        replica.add_context(
+            "c=us,o=xyz", referrals=[("ou=r,c=us,o=xyz", "ldap://hostB")]
+        )
+        replica.sync(ResyncProvider(master))
+        network.register(ReplicaFrontend("branch", replica))
+
+        client = LdapClient(network)
+        result = client.search(
+            "ldap://branch", SearchRequest("c=us,o=xyz", Scope.SUB, "(sn=*)")
+        )
+        # local entries + subordinate server's, via the continuation
+        assert {e.first("cn") for e in result.entries} == {"A", "B"}
+        assert result.round_trips == 2
+
+    def test_repr(self, deployment):
+        _net, _master, replica = deployment
+        assert "branch" in repr(ReplicaFrontend("branch", replica))

@@ -1,0 +1,210 @@
+"""Tests for filter generalization rules (§6.1)."""
+
+import pytest
+
+from repro.core import (
+    Generalizer,
+    HierarchyGeneralization,
+    PrefixGeneralization,
+    PrefixSuffixGeneralization,
+    SuffixGeneralization,
+)
+from repro.ldap import Scope, SearchRequest
+
+
+def q(filter_text: str) -> SearchRequest:
+    return SearchRequest("", Scope.SUB, filter_text)
+
+
+class TestPrefixGeneralization:
+    def test_telephone_example(self):
+        """Paper §6.1: (telephoneNumber=261-758…) → (telephoneNumber=261-758*)."""
+        rule = PrefixGeneralization("telephoneNumber", 7)
+        out = rule.generalize(q("(telephoneNumber=261-758-4132)"))
+        assert str(out.filter) == "(telephoneNumber=261-758*)"
+
+    def test_short_value_skipped(self):
+        rule = PrefixGeneralization("telephoneNumber", 7)
+        assert rule.generalize(q("(telephoneNumber=261)")) is None
+
+    def test_other_attribute_skipped(self):
+        rule = PrefixGeneralization("telephoneNumber", 7)
+        assert rule.generalize(q("(mail=x@y.z)")) is None
+
+    def test_non_equality_skipped(self):
+        rule = PrefixGeneralization("telephoneNumber", 7)
+        assert rule.generalize(q("(telephoneNumber=261*)")) is None
+
+    def test_preserves_base_scope_attrs(self):
+        rule = PrefixGeneralization("sn", 2)
+        src = SearchRequest("c=us,o=xyz", Scope.ONE, "(sn=Smith)", ["cn"])
+        out = rule.generalize(src)
+        assert out.base == src.base
+        assert out.scope == src.scope
+        assert out.attributes == src.attributes
+
+
+class TestPrefixSuffixGeneralization:
+    def test_serial_number_shape(self):
+        """The (serialnumber=_*_) generalized filters of §7.2(a)."""
+        rule = PrefixSuffixGeneralization("serialNumber", 4, 2)
+        out = rule.generalize(q("(serialNumber=004217IN)"))
+        assert str(out.filter) == "(serialNumber=0042*IN)"
+
+    def test_value_too_short(self):
+        rule = PrefixSuffixGeneralization("serialNumber", 4, 2)
+        assert rule.generalize(q("(serialNumber=0042IN)")) is None
+
+    def test_query_contained_in_generalization(self):
+        from repro.core import query_contained_in
+
+        rule = PrefixSuffixGeneralization("serialNumber", 4, 2)
+        src = q("(serialNumber=004217IN)")
+        out = rule.generalize(src)
+        assert query_contained_in(src, out)
+
+
+class TestSuffixGeneralization:
+    def test_mail_domain(self):
+        rule = SuffixGeneralization("mail")
+        out = rule.generalize(q("(mail=john@us.xyz.com)"))
+        assert str(out.filter) == "(mail=*@us.xyz.com)"
+
+    def test_no_separator_skipped(self):
+        rule = SuffixGeneralization("mail")
+        assert rule.generalize(q("(mail=john.doe)")) is None
+
+    def test_empty_domain_skipped(self):
+        rule = SuffixGeneralization("mail")
+        assert rule.generalize(q("(mail=john@)")) is None
+
+    def test_custom_separator(self):
+        rule = SuffixGeneralization("cn", separator="-")
+        out = rule.generalize(q("(cn=alpha-beta)"))
+        assert str(out.filter) == "(cn=*-beta)"
+
+
+class TestHierarchyGeneralization:
+    RULE = HierarchyGeneralization("divisionNumber", "departmentNumber")
+
+    def test_paper_example(self):
+        """(&(div=X)(dept=Y)) → (&(div=X)(dept=_)) as presence."""
+        out = self.RULE.generalize(
+            q("(&(divisionNumber=24)(departmentNumber=2406))")
+        )
+        assert str(out.filter) == "(&(divisionNumber=24)(departmentNumber=*))"
+
+    def test_contains_the_original(self):
+        from repro.core import query_contained_in
+
+        src = q("(&(departmentNumber=2406)(divisionNumber=24))")
+        out = self.RULE.generalize(src)
+        assert query_contained_in(src, out)
+
+    def test_missing_keep_attr_skipped(self):
+        assert self.RULE.generalize(q("(departmentNumber=2406)")) is None
+        assert (
+            self.RULE.generalize(q("(&(departmentNumber=2406)(l=site1))")) is None
+        )
+
+    def test_missing_wildcard_attr_skipped(self):
+        assert self.RULE.generalize(q("(&(divisionNumber=24)(l=site1))")) is None
+
+    def test_non_conjunction_skipped(self):
+        assert self.RULE.generalize(q("(divisionNumber=24)")) is None
+
+
+class TestGeneralizer:
+    def test_applies_all_rules(self):
+        gen = Generalizer(
+            [
+                PrefixSuffixGeneralization("serialNumber", 4, 2),
+                PrefixGeneralization("serialNumber", 4),
+            ]
+        )
+        out = gen.generalize(q("(serialNumber=004217IN)"))
+        assert [str(c.filter) for c in out] == [
+            "(serialNumber=0042*IN)",
+            "(serialNumber=0042*)",
+        ]
+
+    def test_deduplicates(self):
+        gen = Generalizer(
+            [PrefixGeneralization("sn", 2), PrefixGeneralization("sn", 2)]
+        )
+        assert len(gen.generalize(q("(sn=Smith)"))) == 1
+
+    def test_inapplicable_rules_skipped(self):
+        gen = Generalizer([SuffixGeneralization("mail")])
+        assert gen.generalize(q("(sn=Smith)")) == []
+
+    def test_add_rule(self):
+        gen = Generalizer()
+        gen.add_rule(PrefixGeneralization("sn", 2))
+        assert len(gen.rules) == 1
+        assert gen.generalize(q("(sn=Smith)"))
+
+
+# ----------------------------------------------------------------------
+# property: every applicable rule produces a CONTAINING query
+# ----------------------------------------------------------------------
+from hypothesis import given, strategies as st
+
+from repro.core import IdentityGeneralization, query_contained_in
+
+_serials = st.builds(
+    lambda block, seq, cc: f"{block:04d}{seq:02d}{cc}",
+    st.integers(min_value=0, max_value=9999),
+    st.integers(min_value=0, max_value=99),
+    st.sampled_from(["IN", "US", "DE"]),
+)
+_mails = st.builds(
+    lambda user, cc: f"{user}@{cc}.xyz.com",
+    st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+    st.sampled_from(["in", "us", "de"]),
+)
+_phones = st.builds(
+    lambda a, b, c: f"{a:03d}-{b:03d}-{c:04d}",
+    st.integers(min_value=200, max_value=999),
+    st.integers(min_value=100, max_value=999),
+    st.integers(min_value=1000, max_value=9999),
+)
+
+
+class TestGeneralizationSoundness:
+    @given(_serials)
+    def test_prefix_suffix_contains_original(self, serial):
+        rule = PrefixSuffixGeneralization("serialNumber", 4, 2)
+        src = q(f"(serialNumber={serial})")
+        out = rule.generalize(src)
+        assert out is not None
+        assert query_contained_in(src, out)
+
+    @given(_mails)
+    def test_suffix_contains_original(self, mail):
+        rule = SuffixGeneralization("mail")
+        src = q(f"(mail={mail})")
+        out = rule.generalize(src)
+        assert out is not None
+        assert query_contained_in(src, out)
+
+    @given(_phones)
+    def test_prefix_contains_original(self, phone):
+        rule = PrefixGeneralization("telephoneNumber", 7)
+        src = q(f"(telephoneNumber={phone})")
+        out = rule.generalize(src)
+        assert out is not None
+        assert query_contained_in(src, out)
+
+    @given(st.integers(min_value=0, max_value=99))
+    def test_hierarchy_contains_original(self, n):
+        rule = HierarchyGeneralization("divisionNumber", "departmentNumber")
+        src = q(f"(&(divisionNumber=24)(departmentNumber=24{n:02d}))")
+        out = rule.generalize(src)
+        assert out is not None
+        assert query_contained_in(src, out)
+
+    def test_identity_trivially_contains(self):
+        rule = IdentityGeneralization()
+        src = q("(cn=x)")
+        assert query_contained_in(src, rule.generalize(src))

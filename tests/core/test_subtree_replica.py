@@ -1,0 +1,166 @@
+"""Tests for the subtree replication baseline (§3.4.1)."""
+
+import pytest
+
+from repro.core import AnswerStatus, SubtreeReplica
+from repro.ldap import DN, Entry, Scope, SearchRequest
+from repro.server import DirectoryServer
+from repro.sync import ResyncProvider
+
+
+def person(dn: str, **attrs) -> Entry:
+    base = {"objectClass": ["person", "top"], "sn": "T"}
+    base["cn"] = dn.split(",")[0].split("=")[1]
+    base.update(attrs)
+    return Entry(dn, base)
+
+
+@pytest.fixture()
+def master() -> DirectoryServer:
+    m = DirectoryServer("master")
+    m.add_naming_context("o=xyz")
+    m.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for cc in ("us", "in"):
+        m.add(Entry(f"c={cc},o=xyz", {"objectClass": ["country"], "c": cc}))
+    m.add(person("cn=Alice,c=us,o=xyz", departmentNumber="42"))
+    m.add(person("cn=Bob,c=us,o=xyz"))
+    m.add(person("cn=Chandra,c=in,o=xyz"))
+    return m
+
+
+@pytest.fixture()
+def replica(master) -> SubtreeReplica:
+    r = SubtreeReplica("branch")
+    r.add_context("c=us,o=xyz")
+    r.sync(ResyncProvider(master))
+    return r
+
+
+class TestIsContained:
+    """Transcription checks of the paper's isContained algorithm."""
+
+    def test_base_equals_suffix(self, replica):
+        assert replica.is_contained(DN.parse("c=us,o=xyz"))
+
+    def test_base_inside_context(self, replica):
+        assert replica.is_contained(DN.parse("cn=Alice,c=us,o=xyz"))
+
+    def test_base_outside(self, replica):
+        assert not replica.is_contained(DN.parse("c=in,o=xyz"))
+        assert not replica.is_contained(DN.parse("o=xyz"))
+
+    def test_base_below_referral_excluded(self):
+        r = SubtreeReplica("branch")
+        r.add_context(
+            "c=us,o=xyz", referrals=[("ou=research,c=us,o=xyz", "ldap://hostB")]
+        )
+        assert not r.is_contained(DN.parse("cn=x,ou=research,c=us,o=xyz"))
+        assert not r.is_contained(DN.parse("ou=research,c=us,o=xyz"))
+        assert r.is_contained(DN.parse("cn=y,c=us,o=xyz"))
+
+    def test_multiple_contexts(self):
+        r = SubtreeReplica("branch")
+        r.add_context("c=us,o=xyz")
+        r.add_context("c=in,o=xyz")
+        assert r.is_contained(DN.parse("cn=x,c=in,o=xyz"))
+
+
+class TestAnswer:
+    def test_hit_inside_context(self, replica):
+        answer = replica.answer(SearchRequest("c=us,o=xyz", Scope.SUB, "(sn=T)"))
+        assert answer.status is AnswerStatus.HIT
+        assert len(answer.entries) == 2
+
+    def test_filter_applied_locally(self, replica):
+        answer = replica.answer(
+            SearchRequest("c=us,o=xyz", Scope.SUB, "(departmentNumber=42)")
+        )
+        assert [e.first("cn") for e in answer.entries] == ["Alice"]
+
+    def test_miss_outside_context(self, replica):
+        answer = replica.answer(SearchRequest("c=in,o=xyz", Scope.SUB, "(sn=T)"))
+        assert answer.status is AnswerStatus.MISS
+        assert answer.referrals[0].url == "ldap://master"
+
+    def test_root_based_query_always_misses(self, replica):
+        """§3.1.1: null-based queries cannot be answered by subtree
+        replicas."""
+        answer = replica.answer(SearchRequest("", Scope.SUB, "(sn=T)"))
+        assert answer.status is AnswerStatus.MISS
+
+    def test_partial_when_referral_in_region(self, master):
+        """§3.1.3: partially answered queries do not count as hits."""
+        replica = SubtreeReplica("branch")
+        replica.add_context(
+            "c=us,o=xyz", referrals=[("ou=research,c=us,o=xyz", "ldap://hostB")]
+        )
+        replica.load_directly(
+            "c=us,o=xyz",
+            [
+                person("cn=Alice,c=us,o=xyz"),
+                person("cn=Bob,c=us,o=xyz"),
+            ],
+        )
+        answer = replica.answer(SearchRequest("c=us,o=xyz", Scope.SUB, "(sn=T)"))
+        assert answer.status is AnswerStatus.PARTIAL
+        assert answer.referrals[0].url == "ldap://hostB"
+
+    def test_scope_one_no_referral_is_hit(self, master):
+        replica = SubtreeReplica("branch")
+        replica.add_context(
+            "c=us,o=xyz",
+            referrals=[("cn=deep,cn=Alice,c=us,o=xyz", "ldap://hostB")],
+        )
+        replica.load_directly("c=us,o=xyz", [person("cn=Alice,c=us,o=xyz")])
+        answer = replica.answer(SearchRequest("c=us,o=xyz", Scope.ONE, "(sn=T)"))
+        assert answer.status is AnswerStatus.HIT
+
+    def test_base_entry_missing_locally(self, master):
+        replica = SubtreeReplica("branch")
+        replica.add_context("c=us,o=xyz")
+        replica.load_directly("c=us,o=xyz", [person("cn=Alice,c=us,o=xyz")])
+        answer = replica.answer(
+            SearchRequest("cn=Ghost,c=us,o=xyz", Scope.BASE, "(sn=T)")
+        )
+        assert answer.status is AnswerStatus.MISS
+
+    def test_stats_recorded(self, replica):
+        replica.answer(SearchRequest("c=us,o=xyz", Scope.SUB, "(sn=T)"))
+        replica.answer(SearchRequest("c=in,o=xyz", Scope.SUB, "(sn=T)"))
+        assert replica.stats.queries == 2
+        assert replica.stats.hits == 1
+        assert replica.stats.misses == 1
+        assert replica.stats.hit_ratio == 0.5
+
+
+class TestSyncAndSizing:
+    def test_sync_loads_subtree(self, master):
+        replica = SubtreeReplica("branch")
+        replica.add_context("c=us,o=xyz")
+        replica.sync(ResyncProvider(master))
+        assert replica.entry_count() == 3  # country entry + 2 people
+
+    def test_sync_tracks_updates(self, master):
+        provider = ResyncProvider(master)
+        replica = SubtreeReplica("branch")
+        replica.add_context("c=us,o=xyz")
+        replica.sync(provider)
+        master.add(person("cn=Dawn,c=us,o=xyz"))
+        master.delete("cn=Bob,c=us,o=xyz")
+        replica.sync(provider)
+        answer = replica.answer(SearchRequest("c=us,o=xyz", Scope.SUB, "(sn=T)"))
+        assert {e.first("cn") for e in answer.entries} == {"Alice", "Dawn"}
+
+    def test_size_bytes_counts_unique(self, replica):
+        assert replica.size_bytes() > 0
+
+    def test_overlapping_contexts_counted_once(self, master):
+        replica = SubtreeReplica("branch")
+        replica.add_context("c=us,o=xyz")
+        replica.add_context("o=xyz")
+        provider = ResyncProvider(master)
+        replica.sync(provider)
+        assert replica.entry_count() == 6  # all entries, not double-counted
+
+    def test_repr(self, replica):
+        assert "branch" in repr(replica)

@@ -1,0 +1,114 @@
+"""Tests for LDAP templates and the template registry (§3.4.2)."""
+
+import pytest
+
+from repro.core import Template, TemplateRegistry, template_key
+from repro.ldap import parse_filter
+
+
+class TestTemplateMatching:
+    def test_simple_wildcard(self):
+        t = Template.parse("(uid=_)")
+        assert t.matches(parse_filter("(uid=jdoe)"))
+        assert not t.matches(parse_filter("(cn=jdoe)"))
+        assert not t.matches(parse_filter("(uid=jdoe*)"))
+
+    def test_fixed_value_template(self):
+        """Paper example: (&(cn=_)(ou=research)) fixes the ou value."""
+        t = Template.parse("(&(cn=_)(ou=research))")
+        assert t.matches(parse_filter("(&(cn=John)(ou=research))"))
+        assert t.matches(parse_filter("(&(ou=research)(cn=John))"))  # order-free
+        assert not t.matches(parse_filter("(&(cn=John)(ou=sales))"))
+
+    def test_multi_wildcard(self):
+        t = Template.parse("(&(sn=_)(givenName=_))")
+        assert t.matches(parse_filter("(&(sn=Doe)(givenName=John))"))
+        assert not t.matches(parse_filter("(sn=Doe)"))
+        assert not t.matches(parse_filter("(&(sn=Doe)(givenName=John)(uid=x))"))
+
+    def test_substring_shape(self):
+        t = Template.parse("(sn=_*)")
+        assert t.matches(parse_filter("(sn=smi*)"))
+        assert not t.matches(parse_filter("(sn=*smi)"))
+        assert not t.matches(parse_filter("(sn=smi)"))
+
+    def test_prefix_suffix_shape(self):
+        t = Template.parse("(serialnumber=_*_)")
+        assert t.matches(parse_filter("(serialNumber=0042*IN)"))
+        assert not t.matches(parse_filter("(serialNumber=0042*)"))
+
+    def test_presence_pattern(self):
+        t = Template.parse("(&(divisionNumber=_)(departmentNumber=*))")
+        assert t.matches(parse_filter("(&(divisionNumber=20)(departmentNumber=*))"))
+        assert not t.matches(
+            parse_filter("(&(divisionNumber=20)(departmentNumber=2406))")
+        )
+
+    def test_not_pattern(self):
+        t = Template.parse("(!(uid=_))")
+        assert t.matches(parse_filter("(!(uid=x))"))
+        assert not t.matches(parse_filter("(uid=x)"))
+
+    def test_key_is_fully_blanked(self):
+        t = Template.parse("(&(cn=_)(ou=research))")
+        assert t.key == "(&(cn=_)(ou=_))"
+
+    def test_template_key_function(self):
+        assert template_key(parse_filter("(serialNumber=0042*IN)")) == "(serialnumber=_*_)"
+
+
+class TestRegistry:
+    @pytest.fixture()
+    def registry(self) -> TemplateRegistry:
+        return TemplateRegistry.from_strings(
+            "(serialnumber=_)",
+            "(serialnumber=_*_)",
+            "(mail=_)",
+            "(&(departmentnumber=_)(divisionnumber=_))",
+            "(&(divisionnumber=_)(departmentnumber=*))",
+        )
+
+    def test_classify_members(self, registry):
+        assert registry.classify(parse_filter("(serialNumber=004217IN)")) is not None
+        assert registry.classify(parse_filter("(mail=a@b.c)")) is not None
+        assert (
+            registry.classify(
+                parse_filter("(&(departmentNumber=2406)(divisionNumber=20))")
+            )
+            is not None
+        )
+
+    def test_classify_nonmembers(self, registry):
+        assert registry.classify(parse_filter("(cn=John)")) is None
+        assert registry.classify(parse_filter("(telephoneNumber=123)")) is None
+
+    def test_may_answer_same_template(self, registry):
+        assert registry.may_answer("(serialnumber=_)", "(serialnumber=_)")
+
+    def test_may_answer_substring_over_equality(self, registry):
+        assert registry.may_answer("(serialnumber=_*_)", "(serialnumber=_)")
+
+    def test_may_not_answer_equality_over_substring(self, registry):
+        assert not registry.may_answer("(serialnumber=_)", "(serialnumber=_*_)")
+
+    def test_may_not_answer_across_attributes(self, registry):
+        assert not registry.may_answer("(mail=_)", "(serialnumber=_)")
+
+    def test_paper_example_conjunction_cannot_answer_single(self, registry):
+        """§3.4.2: (&(sn=_)(ou=_)) cannot answer (sn=_)."""
+        reg = TemplateRegistry.from_strings("(&(sn=_)(ou=_))", "(sn=_)")
+        assert not reg.may_answer("(&(ou=_)(sn=_))", "(sn=_)")
+        assert reg.may_answer("(sn=_)", "(sn=_)")
+
+    def test_hierarchy_template_answers_pair_query(self, registry):
+        """(&(div=X)(dept=*)) may answer (&(dept=Y)(div=X))."""
+        assert registry.may_answer(
+            "(&(departmentnumber=*)(divisionnumber=_))",
+            "(&(departmentnumber=_)(divisionnumber=_))",
+        )
+
+    def test_unknown_keys_default_true(self, registry):
+        assert registry.may_answer("(nonsense=_)", "(serialnumber=_)")
+
+    def test_len(self, registry):
+        assert len(registry) == 5

@@ -1,0 +1,171 @@
+"""Tests for BER encoding of LDAP protocol elements."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap import Entry, Scope, SearchRequest, parse_filter
+from repro.ldap.ber import (
+    BerError,
+    decode_filter,
+    decode_integer,
+    decode_search_request,
+    decode_search_result_entry,
+    decode_tlv,
+    encode_filter,
+    encode_integer,
+    encode_octet_string,
+    encode_search_request,
+    encode_search_result_entry,
+    encoded_dn_size,
+    encoded_entry_size,
+    iter_tlvs,
+)
+from repro.ldap.dn import DN
+
+
+class TestTlv:
+    def test_short_length(self):
+        data = encode_octet_string("abc")
+        tag, value, end = decode_tlv(data)
+        assert tag == 0x04 and value == b"abc" and end == len(data)
+
+    def test_long_length(self):
+        text = "x" * 300
+        data = encode_octet_string(text)
+        assert data[1] == 0x82  # two length bytes
+        _tag, value, _end = decode_tlv(data)
+        assert value == text.encode()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(BerError):
+            decode_tlv(b"\x04")
+        with pytest.raises(BerError):
+            decode_tlv(b"\x04\x05abc")
+
+    def test_iter_tlvs(self):
+        data = encode_octet_string("a") + encode_octet_string("b")
+        assert [v for _t, v in iter_tlvs(data)] == [b"a", b"b"]
+
+
+class TestInteger:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 256, 65535, -1, -128, -129])
+    def test_roundtrip(self, value):
+        data = encode_integer(value)
+        _tag, body, _ = decode_tlv(data)
+        assert decode_integer(body) == value
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip_property(self, value):
+        _tag, body, _ = decode_tlv(encode_integer(value))
+        assert decode_integer(body) == value
+
+    def test_minimal_encoding(self):
+        assert encode_integer(127)[1] == 1  # one content byte
+        assert encode_integer(128)[1] == 2  # needs sign-bit headroom
+
+
+class TestFilterEncoding:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(sn=Doe)",
+            "(age>=30)",
+            "(age<=30)",
+            "(sn~=doe)",
+            "(objectClass=*)",
+            "(sn=smi*)",
+            "(sn=*th)",
+            "(sn=a*b*c)",
+            "(&(sn=Doe)(givenName=John))",
+            "(|(a=1)(b=2)(c=3))",
+            "(!(a=1))",
+            "(&(|(a=1)(!(b=2)))(c>=3))",
+        ],
+    )
+    def test_roundtrip(self, text):
+        flt = parse_filter(text)
+        decoded, end = decode_filter(encode_filter(flt))
+        assert decoded == flt
+        assert end == len(encode_filter(flt))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(BerError):
+            decode_filter(b"\xbf\x01\x00")
+
+
+class TestSearchRequest:
+    def test_roundtrip(self):
+        request = SearchRequest(
+            "ou=research,c=us,o=xyz", Scope.ONE, "(&(sn=Doe)(age>=30))", ["cn", "mail"]
+        )
+        message_id, decoded = decode_search_request(encode_search_request(request, 7))
+        assert message_id == 7
+        assert decoded == request
+
+    def test_star_attributes_roundtrip_as_all(self):
+        request = SearchRequest("o=xyz", Scope.SUB, "(sn=Doe)")
+        _mid, decoded = decode_search_request(encode_search_request(request))
+        assert decoded.wants_all_attributes
+
+    def test_root_base(self):
+        request = SearchRequest("", Scope.SUB, "(sn=Doe)")
+        _mid, decoded = decode_search_request(encode_search_request(request))
+        assert decoded.base.is_root
+
+
+class TestSearchResultEntry:
+    def test_roundtrip(self):
+        entry = Entry(
+            "cn=John Doe,o=xyz",
+            {
+                "objectClass": ["inetOrgPerson", "top"],
+                "cn": ["John Doe", "Johnny"],
+                "sn": "Doe",
+                "serialNumber": "004217IN",
+            },
+        )
+        message_id, decoded = decode_search_result_entry(
+            encode_search_result_entry(entry, 3)
+        )
+        assert message_id == 3
+        assert decoded == entry
+
+    def test_unicode_values(self):
+        entry = Entry("cn=café,o=xyz", {"cn": "café", "description": "naïve"})
+        _mid, decoded = decode_search_result_entry(encode_search_result_entry(entry))
+        assert decoded == entry
+
+
+class TestSizes:
+    def test_entry_size_positive_and_plausible(self):
+        entry = Entry("cn=a,o=xyz", {"cn": "a", "sn": "b"})
+        size = encoded_entry_size(entry)
+        assert 20 < size < 200
+
+    def test_dn_size(self):
+        assert encoded_dn_size(DN.parse("cn=a,o=xyz")) == len("cn=a,o=xyz") + 2
+
+    def test_bigger_entries_encode_bigger(self):
+        small = Entry("cn=a,o=xyz", {"cn": "a"})
+        big = Entry("cn=a,o=xyz", {"cn": "a", "description": "x" * 500})
+        assert encoded_entry_size(big) > encoded_entry_size(small) + 500
+
+
+# property: random entries roundtrip
+_values = st.lists(
+    st.text(min_size=1, max_size=12).filter(lambda s: s == s.strip() and s.strip()),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["cn", "sn", "mail", "description"]), _values, min_size=1, max_size=4
+    )
+)
+def test_entry_roundtrip_property(attrs):
+    attrs.setdefault("cn", ["probe"])
+    entry = Entry("cn=probe,o=xyz", attrs)
+    _mid, decoded = decode_search_result_entry(encode_search_result_entry(entry))
+    assert decoded == entry

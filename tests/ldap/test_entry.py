@@ -1,0 +1,158 @@
+"""Tests for the Entry model."""
+
+import pytest
+
+from repro.ldap import DN, Entry
+
+
+def make_entry() -> Entry:
+    return Entry(
+        "cn=John Doe,ou=research,c=us,o=xyz",
+        {
+            "cn": ["John Doe", "John M Doe"],
+            "objectClass": ["inetOrgPerson", "top"],
+            "telephoneNumber": "2618-2618",
+            "mail": "john@us.xyz.com",
+            "serialNumber": "0456",
+            "departmentNumber": 80,
+        },
+    )
+
+
+class TestConstruction:
+    def test_dn_parsing(self):
+        entry = make_entry()
+        assert entry.dn == DN.parse("cn=John Doe,ou=research,c=us,o=xyz")
+
+    def test_scalar_and_int_values(self):
+        entry = make_entry()
+        assert entry.get("departmentNumber") == ["80"]
+        assert entry.first("telephoneNumber") == "2618-2618"
+
+    def test_multi_values_preserved(self):
+        assert make_entry().get("cn") == ["John Doe", "John M Doe"]
+
+    def test_object_classes(self):
+        assert make_entry().object_classes == {"inetorgperson", "top"}
+
+
+class TestMutation:
+    def test_put_replaces(self):
+        entry = make_entry()
+        entry.put("mail", "new@x.com")
+        assert entry.get("mail") == ["new@x.com"]
+
+    def test_put_empty_removes(self):
+        entry = make_entry()
+        entry.put("mail", [])
+        assert not entry.has_attribute("mail")
+
+    def test_add_values_dedupes_normalized(self):
+        entry = make_entry()
+        entry.add_values("cn", ["JOHN DOE", "Johnny"])
+        assert entry.get("cn") == ["John Doe", "John M Doe", "Johnny"]
+
+    def test_add_values_new_attribute(self):
+        entry = make_entry()
+        entry.add_values("title", "Engineer")
+        assert entry.get("title") == ["Engineer"]
+
+    def test_remove_specific_values(self):
+        entry = make_entry()
+        entry.remove_values("cn", ["john m doe"])
+        assert entry.get("cn") == ["John Doe"]
+
+    def test_remove_last_value_drops_attribute(self):
+        entry = make_entry()
+        entry.remove_values("mail", ["john@us.xyz.com"])
+        assert not entry.has_attribute("mail")
+
+    def test_remove_whole_attribute(self):
+        entry = make_entry()
+        entry.remove_values("cn")
+        assert not entry.has_attribute("cn")
+
+    def test_remove_absent_is_noop(self):
+        entry = make_entry()
+        entry.remove_values("nonexistent")
+
+
+class TestAccess:
+    def test_case_insensitive_names(self):
+        entry = make_entry()
+        assert entry.get("MAIL") == ["john@us.xyz.com"]
+        assert "Mail" in entry
+
+    def test_first_absent_is_none(self):
+        assert make_entry().first("nope") is None
+
+    def test_normalized_values(self):
+        assert make_entry().normalized_values("cn") == {"john doe", "john m doe"}
+
+    def test_attribute_names_canonical(self):
+        names = make_entry().attribute_names()
+        assert "objectClass" in names
+
+    def test_iteration(self):
+        pairs = dict(iter(make_entry()))
+        assert pairs["serialNumber"] == ["0456"]
+
+
+class TestCopyProject:
+    def test_copy_is_independent(self):
+        entry = make_entry()
+        clone = entry.copy()
+        clone.put("mail", "other@x.com")
+        assert entry.first("mail") == "john@us.xyz.com"
+
+    def test_with_dn(self):
+        entry = make_entry()
+        moved = entry.with_dn("cn=John Doe,c=in,o=xyz")
+        assert moved.dn != entry.dn
+        assert moved.get("cn") == entry.get("cn")
+
+    def test_project_subset(self):
+        projected = make_entry().project(["mail", "cn"])
+        assert projected.has_attribute("mail")
+        assert not projected.has_attribute("serialNumber")
+
+    def test_project_star_keeps_all(self):
+        projected = make_entry().project(["*"])
+        assert projected.has_attribute("serialNumber")
+
+    def test_project_none_keeps_all(self):
+        assert make_entry().project(None).has_attribute("serialNumber")
+
+
+class TestEqualityAndSize:
+    def test_semantic_equality_ignores_case(self):
+        a = make_entry()
+        b = make_entry()
+        b.put("cn", ["JOHN DOE", "john m doe"])
+        assert a == b
+
+    def test_different_dn_not_equal(self):
+        assert make_entry() != make_entry().with_dn("cn=x,o=xyz")
+
+    def test_different_attrs_not_equal(self):
+        other = make_entry()
+        other.put("title", "Boss")
+        assert make_entry() != other
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make_entry())
+
+    def test_estimated_size_from_stamp(self):
+        entry = make_entry()
+        entry.put("entrySizeBytes", "6000")
+        assert entry.estimated_size() == 6000
+
+    def test_estimated_size_without_stamp(self):
+        size = make_entry().estimated_size()
+        assert size > len("cn=John Doe,ou=research,c=us,o=xyz")
+
+    def test_bad_stamp_falls_back(self):
+        entry = make_entry()
+        entry.put("entrySizeBytes", "not-a-number")
+        assert entry.estimated_size() > 0

@@ -1,0 +1,186 @@
+"""Tests for the RFC 2254 parser, incl. a property-based round trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap import (
+    And,
+    Approx,
+    Equality,
+    FilterParseError,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+    parse_filter,
+)
+
+
+class TestLeafParsing:
+    def test_equality(self):
+        assert parse_filter("(sn=Doe)") == Equality("sn", "Doe")
+
+    def test_ge(self):
+        assert parse_filter("(age>=30)") == GreaterOrEqual("age", "30")
+
+    def test_le(self):
+        assert parse_filter("(age<=30)") == LessOrEqual("age", "30")
+
+    def test_approx(self):
+        assert parse_filter("(sn~=doe)") == Approx("sn", "doe")
+
+    def test_presence(self):
+        assert parse_filter("(objectclass=*)") == Present("objectclass")
+
+    def test_substring_initial(self):
+        assert parse_filter("(sn=smi*)") == Substring("sn", initial="smi")
+
+    def test_substring_final(self):
+        assert parse_filter("(sn=*th)") == Substring("sn", final="th")
+
+    def test_substring_any(self):
+        assert parse_filter("(sn=*mid*)") == Substring("sn", any_parts=("mid",))
+
+    def test_substring_full(self):
+        assert parse_filter("(sn=a*b*c)") == Substring(
+            "sn", initial="a", any_parts=("b",), final="c"
+        )
+
+    def test_substring_collapses_empty_middles(self):
+        assert parse_filter("(sn=a**c)") == Substring("sn", initial="a", final="c")
+
+    def test_value_with_spaces(self):
+        assert parse_filter("(cn=John Doe)") == Equality("cn", "John Doe")
+
+    def test_attribute_with_options_chars(self):
+        assert parse_filter("(x-attr-1=v)") == Equality("x-attr-1", "v")
+
+
+class TestEscapes:
+    def test_escaped_star_is_literal(self):
+        assert parse_filter(r"(cn=a\2ab)") == Equality("cn", "a*b")
+
+    def test_escaped_parens(self):
+        assert parse_filter(r"(cn=\28x\29)") == Equality("cn", "(x)")
+
+    def test_escaped_backslash(self):
+        assert parse_filter(r"(cn=a\5cb)") == Equality("cn", "a\\b")
+
+    def test_escape_in_substring_component(self):
+        f = parse_filter(r"(cn=a\2a*b)")
+        assert f == Substring("cn", initial="a*", final="b")
+
+    def test_truncated_escape_rejected(self):
+        with pytest.raises(FilterParseError):
+            parse_filter(r"(cn=a\2)")
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(FilterParseError):
+            parse_filter(r"(cn=a\zz)")
+
+
+class TestBooleanParsing:
+    def test_and(self):
+        f = parse_filter("(&(sn=Doe)(givenName=John))")
+        assert f == And((Equality("sn", "Doe"), Equality("givenName", "John")))
+
+    def test_or(self):
+        f = parse_filter("(|(a=1)(b=2))")
+        assert f == Or((Equality("a", "1"), Equality("b", "2")))
+
+    def test_not(self):
+        assert parse_filter("(!(a=1))") == Not(Equality("a", "1"))
+
+    def test_deep_nesting(self):
+        f = parse_filter("(&(|(a=1)(!(b=2)))(c>=3))")
+        assert isinstance(f, And)
+        assert isinstance(f.children[0], Or)
+
+    def test_three_way_and(self):
+        f = parse_filter("(&(a=1)(b=2)(c=3))")
+        assert len(f.children) == 3
+
+    def test_whitespace_tolerated_around(self):
+        assert parse_filter("  (a=1) ") == Equality("a", "1")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(",
+            "()",
+            "(a=1",
+            "(a=1))",
+            "(&)",
+            "(|)",
+            "(!)",
+            "(=x)",
+            "(a 1)",
+            "(a=1)(b=2)",
+            "(&(a=1)",
+            "(a=(b))",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(FilterParseError):
+            parse_filter(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse_filter("(a=1")
+        except FilterParseError as exc:
+            assert exc.position >= 0
+            assert exc.text == "(a=1"
+
+
+# ----------------------------------------------------------------------
+# property-based round trip over randomly generated ASTs
+# ----------------------------------------------------------------------
+_attr = st.sampled_from(["sn", "cn", "uid", "age", "serialNumber"])
+_value = st.text(
+    alphabet=st.characters(blacklist_characters="\0", min_codepoint=32, max_codepoint=126),
+    min_size=1,
+    max_size=10,
+)
+_component = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, blacklist_characters="\0"),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _leaves():
+    return st.one_of(
+        st.builds(Equality, _attr, _value),
+        st.builds(GreaterOrEqual, _attr, _value),
+        st.builds(LessOrEqual, _attr, _value),
+        st.builds(Approx, _attr, _value),
+        st.builds(Present, _attr),
+        st.builds(
+            Substring,
+            _attr,
+            _component,
+            st.lists(_component, max_size=2).map(tuple),
+            _component,
+        ),
+    )
+
+
+_filters = st.recursive(
+    _leaves(),
+    lambda children: st.one_of(
+        st.lists(children, min_size=1, max_size=3).map(lambda cs: And(tuple(cs))),
+        st.lists(children, min_size=1, max_size=3).map(lambda cs: Or(tuple(cs))),
+        children.map(Not),
+    ),
+    max_leaves=8,
+)
+
+
+@given(_filters)
+def test_parse_str_roundtrip(flt):
+    assert parse_filter(str(flt)) == flt

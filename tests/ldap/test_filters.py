@@ -1,0 +1,178 @@
+"""Tests for the filter AST: serialization, structure helpers, templates."""
+
+import pytest
+
+from repro.ldap import (
+    And,
+    Approx,
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    MATCH_ALL,
+    Not,
+    Or,
+    Present,
+    Substring,
+    attributes_of,
+    is_positive,
+    simplify,
+    template_of,
+    to_dnf,
+    to_nnf,
+)
+from repro.ldap.filters import escape_assertion_value, iter_predicates
+
+
+class TestSerialization:
+    def test_equality(self):
+        assert str(Equality("sn", "Doe")) == "(sn=Doe)"
+
+    def test_ordering(self):
+        assert str(GreaterOrEqual("age", "30")) == "(age>=30)"
+        assert str(LessOrEqual("age", "30")) == "(age<=30)"
+
+    def test_approx(self):
+        assert str(Approx("sn", "Doe")) == "(sn~=Doe)"
+
+    def test_presence(self):
+        assert str(Present("objectClass")) == "(objectClass=*)"
+        assert str(MATCH_ALL) == "(objectClass=*)"
+
+    def test_substring_forms(self):
+        assert str(Substring("sn", initial="smi")) == "(sn=smi*)"
+        assert str(Substring("sn", final="th")) == "(sn=*th)"
+        assert str(Substring("sn", any_parts=("mit",))) == "(sn=*mit*)"
+        assert (
+            str(Substring("sn", initial="s", any_parts=("m",), final="h"))
+            == "(sn=s*m*h)"
+        )
+
+    def test_boolean_nesting(self):
+        f = And((Equality("sn", "Doe"), Or((Equality("a", "1"), Not(Equality("b", "2"))))))
+        assert str(f) == "(&(sn=Doe)(|(a=1)(!(b=2))))"
+
+    def test_escaping(self):
+        assert escape_assertion_value("a*b(c)d\\e") == r"a\2ab\28c\29d\5ce"
+        assert str(Equality("cn", "a*b")) == r"(cn=a\2ab)"
+
+
+class TestConstruction:
+    def test_operators(self):
+        f = Equality("a", "1") & Equality("b", "2")
+        assert isinstance(f, And)
+        g = Equality("a", "1") | Equality("b", "2")
+        assert isinstance(g, Or)
+        n = ~Equality("a", "1")
+        assert isinstance(n, Not)
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ValueError):
+            And(())
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(ValueError):
+            Or(())
+
+    def test_empty_substring_rejected(self):
+        with pytest.raises(ValueError):
+            Substring("sn")
+
+    def test_filters_hashable(self):
+        assert len({Equality("a", "1"), Equality("A", "1")}) == 2  # attr case kept
+
+
+class TestStructureHelpers:
+    def test_iter_predicates_order(self):
+        f = And((Equality("a", "1"), Not(Equality("b", "2")), Or((Present("c"),))))
+        attrs = [p.attr for p in iter_predicates(f)]
+        assert attrs == ["a", "b", "c"]
+
+    def test_attributes_of(self):
+        f = And((Equality("SN", "x"), GreaterOrEqual("age", "3")))
+        assert attributes_of(f) == frozenset({"sn", "age"})
+
+    def test_is_positive(self):
+        assert is_positive(And((Equality("a", "1"), Or((Equality("b", "2"),)))))
+        assert not is_positive(And((Equality("a", "1"), Not(Equality("b", "2")))))
+
+
+class TestSimplify:
+    def test_unwraps_singletons(self):
+        assert simplify(And((Equality("a", "1"),))) == Equality("a", "1")
+
+    def test_flattens_nested(self):
+        f = And((And((Equality("a", "1"), Equality("b", "2"))), Equality("c", "3")))
+        assert simplify(f) == And(
+            (Equality("a", "1"), Equality("b", "2"), Equality("c", "3"))
+        )
+
+    def test_dedupes(self):
+        f = Or((Equality("a", "1"), Equality("a", "1")))
+        assert simplify(f) == Equality("a", "1")
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(Equality("a", "1")))) == Equality("a", "1")
+
+    def test_leaf_unchanged(self):
+        assert simplify(Equality("a", "1")) == Equality("a", "1")
+
+
+class TestNnfDnf:
+    def test_nnf_pushes_not_over_and(self):
+        f = Not(And((Equality("a", "1"), Equality("b", "2"))))
+        nnf = to_nnf(f)
+        assert isinstance(nnf, Or)
+        assert all(isinstance(c, Not) for c in nnf.children)
+
+    def test_nnf_pushes_not_over_or(self):
+        f = Not(Or((Equality("a", "1"), Equality("b", "2"))))
+        nnf = to_nnf(f)
+        assert isinstance(nnf, And)
+
+    def test_nnf_cancels_double_negation(self):
+        assert to_nnf(Not(Not(Equality("a", "1")))) == Equality("a", "1")
+
+    def test_dnf_distributes(self):
+        f = And((Or((Equality("a", "1"), Equality("b", "2"))), Equality("c", "3")))
+        terms = to_dnf(f)
+        assert len(terms) == 2
+        assert all(len(t) == 2 for t in terms)
+
+    def test_dnf_overflow_guard(self):
+        # (a|b)^12 would blow past the cap
+        big = And(
+            tuple(
+                Or((Equality(f"x{i}", "1"), Equality(f"y{i}", "2")))
+                for i in range(12)
+            )
+        )
+        with pytest.raises(OverflowError):
+            to_dnf(big, max_terms=100)
+
+    def test_dnf_single_literal(self):
+        assert to_dnf(Equality("a", "1")) == ((Equality("a", "1"),),)
+
+
+class TestTemplates:
+    def test_leaf_templates(self):
+        assert template_of(Equality("SN", "Doe")) == "(sn=_)"
+        assert template_of(GreaterOrEqual("age", "3")) == "(age>=_)"
+        assert template_of(LessOrEqual("age", "3")) == "(age<=_)"
+        assert template_of(Approx("sn", "x")) == "(sn~=_)"
+        assert template_of(Present("uid")) == "(uid=*)"
+
+    def test_substring_shapes(self):
+        assert template_of(Substring("sn", initial="smi")) == "(sn=_*)"
+        assert template_of(Substring("serialNumber", initial="04", final="56")) == "(serialnumber=_*_)"
+        assert template_of(Substring("sn", any_parts=("mid",))) == "(sn=*_*)"
+
+    def test_and_children_sorted(self):
+        a = And((Equality("sn", "x"), Equality("givenName", "y")))
+        b = And((Equality("givenName", "p"), Equality("sn", "q")))
+        assert template_of(a) == template_of(b) == "(&(givenname=_)(sn=_))"
+
+    def test_not_template(self):
+        assert template_of(Not(Equality("a", "1"))) == "(!(a=_))"
+
+    def test_or_template(self):
+        assert template_of(Or((Equality("b", "1"), Equality("a", "2")))) == "(|(a=_)(b=_))"

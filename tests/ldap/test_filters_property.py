@@ -1,0 +1,94 @@
+"""Semantic-preservation properties of the filter transformations.
+
+`simplify`, `to_nnf` and `to_dnf` must never change which entries a
+filter matches — replicas rely on this when canonicalizing stored and
+incoming filters.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ldap import (
+    And,
+    Entry,
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+    matches,
+    simplify,
+    to_dnf,
+    to_nnf,
+)
+
+_ATTRS = ["sn", "uid"]
+_VALUES = ["a", "ab", "b", "c"]
+
+_attr = st.sampled_from(_ATTRS)
+_value = st.sampled_from(_VALUES)
+
+_leaves = st.one_of(
+    st.builds(Equality, _attr, _value),
+    st.builds(GreaterOrEqual, _attr, _value),
+    st.builds(LessOrEqual, _attr, _value),
+    st.builds(Present, _attr),
+    st.builds(lambda a, v: Substring(a, initial=v), _attr, _value),
+)
+
+_filters = st.recursive(
+    _leaves,
+    lambda kids: st.one_of(
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: And(tuple(cs))),
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: Or(tuple(cs))),
+        kids.map(Not),
+    ),
+    max_leaves=6,
+)
+
+_entries = st.builds(
+    lambda svals, uvals: Entry(
+        "cn=probe,o=xyz",
+        {
+            "cn": "probe",
+            **({"sn": svals} if svals else {}),
+            **({"uid": uvals} if uvals else {}),
+        },
+    ),
+    st.lists(_value, max_size=2),
+    st.lists(_value, max_size=2),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_filters, _entries)
+def test_simplify_preserves_semantics(flt, entry):
+    assert matches(simplify(flt), entry) == matches(flt, entry)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_filters, _entries)
+def test_nnf_preserves_semantics(flt, entry):
+    assert matches(to_nnf(flt), entry) == matches(flt, entry)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_filters, _entries)
+def test_dnf_preserves_semantics(flt, entry):
+    try:
+        conjunctions = to_dnf(flt, max_terms=256)
+    except OverflowError:
+        return
+    rebuilt = any(
+        all(matches(literal, entry) for literal in conjunction)
+        for conjunction in conjunctions
+    )
+    assert rebuilt == matches(flt, entry)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_filters)
+def test_simplify_idempotent(flt):
+    once = simplify(flt)
+    assert simplify(once) == once

@@ -1,0 +1,78 @@
+"""Tests for LDIF serialization and parsing."""
+
+import io
+
+from repro.ldap import Entry, entries_to_ldif, entry_to_ldif, parse_ldif, write_ldif
+
+
+def sample() -> Entry:
+    return Entry(
+        "cn=John Doe,o=xyz",
+        {"objectClass": ["person"], "cn": "John Doe", "sn": "Doe"},
+    )
+
+
+class TestRender:
+    def test_dn_first_line(self):
+        assert entry_to_ldif(sample()).splitlines()[0] == "dn: cn=John Doe,o=xyz"
+
+    def test_attributes_sorted(self):
+        lines = entry_to_ldif(sample()).splitlines()[1:]
+        names = [line.split(":")[0] for line in lines]
+        assert names == sorted(names, key=str.lower)
+
+    def test_unsafe_value_base64(self):
+        entry = Entry("cn=x,o=xyz", {"objectClass": ["person"], "cn": "x", "sn": " café"})
+        text = entry_to_ldif(entry)
+        assert "sn:: " in text
+
+    def test_leading_colon_base64(self):
+        entry = Entry("cn=x,o=xyz", {"cn": ":odd"})
+        assert "cn:: " in entry_to_ldif(entry)
+
+    def test_entries_sorted_by_dn(self):
+        a = Entry("cn=b,o=xyz", {"cn": "b"})
+        b = Entry("cn=a,o=xyz", {"cn": "a"})
+        text = entries_to_ldif([a, b])
+        assert text.index("cn=a,o=xyz") < text.index("cn=b,o=xyz")
+
+
+class TestParse:
+    def test_roundtrip(self):
+        entry = sample()
+        parsed = list(parse_ldif(entry_to_ldif(entry)))
+        assert len(parsed) == 1
+        assert parsed[0] == entry
+
+    def test_base64_roundtrip(self):
+        entry = Entry("cn=x,o=xyz", {"objectClass": ["person"], "cn": "x", "sn": " café"})
+        assert list(parse_ldif(entry_to_ldif(entry)))[0] == entry
+
+    def test_multiple_records(self):
+        entries = [
+            Entry("cn=a,o=xyz", {"cn": "a"}),
+            Entry("cn=b,o=xyz", {"cn": "b"}),
+        ]
+        parsed = list(parse_ldif(entries_to_ldif(entries)))
+        assert len(parsed) == 2
+
+    def test_comments_skipped(self):
+        text = "# header\ndn: cn=a,o=xyz\ncn: a\n"
+        parsed = list(parse_ldif(text))
+        assert parsed[0].first("cn") == "a"
+
+    def test_continuation_lines(self):
+        text = "dn: cn=a,o=xyz\ncn: long\n  value\n"
+        parsed = list(parse_ldif(text))
+        assert parsed[0].first("cn") == "long value"
+
+    def test_missing_dn_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(parse_ldif("cn: orphan\n"))
+
+    def test_write_ldif(self):
+        buf = io.StringIO()
+        write_ldif([sample()], buf)
+        assert "dn: cn=John Doe,o=xyz" in buf.getvalue()

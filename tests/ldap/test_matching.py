@@ -1,0 +1,148 @@
+"""Tests for filter evaluation against entries."""
+
+import pytest
+
+from repro.ldap import Entry, matches, parse_filter
+from repro.ldap.attributes import AttributeType, Syntax
+from repro.ldap.matching import compare_values, substring_match
+
+
+@pytest.fixture()
+def entry() -> Entry:
+    return Entry(
+        "cn=John Doe,c=us,o=xyz",
+        {
+            "objectClass": ["inetOrgPerson", "top"],
+            "cn": ["John Doe", "Johnny"],
+            "sn": "Doe",
+            "mail": "john@us.xyz.com",
+            "serialNumber": "004217IN",
+            "age": "35",
+        },
+    )
+
+
+def match(entry: Entry, text: str) -> bool:
+    return matches(parse_filter(text), entry)
+
+
+class TestEquality:
+    def test_simple(self, entry):
+        assert match(entry, "(sn=Doe)")
+        assert not match(entry, "(sn=Smith)")
+
+    def test_case_insensitive_directory_string(self, entry):
+        assert match(entry, "(sn=DOE)")
+        assert match(entry, "(CN=john doe)")
+
+    def test_multivalued_any_value(self, entry):
+        assert match(entry, "(cn=Johnny)")
+
+    def test_absent_attribute_false(self, entry):
+        assert not match(entry, "(title=Boss)")
+
+    def test_mail_case_exact(self, entry):
+        assert match(entry, "(mail=john@us.xyz.com)")
+        assert not match(entry, "(mail=JOHN@us.xyz.com)")
+
+
+class TestOrdering:
+    def test_integer_semantics(self, entry):
+        assert match(entry, "(age>=30)")
+        assert match(entry, "(age<=40)")
+        assert not match(entry, "(age>=36)")
+        # lexicographic would say "35" >= "100"; integers disagree
+        assert match(entry, "(age>=100)") is False
+
+    def test_string_ordering(self, entry):
+        assert match(entry, "(sn>=D)")
+        assert match(entry, "(sn<=E)")
+        assert not match(entry, "(sn>=E)")
+
+    def test_absent_attribute_false(self, entry):
+        assert not match(entry, "(height>=3)")
+
+    def test_unordered_attribute_false(self, entry):
+        # objectClass has ordering disabled in the default registry
+        assert not match(entry, "(objectClass>=a)")
+
+
+class TestPresence:
+    def test_present(self, entry):
+        assert match(entry, "(mail=*)")
+        assert match(entry, "(objectClass=*)")
+
+    def test_absent(self, entry):
+        assert not match(entry, "(title=*)")
+
+
+class TestSubstring:
+    def test_initial(self, entry):
+        assert match(entry, "(serialNumber=0042*)")
+        assert not match(entry, "(serialNumber=0043*)")
+
+    def test_final(self, entry):
+        assert match(entry, "(serialNumber=*IN)")
+        assert not match(entry, "(serialNumber=*US)")
+
+    def test_initial_and_final(self, entry):
+        assert match(entry, "(serialNumber=0042*IN)")
+
+    def test_any_parts_in_order(self, entry):
+        assert match(entry, "(mail=*john*xyz*)")
+        assert not match(entry, "(mail=*xyz*john*)")
+
+    def test_case_insensitive_for_directory_strings(self, entry):
+        assert match(entry, "(cn=JOHN*)")
+
+    def test_no_overlap_between_components(self):
+        at = AttributeType("x")
+        # "aba": final "ba" must come after initial "ab" without overlap
+        assert not substring_match(at, "aba", "ab", (), "ba")
+        assert substring_match(at, "abba", "ab", (), "ba")
+
+    def test_final_respects_cursor(self):
+        at = AttributeType("x")
+        assert not substring_match(at, "xay", "xa", (), "ay")
+
+
+class TestApprox:
+    def test_behaves_as_loose_equality(self, entry):
+        assert match(entry, "(sn~=doe)")
+        assert not match(entry, "(sn~=smith)")
+
+
+class TestBoolean:
+    def test_and(self, entry):
+        assert match(entry, "(&(sn=Doe)(age>=30))")
+        assert not match(entry, "(&(sn=Doe)(age>=99))")
+
+    def test_or(self, entry):
+        assert match(entry, "(|(sn=Smith)(sn=Doe))")
+        assert not match(entry, "(|(sn=Smith)(sn=Jones))")
+
+    def test_not(self, entry):
+        assert match(entry, "(!(sn=Smith))")
+        assert not match(entry, "(!(sn=Doe))")
+
+    def test_not_of_absent_is_true(self, entry):
+        assert match(entry, "(!(title=Boss))")
+
+    def test_nested(self, entry):
+        assert match(entry, "(&(|(sn=Smith)(sn=Doe))(!(age>=99)))")
+
+
+class TestCompareValues:
+    def test_integer_comparison(self):
+        at = AttributeType("n", syntax=Syntax.INTEGER)
+        assert compare_values(at, "9", "10") == -1
+        assert compare_values(at, "10", "10") == 0
+        assert compare_values(at, "11", "10") == 1
+
+    def test_mixed_normalization_falls_back_to_string(self):
+        at = AttributeType("n", syntax=Syntax.INTEGER)
+        assert compare_values(at, "abc", "10") in (-1, 1)
+
+    def test_string_comparison_case_insensitive(self):
+        at = AttributeType("s")
+        assert compare_values(at, "ABC", "abc") == 0

@@ -1,0 +1,107 @@
+"""Tests for the SearchRequest model and scope semantics."""
+
+import pytest
+
+from repro.ldap import DN, Entry, MATCH_ALL, Scope, SearchRequest
+from repro.ldap.query import ALL_ATTRIBUTES
+
+
+@pytest.fixture()
+def entry() -> Entry:
+    return Entry(
+        "cn=a,ou=r,o=xyz", {"objectClass": ["person"], "cn": "a", "sn": "b"}
+    )
+
+
+class TestConstruction:
+    def test_string_base_and_filter(self):
+        q = SearchRequest("o=xyz", Scope.SUB, "(sn=Doe)")
+        assert q.base == DN.parse("o=xyz")
+        assert str(q.filter) == "(sn=Doe)"
+
+    def test_defaults(self):
+        q = SearchRequest("o=xyz")
+        assert q.scope is Scope.SUB
+        assert q.filter == MATCH_ALL
+        assert q.attributes == ALL_ATTRIBUTES
+
+    def test_attribute_set_lowercased(self):
+        q = SearchRequest("o=xyz", attributes=["Mail", "CN"])
+        assert q.attributes == frozenset({"mail", "cn"})
+
+    def test_empty_attributes_means_all(self):
+        assert SearchRequest("o=xyz", attributes=[]).wants_all_attributes
+
+    def test_hashable_and_equal(self):
+        a = SearchRequest("o=xyz", Scope.SUB, "(sn=Doe)")
+        b = SearchRequest("O=XYZ", Scope.SUB, "(sn=Doe)")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_scope_ordering(self):
+        assert Scope.BASE < Scope.ONE < Scope.SUB
+        assert Scope.BASE == 0 and Scope.SUB == 2
+
+
+class TestScopeRegions:
+    def test_base_scope(self):
+        q = SearchRequest("ou=r,o=xyz", Scope.BASE)
+        assert q.in_scope(DN.parse("ou=r,o=xyz"))
+        assert not q.in_scope(DN.parse("cn=a,ou=r,o=xyz"))
+
+    def test_one_scope(self):
+        q = SearchRequest("ou=r,o=xyz", Scope.ONE)
+        assert q.in_scope(DN.parse("cn=a,ou=r,o=xyz"))
+        assert not q.in_scope(DN.parse("ou=r,o=xyz"))
+        assert not q.in_scope(DN.parse("cn=b,cn=a,ou=r,o=xyz"))
+
+    def test_sub_scope(self):
+        q = SearchRequest("ou=r,o=xyz", Scope.SUB)
+        assert q.in_scope(DN.parse("ou=r,o=xyz"))
+        assert q.in_scope(DN.parse("cn=b,cn=a,ou=r,o=xyz"))
+        assert not q.in_scope(DN.parse("o=xyz"))
+
+    def test_root_base_sub_covers_all(self):
+        q = SearchRequest("", Scope.SUB)
+        assert q.in_scope(DN.parse("cn=deep,ou=r,o=xyz"))
+
+
+class TestSelectsAndProject:
+    def test_selects(self, entry):
+        assert SearchRequest("o=xyz", Scope.SUB, "(sn=b)").selects(entry)
+        assert not SearchRequest("o=abc", Scope.SUB, "(sn=b)").selects(entry)
+        assert not SearchRequest("o=xyz", Scope.SUB, "(sn=z)").selects(entry)
+
+    def test_project_all(self, entry):
+        q = SearchRequest("o=xyz")
+        assert q.project(entry).has_attribute("sn")
+
+    def test_project_subset(self, entry):
+        q = SearchRequest("o=xyz", attributes=["cn"])
+        projected = q.project(entry)
+        assert projected.has_attribute("cn")
+        assert not projected.has_attribute("sn")
+
+
+class TestDerived:
+    def test_with_base(self):
+        q = SearchRequest("o=xyz", Scope.ONE, "(a=1)", ["cn"])
+        r = q.with_base("c=us,o=xyz")
+        assert r.base == DN.parse("c=us,o=xyz")
+        assert r.scope is Scope.ONE
+        assert r.filter == q.filter
+        assert r.attributes == q.attributes
+
+    def test_with_filter(self):
+        q = SearchRequest("o=xyz")
+        r = q.with_filter("(sn=x)")
+        assert str(r.filter) == "(sn=x)"
+        assert r.base == q.base
+
+    def test_template_property(self):
+        q = SearchRequest("o=xyz", Scope.SUB, "(&(sn=Doe)(givenName=J))")
+        assert q.template == "(&(givenname=_)(sn=_))"
+
+    def test_str_renders_root_base(self):
+        text = str(SearchRequest("", Scope.SUB, "(a=1)"))
+        assert 'base=""' in text

@@ -1,0 +1,112 @@
+"""Tests for LDAP URL (RFC 2255) parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ldap import DN, Scope, SearchRequest
+from repro.ldap.url import LdapUrl, LdapUrlParseError
+
+
+class TestParse:
+    def test_host_only(self):
+        url = LdapUrl.parse("ldap://hostB")
+        assert url.host == "hostB"
+        assert url.port is None
+        assert url.base.is_root
+
+    def test_host_port(self):
+        url = LdapUrl.parse("ldap://hostB:1389")
+        assert url.port == 1389
+
+    def test_base_dn(self):
+        url = LdapUrl.parse("ldap://hostB/ou=research,c=us,o=xyz")
+        assert url.base == DN.parse("ou=research,c=us,o=xyz")
+
+    def test_full_form(self):
+        url = LdapUrl.parse("ldap://h/o=xyz?cn,mail?sub?(sn=Doe)")
+        assert url.attributes == ("cn", "mail")
+        assert url.scope is Scope.SUB
+        assert str(url.filter) == "(sn=Doe)"
+
+    def test_scope_names(self):
+        for name, scope in (("base", Scope.BASE), ("one", Scope.ONE), ("sub", Scope.SUB)):
+            assert LdapUrl.parse(f"ldap://h/o=xyz??{name}").scope is scope
+
+    def test_percent_encoding(self):
+        url = LdapUrl.parse("ldap://h/cn=John%20Doe,o=xyz")
+        assert url.base == DN.parse("cn=John Doe,o=xyz")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "http://host",
+            "ldap://",
+            "ldap://h:abc",
+            "ldap://h/o=xyz??weird",
+            "ldap://h/o=xyz?a?sub?(f=1)?extra",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(LdapUrlParseError):
+            LdapUrl.parse(bad)
+
+
+class TestFormat:
+    def test_host_only(self):
+        assert str(LdapUrl(host="hostB")) == "ldap://hostB"
+
+    def test_roundtrip_typical(self):
+        for text in (
+            "ldap://hostB",
+            "ldap://hostB:1389",
+            "ldap://h/o=xyz",
+            "ldap://h/o=xyz??sub",
+            "ldap://h/o=xyz?cn,mail?sub?(sn=Doe)",
+            "ldap://h/o=xyz???(sn=Doe)",
+        ):
+            assert str(LdapUrl.parse(text)) == text
+
+    def test_server_url(self):
+        url = LdapUrl.parse("ldap://hostB:1389/o=xyz??sub")
+        assert url.server_url == "ldap://hostB:1389"
+
+
+class TestToRequest:
+    def test_standalone(self):
+        url = LdapUrl.parse("ldap://h/o=xyz?cn?one?(sn=Doe)")
+        request = url.to_request()
+        assert request.base == DN.parse("o=xyz")
+        assert request.scope is Scope.ONE
+        assert str(request.filter) == "(sn=Doe)"
+        assert request.attributes == frozenset({"cn"})
+
+    def test_defaults_inherited_from_continued_request(self):
+        """A continuation reference carries only the new base; scope,
+        filter and attributes come from the request being continued."""
+        original = SearchRequest("o=xyz", Scope.SUB, "(sn=Doe)", ["mail"])
+        url = LdapUrl.parse("ldap://hostC/c=in,o=xyz")
+        request = url.to_request(default=original)
+        assert request.base == DN.parse("c=in,o=xyz")
+        assert request.scope is Scope.SUB
+        assert str(request.filter) == "(sn=Doe)"
+        assert request.attributes == frozenset({"mail"})
+
+    def test_no_default_falls_back_to_match_all(self):
+        request = LdapUrl.parse("ldap://h/o=xyz").to_request()
+        assert request.scope is Scope.SUB
+        assert str(request.filter) == "(objectClass=*)"
+
+
+_hosts = st.sampled_from(["hostA", "hostB", "replica-1"])
+_bases = st.sampled_from(["", "o=xyz", "c=us,o=xyz", "cn=John Doe,o=xyz"])
+
+
+@given(
+    _hosts,
+    st.one_of(st.none(), st.integers(min_value=1, max_value=65535)),
+    _bases,
+    st.one_of(st.none(), st.sampled_from(list(Scope))),
+)
+def test_roundtrip_property(host, port, base, scope):
+    url = LdapUrl(host=host, port=port, base=DN.parse(base), scope=scope)
+    assert LdapUrl.parse(str(url)) == url

@@ -1,0 +1,71 @@
+"""Edge cases of the experiment driver."""
+
+import pytest
+
+from repro.core import FilterReplica
+from repro.ldap import Scope, SearchRequest
+from repro.metrics import ExperimentResult, ReplicaDriver
+from repro.server import DirectoryServer, SimulatedNetwork
+from repro.sync import ResyncProvider
+from repro.workload import Trace, WorkloadConfig, WorkloadGenerator
+from repro.workload.updates import UpdateGenerator
+
+
+@pytest.fixture()
+def setup(small_directory):
+    master = DirectoryServer("master")
+    master.add_naming_context(small_directory.suffix)
+    master.load(small_directory.entries)
+    provider = ResyncProvider(master)
+    trace = WorkloadGenerator(small_directory, WorkloadConfig(seed=31)).generate(100)
+    return small_directory, master, provider, trace
+
+
+class TestDriverEdges:
+    def test_empty_trace(self, setup):
+        _dir, master, provider, _trace = setup
+        replica = FilterReplica("r", network=SimulatedNetwork())
+        result = ReplicaDriver(master, replica, provider=provider).run(Trace())
+        assert result.queries == 0
+        assert result.hit_ratio == 0.0
+        assert result.hit_ratio_by_type == {}
+
+    def test_no_provider_no_sync(self, setup):
+        _dir, master, _provider, trace = setup
+        replica = FilterReplica("r", network=SimulatedNetwork())
+        result = ReplicaDriver(master, replica, provider=None).run(trace)
+        assert result.sync_polls == 0
+
+    def test_sync_interval_zero_only_final_sync(self, setup):
+        _dir, master, provider, trace = setup
+        replica = FilterReplica("r", network=SimulatedNetwork())
+        result = ReplicaDriver(
+            master, replica, provider=provider, sync_interval=0
+        ).run(trace)
+        assert result.sync_polls == 1  # the final safety sync only
+
+    def test_fractional_update_rate_accumulates(self, setup):
+        directory, master, provider, trace = setup
+        replica = FilterReplica("r", network=SimulatedNetwork())
+        result = ReplicaDriver(
+            master,
+            replica,
+            provider=provider,
+            update_generator=UpdateGenerator(directory, master),
+            updates_per_query=0.25,
+        ).run(trace)
+        # 100 queries × 0.25 → ≈25 updates (churn races may skip a few)
+        assert 20 <= result.updates_applied <= 25
+
+    def test_no_network_still_counts_hits(self, setup):
+        _dir, master, provider, trace = setup
+        replica = FilterReplica("r")  # no network attached
+        result = ReplicaDriver(
+            master, replica, provider=provider, network=None
+        ).run(trace)
+        assert result.queries == len(trace)
+        assert result.sync_bytes == 0  # nothing measured without a network
+
+    def test_result_resync_property(self):
+        result = ExperimentResult(sync_entry_pdus=10, revolution_entry_pdus=4)
+        assert result.resync_entry_pdus == 6

@@ -1,0 +1,150 @@
+"""Tests for the EntryStore backend, incl. index-consistency property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ldap import DN, Entry, Scope, parse_filter, matches
+from repro.server import EntryStore
+
+
+def entry(dn_text: str, **attrs) -> Entry:
+    attrs.setdefault("objectClass", ["person"])
+    return Entry(dn_text, attrs)
+
+
+@pytest.fixture()
+def store() -> EntryStore:
+    s = EntryStore()
+    s.register_root(DN.parse("o=xyz"))
+    s.put(entry("o=xyz", objectClass=["organization"], o="xyz"))
+    s.put(entry("c=us,o=xyz", objectClass=["country"], c="us"))
+    s.put(entry("cn=a,c=us,o=xyz", cn="a", sn="alpha"))
+    s.put(entry("cn=b,c=us,o=xyz", cn="b", sn="beta"))
+    s.put(entry("cn=x,cn=a,c=us,o=xyz", cn="x", sn="deep"))
+    return s
+
+
+class TestBasics:
+    def test_len_contains_get(self, store):
+        assert len(store) == 5
+        assert DN.parse("cn=a,c=us,o=xyz") in store
+        assert store.get(DN.parse("cn=zz,o=xyz")) is None
+
+    def test_get_returns_stored_copy(self, store):
+        e = store.get(DN.parse("cn=a,c=us,o=xyz"))
+        assert e.first("sn") == "alpha"
+
+    def test_children_sorted(self, store):
+        kids = store.children_of(DN.parse("c=us,o=xyz"))
+        assert [str(k) for k in kids] == ["cn=a,c=us,o=xyz", "cn=b,c=us,o=xyz"]
+
+    def test_roots(self, store):
+        assert store.roots() == [DN.parse("o=xyz")]
+
+    def test_has_parent(self, store):
+        assert store.has_parent(DN.parse("cn=new,c=us,o=xyz"))
+        assert not store.has_parent(DN.parse("cn=new,c=zz,o=xyz"))
+        assert store.has_parent(DN.parse("o=xyz"))  # registered root
+
+    def test_put_replaces_and_reindexes(self, store):
+        updated = entry("cn=a,c=us,o=xyz", cn="a", sn="renamed")
+        store.put(updated)
+        assert store.candidates_for(parse_filter("(sn=alpha)")) == set()
+        assert store.candidates_for(parse_filter("(sn=renamed)")) == {updated.dn}
+
+    def test_delete_updates_children(self, store):
+        store.delete(DN.parse("cn=b,c=us,o=xyz"))
+        kids = store.children_of(DN.parse("c=us,o=xyz"))
+        assert [str(k) for k in kids] == ["cn=a,c=us,o=xyz"]
+
+    def test_delete_missing_returns_none(self, store):
+        assert store.delete(DN.parse("cn=ghost,o=xyz")) is None
+
+    def test_has_children(self, store):
+        assert store.has_children(DN.parse("cn=a,c=us,o=xyz"))
+        assert not store.has_children(DN.parse("cn=b,c=us,o=xyz"))
+
+    def test_referral_dns_tracked(self, store):
+        ref = Entry(
+            "c=in,o=xyz", {"objectClass": ["referral"], "ref": "ldap://hostC"}
+        )
+        store.put(ref)
+        assert store.referral_dns() == {ref.dn}
+        store.delete(ref.dn)
+        assert store.referral_dns() == set()
+
+
+class TestScopeIteration:
+    def test_base(self, store):
+        got = list(store.iter_scope(DN.parse("c=us,o=xyz"), Scope.BASE))
+        assert [str(e.dn) for e in got] == ["c=us,o=xyz"]
+
+    def test_base_missing(self, store):
+        assert list(store.iter_scope(DN.parse("c=zz,o=xyz"), Scope.BASE)) == []
+
+    def test_one(self, store):
+        got = {str(e.dn) for e in store.iter_scope(DN.parse("c=us,o=xyz"), Scope.ONE)}
+        assert got == {"cn=a,c=us,o=xyz", "cn=b,c=us,o=xyz"}
+
+    def test_sub_includes_base_and_deep(self, store):
+        got = {str(e.dn) for e in store.iter_scope(DN.parse("c=us,o=xyz"), Scope.SUB)}
+        assert got == {
+            "c=us,o=xyz",
+            "cn=a,c=us,o=xyz",
+            "cn=b,c=us,o=xyz",
+            "cn=x,cn=a,c=us,o=xyz",
+        }
+
+    def test_sub_traverses_absent_root(self):
+        s = EntryStore()
+        s.register_root(DN.parse("o=xyz"))
+        s.put(entry("o=xyz", objectClass=["organization"], o="xyz"))
+        got = list(s.iter_scope(DN(()), Scope.SUB))
+        assert [str(e.dn) for e in got] == ["o=xyz"]
+
+    def test_subtree_dns(self, store):
+        dns = store.subtree_dns(DN.parse("cn=a,c=us,o=xyz"))
+        assert len(dns) == 2
+
+
+class TestCandidates:
+    def test_equality_candidates(self, store):
+        cands = store.candidates_for(parse_filter("(sn=beta)"))
+        assert cands == {DN.parse("cn=b,c=us,o=xyz")}
+
+    def test_and_picks_most_selective(self, store):
+        cands = store.candidates_for(parse_filter("(&(objectClass=person)(sn=beta))"))
+        assert cands == {DN.parse("cn=b,c=us,o=xyz")}
+
+    def test_or_not_narrowed(self, store):
+        assert store.candidates_for(parse_filter("(|(sn=beta)(sn=alpha))")) is None
+
+    def test_presence_not_narrowed(self, store):
+        assert store.candidates_for(parse_filter("(sn=*)")) is None
+
+    def test_not_not_narrowed(self, store):
+        assert store.candidates_for(parse_filter("(!(sn=beta))")) is None
+
+
+# ----------------------------------------------------------------------
+# property: candidates are always a superset of true matches
+# ----------------------------------------------------------------------
+_names = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=12, unique=True
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_names, st.text(alphabet="abcdef", min_size=1, max_size=3))
+def test_candidates_superset_property(names, needle):
+    store = EntryStore()
+    store.register_root(DN.parse("o=xyz"))
+    store.put(entry("o=xyz", objectClass=["organization"], o="xyz"))
+    for i, name in enumerate(names):
+        store.put(entry(f"cn=e{i},o=xyz", cn=f"e{i}", sn=name))
+    for flt_text in (f"(sn={needle})", f"(sn={needle}*)", f"(sn>={needle})", f"(sn<={needle})"):
+        flt = parse_filter(flt_text)
+        true_matches = {e.dn for e in store.all_entries() if matches(flt, e)}
+        cands = store.candidates_for(flt)
+        if cands is not None:
+            assert true_matches <= cands

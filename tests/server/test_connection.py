@@ -1,0 +1,178 @@
+"""Tests for the connection layer: bind / unbind / abandon (§2.2)."""
+
+import pytest
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import (
+    BindState,
+    Connection,
+    ConnectionError_,
+    DirectoryServer,
+    LdapError,
+    Modification,
+    SimulatedNetwork,
+    connect,
+)
+from repro.sync import ResyncProvider
+
+
+@pytest.fixture()
+def network_and_server():
+    network = SimulatedNetwork()
+    server = DirectoryServer("hostA")
+    server.add_naming_context("o=xyz")
+    server.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    server.add(
+        Entry(
+            "cn=admin,o=xyz",
+            {
+                "objectClass": ["person"],
+                "cn": "admin",
+                "sn": "admin",
+                "userPassword": "secret",
+            },
+        )
+    )
+    server.add(
+        Entry("cn=user,o=xyz", {"objectClass": ["person"], "cn": "user", "sn": "u"})
+    )
+    network.register(server)
+    return network, server
+
+
+class TestLifecycle:
+    def test_connect_counts_connection(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        assert network.open_connections == 1
+        conn.unbind()
+        assert network.open_connections == 0
+        assert network.total_connections == 1
+
+    def test_starts_anonymous(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        assert conn.state is BindState.ANONYMOUS
+
+    def test_context_manager_unbinds(self, network_and_server):
+        network, _server = network_and_server
+        with connect(network, "ldap://hostA") as conn:
+            assert conn.state is BindState.ANONYMOUS
+        assert conn.state is BindState.CLOSED
+        assert network.open_connections == 0
+
+    def test_operations_on_closed_rejected(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        conn.unbind()
+        with pytest.raises(ConnectionError_):
+            conn.search(SearchRequest("o=xyz", Scope.SUB))
+
+    def test_double_unbind_is_noop(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        conn.unbind()
+        conn.unbind()
+        assert network.open_connections == 0
+
+
+class TestBind:
+    def test_successful_bind(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        conn.bind("cn=admin,o=xyz", "secret")
+        assert conn.state is BindState.BOUND
+        assert str(conn.bound_dn) == "cn=admin,o=xyz"
+
+    def test_wrong_password_rejected(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        with pytest.raises(LdapError):
+            conn.bind("cn=admin,o=xyz", "wrong")
+
+    def test_unknown_dn_rejected(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        with pytest.raises(LdapError):
+            conn.bind("cn=ghost,o=xyz", "x")
+
+    def test_password_on_passwordless_entry_rejected(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        with pytest.raises(LdapError):
+            conn.bind("cn=user,o=xyz", "anything")
+
+    def test_rebind_anonymous(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        conn.bind("cn=admin,o=xyz", "secret")
+        conn.bind(None)
+        assert conn.state is BindState.ANONYMOUS
+
+
+class TestAuthorization:
+    def test_updates_require_bind_when_configured(self, network_and_server):
+        network, server = network_and_server
+        server.updates_require_bind = True
+        conn = connect(network, "ldap://hostA")
+        with pytest.raises(LdapError):
+            conn.modify("cn=user,o=xyz", [Modification.replace("sn", "x")])
+        conn.bind("cn=admin,o=xyz", "secret")
+        conn.modify("cn=user,o=xyz", [Modification.replace("sn", "x")])
+
+    def test_anonymous_updates_allowed_by_default(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        conn.modify("cn=user,o=xyz", [Modification.replace("sn", "y")])
+
+
+class TestOperations:
+    def test_search_charges_traffic(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        network.stats.reset()
+        result = conn.search(SearchRequest("o=xyz", Scope.SUB, "(cn=user)"))
+        assert len(result.entries) == 1
+        assert network.stats.round_trips == 1
+        assert network.stats.entry_pdus == 1
+
+    def test_add_delete_roundtrip(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        conn.add(
+            Entry("cn=temp,o=xyz", {"objectClass": ["person"], "cn": "temp", "sn": "t"})
+        )
+        conn.delete("cn=temp,o=xyz")
+
+    def test_modify_dn(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        records = conn.modify_dn("cn=user,o=xyz", new_rdn="cn=user2")
+        assert str(records[0].new_dn) == "cn=user2,o=xyz"
+
+
+class TestAbandon:
+    def test_unbind_abandons_persistent_searches(self, network_and_server):
+        network, server = network_and_server
+        provider = ResyncProvider(server)
+        conn = connect(network, "ldap://hostA")
+        notes = []
+        _resp, handle = provider.persist(
+            SearchRequest("o=xyz", Scope.SUB, "(objectClass=person)"), notes.append
+        )
+        conn.track_persist(handle)
+        assert conn.outstanding_persists == 1
+        conn.unbind()
+        assert provider.active_session_count == 0
+
+    def test_abandon_all_keeps_connection(self, network_and_server):
+        network, server = network_and_server
+        provider = ResyncProvider(server)
+        conn = connect(network, "ldap://hostA")
+        _resp, handle = provider.persist(
+            SearchRequest("o=xyz", Scope.SUB, "(objectClass=person)"), lambda u: None
+        )
+        conn.track_persist(handle)
+        conn.abandon_all()
+        assert conn.outstanding_persists == 0
+        assert conn.state is not BindState.CLOSED

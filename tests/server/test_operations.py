@@ -1,0 +1,90 @@
+"""Tests for shared operation/result types."""
+
+import pytest
+
+from repro.core import AnswerStatus, HitStats, ReplicaAnswer
+from repro.ldap import DN, Entry
+from repro.server import (
+    LdapError,
+    Modification,
+    ModType,
+    Referral,
+    ResultCode,
+    SearchResult,
+    UpdateOp,
+    UpdateRecord,
+)
+
+
+class TestModification:
+    def test_factories(self):
+        assert Modification.add("cn", "a").mod_type is ModType.ADD
+        assert Modification.replace("cn", "a", "b").values == ("a", "b")
+        assert Modification.delete("cn").values == ()
+
+    def test_frozen(self):
+        mod = Modification.add("cn", "a")
+        with pytest.raises(Exception):
+            mod.attr = "sn"
+
+
+class TestUpdateRecord:
+    def test_effective_dn_plain(self):
+        record = UpdateRecord(csn=1, op=UpdateOp.ADD, dn=DN.parse("cn=a,o=x"))
+        assert record.effective_dn == DN.parse("cn=a,o=x")
+
+    def test_effective_dn_rename(self):
+        record = UpdateRecord(
+            csn=1,
+            op=UpdateOp.MODIFY_DN,
+            dn=DN.parse("cn=a,o=x"),
+            new_dn=DN.parse("cn=b,o=x"),
+        )
+        assert record.effective_dn == DN.parse("cn=b,o=x")
+
+
+class TestSearchResult:
+    def test_complete(self):
+        assert SearchResult().complete
+        assert not SearchResult(code=ResultCode.REFERRAL).complete
+        assert not SearchResult(
+            referrals=[Referral("ldap://x", DN.parse("o=x"))]
+        ).complete
+
+    def test_referral_str(self):
+        assert str(Referral("ldap://hostB", DN.parse("c=in,o=xyz"))) == (
+            "ldap://hostB/c=in,o=xyz"
+        )
+        assert str(Referral("ldap://hostB", DN(()))) == "ldap://hostB"
+
+
+class TestLdapError:
+    def test_message_includes_code(self):
+        err = LdapError(ResultCode.NO_SUCH_OBJECT, "cn=ghost")
+        assert "NO_SUCH_OBJECT" in str(err)
+        assert err.code is ResultCode.NO_SUCH_OBJECT
+
+    def test_message_optional(self):
+        assert str(LdapError(ResultCode.REFERRAL)) == "REFERRAL"
+
+
+class TestHitStats:
+    def test_record_and_ratio(self):
+        stats = HitStats()
+        stats.record(ReplicaAnswer(AnswerStatus.HIT))
+        stats.record(ReplicaAnswer(AnswerStatus.PARTIAL))
+        stats.record(ReplicaAnswer(AnswerStatus.MISS))
+        assert stats.queries == 3
+        assert stats.hits == 1 and stats.partials == 1 and stats.misses == 1
+        assert stats.hit_ratio == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        stats = HitStats()
+        stats.record(ReplicaAnswer(AnswerStatus.HIT))
+        stats.reset()
+        assert stats.queries == 0
+        assert stats.hit_ratio == 0.0
+
+    def test_is_hit_shortcut(self):
+        assert ReplicaAnswer(AnswerStatus.HIT).is_hit
+        assert not ReplicaAnswer(AnswerStatus.PARTIAL).is_hit

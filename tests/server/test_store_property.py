@@ -1,0 +1,79 @@
+"""Property test: EntryStore indexes stay consistent under mutation.
+
+Random sequences of put/replace/delete must leave the store in a state
+where index-driven candidate search agrees with a brute-force scan for
+every probe filter — the soundness condition the server's correctness
+rests on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ldap import DN, Entry, Scope, matches, parse_filter
+from repro.server import EntryStore
+
+NAMES = [f"e{i}" for i in range(8)]
+VALUES = ["aa", "ab", "ba", "bb", "ccc"]
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(NAMES), st.sampled_from(VALUES)),
+        st.tuples(st.just("delete"), st.sampled_from(NAMES), st.just("")),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ops, st.sampled_from(VALUES))
+def test_index_scan_agreement(ops, probe):
+    store = EntryStore()
+    root = DN.parse("o=xyz")
+    store.register_root(root)
+    store.put(Entry(root, {"objectClass": ["organization"], "o": "xyz"}))
+
+    for op, name, value in ops:
+        dn = root.child(f"cn={name}")
+        if op == "put":
+            store.put(
+                Entry(dn, {"objectClass": ["person"], "cn": name, "sn": value})
+            )
+        else:
+            store.delete(dn)
+
+    for flt_text in (
+        f"(sn={probe})",
+        f"(sn={probe[:1]}*)",
+        f"(sn>={probe})",
+        f"(sn<={probe})",
+    ):
+        flt = parse_filter(flt_text)
+        truth = {e.dn for e in store.all_entries() if matches(flt, e)}
+        candidates = store.candidates_for(flt)
+        if candidates is not None:
+            assert truth <= candidates, f"index dropped a match for {flt_text}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ops)
+def test_tree_structure_consistent(ops):
+    """children_of and iter_scope agree with the live DN set."""
+    store = EntryStore()
+    root = DN.parse("o=xyz")
+    store.register_root(root)
+    store.put(Entry(root, {"objectClass": ["organization"], "o": "xyz"}))
+
+    live = {root}
+    for op, name, value in ops:
+        dn = root.child(f"cn={name}")
+        if op == "put":
+            store.put(Entry(dn, {"objectClass": ["person"], "cn": name, "sn": value or "x"}))
+            live.add(dn)
+        else:
+            store.delete(dn)
+            live.discard(dn)
+
+    assert set(store.children_of(root)) == live - {root}
+    subtree = {e.dn for e in store.iter_scope(root, Scope.SUB)}
+    assert subtree == live
+    assert len(store) == len(live)

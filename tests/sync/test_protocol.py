@@ -1,0 +1,92 @@
+"""Tests for ReSync wire types."""
+
+import pytest
+
+from repro.ldap import DN, Entry, SyncAction
+from repro.sync import SyncProtocolError, SyncResponse, SyncUpdate
+
+
+def entry() -> Entry:
+    return Entry("cn=a,o=xyz", {"objectClass": ["person"], "cn": "a", "sn": "b"})
+
+
+class TestSyncUpdate:
+    def test_add_carries_entry(self):
+        u = SyncUpdate.add(entry())
+        assert u.action is SyncAction.ADD
+        assert u.entry is not None
+        assert u.dn == entry().dn
+
+    def test_modify_carries_entry(self):
+        assert SyncUpdate.modify(entry()).entry is not None
+
+    def test_delete_dn_only(self):
+        u = SyncUpdate.delete(DN.parse("cn=a,o=xyz"))
+        assert u.entry is None
+
+    def test_retain_dn_only(self):
+        assert SyncUpdate.retain(DN.parse("cn=a,o=xyz")).entry is None
+
+    def test_add_without_entry_rejected(self):
+        with pytest.raises(SyncProtocolError):
+            SyncUpdate(SyncAction.ADD, DN.parse("cn=a,o=xyz"))
+
+    def test_delete_with_entry_rejected(self):
+        with pytest.raises(SyncProtocolError):
+            SyncUpdate(SyncAction.DELETE, entry().dn, entry())
+
+    def test_pdu_bytes_entry(self):
+        e = entry()
+        e.put("entrySizeBytes", "6000")
+        assert SyncUpdate.add(e).pdu_bytes == 6000
+
+    def test_pdu_bytes_dn_only(self):
+        assert SyncUpdate.delete(DN.parse("cn=a,o=xyz")).pdu_bytes == len("cn=a,o=xyz")
+
+    def test_add_copies_entry(self):
+        e = entry()
+        u = SyncUpdate.add(e)
+        e.put("sn", "changed")
+        assert u.entry.first("sn") == "b"
+
+
+class TestSyncResponse:
+    def test_pdu_counts(self):
+        r = SyncResponse(
+            updates=[
+                SyncUpdate.add(entry()),
+                SyncUpdate.delete(DN.parse("cn=x,o=xyz")),
+                SyncUpdate.retain(DN.parse("cn=y,o=xyz")),
+            ]
+        )
+        assert r.entry_pdus == 1
+        assert r.dn_pdus == 2
+        assert r.total_bytes > 0
+
+    def test_defaults(self):
+        r = SyncResponse()
+        assert r.updates == []
+        assert r.cookie is None
+        assert not r.initial
+        assert not r.uses_retain
+
+
+class TestMeasuredBytes:
+    def test_entry_pdu_measured_via_ber(self):
+        update = SyncUpdate.add(entry())
+        measured = update.measured_bytes()
+        assert measured > 20
+        from repro.ldap.ber import encoded_entry_size
+
+        assert measured == encoded_entry_size(update.entry)
+
+    def test_dn_pdu_measured_via_ber(self):
+        update = SyncUpdate.delete(DN.parse("cn=a,o=xyz"))
+        assert update.measured_bytes() == len("cn=a,o=xyz") + 2
+
+    def test_modelled_vs_measured_differ_with_stamp(self):
+        stamped = entry()
+        stamped.put("entrySizeBytes", "6000")
+        update = SyncUpdate.add(stamped)
+        assert update.pdu_bytes == 6000
+        assert update.measured_bytes() != 6000

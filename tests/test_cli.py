@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.ldap import parse_ldif
+
+
+class TestGenDirectory:
+    def test_writes_ldif(self, tmp_path, capsys):
+        out = tmp_path / "dir.ldif"
+        code = main(["gen-directory", "--employees", "50", "--out", str(out)])
+        assert code == 0
+        entries = list(parse_ldif(out.read_text()))
+        assert len(entries) > 50
+        assert any(str(e.dn) == "o=xyz" for e in entries)
+        assert "wrote" in capsys.readouterr().err
+
+    def test_stdout_output(self, capsys):
+        assert main(["gen-directory", "--employees", "10", "--out", "-"]) == 0
+        captured = capsys.readouterr()
+        assert "dn: o=xyz" in captured.out
+
+
+class TestGenCarrier:
+    def test_writes_flat_ldif(self, tmp_path):
+        out = tmp_path / "carrier.ldif"
+        assert main(["gen-carrier", "--subscribers", "40", "--out", str(out)]) == 0
+        entries = list(parse_ldif(out.read_text()))
+        subscribers = [e for e in entries if e.has_attribute("telephoneNumber")]
+        assert len(subscribers) == 40
+        assert all(
+            str(e.dn).endswith("ou=subscribers,o=telco") for e in subscribers
+        )
+
+
+class TestGenWorkload:
+    def test_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt"
+        code = main(
+            [
+                "gen-workload",
+                "--employees",
+                "300",
+                "--queries",
+                "200",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 200
+        day, qtype, scope, flt, base = lines[0].split("\t")
+        assert day in ("1", "2")
+        assert scope == "SUB"
+        assert flt.startswith("(")
+
+    def test_trace_loadable(self, tmp_path):
+        from repro.workload import Trace
+
+        out = tmp_path / "trace.txt"
+        main(["gen-workload", "--employees", "300", "--queries", "50", "--out", str(out)])
+        with open(out) as fh:
+            loaded = Trace.load(fh)
+        assert len(loaded) == 50
+
+    def test_reports_mix(self, tmp_path, capsys):
+        out = tmp_path / "trace.txt"
+        main(["gen-workload", "--employees", "300", "--queries", "500", "--out", str(out)])
+        assert "serialNumber" in capsys.readouterr().err
+
+
+class TestCaseStudy:
+    def test_prints_comparison(self, capsys):
+        code = main(
+            [
+                "case-study",
+                "--employees",
+                "600",
+                "--queries",
+                "800",
+                "--filters",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subtree" in out and "filter" in out
+        assert "hit ratio" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-command"])

@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts must run and print what they promise.
+
+The heavyweight case-study example (`remote_geography_replica.py`) is
+exercised at reduced scale through the CLI's ``case-study`` command in
+tests/test_cli.py; the fast walkthroughs run here end to end.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "hit" in out
+        assert "referral to ldap://master" in out
+        assert "after sync" in out
+
+    def test_resync_session(self):
+        out = run_example("resync_session.py")
+        assert "S, (poll, null)" in out
+        assert "delete  cn=E3,o=xyz" in out
+        assert "add     cn=E5,o=xyz" in out
+        assert "converged with master: True" in out
+
+    def test_distributed_search(self):
+        out = run_example("distributed_search.py")
+        assert "total round trips: 4" in out
+        assert "1 round trip" in out
+
+    def test_dynamic_filter_selection(self):
+        out = run_example("dynamic_filter_selection.py")
+        assert "phase 1 (cold start)" in out
+        assert "phase 4 (re-warmed)" in out
+        assert "divisionNumber=50" in out  # selection followed the shift
+
+    def test_carrier_flat_namespace(self):
+        out = run_example("carrier_flat_namespace.py")
+        assert "filter replica: 5 exchange filters" in out
+        assert "100%" in out
+
+    def test_failure_recovery(self):
+        out = run_example("failure_recovery.py")
+        assert out.count("converged: True") == 3
+        assert "retries with its OLD cookie" in out

@@ -1,0 +1,135 @@
+"""End-to-end integration: the §7 case study at test scale.
+
+One test spans the whole stack — directory generation, workload, a
+filter replica with generalized filters + location tree + query cache,
+ReSync consistency under a live update stream, and the experiment
+driver — and checks the paper's qualitative claims all at once.
+"""
+
+import pytest
+
+from repro.core import FilterReplica, SubtreeReplica
+from repro.ldap import Scope, SearchRequest
+from repro.metrics import ReplicaDriver
+from repro.server import DirectoryServer, SimulatedNetwork
+from repro.sync import ResyncProvider
+from repro.workload import (
+    QueryType,
+    WorkloadConfig,
+    WorkloadGenerator,
+    generate_directory,
+    DirectoryConfig,
+)
+from repro.workload.updates import UpdateGenerator
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    directory = generate_directory(
+        DirectoryConfig(employees=1500, locations=40, seed=123)
+    )
+    trace = WorkloadGenerator(directory, WorkloadConfig(seed=5)).generate(
+        3000, days=2
+    )
+    return directory, trace
+
+
+def fresh_master(directory) -> DirectoryServer:
+    master = DirectoryServer("master")
+    master.add_naming_context(directory.suffix)
+    master.load(directory.entries)
+    return master
+
+
+def hot_blocks(trace, k):
+    counts = {}
+    for record in trace.day(1).of_type(QueryType.SERIAL):
+        value = str(record.request.filter)[len("(serialNumber=") : -1]
+        counts[(value[:4], value[6:])] = counts.get((value[:4], value[6:]), 0) + 1
+    ranked = sorted(counts, key=counts.get, reverse=True)
+    return ranked[:k]
+
+
+class TestCaseStudy:
+    def test_filter_replica_beats_subtree_on_faithful_workload(self, scenario):
+        directory, trace = scenario
+        day2 = trace.day(2)
+
+        # Filter replica: hot blocks + location tree + cache.
+        master = fresh_master(directory)
+        provider = ResyncProvider(master)
+        replica = FilterReplica(
+            "branch", network=SimulatedNetwork(), cache_capacity=50
+        )
+        for block, cc in hot_blocks(trace, 15):
+            replica.add_filter(
+                SearchRequest("", Scope.SUB, f"(serialNumber={block}*{cc})"),
+                provider,
+            )
+        replica.add_filter(
+            SearchRequest("", Scope.SUB, "(objectClass=location)"), provider
+        )
+        filter_result = ReplicaDriver(master, replica, provider=provider).run(day2)
+
+        # Subtree replica answering the same faithful root-based trace.
+        master = fresh_master(directory)
+        provider = ResyncProvider(master)
+        subtree = SubtreeReplica("branch", network=SimulatedNetwork())
+        for cc in directory.geography_countries("AP"):
+            subtree.add_context(f"c={cc},o=xyz")
+        subtree.sync(provider)
+        subtree_result = ReplicaDriver(master, subtree, provider=provider).run(day2)
+
+        # §3.1.1: root-based queries cannot be answered by subtrees.
+        assert subtree_result.hits == 0
+        assert filter_result.hit_ratio > 0.4
+        # §7.2(c): the replicated location tree answers everything.
+        assert filter_result.hit_ratio_by_type["location"] == 1.0
+        # Replica stays small.
+        assert filter_result.replica_entries < 0.5 * len(directory.entries)
+
+    def test_consistency_under_live_updates(self, scenario):
+        directory, trace = scenario
+        master = fresh_master(directory)
+        provider = ResyncProvider(master)
+        replica = FilterReplica("branch", network=SimulatedNetwork())
+        stored = [
+            SearchRequest("", Scope.SUB, f"(serialNumber={b}*{cc})")
+            for b, cc in hot_blocks(trace, 10)
+        ]
+        for request in stored:
+            replica.add_filter(request, provider)
+
+        updates = UpdateGenerator(directory, master)
+        for _round in range(5):
+            updates.apply(200)
+            replica.sync(provider)
+
+        # After the final sync every stored filter's content equals the
+        # master's ground truth (the §5 convergence guarantee).
+        for stored_filter in replica.stored_filters():
+            assert stored_filter.content.matches_master(master)
+
+    def test_hits_return_master_identical_entries(self, scenario):
+        """Answers served by the replica must equal the master's, up to
+        the staleness window of the last sync (here: fully synced)."""
+        directory, trace = scenario
+        master = fresh_master(directory)
+        provider = ResyncProvider(master)
+        replica = FilterReplica("branch", network=SimulatedNetwork())
+        for block, cc in hot_blocks(trace, 10):
+            replica.add_filter(
+                SearchRequest("", Scope.SUB, f"(serialNumber={block}*{cc})"),
+                provider,
+            )
+        checked = 0
+        for record in trace.day(2).of_type(QueryType.SERIAL)[:300]:
+            answer = replica.answer(record.request)
+            if not answer.is_hit:
+                continue
+            truth = master.search(record.request).entries
+            assert {str(e.dn) for e in answer.entries} == {
+                str(e.dn) for e in truth
+            }
+            checked += 1
+        assert checked > 20, "the scenario must produce real hits to compare"

@@ -1,0 +1,53 @@
+"""Tests for the §3.3 flat-namespace carrier directory generator."""
+
+import pytest
+
+from repro.ldap import DN
+from repro.server import DirectoryServer
+from repro.workload import CarrierConfig, generate_carrier_directory
+
+
+@pytest.fixture(scope="module")
+def carrier():
+    return generate_carrier_directory(CarrierConfig(subscribers=500, seed=2))
+
+
+class TestStructure:
+    def test_counts(self, carrier):
+        assert len(carrier.subscribers) == 500
+        assert len(carrier.entries) == 502  # org + container + subscribers
+
+    def test_flat_namespace(self, carrier):
+        """Every subscriber is a direct child of the single container."""
+        container = DN.parse(carrier.container_dn)
+        for sub in carrier.subscribers:
+            assert sub.dn.parent == container
+
+    def test_msisdn_prefix_structure(self, carrier):
+        cfg = carrier.config
+        for sub in carrier.subscribers:
+            msisdn = sub.first("telephoneNumber")
+            assert len(msisdn) == 10
+            assert msisdn[: cfg.prefix_digits] in carrier.prefixes
+
+    def test_prefix_capacity_respected(self, carrier):
+        cfg = carrier.config
+        counts = {}
+        for sub in carrier.subscribers:
+            prefix = sub.first("telephoneNumber")[: cfg.prefix_digits]
+            counts[prefix] = counts.get(prefix, 0) + 1
+        assert max(counts.values()) <= cfg.subscribers_per_prefix
+
+    def test_unique_msisdns(self, carrier):
+        numbers = [s.first("telephoneNumber") for s in carrier.subscribers]
+        assert len(numbers) == len(set(numbers))
+
+    def test_deterministic(self):
+        a = generate_carrier_directory(CarrierConfig(subscribers=50, seed=7))
+        b = generate_carrier_directory(CarrierConfig(subscribers=50, seed=7))
+        assert [str(e.dn) for e in a.entries] == [str(e.dn) for e in b.entries]
+
+    def test_loads_into_server(self, carrier):
+        server = DirectoryServer("telco")
+        server.add_naming_context(carrier.suffix)
+        assert server.load(carrier.entries) == len(carrier.entries)

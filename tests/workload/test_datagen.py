@@ -1,0 +1,133 @@
+"""Tests for the synthetic enterprise directory generator."""
+
+import pytest
+
+from repro.ldap import DN, validate_entry
+from repro.workload import DirectoryConfig, GeographyConfig, generate_directory
+
+
+class TestStructure:
+    def test_counts(self, small_directory):
+        assert small_directory.employee_count == pytest.approx(600, abs=10)
+        assert len(small_directory.departments) == 4 * 10
+        assert len(small_directory.locations) == 20
+
+    def test_geography_share(self, small_directory):
+        """One geography holds ≈30% of employees (§7.1)."""
+        share = len(small_directory.geography_employees("AP")) / small_directory.employee_count
+        assert 0.25 <= share <= 0.35
+
+    def test_employees_flat_under_country(self, small_directory):
+        """§3.3: all employees of a country are children of the country
+        entry — a flat namespace."""
+        for cc, employees in small_directory.employees_by_country.items():
+            country_dn = DN.parse(f"c={cc},o=xyz")
+            for employee in employees:
+                assert employee.dn.parent == country_dn
+
+    def test_departments_under_their_division(self, small_directory):
+        for dept in small_directory.departments:
+            div = dept.first("divisionNumber")
+            assert f"ou=div{div}" in str(dept.dn)
+
+    def test_department_numbers_share_division_prefix(self, small_directory):
+        """§3.1.2 semantic locality: dept 2406 belongs to division 24."""
+        for dept in small_directory.departments:
+            assert dept.first("departmentNumber").startswith(
+                dept.first("divisionNumber")
+            )
+
+    def test_parents_exist_for_all_entries(self, small_directory):
+        dns = {str(e.dn) for e in small_directory.entries}
+        for entry in small_directory.entries:
+            if str(entry.dn) != "o=xyz":
+                assert str(entry.dn.parent) in dns
+
+
+class TestSerialNumbers:
+    def test_format_block_seq_country(self, small_directory):
+        for cc, employees in small_directory.employees_by_country.items():
+            for employee in employees:
+                serial = employee.first("serialNumber")
+                assert len(serial) == 8
+                assert serial[:6].isdigit()
+                assert serial[6:] == cc.upper()
+
+    def test_blocks_are_per_country(self, small_directory):
+        seen = {}
+        for cc, blocks in small_directory.blocks_by_country.items():
+            for block in blocks:
+                assert block not in seen, "block allocated to two countries"
+                seen[block] = cc
+
+    def test_block_capacity_respected(self, small_directory):
+        cap = small_directory.config.employees_per_block
+        counts = {}
+        for employee in small_directory.all_employees():
+            block = employee.first("serialNumber")[:4]
+            counts[block] = counts.get(block, 0) + 1
+        assert max(counts.values()) <= cap
+
+    def test_unique_serials(self, small_directory):
+        serials = [e.first("serialNumber") for e in small_directory.all_employees()]
+        assert len(serials) == len(set(serials))
+
+
+class TestAttributes:
+    def test_mail_format(self, small_directory):
+        for cc, employees in small_directory.employees_by_country.items():
+            for employee in employees[:5]:
+                mail = employee.first("mail")
+                assert mail.endswith(f"@{cc}.xyz.com")
+
+    def test_employee_entry_size_stamped(self, small_directory):
+        sizes = [e.estimated_size() for e in small_directory.all_employees()]
+        avg = sum(sizes) / len(sizes)
+        assert 5000 <= avg <= 7000  # ≈6KB like the paper's entries
+
+    def test_schema_valid_employees(self, small_directory):
+        for employee in small_directory.all_employees()[:20]:
+            assert validate_entry(employee) == []
+
+    def test_employee_departments_exist(self, small_directory):
+        dept_numbers = {
+            d.first("departmentNumber") for d in small_directory.departments
+        }
+        for employee in small_directory.all_employees()[:50]:
+            assert employee.first("departmentNumber") in dept_numbers
+
+
+class TestDeterminismAndConfig:
+    def test_same_seed_same_directory(self):
+        cfg = DirectoryConfig(employees=100, seed=5)
+        a = generate_directory(cfg)
+        b = generate_directory(cfg)
+        assert [str(e.dn) for e in a.entries] == [str(e.dn) for e in b.entries]
+
+    def test_different_seed_differs(self):
+        a = generate_directory(DirectoryConfig(employees=100, seed=5))
+        b = generate_directory(DirectoryConfig(employees=100, seed=6))
+        assert [str(e.dn) for e in a.entries] != [str(e.dn) for e in b.entries]
+
+    def test_custom_geographies(self):
+        cfg = DirectoryConfig(
+            employees=100,
+            geographies=(
+                GeographyConfig("X", (("aa", 0.5),)),
+                GeographyConfig("Y", (("bb", 0.5),)),
+            ),
+        )
+        d = generate_directory(cfg)
+        assert set(d.countries()) == {"aa", "bb"}
+        assert d.geography_countries("X") == ["aa"]
+
+    def test_unknown_geography_rejected(self, small_directory):
+        with pytest.raises(KeyError):
+            small_directory.geography_countries("ZZ")
+
+    def test_loadable_into_server(self, small_directory):
+        from repro.server import DirectoryServer
+
+        server = DirectoryServer("m")
+        server.add_naming_context(small_directory.suffix)
+        assert server.load(small_directory.entries) == len(small_directory.entries)

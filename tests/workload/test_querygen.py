@@ -1,0 +1,180 @@
+"""Tests for the workload generator (Table 1 shape and locality)."""
+
+import pytest
+
+from repro.ldap import Scope
+from repro.workload import (
+    QueryType,
+    Trace,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def trace(small_directory):
+    generator = WorkloadGenerator(small_directory, WorkloadConfig(seed=11))
+    return generator.generate(4000, days=2)
+
+
+@pytest.fixture(scope="module")
+def generator(small_directory):
+    return WorkloadGenerator(small_directory, WorkloadConfig(seed=11))
+
+
+class TestMix:
+    def test_table1_distribution(self, trace):
+        dist = trace.distribution()
+        assert abs(dist[QueryType.SERIAL] - 0.58) < 0.04
+        assert abs(dist[QueryType.MAIL] - 0.24) < 0.04
+        assert abs(dist[QueryType.DEPARTMENT] - 0.16) < 0.04
+        assert abs(dist[QueryType.LOCATION] - 0.02) < 0.02
+
+    def test_days_split_evenly(self, trace):
+        assert len(trace.day(1)) == len(trace.day(2)) == 2000
+
+    def test_of_type_subtrace(self, trace):
+        serial = trace.of_type(QueryType.SERIAL)
+        assert all(r.qtype is QueryType.SERIAL for r in serial)
+
+    def test_indexing_and_slicing(self, trace):
+        assert isinstance(trace[0].request.base.is_root, bool)
+        assert len(trace[:10]) == 10
+
+
+class TestQueryShapes:
+    def test_serial_queries_root_based_equality(self, trace):
+        for record in trace.of_type(QueryType.SERIAL)[:20]:
+            assert record.request.base.is_root  # §3.1.1
+            assert record.request.scope is Scope.SUB
+            assert str(record.request.filter).startswith("(serialNumber=")
+
+    def test_scoped_variant_targets_country(self, trace):
+        for record in trace.of_type(QueryType.SERIAL)[:20]:
+            assert str(record.scoped_request.base).startswith("c=")
+
+    def test_mail_queries_shape(self, trace):
+        for record in trace.of_type(QueryType.MAIL)[:20]:
+            assert "(mail=" in str(record.request.filter)
+
+    def test_department_queries_conjunctive(self, trace):
+        for record in trace.of_type(QueryType.DEPARTMENT)[:20]:
+            text = str(record.request.filter)
+            assert "departmentNumber=" in text and "divisionNumber=" in text
+            assert str(record.scoped_request.base).startswith("ou=div")
+
+    def test_location_queries_shape(self, trace):
+        for record in trace.of_type(QueryType.LOCATION)[:10]:
+            assert "(l=site" in str(record.request.filter)
+
+    def test_queries_answerable_by_master(self, small_directory, trace):
+        from repro.server import DirectoryServer
+
+        master = DirectoryServer("m")
+        master.add_naming_context(small_directory.suffix)
+        master.load(small_directory.entries)
+        for record in trace[:40]:
+            result = master.search(record.request)
+            assert len(result.entries) >= 1  # every query targets real data
+
+
+class TestLocality:
+    def test_geography_bias(self, small_directory, trace):
+        """≈local_bias of person queries target the AP geography."""
+        local = set()
+        for cc in small_directory.geography_countries("AP"):
+            local.add(cc.upper())
+        serial = trace.of_type(QueryType.SERIAL)
+        in_geo = sum(
+            1
+            for r in serial
+            if str(r.request.filter)[-3:-1] in local
+        )
+        assert in_geo / len(serial) > 0.7
+
+    def test_block_skew(self, trace):
+        """Some serial blocks are much hotter than others."""
+        counts = {}
+        for r in trace.of_type(QueryType.SERIAL):
+            block = str(r.request.filter).split("=")[1][:4]
+            counts[block] = counts.get(block, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        top = sum(ranked[:3])
+        assert top / sum(ranked) > 0.3
+
+    def test_temporal_locality_present(self, trace):
+        """Repeated queries exist within a day (re-reference model)."""
+        day1 = [r.request for r in trace.day(1)]
+        assert len(set(day1)) < len(day1)
+
+    def test_department_skew(self, trace):
+        counts = {}
+        for r in trace.of_type(QueryType.DEPARTMENT):
+            counts[str(r.request.filter)] = counts.get(str(r.request.filter), 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] > 3 * (sum(ranked) / len(ranked))
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, small_directory):
+        a = WorkloadGenerator(small_directory, WorkloadConfig(seed=3)).generate(200)
+        b = WorkloadGenerator(small_directory, WorkloadConfig(seed=3)).generate(200)
+        assert [str(x.request) for x in a] == [str(y.request) for y in b]
+
+    def test_different_seed_differs(self, small_directory):
+        a = WorkloadGenerator(small_directory, WorkloadConfig(seed=3)).generate(200)
+        b = WorkloadGenerator(small_directory, WorkloadConfig(seed=4)).generate(200)
+        assert [str(x.request) for x in a] != [str(y.request) for y in b]
+
+    def test_invalid_days_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(10, days=0)
+
+    def test_unknown_geography_rejected(self, small_directory):
+        with pytest.raises((ValueError, KeyError)):
+            WorkloadGenerator(
+                small_directory, WorkloadConfig(geography="nowhere")
+            )
+
+
+class TestTraceHelpers:
+    def test_distribution_empty(self):
+        assert Trace().distribution() == {}
+
+    def test_unique_queries(self, trace):
+        assert 0 < trace.unique_queries() <= len(trace)
+
+
+class TestTracePersistence:
+    def test_save_load_roundtrip(self, trace, tmp_path):
+        import io
+
+        buf = io.StringIO()
+        trace.save(buf)
+        buf.seek(0)
+        loaded = __import__("repro.workload", fromlist=["Trace"]).Trace.load(buf)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(list(trace)[:50], list(loaded)[:50]):
+            assert restored.request == original.request
+            assert restored.scoped_request == original.scoped_request
+            assert restored.qtype == original.qtype
+            assert restored.day == original.day
+
+    def test_load_rejects_malformed(self):
+        import io
+
+        from repro.workload import Trace
+
+        with pytest.raises(ValueError):
+            Trace.load(io.StringIO("1\tserialNumber\n"))
+        with pytest.raises(ValueError):
+            Trace.load(io.StringIO("1\tnope\tSUB\t(a=1)\to=xyz\n"))
+
+    def test_load_skips_comments_and_blanks(self):
+        import io
+
+        from repro.workload import Trace
+
+        text = "# header\n\n1\tserialNumber\tSUB\t(serialNumber=1)\tc=in,o=xyz\n"
+        loaded = Trace.load(io.StringIO(text))
+        assert len(loaded) == 1

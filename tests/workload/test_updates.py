@@ -1,0 +1,87 @@
+"""Tests for the master update workload."""
+
+import pytest
+
+from repro.server import DirectoryServer
+from repro.workload import generate_directory, DirectoryConfig
+from repro.workload.updates import UpdateConfig, UpdateGenerator
+
+
+@pytest.fixture()
+def setup(small_directory):
+    master = DirectoryServer("master")
+    master.add_naming_context(small_directory.suffix)
+    master.load(small_directory.entries)
+    return small_directory, master
+
+
+class TestApply:
+    def test_updates_commit(self, setup):
+        directory, master = setup
+        gen = UpdateGenerator(directory, master)
+        committed = gen.apply(50)
+        assert committed >= 45  # occasional churn races allowed
+        assert master.current_csn >= committed
+
+    def test_deterministic_given_seed(self, setup):
+        directory, master = setup
+        gen = UpdateGenerator(directory, master, UpdateConfig(seed=9))
+        gen.apply(20)
+        csn_a = master.current_csn
+
+        master2 = DirectoryServer("master2")
+        master2.add_naming_context(directory.suffix)
+        master2.load(directory.entries)
+        gen2 = UpdateGenerator(directory, master2, UpdateConfig(seed=9))
+        gen2.apply(20)
+        assert master2.current_csn == csn_a
+
+    def test_each_kind_occurs(self, setup):
+        directory, master = setup
+        from repro.server import UpdateOp
+
+        seen = set()
+
+        class Listener:
+            def on_update(self, record):
+                seen.add(record.op)
+
+        master.add_update_listener(Listener())
+        gen = UpdateGenerator(directory, master, UpdateConfig(seed=1))
+        gen.apply(300)
+        assert UpdateOp.ADD in seen
+        assert UpdateOp.MODIFY in seen
+        assert UpdateOp.DELETE in seen
+        assert UpdateOp.MODIFY_DN in seen
+
+    def test_hires_get_valid_parents(self, setup):
+        directory, master = setup
+        gen = UpdateGenerator(
+            directory,
+            master,
+            UpdateConfig(hire=1.0, benign_modify=0, department_change=0, leave=0, rename=0, department_entry_modify=0),
+        )
+        assert gen.apply(10) == 10
+
+    def test_leaves_remove_employees(self, setup):
+        directory, master = setup
+        before = len(master.store)
+        gen = UpdateGenerator(
+            directory,
+            master,
+            UpdateConfig(leave=1.0, benign_modify=0, department_change=0, hire=0, rename=0, department_entry_modify=0),
+        )
+        gen.apply(10)
+        assert len(master.store) == before - 10
+
+    def test_renames_keep_subtree_consistent(self, setup):
+        directory, master = setup
+        gen = UpdateGenerator(
+            directory,
+            master,
+            UpdateConfig(rename=1.0, benign_modify=0, department_change=0, hire=0, leave=0, department_entry_modify=0),
+        )
+        committed = gen.apply(5)
+        assert committed == 5
+        # internal employee list still names live entries
+        assert gen.apply(5) == 5
