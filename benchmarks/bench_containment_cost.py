@@ -77,7 +77,19 @@ def test_containment_verdicts_agree(benchmark, env: BenchEnv, pairs):
         ("general True", general_hits),
         ("agree True", both),
     ]
-    report("containment_cost_agreement", "Verdict agreement", ["metric", "value"], rows)
+    report(
+        "containment_cost_agreement",
+        "Verdict agreement",
+        ["metric", "value"],
+        rows,
+        params={"pairs": 1000, "general_max_terms": 512},
+        metrics={
+            "structural_true": structural_hits,
+            "general_true": general_hits,
+            "agree_true": both,
+        },
+        paper_expected={"shape": "both sound methods agree on proven containments"},
+    )
 
 
 @pytest.mark.parametrize("method", ["template_pruned", "structural", "general"])
@@ -137,6 +149,9 @@ def test_template_pruning_skips_most_pairs(benchmark, env: BenchEnv, pairs):
         "Template pruning effectiveness",
         ["metric", "value"],
         [("pairs", len(sample)), ("pruned", pruned), ("fraction", fraction)],
+        params={"pairs": len(sample)},
+        metrics={"pruned": pruned, "pruned_fraction": fraction},
+        paper_expected={"pruned_fraction_min": 0.3},
     )
     # serialNumber queries are 58% of the trace; everything else is
     # prunable against serialNumber block filters.

@@ -81,6 +81,15 @@ def test_fig2_referral_round_trips(benchmark):
             ("hostA (right)", direct.round_trips, len(direct.entries), 2),
             ("replica-local", local.round_trips, len(local.entries), 0),
         ],
+        params={"servers": 3, "scope": "subtree", "base": "o=xyz"},
+        metrics={
+            "worst_round_trips": worst.round_trips,
+            "best_round_trips": direct.round_trips,
+            "replica_round_trips": local.round_trips,
+            "entries_returned": len(worst.entries),
+        },
+        paper_expected={"worst_round_trips": 4, "replica_round_trips": 1},
+        network=dist.network,
     )
 
     benchmark(lambda: LdapClient(dist.network).search("ldap://hostB", request))

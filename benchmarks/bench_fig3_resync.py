@@ -83,6 +83,17 @@ def test_fig3_resync_session(benchmark):
         "ReSync example session (message sequence of Figure 3)",
         ["request", "PDUs sent", "count"],
         rows,
+        params={"entries": 5, "modes": "poll,poll,persist"},
+        metrics={
+            "initial_updates": len(r1.updates),
+            "poll_updates": len(r2.updates),
+            "persist_notifications": len(notes),
+        },
+        paper_expected={
+            "initial_updates": 3,
+            "poll_updates": 4,
+            "persist_notifications": 2,
+        },
     )
 
     # Timed unit: a full poll cycle with one pending change.

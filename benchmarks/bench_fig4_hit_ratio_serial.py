@@ -66,15 +66,25 @@ def fig4_rows(env: BenchEnv):
 
 
 def test_fig4_hit_ratio_vs_replica_size(benchmark, env: BenchEnv, fig4_rows):
+    filter_rows = [r for r in fig4_rows if r[0] == "filter"]
+    subtree_rows = [r for r in fig4_rows if r[0] == "subtree"]
+    best_small = max(
+        (hit for (_m, _k, _e, frac, hit) in filter_rows if frac < 0.10),
+        default=0.0,
+    )
     report(
         "fig4",
         "Hit ratio vs replica size — serialNumber query (filter vs subtree)",
         ["model", "units", "entries", "size frac", "hit ratio"],
         fig4_rows,
+        params={"query_type": "serialNumber", "sweep_filters": "5..160"},
+        metrics={
+            "filter_best_hit_under_10pct": best_small,
+            "filter_points": len(filter_rows),
+            "subtree_points": len(subtree_rows),
+        },
+        paper_expected={"filter_best_hit_under_10pct": 0.5},
     )
-
-    filter_rows = [r for r in fig4_rows if r[0] == "filter"]
-    subtree_rows = [r for r in fig4_rows if r[0] == "subtree"]
 
     # Paper anchor: hit ratio ≈0.5 below 10% of the person entries.
     assert any(

@@ -88,15 +88,21 @@ def fig5_rows(env: BenchEnv):
 
 
 def test_fig5_hit_ratio_vs_replica_size_dept(benchmark, env: BenchEnv, fig5_rows):
+    fast = {entries: hit for m, _u, entries, hit in fig5_rows if m == "filter R=600"}
+    slow = {entries: hit for m, _u, entries, hit in fig5_rows if m == "filter R=1000"}
     report(
         "fig5",
         "Hit ratio vs replica size — department query (R sweep + subtree)",
         ["model", "units", "entries", "hit ratio"],
         fig5_rows,
+        params={"query_type": "department", "revolution_intervals": "600,1000"},
+        metrics={
+            "r600_best_hit": max(fast.values(), default=0.0),
+            "r1000_best_hit": max(slow.values(), default=0.0),
+            "points": len(fig5_rows),
+        },
+        paper_expected={"shape": "smaller R adapts faster at every size"},
     )
-
-    fast = {entries: hit for m, _u, entries, hit in fig5_rows if m == "filter R=600"}
-    slow = {entries: hit for m, _u, entries, hit in fig5_rows if m == "filter R=1000"}
     subtree = [(entries, hit) for m, _u, entries, hit in fig5_rows if m.startswith("subtree")]
 
     # Paper shape: the smaller revolution interval adapts faster and

@@ -76,15 +76,27 @@ def fig6_rows(env: BenchEnv):
 
 
 def test_fig6_update_traffic_vs_hit_ratio(benchmark, env: BenchEnv, fig6_rows):
+    filter_rows = [r for r in fig6_rows if r[0] == "filter"]
+    subtree_rows = [r for r in fig6_rows if r[0] == "subtree"]
     report(
         "fig6",
         "Update traffic vs hit ratio — serialNumber query",
         ["model", "entries", "hit ratio", "entry PDUs", "DN PDUs"],
         fig6_rows,
+        params={
+            "updates_per_query": UPDATES_PER_QUERY,
+            "sync_interval": SYNC_INTERVAL,
+        },
+        metrics={
+            "filter_max_entry_pdus": max(t for _m, _e, _h, t, _d in filter_rows),
+            "subtree_max_entry_pdus": max(t for _m, _e, _h, t, _d in subtree_rows),
+            "filter_points": len(filter_rows),
+            "subtree_points": len(subtree_rows),
+        },
+        paper_expected={
+            "shape": "subtree update traffic exceeds filter at equal hit ratio"
+        },
     )
-
-    filter_rows = [r for r in fig6_rows if r[0] == "filter"]
-    subtree_rows = [r for r in fig6_rows if r[0] == "subtree"]
 
     # Shape: at comparable hit ratios, subtree update traffic exceeds
     # filter update traffic (paper: by a large factor).

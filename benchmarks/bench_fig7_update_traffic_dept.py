@@ -106,16 +106,24 @@ def fig7_rows(env: BenchEnv):
 
 
 def test_fig7_update_traffic_vs_hit_ratio_dept(benchmark, env: BenchEnv, fig7_rows):
+    fast = [r for r in fig7_rows if r[0] == "filter R=600"]
+    slow = [r for r in fig7_rows if r[0] == "filter R=1000"]
+    subtree = [r for r in fig7_rows if r[0] == "subtree"]
     report(
         "fig7",
         "Update traffic vs hit ratio — department query (revolution component)",
         ["model", "hit ratio", "entry PDUs", "revolution", "resync"],
         fig7_rows,
+        params={"query_type": "department", "revolution_intervals": "600,1000"},
+        metrics={
+            "r600_revolution_pdus": sum(r[3] for r in fast),
+            "r1000_revolution_pdus": sum(r[3] for r in slow),
+            "subtree_max_entry_pdus": max((r[2] for r in subtree), default=0),
+        },
+        paper_expected={
+            "shape": "revolution component dominates; R=1000 below R=600"
+        },
     )
-
-    fast = [r for r in fig7_rows if r[0] == "filter R=600"]
-    slow = [r for r in fig7_rows if r[0] == "filter R=1000"]
-    subtree = [r for r in fig7_rows if r[0] == "subtree"]
 
     # Paper shape (a): filter-replica traffic is dominated by the
     # revolution component — department entries barely change.

@@ -108,14 +108,22 @@ def test_flat_namespace_partial_replication(benchmark, carrier_setup):
         )
     )
 
+    filter_rows = [r for r in rows if r[0] == "filter"]
     report(
         "flat_namespace",
         "Flat carrier namespace: selective filters vs all-or-nothing subtree",
         ["model", "units", "entries", "size frac", "hit ratio"],
         rows,
+        params={"subscribers": total, "queries": N_QUERIES},
+        metrics={
+            "filter_best_hit": max((r[4] for r in filter_rows), default=0.0),
+            "filter_min_size_frac": min((r[3] for r in filter_rows), default=0.0),
+            "subtree_size_frac": rows[-1][3],
+        },
+        paper_expected={
+            "shape": "filters replicate a flat container selectively; subtree cannot"
+        },
     )
-
-    filter_rows = [r for r in rows if r[0] == "filter"]
     # Paper shape: useful hit ratios at small fractions of the container.
     assert any(frac <= 0.25 and hit >= 0.5 for _m, _k, _e, frac, hit in filter_rows)
     # The subtree replica must hold (essentially) everything for its hit.

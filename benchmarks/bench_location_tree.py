@@ -37,6 +37,13 @@ def test_location_tree_replication(benchmark, env: BenchEnv):
             ("directory entries", directory_entries),
             ("size fraction", size_fraction),
         ],
+        params={"query_type": "location", "filter": str(LOCATION_TREE.filter)},
+        metrics={
+            "hit_ratio": result.hit_ratio,
+            "replica_entries": result.replica_entries,
+            "size_fraction": size_fraction,
+        },
+        paper_expected={"hit_ratio": 1.0, "size_fraction_max": 0.03},
     )
 
     assert result.hit_ratio == 1.0, "location tree replica must answer everything"

@@ -74,14 +74,24 @@ def ablation_rows(env: BenchEnv):
 
 
 def test_replica_ablations(benchmark, env: BenchEnv, ablation_rows):
+    by_name = {row[0]: row for row in ablation_rows}
     report(
         "replica_ablations",
         f"Template pruning & cache policy over {N_QUERIES} mixed queries, "
         f"{N_FILTERS} stored filters",
         ["configuration", "hit ratio", "containment checks"],
         ablation_rows,
+        params={"queries": N_QUERIES, "stored_filters": N_FILTERS},
+        metrics={
+            "plain_checks": by_name["no templates"][2],
+            "pruned_checks": by_name["template pruning"][2],
+            "fifo_hit": by_name["cache FIFO/50"][1],
+            "lru_hit": by_name["cache LRU/50"][1],
+        },
+        paper_expected={
+            "shape": "template pruning cuts checks without changing hit ratio"
+        },
     )
-    by_name = {row[0]: row for row in ablation_rows}
 
     # Template pruning must not change what is answerable here (every
     # workload template is registered) while cutting the checks hard.

@@ -65,14 +65,21 @@ def latency_rows(env: BenchEnv):
 
 
 def test_round_trips_and_latency_vs_hit_ratio(benchmark, env: BenchEnv, latency_rows):
+    by_k = {k: (hit, wan, ms) for k, hit, wan, ms in latency_rows}
     report(
         "round_trips_latency",
         f"Remote round trips / latency vs hit ratio (WAN={WAN_MS:.0f}ms, LAN={LAN_MS:.0f}ms)",
         ["filters", "hit ratio", "WAN RT/query", "avg ms/query"],
         latency_rows,
+        params={"wan_ms": WAN_MS, "lan_ms": LAN_MS, "queries": N_QUERIES},
+        metrics={
+            "baseline_avg_ms": by_k[0][2],
+            "k25_avg_ms": by_k[25][2],
+            "k25_hit_ratio": by_k[25][0],
+            "round_trips": sum(wan for _k, _h, wan, _ms in latency_rows),
+        },
+        paper_expected={"shape": "latency falls monotonically as hit ratio rises"},
     )
-
-    by_k = {k: (hit, wan, ms) for k, hit, wan, ms in latency_rows}
 
     # No replica: every query crosses the WAN.
     assert by_k[0][1] >= 1.0

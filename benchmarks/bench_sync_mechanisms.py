@@ -85,14 +85,24 @@ def sync_rows(env: BenchEnv):
 
 
 def test_sync_mechanism_comparison(benchmark, env: BenchEnv, sync_rows):
+    by_name = {row[0]: row for row in sync_rows}
     report(
         "sync_mechanisms",
         f"Synchronization mechanisms over {POLLS} polls × {UPDATES_PER_POLL} updates",
         ["mechanism", "entry PDUs", "DN PDUs", "bytes", "history", "converged"],
         sync_rows,
+        params={"polls": POLLS, "updates_per_poll": UPDATES_PER_POLL},
+        metrics={
+            "resync_entry_pdus": by_name["resync"][1],
+            "resync_bytes": by_name["resync"][3],
+            "changelog_history": by_name["changelog"][4],
+            "resync_history": by_name["resync"][4],
+            "full_reload_entry_pdus": by_name["full reload"][1],
+        },
+        paper_expected={
+            "shape": "resync minimizes traffic and retains no update stream"
+        },
     )
-
-    by_name = {row[0]: row for row in sync_rows}
     assert all(row[5] for row in sync_rows), "every mechanism must converge"
 
     resync = by_name["resync"]

@@ -79,13 +79,24 @@ def mode_rows(env: BenchEnv):
 
 
 def test_sync_mode_tradeoff(benchmark, env: BenchEnv, mode_rows):
+    by_label = {row[0]: row for row in mode_rows}
     report(
         "sync_modes",
         f"Persist vs poll for {N_FILTERS} stored filters under churn",
         ["mode", "connections", "hits", "stale hits", "stale frac"],
         mode_rows,
+        params={"stored_filters": N_FILTERS, "queries": N_QUERIES},
+        metrics={
+            "persist_connections": by_label["persist"][1],
+            "persist_stale_hits": by_label["persist"][3],
+            "poll50_stale_frac": by_label["poll/50"][4],
+            "poll1000_stale_frac": by_label["poll/1000"][4],
+        },
+        paper_expected={
+            "persist_connections": N_FILTERS,
+            "shape": "polling trades bounded staleness for zero connections",
+        },
     )
-    by_label = {row[0]: row for row in mode_rows}
 
     # Persist: strong consistency, but one connection per filter.
     assert by_label["persist"][1] == N_FILTERS

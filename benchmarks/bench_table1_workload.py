@@ -35,6 +35,9 @@ def test_table1_workload_distribution(benchmark, env: BenchEnv):
         "Workload distribution (paper % vs measured %)",
         ["query type", "paper", "measured"],
         rows,
+        params={"trace_queries": len(env.trace)},
+        metrics={f"{qtype}_share": measured for qtype, paper, measured in rows},
+        paper_expected={f"{qtype}_share": paper for qtype, paper, _m in rows},
     )
 
     # Timed unit: generating a 1000-query trace from the directory.

@@ -18,14 +18,21 @@ multi-day trace; here R = 600/1000 on a 10k-query trace).
 
 Results of each bench are printed and appended to
 ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote the
-measured rows next to the paper's.
+measured rows next to the paper's, and exported as machine-readable
+``benchmarks/results/<experiment>.json`` with the schema
+``{bench, params, metrics, paper_expected, table}`` (validated by
+``benchmarks/validate_results.py``; documented in
+docs/OBSERVABILITY.md §5).  Every JSON export carries the protocol
+counters (``round_trips``, ``bytes_sent``) and the QC containment-cache
+statistics so perf PRs have a baseline to diff against.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core import (
     FilterReplica,
@@ -33,6 +40,7 @@ from repro.core import (
     Generalizer,
     SubtreeReplica,
 )
+from repro.core.containment import containment_cache_metrics
 from repro.ldap import Scope, SearchRequest
 from repro.metrics import ExperimentResult, ReplicaDriver
 from repro.server import DirectoryServer, SimulatedNetwork
@@ -195,8 +203,26 @@ def run_subtree_point(
 # ----------------------------------------------------------------------
 # reporting
 # ----------------------------------------------------------------------
-def report(experiment: str, title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
-    """Format, print and persist one experiment table."""
+def report(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    params: Optional[Mapping[str, object]] = None,
+    metrics: Optional[Mapping[str, float]] = None,
+    paper_expected: Optional[Mapping[str, object]] = None,
+    network: Optional[SimulatedNetwork] = None,
+) -> str:
+    """Format, print and persist one experiment table (text + JSON).
+
+    The text table keeps its historical format for EXPERIMENTS.md; the
+    JSON side effect goes through :func:`export_json` with the same
+    rows, so every bench emits a schema-valid
+    ``results/<experiment>.json`` even when it passes no extra
+    arguments.  ``params``/``metrics``/``paper_expected``/``network``
+    flow straight through to the exporter.
+    """
+    rows = [list(row) for row in rows]
     lines = [f"== {experiment}: {title} =="]
     header = " | ".join(f"{h:>14}" for h in headers)
     lines.append(header)
@@ -214,4 +240,73 @@ def report(experiment: str, title: str, headers: Sequence[str], rows: Iterable[S
     path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
+    export_json(
+        experiment,
+        params=params,
+        metrics=metrics,
+        paper_expected=paper_expected,
+        network=network,
+        title=title,
+        headers=headers,
+        rows=rows,
+    )
     return text
+
+
+def export_json(
+    bench: str,
+    params: Optional[Mapping[str, object]] = None,
+    metrics: Optional[Mapping[str, float]] = None,
+    paper_expected: Optional[Mapping[str, object]] = None,
+    network: Optional[SimulatedNetwork] = None,
+    title: str = "",
+    headers: Sequence[str] = (),
+    rows: Sequence[Sequence] = (),
+) -> str:
+    """Write ``benchmarks/results/<bench>.json`` and return its path.
+
+    Schema (checked by ``benchmarks/validate_results.py``)::
+
+        {
+          "bench": str,                # experiment name
+          "params": {str: scalar},     # sweep/configuration inputs
+          "metrics": {str: number},    # measured quantities
+          "paper_expected": {...}|null,# the paper's anchors, if any
+          "title": str,                # human table caption
+          "table": {"headers": [...], "rows": [[...], ...]}
+        }
+
+    ``metrics`` is always completed with the protocol counters
+    (``round_trips``, ``bytes_sent`` — taken from *network* when one is
+    passed, else defaulting to the values already in *metrics* or 0)
+    and the process-global QC containment-cache statistics
+    (``qc_cache_hits``/``qc_cache_misses``/``qc_cache_evictions``), so
+    any single bench run yields a self-describing perf baseline.
+    """
+    merged: Dict[str, float] = dict(metrics or {})
+    if network is not None:
+        for field_name, value in network.stats.as_dict().items():
+            merged.setdefault(field_name, value)
+    merged.setdefault("round_trips", 0)
+    merged.setdefault("bytes_sent", 0)
+    qc = containment_cache_metrics()
+    merged.setdefault("qc_cache_hits", qc["core.qc.cache.hits"])
+    merged.setdefault("qc_cache_misses", qc["core.qc.cache.misses"])
+    merged.setdefault("qc_cache_evictions", qc["core.qc.cache.evictions"])
+    payload = {
+        "bench": bench,
+        "params": dict(params or {}),
+        "metrics": merged,
+        "paper_expected": dict(paper_expected) if paper_expected else None,
+        "title": title,
+        "table": {
+            "headers": list(headers),
+            "rows": [list(row) for row in rows],
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{bench}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return path

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Schema-check every ``benchmarks/results/*.json`` export.
+
+The bench JSON schema (produced by :func:`benchmarks.common.export_json`,
+documented in docs/OBSERVABILITY.md §5):
+
+* top-level keys ``bench`` (str), ``params`` (object of scalars),
+  ``metrics`` (object of numbers), ``paper_expected`` (object or null);
+  ``title`` (str) and ``table`` ({headers, rows}) are optional extras;
+* ``metrics`` must contain at least ``round_trips``, ``bytes_sent``,
+  ``qc_cache_hits`` and ``qc_cache_misses``;
+* ``bench`` must match the file name stem.
+
+Exit status 0 when every file validates (and at least one exists when
+``--require-any`` is passed); 1 otherwise.  Wired into CI
+(.github/workflows/ci.yml) after the bench suite.
+
+Usage::
+
+    python benchmarks/validate_results.py [--dir DIR] [--require-any]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List
+
+REQUIRED_METRICS = ("round_trips", "bytes_sent", "qc_cache_hits", "qc_cache_misses")
+
+SCALAR = (str, int, float, bool, type(None))
+
+
+def validate_payload(payload: object, stem: str) -> List[str]:
+    """All schema violations in one parsed JSON payload (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    for key in ("bench", "params", "metrics"):
+        if key not in payload:
+            errors.append(f"missing required key {key!r}")
+    if "paper_expected" not in payload:
+        errors.append("missing required key 'paper_expected'")
+
+    bench = payload.get("bench")
+    if not isinstance(bench, str) or not bench:
+        errors.append("'bench' must be a non-empty string")
+    elif bench != stem:
+        errors.append(f"'bench' ({bench!r}) does not match file stem ({stem!r})")
+
+    params = payload.get("params")
+    if not isinstance(params, dict):
+        errors.append("'params' must be an object")
+    else:
+        for key, value in params.items():
+            if not isinstance(value, SCALAR):
+                errors.append(f"params[{key!r}] is not a scalar")
+
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("'metrics' must be an object")
+    else:
+        for key, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors.append(f"metrics[{key!r}] is not a number")
+        for key in REQUIRED_METRICS:
+            if key not in metrics:
+                errors.append(f"metrics missing required key {key!r}")
+
+    expected = payload.get("paper_expected", None)
+    if expected is not None and not isinstance(expected, dict):
+        errors.append("'paper_expected' must be an object or null")
+
+    table = payload.get("table")
+    if table is not None:
+        if not isinstance(table, dict):
+            errors.append("'table' must be an object")
+        else:
+            if not isinstance(table.get("headers", []), list):
+                errors.append("table.headers must be a list")
+            if not isinstance(table.get("rows", []), list):
+                errors.append("table.rows must be a list")
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Schema violations for one results file (empty list = valid)."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"]
+    return validate_payload(payload, stem)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+        help="results directory (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--require-any",
+        action="store_true",
+        help="fail when no *.json results exist at all",
+    )
+    args = parser.parse_args(argv)
+
+    paths = sorted(
+        os.path.join(args.dir, name)
+        for name in (os.listdir(args.dir) if os.path.isdir(args.dir) else [])
+        if name.endswith(".json")
+    )
+    if not paths:
+        if args.require_any:
+            print(f"FAIL: no JSON results under {args.dir}", file=sys.stderr)
+            return 1
+        print(f"no JSON results under {args.dir} (nothing to validate)")
+        return 0
+
+    failures = 0
+    for path in paths:
+        errors = validate_file(path)
+        if errors:
+            failures += 1
+            print(f"FAIL {os.path.basename(path)}", file=sys.stderr)
+            for error in errors:
+                print(f"  - {error}", file=sys.stderr)
+        else:
+            print(f"ok   {os.path.basename(path)}")
+    if failures:
+        print(f"{failures}/{len(paths)} files failed validation", file=sys.stderr)
+        return 1
+    print(f"{len(paths)} result files schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Four subcommands wrap the library for shell use::
+Five subcommands wrap the library for shell use::
 
     repro-ldap gen-directory --employees 5000 --out directory.ldif
     repro-ldap gen-carrier --subscribers 10000 --out carrier.ldif
     repro-ldap gen-workload --queries 10000 --days 2 --out trace.txt
     repro-ldap case-study --employees 4000 --queries 6000
+    repro-ldap obs --employees 1000 --queries 1500
 
 ``gen-directory`` / ``gen-carrier`` write the synthetic DITs as LDIF;
 ``gen-workload`` writes one query per line (tab-separated: day, type,
 filter, scoped base); ``case-study`` runs the §7 filter-vs-subtree
-comparison and prints the summary table.
+comparison and prints the summary table; ``obs`` runs a small built-in
+workload with the observability layer enabled and pretty-prints the
+resulting metrics snapshot and span aggregates (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -148,6 +152,83 @@ def _cmd_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Run a small workload with metrics + tracing on, print the result.
+
+    The same registry backs the master server's operation timers and the
+    replica network's traffic counters, a ``TraceCollector`` aggregates
+    the spans emitted along the answer/sync/revolution paths, and the QC
+    containment cache is exported at the end — one snapshot of every
+    instrument family documented in ``docs/OBSERVABILITY.md``.
+    """
+    from .core.containment import observe_containment_cache
+    from .obs import MetricsRegistry, TraceCollector, collecting
+
+    directory = generate_directory(
+        DirectoryConfig(employees=args.employees, seed=args.seed)
+    )
+    trace = WorkloadGenerator(directory, WorkloadConfig(seed=args.seed + 1)).generate(
+        args.queries, days=2
+    )
+
+    registry = MetricsRegistry()
+    master = DirectoryServer("master", metrics=registry)
+    master.add_naming_context(directory.suffix)
+    master.load(directory.entries)
+    provider = ResyncProvider(master)
+    network = SimulatedNetwork(registry=registry)
+    replica = FilterReplica("obs", network=network, cache_capacity=50)
+
+    counts = {}
+    for record in trace.day(1).of_type(QueryType.SERIAL):
+        value = str(record.request.filter)[len("(serialNumber=") : -1]
+        counts[(value[:4], value[6:])] = counts.get((value[:4], value[6:]), 0) + 1
+    hot = sorted(counts, key=counts.get, reverse=True)[: args.filters]
+
+    collector = TraceCollector()
+    with collecting(collector):
+        for block, cc in hot:
+            replica.add_filter(
+                SearchRequest("", Scope.SUB, f"(serialNumber={block}*{cc})"),
+                provider,
+            )
+        for index, record in enumerate(trace.day(2)):
+            answer = replica.answer(record.request)
+            if not answer.is_hit:
+                replica.observe_miss(
+                    record.request, master.search(record.request).entries
+                )
+            if (index + 1) % 250 == 0:
+                replica.sync(provider)
+    observe_containment_cache(registry)
+
+    print("# metrics")
+    for name, value in sorted(registry.to_dict().items()):
+        if isinstance(value, dict):
+            rendered = " ".join(
+                f"{k}={value[k]}" for k in ("count", "sum", "mean") if k in value
+            )
+            print(f"{name:<44} {rendered}")
+        else:
+            print(f"{name:<44} {value}")
+    print()
+    print("# spans (path count total_s max_s attached)")
+    for path, agg in sorted(collector.aggregate().items()):
+        attached = " ".join(
+            f"{k}={v}" for k, v in sorted(agg.items())
+            if k not in ("count", "total_s", "max_s")
+        )
+        print(
+            f"{path:<36} {agg['count']:>6} {agg['total_s']:.4f} "
+            f"{agg['max_s']:.6f} {attached}".rstrip()
+        )
+    if args.prometheus:
+        print()
+        print("# prometheus exposition")
+        print(registry.to_prometheus_text())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ldap",
@@ -182,6 +263,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--geography", default="AP")
     p.add_argument("--seed", type=int, default=20050607)
     p.set_defaults(func=_cmd_case_study)
+
+    p = sub.add_parser(
+        "obs", help="run a small workload and print the observability snapshot"
+    )
+    p.add_argument("--employees", type=int, default=1_000)
+    p.add_argument("--queries", type=int, default=1_500)
+    p.add_argument("--filters", type=int, default=15)
+    p.add_argument("--seed", type=int, default=20050607)
+    p.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="also print the Prometheus exposition text",
+    )
+    p.set_defaults(func=_cmd_obs)
 
     return parser
 

@@ -19,18 +19,34 @@ Condition (iii) delegates to
 :func:`repro.core.filter_containment.filter_contained_in` — sound and
 template-friendly — so ``query_contained_in(Q, Qs) == True`` guarantees
 ``answer(Q) ⊆ answer(Qs)`` on every directory (property-tested).
+
+Default-registry checks are memoized in a process-global ``lru_cache``
+whose hit/miss/eviction statistics are exported as the
+``core.qc.cache.*`` metrics via :func:`observe_containment_cache`
+(docs/OBSERVABILITY.md §3 has the worked hit-ratio example).
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional
+from typing import Dict, Optional
 
 from ..ldap.attributes import AttributeRegistry
 from ..ldap.query import Scope, SearchRequest
 from .filter_containment import filter_contained_in
 
-__all__ = ["region_contained_in", "attributes_contained_in", "query_contained_in"]
+__all__ = [
+    "region_contained_in",
+    "attributes_contained_in",
+    "query_contained_in",
+    "containment_cache_info",
+    "containment_cache_metrics",
+    "observe_containment_cache",
+    "clear_containment_cache",
+]
+
+#: Capacity of the default-registry QC memo (``core.qc.cache.capacity``).
+QC_CACHE_MAXSIZE = 262_144
 
 
 def region_contained_in(q: SearchRequest, qs: SearchRequest) -> bool:
@@ -90,10 +106,60 @@ def query_contained_in(
     return filter_contained_in(q.filter, qs.filter, registry)
 
 
-@lru_cache(maxsize=262_144)
+@lru_cache(maxsize=QC_CACHE_MAXSIZE)
 def _query_contained_in_cached(q: SearchRequest, qs: SearchRequest) -> bool:
     if not region_contained_in(q, qs):
         return False
     if not attributes_contained_in(q, qs):
         return False
     return filter_contained_in(q.filter, qs.filter, None)
+
+
+# ----------------------------------------------------------------------
+# QC cache observability (docs/OBSERVABILITY.md §3, ``core.qc.cache.*``)
+#
+# The memo above is the hottest structure in the whole repository, so it
+# is instrumented *by export, not by interception*: ``lru_cache`` keeps
+# its own hit/miss/size statistics for free, and these helpers translate
+# them into registry metrics on demand — zero added cost per lookup.
+# ----------------------------------------------------------------------
+def containment_cache_info():
+    """The raw ``functools.lru_cache`` statistics of the QC memo."""
+    return _query_contained_in_cached.cache_info()
+
+
+def containment_cache_metrics() -> Dict[str, int]:
+    """QC memo statistics under their registry metric names.
+
+    ``evictions`` is derived: every miss inserts one key and only
+    evictions remove them (short of an explicit clear), so
+    ``evictions = misses - currsize``.
+    """
+    info = containment_cache_info()
+    return {
+        "core.qc.cache.hits": info.hits,
+        "core.qc.cache.misses": info.misses,
+        "core.qc.cache.evictions": info.misses - info.currsize,
+        "core.qc.cache.size": info.currsize,
+        "core.qc.cache.capacity": info.maxsize,
+    }
+
+
+def observe_containment_cache(registry) -> Dict[str, int]:
+    """Sync the QC memo statistics into *registry* and return them.
+
+    Hits/misses/evictions become counters (set to the memo's absolute
+    count — the memo is process-global, so the counters are too), size
+    and capacity become gauges.
+    """
+    metrics = containment_cache_metrics()
+    for name in ("core.qc.cache.hits", "core.qc.cache.misses", "core.qc.cache.evictions"):
+        registry.counter(name).set(metrics[name])
+    for name in ("core.qc.cache.size", "core.qc.cache.capacity"):
+        registry.gauge(name).set(metrics[name])
+    return metrics
+
+
+def clear_containment_cache() -> None:
+    """Drop the QC memo (tests and long-lived processes)."""
+    _query_contained_in_cached.cache_clear()

@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.query import SearchRequest
+from ..obs.tracing import span
 from ..server.network import SimulatedNetwork
 from ..server.operations import Referral
 from ..sync.consumer import SyncedContent
@@ -224,8 +225,15 @@ class FilterReplica:
         """Answer *request* locally or refer to the master.
 
         Order: template admission check, stored filters (template-pruned
-        containment), then the recent-query cache.
+        containment), then the recent-query cache.  Traced as
+        ``core.replica.answer`` (no-op without a collector).
         """
+        with span("core.replica.answer") as sp:
+            result = self._answer(request)
+            sp.add("hit", 1 if result.status is AnswerStatus.HIT else 0)
+        return result
+
+    def _answer(self, request: SearchRequest) -> ReplicaAnswer:
         qkey = template_key(request.filter)
         admitted = self._admitted(request, qkey)
 

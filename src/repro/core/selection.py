@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ldap.query import SearchRequest
+from ..obs.tracing import span
 from .filter_replica import FilterReplica
 from .generalization import Generalizer
 
@@ -135,7 +136,24 @@ class FilterSelector:
         newly selected filters are fetched through the provider, dropped
         ones are discarded (their sync sessions ended).  All hit
         counters reset — benefit is always "since the last update".
+
+        Observability: traced as ``core.selection.revolution``; counted
+        on the replica network's registry as ``core.selection.revolutions``
+        (docs/OBSERVABILITY.md §3).
         """
+        with span("core.selection.revolution") as sp:
+            report = self._revolution()
+            sp.add("installed", len(report.installed))
+            sp.add("removed", len(report.removed))
+        network = self.replica.network
+        if network is not None:
+            network.registry.counter("core.selection.revolutions").inc()
+            network.registry.gauge("core.selection.stored_filters").set(
+                len(self.replica.stored_filters())
+            )
+        return report
+
+    def _revolution(self) -> SelectionReport:
         pool: List[CandidateStats] = []
         stored_now = {s.request: s for s in self.replica.stored_filters()}
         for request, stored in stored_now.items():

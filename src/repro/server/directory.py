@@ -32,16 +32,19 @@ from ..ldap.entry import Entry
 from ..ldap.matching import matches
 from ..ldap.query import Scope, SearchRequest
 from ..ldap.schema import DEFAULT_SCHEMA, SchemaRegistry, validate_entry
+from ..obs.registry import MetricsRegistry
 from .backend import EntryStore
 from .operations import (
     LdapError,
     Modification,
     ModType,
+    OperationInstruments,
     Referral,
     ResultCode,
     SearchResult,
     UpdateOp,
     UpdateRecord,
+    timed_operation,
 )
 
 __all__ = ["NamingContext", "DirectoryServer", "UpdateListener"]
@@ -84,6 +87,8 @@ class DirectoryServer:
             or None to answer ``NO_SUCH_OBJECT``.
         registry / schema: attribute and object-class registries.
         check_schema: when True, add/modify reject schema violations.
+        metrics: observability registry receiving the ``server.op.*``
+            instruments (default: a private registry).
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class DirectoryServer:
         registry: Optional[AttributeRegistry] = None,
         schema: Optional[SchemaRegistry] = None,
         check_schema: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.name = name
         self.default_referral = default_referral
@@ -108,6 +114,10 @@ class DirectoryServer:
         self._schema = schema if schema is not None else DEFAULT_SCHEMA
         self._check_schema = check_schema
         self.store = EntryStore(self._registry)
+        #: per-operation latency/count instruments (``server.op.*``,
+        #: docs/OBSERVABILITY.md §3); reads via ``self.metrics.to_dict()``.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ops = OperationInstruments(self.metrics)
         self._contexts: List[NamingContext] = []
         self._listeners: List[UpdateListener] = []
         self._csn = 0
@@ -192,6 +202,7 @@ class DirectoryServer:
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
+    @timed_operation("search")
     def search(
         self, request: SearchRequest, controls: Sequence["object"] = ()
     ) -> SearchResult:
@@ -371,6 +382,7 @@ class DirectoryServer:
     # ------------------------------------------------------------------
     # update operations
     # ------------------------------------------------------------------
+    @timed_operation("add")
     def add(self, entry: Entry) -> UpdateRecord:
         """Add *entry*; parent must exist (or be a context suffix)."""
         if self.context_for(entry.dn) is None:
@@ -402,6 +414,7 @@ class DirectoryServer:
             )
         )
 
+    @timed_operation("modify")
     def modify(self, dn: Union[DN, str], modifications: Sequence[Modification]) -> UpdateRecord:
         """Apply LDAP modify semantics to the entry at *dn*."""
         target = dn if isinstance(dn, DN) else DN.parse(dn)
@@ -437,6 +450,7 @@ class DirectoryServer:
             )
         )
 
+    @timed_operation("delete")
     def delete(self, dn: Union[DN, str]) -> UpdateRecord:
         """Delete the (leaf) entry at *dn*."""
         target = dn if isinstance(dn, DN) else DN.parse(dn)
@@ -462,6 +476,7 @@ class DirectoryServer:
         doomed = sorted(self.store.subtree_dns(target), key=len, reverse=True)
         return [self.delete(d) for d in doomed]
 
+    @timed_operation("modify_dn")
     def modify_dn(
         self,
         dn: Union[DN, str],

@@ -1,9 +1,11 @@
 """Simulated network joining clients, servers and replicas.
 
 The paper's evaluation metrics are protocol-level — round trips between
-client and servers (Figure 2), update PDUs and entries transferred
-(Figures 6/7) — so the "network" here is an in-process message bus that
-*counts* rather than transports:
+client and servers (Figure 2, reproduced by E2 in docs/../EXPERIMENTS.md),
+update PDUs and entries transferred (Figures 6/7, benches
+``bench_fig6_update_traffic_serial.py`` / ``bench_fig7_update_traffic_dept.py``)
+— so the "network" here is an in-process message bus that *counts*
+rather than transports:
 
 * one ``round_trip`` per request/response exchange with a server,
 * per-message PDU and byte accounting (entry PDUs, referral PDUs,
@@ -13,86 +15,165 @@ client and servers (Figure 2), update PDUs and entries transferred
   answering.
 
 Counters live on :class:`TrafficStats`, which both the client and the
-ReSync sessions share.
+ReSync sessions share.  Since ISSUE 1, ``TrafficStats`` is a *facade*
+over :class:`repro.obs.MetricsRegistry` counters (see
+docs/OBSERVABILITY.md §3): each historical field aliases the registry
+counter ``net.traffic.<field>``, so the decades of call sites that do
+``network.stats.round_trips += 1`` keep working while exporters read
+the same numbers through ``network.registry.to_dict()`` or
+``to_prometheus_text()``.  Connection accounting (§5.2's scaling
+metric — one open connection per persist-mode filter) is likewise
+mirrored to ``net.connections.open`` / ``net.connections.total``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs.registry import Counter, MetricsRegistry
 from .directory import DirectoryServer
 
-__all__ = ["TrafficStats", "SimulatedNetwork"]
+__all__ = ["TrafficStats", "SimulatedNetwork", "TRAFFIC_FIELDS"]
+
+#: The seven protocol-level counters, in declaration order.  Each is
+#: backed by the registry counter ``net.traffic.<field>``.
+TRAFFIC_FIELDS = (
+    "round_trips",
+    "requests",
+    "entry_pdus",
+    "referral_pdus",
+    "sync_entry_pdus",
+    "sync_dn_pdus",
+    "bytes_sent",
+)
+
+_METRIC_PREFIX = "net.traffic."
 
 
-@dataclass
 class TrafficStats:
-    """Protocol-level traffic counters.
+    """Protocol-level traffic counters, aliased onto a metrics registry.
 
     ``entry_pdus``/``referral_pdus`` count search result messages;
     ``sync_entry_pdus``/``sync_dn_pdus`` count ReSync update messages
     carrying full entries vs DN-only actions (delete/retain);
     ``bytes_sent`` approximates wire volume using entry sizes.
+
+    **Aliasing contract** (docs/OBSERVABILITY.md §3): every field is a
+    property reading and writing the counter ``net.traffic.<field>`` in
+    ``self.registry``.  The historical mutable-dataclass API is fully
+    preserved — keyword construction, attribute assignment and ``+=``,
+    :meth:`reset`, :meth:`snapshot` and :meth:`__sub__` all behave
+    exactly as before the rebase (regression-tested in
+    ``tests/obs/test_traffic_rebase.py``); ``snapshot()`` and
+    subtraction return detached instances owning private registries.
     """
 
-    round_trips: int = 0
-    requests: int = 0
-    entry_pdus: int = 0
-    referral_pdus: int = 0
-    sync_entry_pdus: int = 0
-    sync_dn_pdus: int = 0
-    bytes_sent: int = 0
+    __slots__ = ("registry", "_counters")
 
+    def __init__(
+        self,
+        round_trips: int = 0,
+        requests: int = 0,
+        entry_pdus: int = 0,
+        referral_pdus: int = 0,
+        sync_entry_pdus: int = 0,
+        sync_dn_pdus: int = 0,
+        bytes_sent: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        object.__setattr__(
+            self, "registry", registry if registry is not None else MetricsRegistry()
+        )
+        counters: Dict[str, Counter] = {}
+        initial = (
+            round_trips,
+            requests,
+            entry_pdus,
+            referral_pdus,
+            sync_entry_pdus,
+            sync_dn_pdus,
+            bytes_sent,
+        )
+        for name, value in zip(TRAFFIC_FIELDS, initial):
+            counter = self.registry.counter(_METRIC_PREFIX + name)
+            if value:
+                counter.set(counter.value + value)
+            counters[name] = counter
+        object.__setattr__(self, "_counters", counters)
+
+    # ------------------------------------------------------------------
+    # field aliasing
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            return counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        counter = counters.get(name)
+        if counter is None:
+            raise AttributeError(f"TrafficStats has no counter {name!r}")
+        counter.set(value)
+
+    # ------------------------------------------------------------------
+    # historical API
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         """Zero every counter."""
-        self.round_trips = 0
-        self.requests = 0
-        self.entry_pdus = 0
-        self.referral_pdus = 0
-        self.sync_entry_pdus = 0
-        self.sync_dn_pdus = 0
-        self.bytes_sent = 0
+        for counter in self._counters.values():
+            counter.reset()
 
     def snapshot(self) -> "TrafficStats":
         """An independent copy of the current counter values."""
-        return TrafficStats(
-            round_trips=self.round_trips,
-            requests=self.requests,
-            entry_pdus=self.entry_pdus,
-            referral_pdus=self.referral_pdus,
-            sync_entry_pdus=self.sync_entry_pdus,
-            sync_dn_pdus=self.sync_dn_pdus,
-            bytes_sent=self.bytes_sent,
-        )
+        return TrafficStats(**self.as_dict())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field name → current value, in declaration order."""
+        return {name: self._counters[name].value for name in TRAFFIC_FIELDS}
 
     def __sub__(self, other: "TrafficStats") -> "TrafficStats":
-        return TrafficStats(
-            round_trips=self.round_trips - other.round_trips,
-            requests=self.requests - other.requests,
-            entry_pdus=self.entry_pdus - other.entry_pdus,
-            referral_pdus=self.referral_pdus - other.referral_pdus,
-            sync_entry_pdus=self.sync_entry_pdus - other.sync_entry_pdus,
-            sync_dn_pdus=self.sync_dn_pdus - other.sync_dn_pdus,
-            bytes_sent=self.bytes_sent - other.bytes_sent,
-        )
+        mine = self.as_dict()
+        theirs = other.as_dict()
+        return TrafficStats(**{k: mine[k] - theirs[k] for k in TRAFFIC_FIELDS})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrafficStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"TrafficStats({fields})"
 
 
 class SimulatedNetwork:
     """URL-addressed registry of servers plus shared traffic counters.
 
+    Owns a :class:`repro.obs.MetricsRegistry` (``self.registry``) that
+    backs :attr:`stats` and the connection/latency instruments — the
+    single export point for one experiment's protocol traffic.
+
     Args:
         round_trip_latency_ms: simulated latency charged per round trip;
             purely additive bookkeeping (``elapsed_ms``), no sleeping.
+        registry: metrics registry to report into (default: private).
     """
 
-    def __init__(self, round_trip_latency_ms: float = 0.0):
+    def __init__(
+        self,
+        round_trip_latency_ms: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self._servers: Dict[str, DirectoryServer] = {}
-        self.stats = TrafficStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = TrafficStats(registry=self.registry)
         self.round_trip_latency_ms = round_trip_latency_ms
-        self.elapsed_ms = 0.0
-        self.open_connections = 0
-        self.total_connections = 0
+        self._elapsed = self.registry.gauge("net.latency.elapsed_ms")
+        self._open = self.registry.gauge("net.connections.open")
+        self._total = self.registry.counter("net.connections.total")
 
     def register(self, server: DirectoryServer) -> None:
         """Make *server* reachable at its URL."""
@@ -110,7 +191,7 @@ class SimulatedNetwork:
         """Account one request/response exchange."""
         self.stats.round_trips += 1
         self.stats.requests += 1
-        self.elapsed_ms += self.round_trip_latency_ms
+        self._elapsed.inc(self.round_trip_latency_ms)
 
     def charge_entries(self, count: int, total_bytes: int = 0) -> None:
         """Account *count* search entry PDUs."""
@@ -132,12 +213,38 @@ class SimulatedNetwork:
         self.stats.bytes_sent += dn_bytes
 
     def connection_opened(self) -> None:
-        """Account one opened client connection (§5.2's scaling metric)."""
-        self.open_connections += 1
-        self.total_connections += 1
+        """Account one opened client connection (§5.2's scaling metric,
+        reported as ``net.connections.open``/``.total``)."""
+        self._open.inc()
+        self._total.inc()
 
     def connection_closed(self) -> None:
-        self.open_connections = max(0, self.open_connections - 1)
+        self._open.set(max(0.0, self._open.value - 1))
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Accumulated simulated latency (``net.latency.elapsed_ms``)."""
+        return self._elapsed.value
+
+    @elapsed_ms.setter
+    def elapsed_ms(self, value: float) -> None:
+        self._elapsed.set(value)
+
+    @property
+    def open_connections(self) -> int:
+        return int(self._open.value)
+
+    @open_connections.setter
+    def open_connections(self, value: int) -> None:
+        self._open.set(value)
+
+    @property
+    def total_connections(self) -> int:
+        return self._total.value
+
+    @total_connections.setter
+    def total_connections(self, value: int) -> None:
+        self._total.set(value)
 
     @property
     def servers(self) -> Dict[str, DirectoryServer]:

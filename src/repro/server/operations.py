@@ -4,16 +4,25 @@ Models the LDAP functional model (§2.2): query operations (search),
 update operations (add, modify, delete, modify DN) and their results,
 plus the :class:`UpdateRecord` stream that the synchronization
 mechanisms of :mod:`repro.sync` consume.
+
+Also home of the per-operation latency instrumentation
+(:class:`OperationInstruments` / :func:`timed_operation`) that
+:class:`~repro.server.directory.DirectoryServer` wraps around each
+functional-model entry point — see docs/OBSERVABILITY.md §3
+(``server.op.*``).
 """
 
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
+from ..obs.registry import Counter, MetricsRegistry, Timer
+from ..obs.tracing import span
 
 __all__ = [
     "ResultCode",
@@ -24,6 +33,8 @@ __all__ = [
     "UpdateRecord",
     "Referral",
     "SearchResult",
+    "OperationInstruments",
+    "timed_operation",
 ]
 
 
@@ -135,6 +146,79 @@ class Referral:
     def __str__(self) -> str:
         suffix = f"/{self.target}" if not self.target.is_root else ""
         return f"{self.url}{suffix}"
+
+
+class OperationInstruments:
+    """Per-operation latency and count instruments for one server.
+
+    ``time("search")`` returns a context manager that (i) increments
+    ``server.op.count{op=search}``, (ii) observes the block's duration
+    into the timers ``server.op.latency`` (all-operations aggregate) and
+    ``server.op.latency{op=search}``, and (iii) opens the tracing span
+    ``server.op.search``.  Instruments are created lazily per operation
+    name and cached, so the steady-state cost is two clock reads and a
+    histogram insert.
+    """
+
+    __slots__ = ("registry", "_latency", "_count", "_per_op")
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._latency: Timer = registry.timer("server.op.latency")
+        self._count: Counter = registry.counter("server.op.count")
+        self._per_op: Dict[str, Tuple[Timer, Counter]] = {}
+
+    def time(self, op: str) -> "_OperationTiming":
+        cached = self._per_op.get(op)
+        if cached is None:
+            cached = (self._latency.labels(op=op), self._count.labels(op=op))
+            self._per_op[op] = cached
+        return _OperationTiming(self, cached[0], cached[1], op)
+
+
+class _OperationTiming:
+    __slots__ = ("_instruments", "_timer", "_counter", "_op", "_span", "_start")
+
+    def __init__(
+        self, instruments: OperationInstruments, timer: Timer, counter: Counter, op: str
+    ):
+        self._instruments = instruments
+        self._timer = timer
+        self._counter = counter
+        self._op = op
+
+    def __enter__(self) -> "_OperationTiming":
+        from time import perf_counter
+
+        self._counter.inc()
+        self._instruments._count.inc()
+        self._span = span("server.op." + self._op)
+        self._span.__enter__()
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        from time import perf_counter
+
+        elapsed = perf_counter() - self._start
+        self._timer.observe(elapsed)
+        self._instruments._latency.observe(elapsed)
+        self._span.__exit__(*exc)
+        return False
+
+
+def timed_operation(op: str) -> Callable:
+    """Decorator timing a server method through ``self.ops`` (above)."""
+
+    def wrap(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def inner(self, *args, **kwargs):
+            with self.ops.time(op):
+                return fn(self, *args, **kwargs)
+
+        return inner
+
+    return wrap
 
 
 @dataclass

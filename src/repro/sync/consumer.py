@@ -22,6 +22,7 @@ from ..ldap.controls import ReSyncControl, SyncAction, SyncMode
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.query import SearchRequest
+from ..obs.tracing import span
 from ..server.network import SimulatedNetwork
 from .protocol import SyncResponse, SyncUpdate
 
@@ -93,12 +94,19 @@ class SyncedContent:
     # driving a provider
     # ------------------------------------------------------------------
     def poll(self, provider) -> SyncResponse:
-        """One poll cycle against *provider* (either provider class)."""
-        control = ReSyncControl(mode=SyncMode.POLL, cookie=self.cookie)
-        response = provider.handle(self.request, control)
-        if self.network is not None:
-            self.network.charge_round_trip()
-        self.apply(response)
+        """One poll cycle against *provider* (either provider class).
+
+        One full cookie round-trip: request with the resumption cookie,
+        provider-side scan, response application — traced as
+        ``sync.resync.cookie_round_trip``.
+        """
+        with span("sync.resync.cookie_round_trip") as sp:
+            control = ReSyncControl(mode=SyncMode.POLL, cookie=self.cookie)
+            response = provider.handle(self.request, control)
+            if self.network is not None:
+                self.network.charge_round_trip()
+            self.apply(response)
+            sp.add("updates_applied", len(response.updates))
         return response
 
     def reload(self, provider) -> SyncResponse:

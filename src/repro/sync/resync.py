@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional
 from ..ldap.controls import ReSyncControl, SyncMode
 from ..ldap.dn import DN
 from ..ldap.query import SearchRequest
+from ..obs.tracing import span
 from ..server.directory import DirectoryServer
 from ..server.operations import UpdateOp, UpdateRecord
 from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
@@ -137,20 +138,26 @@ class ResyncProvider:
             return SyncResponse(updates=[], cookie=None), None
 
         if control.cookie is None:
-            session = self.sessions.create(request)
-            content = self._search_content(request)
-            session.seed_content(content)
-            updates = [SyncUpdate.add(e) for e in content]
+            # Initial request: the whole current content travels.
+            with span("sync.resync.initial_content") as sp:
+                session = self.sessions.create(request)
+                content = self._search_content(request)
+                session.seed_content(content)
+                updates = [SyncUpdate.add(e) for e in content]
+                sp.add("entries_sent", len(updates))
             response = SyncResponse(updates=updates, initial=True)
         else:
-            session = self.sessions.lookup(control.cookie)
-            if session.request != request:
-                raise SyncProtocolError(
-                    "cookie presented with a different search request"
-                )
-            response = SyncResponse(
-                updates=self.sessions.service_poll(session, control.cookie)
-            )
+            # Resumed session: scan the per-session history and emit the
+            # coalesced net actions (eq. 2).
+            with span("sync.resync.history_scan") as sp:
+                session = self.sessions.lookup(control.cookie)
+                if session.request != request:
+                    raise SyncProtocolError(
+                        "cookie presented with a different search request"
+                    )
+                updates = self.sessions.service_poll(session, control.cookie)
+                sp.add("actions_emitted", len(updates))
+            response = SyncResponse(updates=updates)
 
         if control.mode is SyncMode.PERSIST:
             if deliver is None:
@@ -225,21 +232,25 @@ class RetainResyncProvider:
             raise SyncProtocolError(
                 "RetainResyncProvider supports poll mode only"
             )
-        since = self._parse_cookie(control.cookie)
-        now = self.server.current_csn
-        content = self.server.search(request).entries
-        updates: List[SyncUpdate] = []
-        if control.cookie is None:
-            updates.extend(SyncUpdate.add(e) for e in content)
-            initial = True
-        else:
-            for entry in content:
-                changed_at = self._last_change.get(entry.dn, 0)
-                if changed_at > since:
-                    updates.append(SyncUpdate.add(entry))
-                else:
-                    updates.append(SyncUpdate.retain(entry.dn))
-            initial = False
+        # Stateless scan: the whole current content is re-derived and
+        # classified changed/unchanged against the cookie CSN (eq. 3).
+        with span("sync.resync.retain_scan") as sp:
+            since = self._parse_cookie(control.cookie)
+            now = self.server.current_csn
+            content = self.server.search(request).entries
+            updates: List[SyncUpdate] = []
+            if control.cookie is None:
+                updates.extend(SyncUpdate.add(e) for e in content)
+                initial = True
+            else:
+                for entry in content:
+                    changed_at = self._last_change.get(entry.dn, 0)
+                    if changed_at > since:
+                        updates.append(SyncUpdate.add(entry))
+                    else:
+                        updates.append(SyncUpdate.retain(entry.dn))
+                initial = False
+            sp.add("actions_emitted", len(updates))
         return SyncResponse(
             updates=updates,
             cookie=f"{self.COOKIE_PREFIX}:{now}",

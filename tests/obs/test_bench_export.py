@@ -1,0 +1,113 @@
+"""Integration: one real bench run emits schema-valid results JSON.
+
+Runs ``benchmarks/bench_fig2_referrals.py`` (the cheapest bench — no
+session workload fixture) in a subprocess, then validates the JSON it
+wrote with the same checker CI uses (``benchmarks/validate_results.py``,
+schema in docs/OBSERVABILITY.md §5).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+
+
+def _load_validator():
+    spec = importlib.util.spec_from_file_location(
+        "validate_results", REPO_ROOT / "benchmarks" / "validate_results.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def fig2_json():
+    fig2 = RESULTS / "fig2.json"
+    if fig2.exists():
+        fig2.unlink()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/bench_fig2_referrals.py",
+            "-q",
+            "--benchmark-disable",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"bench run failed:\n{proc.stdout}\n{proc.stderr}"
+    assert fig2.exists(), "bench_fig2 must write benchmarks/results/fig2.json"
+    return fig2
+
+
+def test_fig2_json_is_schema_valid(fig2_json):
+    validator = _load_validator()
+    assert validator.validate_file(fig2_json) == []
+
+
+def test_fig2_json_carries_required_metrics(fig2_json):
+    payload = json.loads(fig2_json.read_text())
+    assert payload["bench"] == "fig2"
+    metrics = payload["metrics"]
+    for key in (
+        "round_trips",
+        "bytes_sent",
+        "qc_cache_hits",
+        "qc_cache_misses",
+        "qc_cache_evictions",
+    ):
+        assert isinstance(metrics[key], (int, float)), key
+    # Figure 2's whole point: referral chasing costs real round trips.
+    assert metrics["round_trips"] >= 4
+    assert payload["paper_expected"]["worst_round_trips"] == 4
+
+
+def test_validator_rejects_broken_payloads(tmp_path):
+    validator = _load_validator()
+    good = {
+        "bench": "sample",
+        "params": {"n": 1},
+        "metrics": {
+            "round_trips": 1,
+            "bytes_sent": 0,
+            "qc_cache_hits": 0,
+            "qc_cache_misses": 0,
+        },
+        "paper_expected": None,
+    }
+    path = tmp_path / "sample.json"
+    path.write_text(json.dumps(good))
+    assert validator.validate_file(path) == []
+
+    for mutate, fragment in [
+        (lambda p: p.pop("metrics"), "metrics"),
+        (lambda p: p.__setitem__("bench", "other"), "stem"),
+        (lambda p: p["metrics"].pop("round_trips"), "round_trips"),
+        (lambda p: p["metrics"].__setitem__("round_trips", "many"), "number"),
+        (lambda p: p.__setitem__("paper_expected", 7), "paper_expected"),
+    ]:
+        broken = json.loads(json.dumps(good))
+        mutate(broken)
+        path.write_text(json.dumps(broken))
+        problems = validator.validate_file(path)
+        assert problems, f"expected a failure mentioning {fragment!r}"
+        assert any(fragment in p for p in problems)

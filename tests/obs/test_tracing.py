@@ -1,0 +1,175 @@
+"""Tracing spans: no-op default, nesting paths, attached counts."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    TraceCollector,
+    collecting,
+    get_collector,
+    install_collector,
+    span,
+    uninstall_collector,
+)
+from repro.obs.tracing import _NULL_SPAN
+
+
+class TestNoOpDefault:
+    def test_span_without_collector_is_shared_null(self):
+        assert get_collector() is None
+        handle = span("anything")
+        assert handle is _NULL_SPAN
+        assert span("something.else") is handle
+
+    def test_null_span_supports_protocol(self):
+        with span("x") as sp:
+            sp.add("count", 3)  # silently dropped
+
+
+class TestCollecting:
+    def test_collecting_installs_and_restores(self):
+        assert get_collector() is None
+        with collecting() as trace:
+            assert get_collector() is trace
+        assert get_collector() is None
+
+    def test_collecting_restores_prior_collector(self):
+        outer = install_collector(TraceCollector())
+        try:
+            with collecting() as inner:
+                assert get_collector() is inner
+            assert get_collector() is outer
+        finally:
+            uninstall_collector()
+
+    def test_explicit_collector_argument(self):
+        mine = TraceCollector()
+        with collecting(mine) as active:
+            assert active is mine
+
+    def test_install_uninstall(self):
+        c = install_collector(TraceCollector())
+        assert get_collector() is c
+        uninstall_collector()
+        assert get_collector() is None
+
+
+class TestSpanRecording:
+    def test_single_span_aggregates(self):
+        with collecting() as trace:
+            with span("sync.resync.history_scan") as sp:
+                sp.add("actions_emitted", 7)
+        agg = trace.aggregate()["sync.resync.history_scan"]
+        assert agg["count"] == 1
+        assert agg["total_s"] >= 0.0
+        assert agg["actions_emitted"] == 7
+
+    def test_nested_spans_record_composite_paths(self):
+        with collecting() as trace:
+            with span("outer"):
+                with span("inner"):
+                    pass
+                with span("inner"):
+                    pass
+        assert trace.count("outer") == 1
+        assert trace.count("outer>inner") == 2
+        assert "inner" not in trace.paths()
+
+    def test_sibling_spans_do_not_nest(self):
+        with collecting() as trace:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert trace.paths() == ["a", "b"]
+
+    def test_add_sums_within_and_across_spans(self):
+        with collecting() as trace:
+            for n in (2, 3):
+                with span("phase") as sp:
+                    sp.add("entries_sent", n)
+                    sp.add("entries_sent")
+        assert trace.aggregate()["phase"]["entries_sent"] == 7
+
+    def test_records_kept_with_duration_and_path(self):
+        with collecting() as trace:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        paths = [r.path for r in trace.records]
+        assert paths == ["outer>inner", "outer"]  # inner finishes first
+        assert all(r.duration_s >= 0.0 for r in trace.records)
+
+    def test_max_records_drops_overflow_but_keeps_aggregate(self):
+        collector = TraceCollector(max_records=2)
+        with collecting(collector) as trace:
+            for _ in range(5):
+                with span("x"):
+                    pass
+        assert len(trace.records) == 2
+        assert trace.dropped == 3
+        assert trace.count("x") == 5
+
+    def test_total_seconds_and_clear(self):
+        with collecting() as trace:
+            with span("x"):
+                pass
+        assert trace.total_seconds("x") >= 0.0
+        trace.clear()
+        assert trace.paths() == []
+        assert trace.records == []
+
+    def test_attrs_are_stored_on_records(self):
+        with collecting() as trace:
+            with span("sync.resync.poll", mode="poll"):
+                pass
+        assert trace.records[0].attrs == {"mode": "poll"}
+
+    def test_exception_still_closes_span(self):
+        with collecting() as trace:
+            try:
+                with span("boom"):
+                    raise RuntimeError("x")
+            except RuntimeError:
+                pass
+        assert trace.count("boom") == 1
+        # The stack unwound: a following span is top-level again.
+        with collecting(trace):
+            with span("after"):
+                pass
+        assert trace.count("after") == 1
+
+
+class TestInstrumentedPathsEmitSpans:
+    """The spans wired into the stack actually fire (names of
+    docs/OBSERVABILITY.md §2)."""
+
+    def test_resync_and_answer_spans(self):
+        from repro.core import FilterReplica
+        from repro.ldap import Entry, Scope, SearchRequest
+        from repro.server import DirectoryServer, SimulatedNetwork
+        from repro.sync import ResyncProvider
+
+        master = DirectoryServer("master")
+        master.add_naming_context("o=xyz")
+        master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+        master.add(
+            Entry(
+                "cn=a,o=xyz",
+                {"objectClass": ["person"], "cn": "a", "sn": "a",
+                 "serialNumber": "004201IN"},
+            )
+        )
+        provider = ResyncProvider(master)
+        replica = FilterReplica("r", network=SimulatedNetwork())
+
+        with collecting() as trace:
+            replica.add_filter(
+                SearchRequest("", Scope.SUB, "(serialNumber=0042*IN)"), provider
+            )
+            replica.answer(SearchRequest("", Scope.SUB, "(serialNumber=004201IN)"))
+            replica.sync(provider)
+
+        paths = trace.paths()
+        assert any(p.endswith("sync.resync.cookie_round_trip") for p in paths)
+        assert "core.replica.answer" in paths
+        assert trace.aggregate()["core.replica.answer"]["hit"] == 1
