@@ -1,0 +1,114 @@
+"""E17 — derived: master search-path cost under the query planner.
+
+The paper's premise (§1, §7) is that directory workloads are read
+dominated: every master search that degrades to a full scope scan pays
+for filter evaluation over the whole region, while index-pruned
+searches touch only a candidate set.  This bench drives a mixed filter
+workload (equality, AND-intersections, OR-unions, ranges, substrings)
+straight against one loaded master and reports wall-clock
+searches/second plus the planner's own accounting: which strategies
+were chosen and how many entries were examined per entry matched —
+``server.plan.*`` in the exported JSON.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ldap import Scope, SearchRequest
+
+from .common import BenchEnv, hot_blocks, plan_metrics, report
+
+N_QUERIES = 600
+
+
+def mixed_requests(env: BenchEnv, n: int):
+    """A deterministic mixed-shape filter workload over the bench tree."""
+    suffix = env.directory.suffix
+    blocks = [block for block, _cc, _h in hot_blocks(env)[:40]] or ["0010"]
+    depts = sorted(
+        {
+            e.first("departmentNumber")
+            for e in env.directory.entries
+            if e.first("departmentNumber")
+        }
+    )
+    requests = []
+    for i in range(n):
+        block = blocks[i % len(blocks)]
+        dept = depts[i % len(depts)]
+        shape = i % 5
+        if shape == 0:
+            flt = f"(serialNumber={block}*)"
+        elif shape == 1:
+            flt = f"(&(objectClass=person)(serialNumber={block}*))"
+        elif shape == 2:
+            other = blocks[(i + 1) % len(blocks)]
+            flt = f"(|(serialNumber={block}*)(serialNumber={other}*))"
+        elif shape == 3:
+            flt = f"(departmentNumber={dept})"
+        else:
+            flt = f"(&(departmentNumber>={dept})(departmentNumber<={dept}))"
+        requests.append(SearchRequest(suffix, Scope.SUB, flt))
+    return requests
+
+
+@pytest.fixture(scope="module")
+def planner_rows(env: BenchEnv):
+    master = env.fresh_master()
+    requests = mixed_requests(env, N_QUERIES)
+    start = time.perf_counter()
+    matched = sum(len(master.search(r).entries) for r in requests)
+    elapsed = time.perf_counter() - start
+    plans = plan_metrics(master)
+    examined = plans.get("server.plan.examined", 0)
+    rows = [
+        ("searches", N_QUERIES),
+        ("entries_matched", matched),
+        ("entries_examined", examined),
+        ("searches_per_s", N_QUERIES / elapsed if elapsed else 0.0),
+        ("examined_per_match", examined / matched if matched else 0.0),
+    ]
+    for name, value in sorted(plans.items()):
+        rows.append((name, value))
+    return rows, plans, elapsed, matched
+
+
+def test_planner_search_path(benchmark, env: BenchEnv, planner_rows):
+    rows, plans, elapsed, matched = planner_rows
+    metrics = {
+        "searches": float(N_QUERIES),
+        "entries_matched": float(matched),
+        "elapsed_s": elapsed,
+        "searches_per_s": N_QUERIES / elapsed if elapsed else 0.0,
+    }
+    metrics.update({k: float(v) for k, v in plans.items()})
+    report(
+        "search_planner",
+        f"Master search-path cost, mixed filter workload ({N_QUERIES} queries)",
+        ["quantity", "value"],
+        rows,
+        params={"queries": N_QUERIES, "entries": len(env.fresh_master().store)},
+        metrics=metrics,
+        paper_expected={
+            "shape": "index strategies dominate; examined/match stays near 1"
+        },
+    )
+
+    # The planner must have produced index-backed plans for the bulk of
+    # the workload; a scan-only outcome means the index layer is dead.
+    scans = plans.get('server.plan.strategy{strategy="scan"}', 0)
+    assert scans < N_QUERIES * 0.5
+
+    # Candidate pruning: examined entries stay well below a full-scan
+    # workload (N_QUERIES * store size).
+    store_size = len(env.fresh_master().store)
+    examined = plans.get("server.plan.examined", 0)
+    assert examined < N_QUERIES * store_size * 0.25
+
+    # Timed unit: one AND-intersection search (the planner's hot case).
+    master = env.fresh_master()
+    sample = mixed_requests(env, 2)[1]
+    benchmark(lambda: master.search(sample))

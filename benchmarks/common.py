@@ -200,6 +200,21 @@ def run_subtree_point(
     return driver.run(eval_trace), replica
 
 
+def plan_metrics(server: DirectoryServer) -> Dict[str, float]:
+    """The ``server.plan.*`` counters of one server's metrics registry.
+
+    Search-planner accounting (docs/PLANNER.md): per-strategy plan
+    counts plus entries examined/matched.  Benches merge this mapping
+    into their exported JSON so planner regressions show up in baseline
+    diffs.
+    """
+    return {
+        name: value
+        for name, value in server.metrics.to_dict().items()
+        if name.startswith("server.plan.")
+    }
+
+
 # ----------------------------------------------------------------------
 # reporting
 # ----------------------------------------------------------------------

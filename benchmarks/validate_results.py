@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Schema-check every ``benchmarks/results/*.json`` export.
+"""Schema-check every ``benchmarks/results/*.json`` export, and
+optionally diff the exports against committed baselines.
 
 The bench JSON schema (produced by :func:`benchmarks.common.export_json`,
 documented in docs/OBSERVABILITY.md §5):
@@ -11,13 +12,24 @@ documented in docs/OBSERVABILITY.md §5):
   ``qc_cache_hits`` and ``qc_cache_misses``;
 * ``bench`` must match the file name stem.
 
+With ``--baselines DIR`` each export is additionally compared against
+the same-named JSON under *DIR* (``benchmarks/baselines`` holds the
+committed reference run).  Regression-sensitive metrics — round trips,
+latencies, byte counts (higher is worse) and throughput rates (lower is
+worse) — may not regress by more than ``--tolerance`` (default 20%)
+relative to the baseline; anything else is informational.  A bench
+present in the baselines but missing from the results is a failure: a
+perf regression must not hide by not running.
+
 Exit status 0 when every file validates (and at least one exists when
-``--require-any`` is passed); 1 otherwise.  Wired into CI
-(.github/workflows/ci.yml) after the bench suite.
+``--require-any`` is passed) and no baseline regression exceeds the
+tolerance; 1 otherwise.  Wired into CI (.github/workflows/ci.yml) after
+the bench suite.
 
 Usage::
 
     python benchmarks/validate_results.py [--dir DIR] [--require-any]
+                                          [--baselines DIR] [--tolerance F]
 """
 
 from __future__ import annotations
@@ -26,11 +38,32 @@ import argparse
 import json
 import os
 import sys
-from typing import List
+from typing import List, Optional
 
 REQUIRED_METRICS = ("round_trips", "bytes_sent", "qc_cache_hits", "qc_cache_misses")
 
 SCALAR = (str, int, float, bool, type(None))
+
+# Metric-name patterns whose growth is a regression (protocol cost and
+# latency)...
+_HIGHER_IS_WORSE = ("round_trips", "bytes_sent", "elapsed_s", "_ms")
+# ...and whose shrinkage is one (throughput rates).
+_LOWER_IS_WORSE = ("_per_s",)
+
+
+def regression_direction(name: str) -> Optional[str]:
+    """'higher' / 'lower' = which movement of *name* is a regression.
+
+    None for metrics that are not regression-gated (cache statistics,
+    hit ratios, plan-strategy counts — informational only).
+    """
+    for pattern in _HIGHER_IS_WORSE:
+        if name.endswith(pattern):
+            return "higher"
+    for pattern in _LOWER_IS_WORSE:
+        if name.endswith(pattern):
+            return "lower"
+    return None
 
 
 def validate_payload(payload: object, stem: str) -> List[str]:
@@ -96,6 +129,81 @@ def validate_file(path: str) -> List[str]:
     return validate_payload(payload, stem)
 
 
+def diff_metrics(current: dict, baseline: dict, tolerance: float) -> List[str]:
+    """Regressions of *current* vs *baseline* beyond *tolerance*.
+
+    Only metrics present in both runs and carrying a regression
+    direction are gated; a baseline value of 0 cannot be expressed as a
+    ratio and is skipped (protocol counters start from 0 only in
+    degenerate configurations).
+    """
+    regressions: List[str] = []
+    for name in sorted(set(current) & set(baseline)):
+        direction = regression_direction(name)
+        if direction is None:
+            continue
+        base, now = baseline[name], current[name]
+        if not isinstance(base, (int, float)) or not isinstance(now, (int, float)):
+            continue
+        if isinstance(base, bool) or isinstance(now, bool) or base == 0:
+            continue
+        change = (now - base) / abs(base)
+        if direction == "higher" and change > tolerance:
+            regressions.append(
+                f"{name}: {base:g} -> {now:g} (+{change:.1%} > {tolerance:.0%})"
+            )
+        elif direction == "lower" and change < -tolerance:
+            regressions.append(
+                f"{name}: {base:g} -> {now:g} ({change:.1%} < -{tolerance:.0%})"
+            )
+    return regressions
+
+
+def diff_against_baselines(
+    results_dir: str, baselines_dir: str, tolerance: float
+) -> int:
+    """Compare every baseline bench to its current export; count failures."""
+    names = sorted(
+        name
+        for name in (os.listdir(baselines_dir) if os.path.isdir(baselines_dir) else [])
+        if name.endswith(".json")
+    )
+    if not names:
+        print(f"no baselines under {baselines_dir} (nothing to diff)")
+        return 0
+    failures = 0
+    for name in names:
+        current_path = os.path.join(results_dir, name)
+        if not os.path.exists(current_path):
+            failures += 1
+            print(f"FAIL {name}: baseline exists but no current result", file=sys.stderr)
+            continue
+        try:
+            with open(os.path.join(baselines_dir, name), encoding="utf-8") as fh:
+                baseline = json.load(fh)
+            with open(current_path, encoding="utf-8") as fh:
+                current = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            failures += 1
+            print(f"FAIL {name}: unreadable JSON: {exc}", file=sys.stderr)
+            continue
+        regressions = diff_metrics(
+            current.get("metrics", {}), baseline.get("metrics", {}), tolerance
+        )
+        if regressions:
+            failures += 1
+            print(f"FAIL {name}: regression vs baseline", file=sys.stderr)
+            for regression in regressions:
+                print(f"  - {regression}", file=sys.stderr)
+        else:
+            print(f"ok   {name} (within {tolerance:.0%} of baseline)")
+    if failures:
+        print(f"{failures}/{len(names)} benches regressed", file=sys.stderr)
+    else:
+        print(f"{len(names)} benches within tolerance of baselines")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -107,6 +215,19 @@ def main(argv=None) -> int:
         "--require-any",
         action="store_true",
         help="fail when no *.json results exist at all",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=None,
+        metavar="DIR",
+        help="baseline results to diff against (e.g. benchmarks/baselines); "
+        "regression-sensitive metrics may not regress beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative regression vs baselines (default 0.20)",
     )
     args = parser.parse_args(argv)
 
@@ -136,6 +257,10 @@ def main(argv=None) -> int:
         print(f"{failures}/{len(paths)} files failed validation", file=sys.stderr)
         return 1
     print(f"{len(paths)} result files schema-valid")
+
+    if args.baselines:
+        if diff_against_baselines(args.dir, args.baselines, args.tolerance):
+            return 1
     return 0
 
 

@@ -251,6 +251,17 @@ class DN:
         """
         return DN(self.relative_to(old_ancestor) + new_ancestor._rdns)
 
+    def reversed_key(self) -> Tuple[Tuple[Tuple[str, str], ...], ...]:
+        """Normalized RDN tuples root-first — the subtree range-index key.
+
+        Under this key every subtree is a contiguous range of the sorted
+        DN space: the descendants of ``d`` are exactly the DNs whose key
+        extends ``d.reversed_key()``.  :class:`repro.server.backend.EntryStore`
+        keeps its DNs sorted by it so SUBTREE regions come from one
+        ``bisect`` range scan.
+        """
+        return self._normalized[::-1]
+
     # ------------------------------------------------------------------
     # dunder plumbing
     # ------------------------------------------------------------------

@@ -21,9 +21,12 @@ from .operations import (
     UpdateRecord,
 )
 from .partition import DistributedDirectory, make_referral_entry
+from .planner import SearchPlan, SearchPlanner
 
 __all__ = [
     "EntryStore",
+    "SearchPlan",
+    "SearchPlanner",
     "Connection",
     "BindState",
     "ConnectionError_",

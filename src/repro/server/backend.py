@@ -18,25 +18,38 @@ It guarantees:
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..ldap.attributes import AttributeRegistry, DEFAULT_REGISTRY
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
-from ..ldap.filters import (
-    And,
-    Equality,
-    Filter,
-    GreaterOrEqual,
-    LessOrEqual,
-    Present,
-    Substring,
-)
+from ..ldap.filters import Filter
 from ..ldap.query import Scope
 from .indexes import AttributeIndexSet
+from .planner import SearchPlan, SearchPlanner
 
 __all__ = ["EntryStore"]
+
+
+class _MaxKey:
+    """Sorts after every reversed-DN key component (reflected compares).
+
+    Appending it to a subtree key yields the exclusive upper bound of
+    that subtree's range: ``key < anything-in-subtree < key + (_MAX,)``.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return True
+
+
+_MAX_KEY = _MaxKey()
 
 
 class EntryStore:
@@ -55,6 +68,11 @@ class EntryStore:
         self._indexes: Dict[str, AttributeIndexSet] = {}
         self._index_all = index_all
         self._referral_dns: Set[DN] = set()
+        # Subtree range index: DNs sorted by reversed-DN key, so every
+        # subtree is one contiguous [lo, hi) slice (parents first).
+        self._order_keys: List[Tuple] = []
+        self._order_dns: List[DN] = []
+        self._planner = SearchPlanner(self)
         for attr in indexed_attributes:
             self._ensure_index(attr)
 
@@ -111,6 +129,10 @@ class EntryStore:
         else:
             if not entry.dn.is_root:
                 self._children[entry.dn.parent].add(entry.dn)
+            key = entry.dn.reversed_key()
+            pos = bisect.bisect_left(self._order_keys, key)
+            self._order_keys.insert(pos, key)
+            self._order_dns.insert(pos, entry.dn)
         stored = entry.copy()
         self._entries[entry.dn] = stored
         self._index(stored)
@@ -130,6 +152,11 @@ class EntryStore:
             return None
         self._unindex(entry)
         self._referral_dns.discard(dn)
+        key = dn.reversed_key()
+        pos = bisect.bisect_left(self._order_keys, key)
+        if pos < len(self._order_keys) and self._order_keys[pos] == key:
+            del self._order_keys[pos]
+            del self._order_dns[pos]
         if not dn.is_root:
             siblings = self._children.get(dn.parent)
             if siblings is not None:
@@ -175,53 +202,52 @@ class EntryStore:
                 yield entry
             stack.extend(self._children.get(dn, ()))
 
+    def subtree_region(self, base: DN) -> List[DN]:
+        """DNs in the subtree at *base*, sorted parents-first.
+
+        One ``bisect`` range over the reversed-DN order index — no tree
+        walking.  Includes *base* itself when stored.
+        """
+        key = base.reversed_key()
+        lo = bisect.bisect_left(self._order_keys, key)
+        hi = bisect.bisect_left(self._order_keys, key + (_MAX_KEY,), lo)
+        return self._order_dns[lo:hi]
+
     def subtree_dns(self, base: DN) -> List[DN]:
         """All DNs in the subtree rooted at *base* (base included)."""
-        return [e.dn for e in self.iter_scope(base, Scope.SUB)]
+        return self.subtree_region(base)
 
     # ------------------------------------------------------------------
     # index-accelerated candidate selection
     # ------------------------------------------------------------------
-    def candidates_for(self, flt: Filter) -> Optional[Set[DN]]:
-        """Candidate DNs possibly matching *flt*, or None for "scan all".
+    def plan_for(self, flt: Filter) -> SearchPlan:
+        """Cost-based plan for *flt*: strategy plus candidate set.
 
-        Uses the most selective indexable conjunct of a top-level AND, or
-        the predicate itself.  Sound (never drops a true match) because
-        an AND result is a subset of every conjunct's result.  OR/NOT
-        nodes are not narrowed — the server falls back to scanning the
-        scope region, which stays correct.
+        See :mod:`repro.server.planner` — the plan intersects multiple
+        indexable conjuncts of an AND (cheapest first), unions OR
+        children, and degrades to a scope scan (``candidates is None``)
+        when no branch is indexable or the candidate set would approach
+        the store size.  Candidate sets are sound supersets of the true
+        matches within the store; callers re-verify with the filter.
         """
-        best: Optional[Set[DN]] = None
-        for conjunct in self._indexable_conjuncts(flt):
-            candidate = self._lookup(conjunct)
-            if candidate is None:
-                continue
-            if best is None or len(candidate) < len(best):
-                best = candidate
-        return best
+        return self._planner.plan(flt)
 
-    def _indexable_conjuncts(self, flt: Filter) -> Iterator[Filter]:
-        if isinstance(flt, And):
-            for child in flt.children:
-                yield child
-        else:
-            yield flt
+    def candidates_for(self, flt: Filter) -> Optional[Set[DN]]:
+        """Candidate DNs possibly matching *flt*, or None for "scan all"."""
+        return self.plan_for(flt).candidates
 
-    def _lookup(self, pred: Filter) -> Optional[Set[DN]]:
-        if isinstance(pred, (Equality, Substring, GreaterOrEqual, LessOrEqual)):
-            index = self._indexes.get(pred.attr_key)
-            if index is None:
-                return None
-            if isinstance(pred, Equality):
-                return index.equality.lookup(pred.value)
-            if isinstance(pred, Substring):
-                return index.substring.candidates(pred.components)
-            if index.ordering is None:
-                return None
-            if isinstance(pred, GreaterOrEqual):
-                return index.ordering.greater_or_equal(pred.value)
-            return index.ordering.less_or_equal(pred.value)
-        return None
+    def index_for(self, attr: str) -> Optional[AttributeIndexSet]:
+        """The index set for *attr* (case-insensitive), or None."""
+        return self._indexes.get(attr.lower())
+
+    @property
+    def indexes_all_attributes(self) -> bool:
+        """True when every stored attribute is indexed (``index_all``).
+
+        The planner then treats a missing index as proof the attribute
+        occurs on no entry.
+        """
+        return self._index_all
 
     # ------------------------------------------------------------------
     # internals

@@ -29,11 +29,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Protocol, Sequence,
 from ..ldap.attributes import AttributeRegistry, DEFAULT_REGISTRY
 from ..ldap.dn import DN, ROOT_DN
 from ..ldap.entry import Entry
-from ..ldap.matching import matches
+from ..ldap.matching import compile_filter
 from ..ldap.query import Scope, SearchRequest
 from ..ldap.schema import DEFAULT_SCHEMA, SchemaRegistry, validate_entry
-from ..obs.registry import MetricsRegistry
+from ..obs.registry import Counter, MetricsRegistry
 from .backend import EntryStore
+from .planner import SearchPlan
 from .operations import (
     LdapError,
     Modification,
@@ -91,6 +92,10 @@ class DirectoryServer:
             instruments (default: a private registry).
     """
 
+    #: SUBTREE candidate sets larger than this intersect with the
+    #: store's sorted subtree range instead of doing per-DN scope checks.
+    RANGE_SCAN_THRESHOLD = 64
+
     def __init__(
         self,
         name: str,
@@ -118,6 +123,11 @@ class DirectoryServer:
         #: docs/OBSERVABILITY.md §3); reads via ``self.metrics.to_dict()``.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ops = OperationInstruments(self.metrics)
+        #: search-planner accounting (``server.plan.*``, docs/PLANNER.md):
+        #: strategy choices plus candidates examined vs. matched.
+        self._plan_examined = self.metrics.counter("server.plan.examined")
+        self._plan_matched = self.metrics.counter("server.plan.matched")
+        self._plan_strategy_counters: Dict[str, Counter] = {}
         self._contexts: List[NamingContext] = []
         self._listeners: List[UpdateListener] = []
         self._csn = 0
@@ -252,16 +262,32 @@ class DirectoryServer:
             return SearchResult(referrals=[target], code=ResultCode.REFERRAL)
 
         result = SearchResult()
-        candidates = self.store.candidates_for(request.filter)
-        for entry in self._iter_region(request, candidates):
+        plan = self.store.plan_for(request.filter)
+        predicate = compile_filter(request.filter, self._registry)
+        examined = matched = 0
+        for entry in self._iter_region(request, plan.candidates):
             if self._is_referral(entry):
                 if entry.dn != request.base:
                     result.referrals.append(self._referral_of(entry, entry.dn))
                 continue
-            if matches(request.filter, entry):
+            examined += 1
+            if predicate(entry):
+                matched += 1
                 result.entries.append(request.project(entry))
+        self._record_plan(plan, examined, matched)
         self._apply_controls(result, controls)
         return result
+
+    def _record_plan(self, plan: SearchPlan, examined: int, matched: int) -> None:
+        counter = self._plan_strategy_counters.get(plan.strategy)
+        if counter is None:
+            counter = self.metrics.counter(
+                "server.plan.strategy", strategy=plan.strategy
+            )
+            self._plan_strategy_counters[plan.strategy] = counter
+        counter.inc()
+        self._plan_examined.inc(examined)
+        self._plan_matched.inc(matched)
 
     def _apply_controls(self, result: SearchResult, controls: Sequence["object"]) -> None:
         """Apply search controls to a result (RFC 2891 sorting, §2.2)."""
@@ -313,19 +339,34 @@ class DirectoryServer:
         """Entries in the search region, pruned below referral objects.
 
         Referral objects themselves are yielded (the caller turns them
-        into continuation references).  When an index produced a small
-        candidate set for a SUBTREE search, iterate candidates instead
-        of walking the region — but referral objects in the region must
-        still surface, so they are scanned separately (there are few).
+        into continuation references).  When the planner produced a
+        candidate set for a ONE/SUBTREE search, iterate candidates
+        instead of walking the region — but referral objects in the
+        region must still surface, so they are scanned separately
+        (there are few).  Large SUBTREE candidate sets intersect with
+        the store's sorted subtree range instead of paying a per-DN
+        ancestry check.
         """
-        if request.scope is not Scope.SUB or candidates is None:
+        if request.scope is Scope.BASE or candidates is None:
             yield from self._walk_region(request.base, request.scope)
             return
-        for dn in candidates:
-            if request.in_scope(dn):
-                entry = self.store.get(dn)
-                if entry is not None and not self._under_referral(dn, request.base):
-                    yield entry
+        if (
+            request.scope is Scope.SUB
+            and len(candidates) > self.RANGE_SCAN_THRESHOLD
+        ):
+            for dn in self.store.subtree_region(request.base):
+                if dn in candidates and not self._under_referral(dn, request.base):
+                    entry = self.store.get(dn)
+                    if entry is not None:
+                        yield entry
+        else:
+            for dn in candidates:
+                if request.in_scope(dn):
+                    entry = self.store.get(dn)
+                    if entry is not None and not self._under_referral(
+                        dn, request.base
+                    ):
+                        yield entry
         # Referral objects in the region must surface even when the
         # index skipped them; the store keeps them indexed separately.
         for dn in self.store.referral_dns():

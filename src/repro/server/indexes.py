@@ -5,16 +5,22 @@ per-attribute indexes so that equality and substring filters do not scan
 the whole database.  The simulated backend does the same:
 
 * :class:`EqualityIndex` — normalized value → set of DNs,
+* :class:`PresenceIndex` — DNs holding the attribute at all (refcounted
+  over values), answering ``(attr=*)`` and feeding planner estimates,
 * :class:`SubstringIndex` — n-gram (trigram by default) posting lists,
   giving candidate sets for substring filters; candidates are verified
   against the real filter by the caller,
-* :class:`OrderingIndex` — sorted list of (normalized value, DN) pairs
-  answering ``>=`` / ``<=`` range scans.
+* :class:`OrderingIndex` — sorted list of (typed key, DN) pairs
+  answering ``>=`` / ``<=`` range scans under the attribute's syntax:
+  integer-syntax values compare numerically, not lexicographically.
 
 Indexes return *candidate supersets* (every true match is included, some
 non-matches may be); the backend always re-verifies candidates with
 :func:`repro.ldap.matching.matches`, so index bugs can cost speed but
-never correctness.
+never correctness.  Each index also exposes a cheap ``estimate*``
+method — an upper bound on its candidate-set size computed without
+materializing the set — which the cost-based search planner
+(:mod:`repro.server.planner`) uses to rank predicates by selectivity.
 """
 
 from __future__ import annotations
@@ -26,7 +32,13 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..ldap.attributes import AttributeType
 from ..ldap.dn import DN
 
-__all__ = ["EqualityIndex", "SubstringIndex", "OrderingIndex", "AttributeIndexSet"]
+__all__ = [
+    "EqualityIndex",
+    "PresenceIndex",
+    "SubstringIndex",
+    "OrderingIndex",
+    "AttributeIndexSet",
+]
 
 
 class EqualityIndex:
@@ -53,8 +65,41 @@ class EqualityIndex:
         """DNs holding *value* (exact, normalized)."""
         return set(self._postings.get(self._atype.normalize(value), ()))
 
+    def estimate(self, value: str) -> int:
+        """Posting-list size for *value* without copying the set."""
+        return len(self._postings.get(self._atype.normalize(value), ()))
+
     def __len__(self) -> int:
         return sum(len(p) for p in self._postings.values())
+
+
+class PresenceIndex:
+    """DNs holding at least one value of the attribute (refcounted)."""
+
+    def __init__(self):
+        self._counts: Dict[DN, int] = {}
+
+    def insert(self, dn: DN, values: Iterable[str]) -> None:
+        n = sum(1 for _ in values)
+        if n:
+            self._counts[dn] = self._counts.get(dn, 0) + n
+
+    def remove(self, dn: DN, values: Iterable[str]) -> None:
+        n = sum(1 for _ in values)
+        if not n:
+            return
+        remaining = self._counts.get(dn, 0) - n
+        if remaining > 0:
+            self._counts[dn] = remaining
+        else:
+            self._counts.pop(dn, None)
+
+    def dns(self) -> Set[DN]:
+        """All DNs holding the attribute."""
+        return set(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
 
 
 def _ngrams(text: str, n: int) -> Set[str]:
@@ -88,19 +133,42 @@ class SubstringIndex:
                     if not postings:
                         del self._postings[gram]
 
+    def _short_candidates(self, component: str) -> Set[DN]:
+        """Candidate DNs for a component shorter than the n-gram size.
+
+        Any value containing the component has some n-gram — or, for
+        values shorter than the gram size, its full indexed text —
+        containing it, so a scan over the (bounded) gram vocabulary
+        unioning matching postings is a sound superset.
+        """
+        found: Set[DN] = set()
+        for gram, postings in self._postings.items():
+            if component in gram:
+                found |= postings
+        return found
+
     def candidates(self, components: Iterable[str]) -> Optional[Set[DN]]:
         """Candidate DNs for a substring assertion with *components*.
 
-        Returns None when no component yields a usable n-gram (the
-        assertion is too short to index), meaning "scan everything".
+        Long components intersect their n-gram posting lists; short
+        components fall back to a gram-vocabulary scan, so even a
+        two-letter assertion prunes instead of forcing "scan all".
+        Returns None only when every component normalizes to the empty
+        string.
         """
         result: Optional[Set[DN]] = None
         usable = False
         for component in components:
             normalized = str(self._atype.normalize(component))
-            if len(normalized) < self._ngram:
+            if not normalized:
                 continue
             usable = True
+            if len(normalized) < self._ngram:
+                postings = self._short_candidates(normalized)
+                result = postings if result is None else (result & postings)
+                if not result:
+                    return set()
+                continue
             for gram in _ngrams(normalized, self._ngram):
                 postings = self._postings.get(gram, set())
                 result = set(postings) if result is None else (result & postings)
@@ -108,24 +176,74 @@ class SubstringIndex:
                     return set()
         return result if usable else None
 
+    def estimate(self, components: Iterable[str]) -> Optional[int]:
+        """Upper bound on the candidate-set size, or None when unknown.
+
+        Long components use their smallest n-gram posting list; short
+        components bound their fallback scan by the summed sizes of the
+        postings of every vocabulary gram containing them.  Returns None
+        only when every component normalizes to the empty string.
+        """
+        best: Optional[int] = None
+        for component in components:
+            normalized = str(self._atype.normalize(component))
+            if not normalized:
+                continue
+            if len(normalized) < self._ngram:
+                size = sum(
+                    len(postings)
+                    for gram, postings in self._postings.items()
+                    if normalized in gram
+                )
+            else:
+                size = min(
+                    len(self._postings.get(gram, ()))
+                    for gram in _ngrams(normalized, self._ngram)
+                )
+            if best is None or size < best:
+                best = size
+        return best
+
+
+# Typed sort-key tags: integers order before strings so each segment of
+# the sorted key list is internally same-typed (and thus comparable).
+_INT_TAG = 0
+_STR_TAG = 1
+
+
+def _typed_key(normalized) -> Tuple[int, object]:
+    if isinstance(normalized, int):
+        return (_INT_TAG, normalized)
+    return (_STR_TAG, str(normalized))
+
 
 class OrderingIndex:
-    """Sorted-value index answering ordering (range) assertions."""
+    """Sorted-value index answering ordering (range) assertions.
+
+    Keys are syntax-aware: an integer-syntax attribute sorts its values
+    numerically (``9 < 10``), not by their string form (``"10" < "9"``).
+    Values whose normalization degrades to a string (schema-violating
+    data under an integer syntax) live in a separate key segment; range
+    lookups include the *whole* other segment, because
+    :func:`repro.ldap.matching.compare_values` falls back to string
+    comparison for mixed types and either side of the range could match.
+    With clean data the other segment is empty and lookups are exact.
+    """
 
     def __init__(self, atype: AttributeType):
         self._atype = atype
-        # Parallel sorted structures; values stringified so mixed
-        # normalizations stay comparable.
-        self._keys: List[Tuple[str, int]] = []
+        # Parallel sorted structures keyed (type tag, value, tiebreak).
+        self._keys: List[Tuple[int, object, int]] = []
         self._dns: List[DN] = []
         self._counter = 0
 
-    def _key(self, value: str) -> str:
-        return str(self._atype.normalize(value))
+    def _key(self, value: str) -> Tuple[int, object]:
+        return _typed_key(self._atype.normalize(value))
 
     def insert(self, dn: DN, values: Iterable[str]) -> None:
         for value in values:
-            key = (self._key(value), self._counter)
+            tag, norm = self._key(value)
+            key = (tag, norm, self._counter)
             self._counter += 1
             pos = bisect.bisect_left(self._keys, key)
             self._keys.insert(pos, key)
@@ -133,22 +251,46 @@ class OrderingIndex:
 
     def remove(self, dn: DN, values: Iterable[str]) -> None:
         for value in values:
-            target = self._key(value)
-            pos = bisect.bisect_left(self._keys, (target, -1))
-            while pos < len(self._keys) and self._keys[pos][0] == target:
+            tag, norm = self._key(value)
+            pos = bisect.bisect_left(self._keys, (tag, norm, -1))
+            while pos < len(self._keys) and self._keys[pos][:2] == (tag, norm):
                 if self._dns[pos] == dn:
                     del self._keys[pos]
                     del self._dns[pos]
                     break
                 pos += 1
 
+    def _segment(self, tag: int) -> Tuple[int, int]:
+        """[start, end) positions of the keys sharing *tag*."""
+        start = bisect.bisect_left(self._keys, (tag,))
+        end = bisect.bisect_left(self._keys, (tag + 1,))
+        return start, end
+
     def greater_or_equal(self, value: str) -> Set[DN]:
-        pos = bisect.bisect_left(self._keys, (self._key(value), -1))
-        return set(self._dns[pos:])
+        tag, norm = self._key(value)
+        start, _end = self._segment(tag)
+        pos = bisect.bisect_left(self._keys, (tag, norm, -1))
+        # In-segment range plus every differently-typed key (mixed-type
+        # comparisons degrade to strings and may match either way).
+        return set(self._dns[:start]) | set(self._dns[pos:])
 
     def less_or_equal(self, value: str) -> Set[DN]:
-        pos = bisect.bisect_right(self._keys, (self._key(value), 1 << 62))
-        return set(self._dns[:pos])
+        tag, norm = self._key(value)
+        _start, end = self._segment(tag)
+        pos = bisect.bisect_right(self._keys, (tag, norm, self._counter))
+        return set(self._dns[:pos]) | set(self._dns[end:])
+
+    def estimate_greater_or_equal(self, value: str) -> int:
+        tag, norm = self._key(value)
+        start, _end = self._segment(tag)
+        pos = bisect.bisect_left(self._keys, (tag, norm, -1))
+        return start + (len(self._keys) - pos)
+
+    def estimate_less_or_equal(self, value: str) -> int:
+        tag, norm = self._key(value)
+        _start, end = self._segment(tag)
+        pos = bisect.bisect_right(self._keys, (tag, norm, self._counter))
+        return pos + (len(self._keys) - end)
 
 
 class AttributeIndexSet:
@@ -157,12 +299,14 @@ class AttributeIndexSet:
     def __init__(self, atype: AttributeType, ngram: int = 3):
         self.atype = atype
         self.equality = EqualityIndex(atype)
+        self.presence = PresenceIndex()
         self.substring = SubstringIndex(atype, ngram)
         self.ordering = OrderingIndex(atype) if atype.ordered else None
 
     def insert(self, dn: DN, values: Iterable[str]) -> None:
         values = list(values)
         self.equality.insert(dn, values)
+        self.presence.insert(dn, values)
         self.substring.insert(dn, values)
         if self.ordering is not None:
             self.ordering.insert(dn, values)
@@ -170,6 +314,7 @@ class AttributeIndexSet:
     def remove(self, dn: DN, values: Iterable[str]) -> None:
         values = list(values)
         self.equality.remove(dn, values)
+        self.presence.remove(dn, values)
         self.substring.remove(dn, values)
         if self.ordering is not None:
             self.ordering.remove(dn, values)

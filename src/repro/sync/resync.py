@@ -102,9 +102,20 @@ class ResyncProvider:
         deliver = self._persist_callbacks.get(session.session_id)
         if deliver is None:
             return
-        queued, session.persist_queue = session.persist_queue, []
-        for update in queued:
-            deliver(update)
+        if session.draining:
+            # Reentrant call: a deliver callback triggered a master
+            # update, which re-entered on_update mid-delivery.  The new
+            # notification is already queued; the outer drain loop picks
+            # it up after the in-flight batch, preserving order.
+            return
+        session.draining = True
+        try:
+            while session.persist_queue:
+                queued, session.persist_queue = session.persist_queue, []
+                for update in queued:
+                    deliver(update)
+        finally:
+            session.draining = False
 
     # ------------------------------------------------------------------
     # request handling

@@ -14,11 +14,18 @@ pending        new action      result
 =============  ==============  =========================
 (none)         any             that action
 ADD            MODIFY          ADD with the newer entry
-ADD            DELETE          (nothing — never seen)
+ADD            DELETE          (nothing) / DELETE¹
 MODIFY         MODIFY          MODIFY with newer entry
 MODIFY         DELETE          DELETE
 DELETE         ADD             ADD (replica upserts)
 =============  ==============  =========================
+
+¹ A pending ADD cancelled by a DELETE nets to nothing only when the
+consumer never saw the entry.  If the consumer *holds* it (it was in a
+previously delivered batch, left the content and re-entered since the
+last poll), the net action is a DELETE — dropping it would strand the
+entry at the replica.  The session tracks the delivered state to tell
+the two cases apart.
 
 Sessions are identified by opaque cookies and expire after
 ``idle_limit`` polls of global session-store activity without being
@@ -53,7 +60,19 @@ class Session:
         self._unacked: Dict[DN, SyncUpdate] = {}
         # DNs the consumer holds, assuming it applied everything sent.
         self.content_dns: Set[DN] = set()
+        # DNs actually *delivered* to the consumer (initial content plus
+        # served batches).  Unlike content_dns — which tracks the
+        # master-side content eagerly, pending updates included — this
+        # only advances when a batch is built, so the coalescer can tell
+        # "the consumer never saw this entry" from "it left and
+        # re-entered content since the last poll".
+        self._delivered: Set[DN] = set()
         self.persist_queue: Optional[List[SyncUpdate]] = None
+        # True while the provider is delivering this session's persist
+        # queue — a deliver callback that triggers another master update
+        # must enqueue, not re-enter the delivery loop (see
+        # ResyncProvider._flush_persist).
+        self.draining = False
         self.polls = 0
         self.generation = 0
         self.last_active_tick = 0
@@ -95,6 +114,7 @@ class Session:
             # Persist mode: notifications flow immediately, no coalescing.
             self.persist_queue.append(update)
             self._track_content(update)
+            self._track_delivered(update)
             return
         pending = self._pending.get(update.dn)
         merged = self._coalesce(pending, update)
@@ -110,14 +130,25 @@ class Session:
         elif update.action in (SyncAction.ADD, SyncAction.MODIFY):
             self.content_dns.add(update.dn)
 
-    @staticmethod
+    def _track_delivered(self, update: SyncUpdate) -> None:
+        if update.action is SyncAction.DELETE:
+            self._delivered.discard(update.dn)
+        else:
+            self._delivered.add(update.dn)
+
     def _coalesce(
-        pending: Optional[SyncUpdate], new: SyncUpdate
+        self, pending: Optional[SyncUpdate], new: SyncUpdate
     ) -> Optional[SyncUpdate]:
         if pending is None:
             return new
         if new.action is SyncAction.DELETE:
             if pending.action is SyncAction.ADD:
+                if new.dn in self._delivered:
+                    # The consumer holds the entry: it left the content
+                    # (DELETE, coalesced with a later re-entry into this
+                    # pending ADD) and is leaving again — the net effect
+                    # since the last poll is a DELETE.
+                    return new
                 return None  # consumer never saw this entry
             return new
         # new carries an entry (add/modify)
@@ -145,6 +176,8 @@ class Session:
         self._unacked = dict(self._pending)
         self._pending.clear()
         updates = self._sorted(self._unacked)
+        for update in updates:
+            self._track_delivered(update)
         self.generation += 1
         self.polls += 1
         return updates
@@ -184,7 +217,10 @@ class Session:
             self._unacked[dn] = merged
         self._pending.clear()
         self.polls += 1
-        return self._sorted(self._unacked)
+        updates = self._sorted(self._unacked)
+        for update in updates:
+            self._track_delivered(update)
+        return updates
 
     @staticmethod
     def _sorted(batch: Dict[DN, SyncUpdate]) -> List[SyncUpdate]:
@@ -195,6 +231,7 @@ class Session:
     def seed_content(self, entries: List[Entry]) -> None:
         """Record the initial content sent on the session's first poll."""
         self.content_dns = {e.dn for e in entries}
+        self._delivered = {e.dn for e in entries}
 
     @property
     def pending_count(self) -> int:

@@ -111,3 +111,47 @@ def test_validator_rejects_broken_payloads(tmp_path):
         problems = validator.validate_file(path)
         assert problems, f"expected a failure mentioning {fragment!r}"
         assert any(fragment in p for p in problems)
+
+
+def test_baseline_diff_gates_regression_sensitive_metrics():
+    validator = _load_validator()
+    baseline = {
+        "round_trips": 100,
+        "baseline_avg_ms": 10.0,
+        "searches_per_s": 500.0,
+        "qc_cache_hits": 50,
+        "zero_elapsed_s": 0,
+    }
+    # Within tolerance, improvements, non-gated churn, zero baselines: ok.
+    ok = {
+        "round_trips": 110,  # +10% < 20%
+        "baseline_avg_ms": 2.0,  # improvement
+        "searches_per_s": 900.0,  # improvement
+        "qc_cache_hits": 5000,  # informational, not gated
+        "zero_elapsed_s": 3,  # baseline 0: no ratio, skipped
+    }
+    assert validator.diff_metrics(ok, baseline, 0.20) == []
+
+    regressed = {
+        "round_trips": 130,  # +30%
+        "baseline_avg_ms": 13.0,  # +30%
+        "searches_per_s": 300.0,  # -40%
+    }
+    problems = validator.diff_metrics(regressed, baseline, 0.20)
+    assert len(problems) == 3
+    assert any("round_trips" in p for p in problems)
+    assert any("baseline_avg_ms" in p for p in problems)
+    assert any("searches_per_s" in p for p in problems)
+
+
+def test_baseline_diff_fails_on_missing_current_result(tmp_path):
+    validator = _load_validator()
+    baselines = tmp_path / "baselines"
+    results = tmp_path / "results"
+    baselines.mkdir()
+    results.mkdir()
+    payload = {"bench": "sample", "params": {}, "metrics": {"round_trips": 1}}
+    (baselines / "sample.json").write_text(json.dumps(payload))
+    assert validator.diff_against_baselines(str(results), str(baselines), 0.20) == 1
+    (results / "sample.json").write_text(json.dumps(payload))
+    assert validator.diff_against_baselines(str(results), str(baselines), 0.20) == 0

@@ -116,14 +116,33 @@ class TestCandidates:
         cands = store.candidates_for(parse_filter("(&(objectClass=person)(sn=beta))"))
         assert cands == {DN.parse("cn=b,c=us,o=xyz")}
 
-    def test_or_not_narrowed(self, store):
-        assert store.candidates_for(parse_filter("(|(sn=beta)(sn=alpha))")) is None
+    def test_or_unions_children(self, store):
+        cands = store.candidates_for(parse_filter("(|(sn=beta)(sn=alpha))"))
+        assert cands == {
+            DN.parse("cn=a,c=us,o=xyz"),
+            DN.parse("cn=b,c=us,o=xyz"),
+        }
+        assert store.plan_for(parse_filter("(|(sn=beta)(sn=alpha))")).strategy == "union"
 
-    def test_presence_not_narrowed(self, store):
-        assert store.candidates_for(parse_filter("(sn=*)")) is None
+    def test_presence_uses_presence_index(self, store):
+        # The store is tiny, so the planner returns the presence set
+        # rather than degrading to a scan (see SearchPlanner.MIN_SCAN_SIZE).
+        plan = store.plan_for(parse_filter("(sn=*)"))
+        assert plan.strategy == "presence"
+        assert plan.candidates == {
+            DN.parse("cn=a,c=us,o=xyz"),
+            DN.parse("cn=b,c=us,o=xyz"),
+            DN.parse("cn=x,cn=a,c=us,o=xyz"),
+        }
 
     def test_not_not_narrowed(self, store):
         assert store.candidates_for(parse_filter("(!(sn=beta))")) is None
+        assert store.plan_for(parse_filter("(!(sn=beta))")).strategy == "scan"
+
+    def test_missing_attribute_is_absent(self, store):
+        plan = store.plan_for(parse_filter("(nosuchattr=x)"))
+        assert plan.strategy == "absent"
+        assert plan.candidates == set()
 
 
 # ----------------------------------------------------------------------

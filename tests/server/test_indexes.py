@@ -46,10 +46,21 @@ class TestSubstringIndex:
         assert dn(1) in cands
         assert dn(2) not in cands
 
-    def test_short_component_unusable(self):
+    def test_short_component_falls_back_to_gram_scan(self):
         idx = SubstringIndex(AttributeType("sn"))
         idx.insert(dn(1), ["abc"])
-        assert idx.candidates(["ab"]) is None  # below trigram size
+        idx.insert(dn(2), ["xyz"])
+        # "ab" is below the trigram size; the gram-vocabulary fallback
+        # still prunes to the values whose grams contain it.
+        assert idx.candidates(["ab"]) == {dn(1)}
+        assert idx.candidates(["yz"]) == {dn(2)}
+        assert idx.candidates(["q"]) == set()
+
+    def test_short_value_matches_short_component(self):
+        idx = SubstringIndex(AttributeType("sn"))
+        idx.insert(dn(1), ["ab"])  # shorter than the gram size itself
+        assert dn(1) in idx.candidates(["a"])
+        assert dn(1) in idx.candidates(["ab"])
 
     def test_multiple_components_intersect(self):
         idx = SubstringIndex(AttributeType("x"))
@@ -77,14 +88,28 @@ class TestOrderingIndex:
         assert idx.greater_or_equal("beta") == {dn(1), dn(2)}
         assert idx.less_or_equal("beta") == {dn(0), dn(1)}
 
-    def test_integer_syntax_ordering(self):
+    def test_integer_syntax_orders_numerically(self):
+        # Regression: the old index sorted stringified keys, so "9" > "10"
+        # lexicographically and numeric ranges got wrong-shaped candidates.
         idx = OrderingIndex(AttributeType("age", syntax=Syntax.INTEGER))
         idx.insert(dn(1), ["9"])
         idx.insert(dn(2), ["10"])
-        # string normalization of normalized ints: "10" < "9"
-        # the index stringifies, so this documents the conservative
-        # superset behaviour — matching re-verifies numerically.
-        assert dn(2) in idx.greater_or_equal("10") or dn(2) in idx.less_or_equal("10")
+        idx.insert(dn(3), ["100"])
+        assert idx.greater_or_equal("10") == {dn(2), dn(3)}
+        assert idx.less_or_equal("10") == {dn(1), dn(2)}
+        assert idx.greater_or_equal("9") == {dn(1), dn(2), dn(3)}
+        assert idx.less_or_equal("9") == {dn(1)}
+
+    def test_integer_syntax_mixed_values_stay_sound(self):
+        # A schema-violating non-numeric value under an integer syntax
+        # lands in the string segment; range lookups must keep it as a
+        # candidate because matching degrades to string comparison.
+        idx = OrderingIndex(AttributeType("age", syntax=Syntax.INTEGER))
+        idx.insert(dn(1), ["9"])
+        idx.insert(dn(2), ["unknown"])
+        assert dn(2) in idx.greater_or_equal("10")
+        assert dn(2) in idx.less_or_equal("10")
+        assert idx.estimate_greater_or_equal("10") >= 1
 
     def test_remove_specific_value(self):
         idx = OrderingIndex(AttributeType("sn"))

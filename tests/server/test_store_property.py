@@ -9,10 +9,24 @@ rests on.
 from hypothesis import given, settings, strategies as st
 
 from repro.ldap import DN, Entry, Scope, matches, parse_filter
-from repro.server import EntryStore
+from repro.ldap.filters import (
+    And,
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Substring,
+)
+from repro.ldap.matching import compile_filter
+from repro.server import EntryStore, SearchPlan
 
 NAMES = [f"e{i}" for i in range(8)]
 VALUES = ["aa", "ab", "ba", "bb", "ccc"]
+# Integer-syntax values per sn value — includes the "9" vs "10" pair the
+# old lexicographic OrderingIndex got wrong, plus a schema violator.
+AGES = {"aa": "7", "ab": "9", "ba": "10", "bb": "41", "ccc": "oops"}
 
 _ops = st.lists(
     st.one_of(
@@ -52,6 +66,76 @@ def test_index_scan_agreement(ops, probe):
         candidates = store.candidates_for(flt)
         if candidates is not None:
             assert truth <= candidates, f"index dropped a match for {flt_text}"
+
+
+# ----------------------------------------------------------------------
+# planner property: candidates ⊇ brute-force matches for random trees
+# ----------------------------------------------------------------------
+def _leaf_predicates():
+    preds = []
+    for attr, values in (
+        ("sn", VALUES),
+        ("age", ["7", "9", "10", "41", "100", "oops"]),
+        ("nosuchattr", ["zz"]),
+    ):
+        preds.append(Present(attr))
+        for value in values:
+            preds.append(Equality(attr, value))
+            preds.append(GreaterOrEqual(attr, value))
+            preds.append(LessOrEqual(attr, value))
+        preds.append(Substring(attr, initial=values[0][:1]))
+        preds.append(Substring(attr, any_parts=(values[-1][-2:],)))
+    return preds
+
+
+_filter_trees = st.recursive(
+    st.sampled_from(_leaf_predicates()),
+    lambda children: st.one_of(
+        st.lists(children, min_size=1, max_size=3).map(lambda cs: And(tuple(cs))),
+        st.lists(children, min_size=1, max_size=3).map(lambda cs: Or(tuple(cs))),
+        children.map(Not),
+    ),
+    max_leaves=6,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_ops, _filter_trees)
+def test_planner_superset_property(ops, flt):
+    """Plan candidates are supersets of brute force for random AND/OR/NOT
+    trees, and the compiled filter agrees with the interpreter."""
+    store = EntryStore()
+    root = DN.parse("o=xyz")
+    store.register_root(root)
+    store.put(Entry(root, {"objectClass": ["organization"], "o": "xyz"}))
+
+    for op, name, value in ops:
+        dn = root.child(f"cn={name}")
+        if op == "put":
+            store.put(
+                Entry(
+                    dn,
+                    {
+                        "objectClass": ["person"],
+                        "cn": name,
+                        "sn": value,
+                        "age": AGES[value],
+                    },
+                )
+            )
+        else:
+            store.delete(dn)
+
+    truth = {e.dn for e in store.all_entries() if matches(flt, e)}
+    plan = store.plan_for(flt)
+    assert plan.strategy in SearchPlan.STRATEGIES
+    if plan.candidates is not None:
+        missing = truth - plan.candidates
+        assert not missing, f"plan {plan.strategy} dropped {missing} for {flt}"
+
+    compiled = compile_filter(flt)
+    for entry in store.all_entries():
+        assert compiled(entry) == matches(flt, entry), f"compile mismatch for {flt}"
 
 
 @settings(max_examples=100, deadline=None)

@@ -193,6 +193,34 @@ class TestPersistMode:
         assert content.matches_master(tiny_master)
         handle.abandon()
 
+    def test_update_from_inside_callback_keeps_order(self, tiny_master, dept42):
+        """A deliver callback triggering a master update must not re-enter
+        the delivery loop mid-batch (reentrancy regression).
+
+        A rename queues delete+add in one batch; the callback reacts to
+        the delete by modifying another in-content entry.  The triggered
+        notification must arrive *after* the in-flight batch, not
+        interleaved into it.
+        """
+        provider = ResyncProvider(tiny_master)
+        notes = []
+
+        def deliver(update):
+            notes.append(update)
+            if update.action is SyncAction.DELETE and len(notes) == 1:
+                tiny_master.modify(
+                    "cn=E2,c=us,o=xyz", [Modification.replace("title", "X")]
+                )
+
+        _response, handle = provider.persist(dept42, deliver)
+        tiny_master.modify_dn("cn=E3,c=us,o=xyz", new_rdn="cn=E5")
+        assert [(u.action.value, str(u.dn)) for u in notes] == [
+            ("delete", "cn=E3,c=us,o=xyz"),
+            ("add", "cn=E5,c=us,o=xyz"),
+            ("modify", "cn=E2,c=us,o=xyz"),
+        ]
+        handle.abandon()
+
 
 class TestFigure3Scenario:
     """The complete message sequence chart of Figure 3."""

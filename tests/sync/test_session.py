@@ -62,6 +62,30 @@ class TestCoalescing:
         session.observe(True, False, dn("a"), dn("a"), None)
         assert session.drain() == []
 
+    def test_delivered_entry_leaving_and_reentering_keeps_delete(self, session):
+        """Regression: delete+add+delete of a *delivered* entry must net
+        to a DELETE, not vanish.
+
+        The ADD+DELETE→nothing rule only holds for entries the consumer
+        never saw.  An entry from the initial content that leaves the
+        filtered content, re-enters (DELETE coalesced with ADD → ADD)
+        and leaves again must still emit a DELETE, or the replica keeps
+        a stale copy forever.
+        """
+        session.seed_content([entry("a")])
+        session.observe(True, False, dn("a"), dn("a"), None)  # leaves
+        session.observe(False, True, dn("a"), dn("a"), entry("a"))  # re-enters
+        session.observe(True, False, dn("a"), dn("a"), None)  # leaves again
+        assert [u.action for u in session.drain()] == [SyncAction.DELETE]
+
+    def test_undelivered_entry_entering_and_leaving_still_vanishes(self, session):
+        """The counterpart: an entry the consumer never received that
+        enters and leaves between polls generates no traffic at all."""
+        session.seed_content([entry("b")])
+        session.observe(False, True, dn("a"), dn("a"), entry("a"))
+        session.observe(True, False, dn("a"), dn("a"), None)
+        assert session.drain() == []
+
     def test_modify_then_delete_is_delete(self, session):
         session.observe(True, True, dn("a"), dn("a"), entry("a"))
         session.observe(True, False, dn("a"), dn("a"), None)
