@@ -19,10 +19,8 @@ from repro.core import (
     TemplateRegistry,
     filter_contained_in,
     general_contained_in,
-    query_contained_in,
     template_key,
 )
-from repro.workload import QueryType
 
 from .common import BenchEnv, block_filter, hot_blocks, report
 

@@ -9,7 +9,6 @@ replica hit answers in one round trip.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.ldap import Entry, Scope, SearchRequest
 from repro.server import DistributedDirectory, LdapClient

@@ -8,7 +8,6 @@ poll cycle (the protocol's steady-state unit of work).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.ldap import Entry, Scope, SearchRequest
 from repro.server import DirectoryServer, Modification

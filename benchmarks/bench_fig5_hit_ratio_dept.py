@@ -20,7 +20,7 @@ from repro.core import FilterSelector, Generalizer, IdentityGeneralization
 from repro.metrics import ReplicaDriver
 from repro.workload import QueryType
 
-from .common import BenchEnv, report, run_filter_point, run_subtree_point
+from .common import BenchEnv, report, run_filter_point
 
 DEPT_TEMPLATE = "(&(departmentnumber=_)(divisionnumber=_)(objectclass=department))"
 

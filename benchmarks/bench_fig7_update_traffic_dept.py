@@ -16,7 +16,7 @@ from repro.core import FilterSelector, Generalizer, IdentityGeneralization
 from repro.metrics import ReplicaDriver
 from repro.workload import QueryType
 
-from .common import BenchEnv, report, run_filter_point, run_subtree_point
+from .common import BenchEnv, report, run_filter_point
 
 DEPT_TEMPLATE = "(&(departmentnumber=_)(divisionnumber=_)(objectclass=department))"
 UPDATES_PER_QUERY = 0.3
@@ -143,7 +143,6 @@ def test_fig7_update_traffic_vs_hit_ratio_dept(benchmark, env: BenchEnv, fig7_ro
 
     # Timed unit: answering a department query against a loaded replica.
     from repro.core import FilterReplica
-    from repro.ldap import Scope, SearchRequest
     from repro.server import SimulatedNetwork
     from repro.sync import ResyncProvider
 

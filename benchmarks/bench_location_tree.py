@@ -9,7 +9,6 @@ replica size."
 
 from __future__ import annotations
 
-import pytest
 
 from repro.ldap import Scope, SearchRequest
 from repro.workload import QueryType

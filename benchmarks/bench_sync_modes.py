@@ -19,7 +19,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import FilterReplica
-from repro.ldap import Scope, SearchRequest
 from repro.server import SimulatedNetwork
 from repro.sync import ResyncProvider
 from repro.workload import QueryType

@@ -8,7 +8,6 @@ every downstream figure weights the per-type results by it.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.workload import QueryType, WorkloadConfig, WorkloadGenerator
 

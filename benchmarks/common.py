@@ -31,15 +31,10 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core import (
-    FilterReplica,
-    FilterSelector,
-    Generalizer,
-    SubtreeReplica,
-)
+from repro.core import FilterReplica, FilterSelector, SubtreeReplica
 from repro.core.containment import containment_cache_metrics
 from repro.ldap import Scope, SearchRequest
 from repro.metrics import ExperimentResult, ReplicaDriver
@@ -54,7 +49,7 @@ from repro.workload import (
     WorkloadGenerator,
     generate_directory,
 )
-from repro.workload.updates import UpdateConfig, UpdateGenerator
+from repro.workload.updates import UpdateGenerator
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence, TextIO
+from typing import Optional, Sequence, TextIO
 
 from .core import FilterReplica, SubtreeReplica
 from .ldap import Scope, SearchRequest, entries_to_ldif

@@ -32,7 +32,7 @@ single-valued by schema.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..ldap.attributes import AttributeRegistry, AttributeType, DEFAULT_REGISTRY
 from ..ldap.filters import (

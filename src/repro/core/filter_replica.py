@@ -23,8 +23,8 @@ per query; ``containment_checks`` counts the comparisons actually made
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..ldap.dn import DN
 from ..ldap.entry import Entry

@@ -26,7 +26,7 @@ queries, which feed :mod:`repro.core.selection`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
+from typing import Iterable, List, Optional, Protocol, Tuple
 
 from ..ldap.filters import (
     And,

@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..ldap.entry import Entry
-from ..ldap.query import SearchRequest
 from ..server.operations import Referral
 
 __all__ = ["AnswerStatus", "ReplicaAnswer", "HitStats"]

@@ -23,7 +23,7 @@ in Figure 7 and controlled by the revolution interval R.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..ldap.query import SearchRequest
 from ..obs.tracing import span

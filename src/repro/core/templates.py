@@ -26,7 +26,7 @@ template set are replicated and answered; everything else is referred.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Type
+from typing import Dict, Iterable, List, Optional, Tuple, Type
 
 from ..ldap.filter_parser import parse_filter
 from ..ldap.filters import (
@@ -41,7 +41,6 @@ from ..ldap.filters import (
     Predicate,
     Present,
     Substring,
-    iter_predicates,
     simplify,
     template_of,
 )

@@ -25,7 +25,7 @@ works out of the box on schemaless data.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 __all__ = [

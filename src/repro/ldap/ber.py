@@ -21,8 +21,7 @@ for every element implemented.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 from .dn import DN
 from .entry import Entry

@@ -14,7 +14,7 @@ every filter ``f`` built from parsed input (property-tested).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from .filters import (
     And,

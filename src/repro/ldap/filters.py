@@ -28,7 +28,7 @@ Every node renders back to RFC 2254 text via ``str()`` and to the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, List, Sequence, Tuple, Union
+from typing import FrozenSet, Iterator, List, Tuple
 
 __all__ = [
     "Filter",

@@ -13,8 +13,8 @@ containment algorithm ``QC`` of §4 assumes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Union
 
 from .dn import DN
 from .entry import Entry

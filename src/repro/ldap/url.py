@@ -12,7 +12,7 @@ attribute/scope/filter query components.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 from urllib.parse import quote, unquote
 

@@ -30,16 +30,16 @@ docs/ALGORITHMS.md §1–§3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Union
+from typing import Callable, Dict, Optional, Union
 
 from ..core.filter_replica import FilterReplica
-from ..core.replica import AnswerStatus, ReplicaAnswer
+from ..core.replica import AnswerStatus
 from ..core.selection import FilterSelector
 from ..core.subtree_replica import SubtreeReplica
 from ..ldap.query import SearchRequest
 from ..server.directory import DirectoryServer
-from ..server.network import SimulatedNetwork, TrafficStats
-from ..workload.trace import QueryRecord, Trace
+from ..server.network import SimulatedNetwork
+from ..workload.trace import Trace
 from ..workload.updates import UpdateGenerator
 
 __all__ = ["ExperimentResult", "ReplicaDriver"]

@@ -23,7 +23,12 @@ logical metric fans out into per-dimension series.
 A :class:`MetricsRegistry` is the unit of isolation — every
 :class:`~repro.server.network.SimulatedNetwork` and
 :class:`~repro.server.directory.DirectoryServer` owns one, so parallel
-experiments never share counters.  Exporters: :meth:`~MetricsRegistry.to_dict`
+experiments never share counters.  Fault injection
+(``net.fault.*``, :mod:`repro.server.faults`) and consumer resilience
+(``sync.resilient.*``, :mod:`repro.sync.resilient`) record into the
+owning network's registry under this same scheme — the per-``kind``
+fault series are label children, per docs/PROTOCOL.md §9.
+Exporters: :meth:`~MetricsRegistry.to_dict`
 (JSON-friendly), :meth:`~MetricsRegistry.to_prometheus_text`
 (Prometheus exposition format, dots mapped to underscores), and
 :meth:`~MetricsRegistry.snapshot` with :func:`snapshot_diff` for

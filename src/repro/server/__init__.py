@@ -9,7 +9,18 @@ from .backend import EntryStore
 from .client import ChasedResult, LdapClient, ReferralLimitExceeded
 from .connection import BindState, Connection, ConnectionError_, connect
 from .directory import DirectoryServer, NamingContext, UpdateListener
-from .network import SimulatedNetwork, TrafficStats
+from .faults import ExchangeFaults, FaultPlan, FaultSpec, FaultyNetwork
+from .network import (
+    Delivery,
+    OperationTimeout,
+    RequestDropped,
+    ResponseDropped,
+    ResponseTruncated,
+    ServerUnavailable,
+    SimulatedNetwork,
+    TrafficStats,
+    TransportError,
+)
 from .operations import (
     LdapError,
     Modification,
@@ -39,6 +50,17 @@ __all__ = [
     "ReferralLimitExceeded",
     "SimulatedNetwork",
     "TrafficStats",
+    "Delivery",
+    "TransportError",
+    "RequestDropped",
+    "ResponseDropped",
+    "ResponseTruncated",
+    "ServerUnavailable",
+    "OperationTimeout",
+    "FaultSpec",
+    "FaultPlan",
+    "ExchangeFaults",
+    "FaultyNetwork",
     "DistributedDirectory",
     "make_referral_entry",
     "LdapError",

@@ -14,7 +14,7 @@ bench for Figure 2 counts the four round trips of the paper's example.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from ..ldap.entry import Entry
 from ..ldap.query import SearchRequest

@@ -55,7 +55,7 @@ class Connection:
         self.bound_dn: Optional[DN] = None
         self._persist_handles: List[object] = []
         if network is not None:
-            network.connection_opened()
+            network.connection_opened(self)
 
     # ------------------------------------------------------------------
     # connect / disconnect operations
@@ -98,7 +98,19 @@ class Connection:
         self.state = BindState.CLOSED
         self.bound_dn = None
         if self.network is not None:
-            self.network.connection_closed()
+            self.network.connection_closed(self)
+
+    def drop(self) -> None:
+        """The server side died (crash window): the connection closes
+        under the client, without an unbind exchange.
+
+        Outstanding persistent searches are abandoned locally — their
+        server-side sessions died with the server — and the network's
+        open-connection accounting is decremented exactly once, so a
+        crash never leaks ``net.connections.open``.  Idempotent, like
+        :meth:`unbind`.
+        """
+        self.unbind()
 
     def abandon_all(self) -> None:
         """Abandon outstanding (persistent) operations, keep the

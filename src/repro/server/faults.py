@@ -1,0 +1,429 @@
+"""Deterministic fault injection over the simulated network.
+
+The paper sells ReSync (§5) on *convergence*: a cookie-based session
+drives a filter replica back to exact master content even when sessions
+are interrupted mid-stream.  The base
+:class:`~repro.server.network.SimulatedNetwork` is a perfect counting
+bus, so that claim would only ever be tested on a perfect network; this
+module makes the network hostile, reproducibly.
+
+* :class:`FaultSpec` — declarative per-exchange fault probabilities
+  (drops, duplication, delay, truncation, crash windows, cookie
+  invalidation).
+* :class:`FaultPlan` — a seeded, replayable schedule of fault
+  decisions.  Decision *i* is derived from ``(seed, i)`` alone, so two
+  runs with the same seed see byte-identical fault sequences no matter
+  how many random values each decision consumes.
+* :class:`FaultyNetwork` — a :class:`SimulatedNetwork` whose exchange
+  hooks consult the plan.  Every injected fault is recorded under the
+  ``net.fault.injected`` counter (plus a ``kind``-labeled child per
+  fault kind) in the network's metrics registry, so benches can report
+  fault counts next to round trips.
+
+Fault semantics (docs/PROTOCOL.md §9):
+
+==================  ====================================================
+fault               effect on one synchronization exchange
+==================  ====================================================
+drop_request        request lost before the server saw it
+                    (:class:`RequestDropped`; no server-side effect)
+drop_response       server processed the poll — the session's batch was
+                    drained — but the response was lost
+                    (:class:`ResponseDropped`)
+duplicate           the response arrives twice (two
+                    :class:`~repro.server.network.Delivery` copies);
+                    consumers must re-apply idempotently
+delay               the response arrives late; consumers with a
+                    per-operation timeout treat it as lost
+truncate            the update stream is cut mid-delivery; the prefix
+                    travels in :class:`ResponseTruncated`, the cookie
+                    (which travels last) does not
+crash               the server crashes: in-memory session state is lost
+                    (``provider.restart()``), open connections drop, and
+                    the server stays unreachable for ``crash_length``
+                    further exchanges (:class:`ServerUnavailable`)
+cookie_invalidate   the presented session cookie is expired server-side
+                    (or corrupted in flight) — the provider answers with
+                    :class:`~repro.sync.SyncProtocolError`, exercising
+                    §5's reload recovery path
+==================  ====================================================
+
+Persist-mode notification streams get their own decision stream
+(``notification_drop`` / ``notification_duplicate``), applied by the
+:meth:`FaultyNetwork.wrap_deliver` wrapper around the consumer's
+deliver callback.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs.registry import MetricsRegistry
+from .network import (
+    Delivery,
+    RequestDropped,
+    ResponseDropped,
+    ResponseTruncated,
+    ServerUnavailable,
+    SimulatedNetwork,
+)
+
+__all__ = ["FaultSpec", "FaultPlan", "ExchangeFaults", "FaultyNetwork"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-exchange fault probabilities (all in ``[0, 1]``).
+
+    ``crash_length`` is the number of subsequent exchanges the crashed
+    server stays unreachable for (the restart window).
+    """
+
+    drop_request: float = 0.0
+    drop_response: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_delay_ms: float = 1000.0
+    truncate: float = 0.0
+    cookie_invalidate: float = 0.0
+    crash: float = 0.0
+    crash_length: int = 2
+    notification_drop: float = 0.0
+    notification_duplicate: float = 0.0
+
+    def __post_init__(self):
+        for name in (
+            "drop_request",
+            "drop_response",
+            "duplicate",
+            "delay",
+            "truncate",
+            "cookie_invalidate",
+            "crash",
+            "notification_drop",
+            "notification_duplicate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value!r}")
+        if self.crash_length < 1:
+            raise ValueError("crash_length must be >= 1")
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides) -> "FaultSpec":
+        """Every message-level fault at the same *rate* (the bench's
+        one-knob sweep); crash/cookie faults default to ``rate / 4`` so
+        a high-rate sweep is not dominated by restart windows."""
+        params = dict(
+            drop_request=rate,
+            drop_response=rate,
+            duplicate=rate,
+            delay=rate,
+            truncate=rate,
+            cookie_invalidate=rate / 4,
+            crash=rate / 4,
+            notification_drop=rate,
+            notification_duplicate=rate,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+
+@dataclass(frozen=True)
+class ExchangeFaults:
+    """The fault decisions for one synchronization exchange."""
+
+    crash: bool = False
+    cookie_invalidate: bool = False
+    drop_request: bool = False
+    drop_response: bool = False
+    truncate: bool = False
+    truncate_keep: float = 0.0
+    duplicate: bool = False
+    delay_ms: float = 0.0
+
+    @property
+    def any(self) -> bool:
+        return (
+            self.crash
+            or self.cookie_invalidate
+            or self.drop_request
+            or self.drop_response
+            or self.truncate
+            or self.duplicate
+            or self.delay_ms > 0
+        )
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of fault decisions.
+
+    Exchange *i*'s decisions are drawn from ``Random(f"{seed}:x{i}")``
+    and notification *j*'s from ``Random(f"{seed}:n{j}")`` — fully
+    deterministic, independent of how many prior decisions were made by
+    other code paths, and independent between the two streams.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self._exchange_index = 0
+        self._notification_index = 0
+
+    def next_exchange(self) -> ExchangeFaults:
+        """Fault decisions for the next poll/subscribe exchange."""
+        rng = random.Random(f"{self.seed}:x{self._exchange_index}")
+        self._exchange_index += 1
+        spec = self.spec
+        delay_hit = rng.random() < spec.delay
+        return ExchangeFaults(
+            crash=rng.random() < spec.crash,
+            cookie_invalidate=rng.random() < spec.cookie_invalidate,
+            drop_request=rng.random() < spec.drop_request,
+            drop_response=rng.random() < spec.drop_response,
+            truncate=rng.random() < spec.truncate,
+            truncate_keep=rng.random(),
+            duplicate=rng.random() < spec.duplicate,
+            delay_ms=rng.uniform(0.0, spec.max_delay_ms) if delay_hit else 0.0,
+        )
+
+    def next_notification(self) -> Tuple[bool, bool]:
+        """(drop, duplicate) decisions for the next pushed notification."""
+        rng = random.Random(f"{self.seed}:n{self._notification_index}")
+        self._notification_index += 1
+        return (
+            rng.random() < self.spec.notification_drop,
+            rng.random() < self.spec.notification_duplicate,
+        )
+
+
+class FaultyNetwork(SimulatedNetwork):
+    """A :class:`SimulatedNetwork` that injects faults from a
+    :class:`FaultPlan` into every synchronization exchange.
+
+    With ``plan=None`` (or after :meth:`heal`) it behaves exactly like
+    the perfect base network, so the same experiment object can run a
+    faulty phase followed by a clean convergence check.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        round_trip_latency_ms: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(
+            round_trip_latency_ms=round_trip_latency_ms, registry=registry
+        )
+        self.plan = plan
+        # server key -> remaining exchanges the server stays down for.
+        self._down_for: Dict[str, int] = {}
+        self._fault_total = self.registry.counter("net.fault.injected")
+        self._fault_delay_ms = self.registry.gauge("net.fault.delay_ms")
+
+    # ------------------------------------------------------------------
+    # plan control
+    # ------------------------------------------------------------------
+    def heal(self) -> None:
+        """Stop injecting: drop the plan and end any crash window."""
+        self.plan = None
+        self._down_for.clear()
+
+    def fault_counts(self) -> Dict[str, int]:
+        """``{fault kind: injections}`` — the ``net.fault.injected``
+        children, for bench reporting."""
+        counts: Dict[str, int] = {}
+        for instrument in self.registry:
+            if instrument.name != "net.fault.injected":
+                continue
+            labels = dict(instrument.label_values)
+            if "kind" in labels:
+                counts[labels["kind"]] = instrument.value
+        return counts
+
+    def _record(self, kind: str) -> None:
+        self._fault_total.inc()
+        self._fault_total.labels(kind=kind).inc()
+
+    # ------------------------------------------------------------------
+    # crash windows
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _server_key(provider) -> str:
+        url = getattr(getattr(provider, "server", None), "url", None)
+        return url if url is not None else f"provider:{id(provider)}"
+
+    def crash(self, provider) -> None:
+        """Crash the provider's server now, regardless of the plan —
+        for tests and benches that place crashes explicitly.  Persist
+        consumers see it through :attr:`crash_epoch` and their dropped
+        connections; pollers hit the restart window."""
+        self._crash(provider)
+
+    def _crash(self, provider) -> None:
+        """Crash the provider's server: lose in-memory session state,
+        drop its connections, open a restart window."""
+        key = self._server_key(provider)
+        self.crash_epoch += 1
+        self._record("crash")
+        self._down_for[key] = self.plan.spec.crash_length if self.plan else 1
+        restart = getattr(provider, "restart", None)
+        if restart is not None:
+            restart()
+        self.disconnect_server(key)
+
+    def _check_unavailable(self, provider) -> None:
+        """Raise while the provider's server is inside a restart window.
+
+        The attempt still costs a round trip (the client sent a request
+        and waited out its timeout).
+        """
+        key = self._server_key(provider)
+        remaining = self._down_for.get(key, 0)
+        if remaining <= 0:
+            return
+        if remaining <= 1:
+            self._down_for.pop(key, None)  # restarted after this attempt
+        else:
+            self._down_for[key] = remaining - 1
+        self.charge_round_trip()
+        self._record("unavailable")
+        raise ServerUnavailable(f"server {key} is restarting")
+
+    # ------------------------------------------------------------------
+    # exchange hooks
+    # ------------------------------------------------------------------
+    def sync_exchange(self, provider, request, control) -> List[Delivery]:
+        if self.plan is None:
+            self._check_unavailable(provider)
+            return super().sync_exchange(provider, request, control)
+        faults = self.plan.next_exchange()
+        if faults.crash:
+            self._crash(provider)
+        self._check_unavailable(provider)
+
+        if faults.cookie_invalidate and control.cookie is not None:
+            control = self._invalidate_cookie(provider, control)
+
+        if faults.drop_request:
+            self.charge_round_trip()
+            self._record("drop_request")
+            raise RequestDropped("request lost in flight")
+
+        self.charge_round_trip()
+        response = provider.handle(request, control)
+
+        if faults.drop_response:
+            self._record("drop_response")
+            raise ResponseDropped("response lost in flight")
+        if faults.truncate and response.updates:
+            self._record("truncate")
+            raise ResponseTruncated(
+                "response stream cut mid-delivery",
+                partial=self._truncated(response, faults.truncate_keep),
+            )
+
+        if faults.delay_ms > 0:
+            self._record("delay")
+            self._fault_delay_ms.inc(faults.delay_ms)
+        deliveries = [Delivery(response, delay_ms=faults.delay_ms)]
+        if faults.duplicate:
+            self._record("duplicate")
+            deliveries.append(
+                Delivery(response, delay_ms=faults.delay_ms, duplicate=True)
+            )
+        return deliveries
+
+    def persist_exchange(self, provider, request, deliver, cookie=None):
+        faults = self.plan.next_exchange() if self.plan is not None else None
+        if faults is not None and faults.crash:
+            self._crash(provider)
+        self._check_unavailable(provider)
+
+        if (
+            faults is not None
+            and faults.cookie_invalidate
+            and cookie is not None
+        ):
+            # Corrupt the resumption cookie in flight; the provider
+            # answers SyncProtocolError and the consumer re-subscribes
+            # from scratch.
+            self._record("cookie_invalidate")
+            cookie = "<invalidated>"
+
+        if faults is not None and faults.drop_request:
+            self.charge_round_trip()
+            self._record("drop_request")
+            raise RequestDropped("subscribe request lost in flight")
+
+        self.charge_round_trip()
+        response, handle = provider.persist(
+            request, self.wrap_deliver(deliver), cookie=cookie
+        )
+
+        if faults is not None and (faults.drop_response or faults.truncate):
+            # The subscription opened server-side but the client never
+            # saw the initial content: the client resets the connection,
+            # ending the half-open session (no leak), and retries.
+            handle.abandon()
+            if faults.drop_response:
+                self._record("drop_response")
+                raise ResponseDropped("initial content lost in flight")
+            self._record("truncate")
+            raise ResponseTruncated(
+                "initial content cut mid-delivery",
+                partial=self._truncated(response, faults.truncate_keep),
+            )
+        return [Delivery(response)], handle
+
+    def wrap_deliver(self, deliver: Callable) -> Callable:
+        """Apply notification-level faults to a persist deliver callback."""
+
+        def faulty_deliver(update):
+            if self.plan is None:
+                deliver(update)
+                return
+            drop, duplicate = self.plan.next_notification()
+            if drop:
+                self._record("notification_drop")
+                return
+            deliver(update)
+            if duplicate:
+                self._record("notification_duplicate")
+                deliver(update)
+
+        return faulty_deliver
+
+    # ------------------------------------------------------------------
+    # fault construction helpers
+    # ------------------------------------------------------------------
+    def _invalidate_cookie(self, provider, control):
+        """Expire the presented cookie: server-side when the provider
+        supports it (the admin time limit firing), else by corrupting
+        the cookie in flight.  Either way the provider answers with
+        ``SyncProtocolError`` — §5's reload recovery path."""
+        self._record("cookie_invalidate")
+        invalidate = getattr(provider, "invalidate_cookie", None)
+        if invalidate is not None:
+            invalidate(control.cookie)
+            return control
+        return replace(control, cookie="<invalidated>")
+
+    @staticmethod
+    def _truncated(response, keep_fraction: float):
+        """A proper prefix of *response*, cookie stripped (it travels
+        last, after the update stream)."""
+        from ..sync.protocol import SyncResponse
+
+        keep = min(
+            int(keep_fraction * len(response.updates)),
+            len(response.updates) - 1,
+        )
+        return SyncResponse(
+            updates=list(response.updates[:keep]),
+            cookie=None,
+            initial=response.initial,
+            uses_retain=response.uses_retain,
+        )

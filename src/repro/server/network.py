@@ -24,16 +24,106 @@ the same numbers through ``network.registry.to_dict()`` or
 ``to_prometheus_text()``.  Connection accounting (§5.2's scaling
 metric — one open connection per persist-mode filter) is likewise
 mirrored to ``net.connections.open`` / ``net.connections.total``.
+
+Since ISSUE 3 the network is also the **fault-injection seam**: every
+synchronization exchange between a consumer and a provider is routed
+through :meth:`SimulatedNetwork.sync_exchange` /
+:meth:`SimulatedNetwork.persist_exchange`, and persist-mode
+notification callbacks through :meth:`SimulatedNetwork.wrap_deliver`.
+On this perfect base network those hooks only do the historical
+round-trip accounting; :class:`repro.server.faults.FaultyNetwork`
+overrides them to drop, duplicate, delay, truncate and crash
+deterministically (``net.fault.*`` metrics, docs/PROTOCOL.md §9).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from ..obs.registry import Counter, MetricsRegistry
 from .directory import DirectoryServer
 
-__all__ = ["TrafficStats", "SimulatedNetwork", "TRAFFIC_FIELDS"]
+__all__ = [
+    "TrafficStats",
+    "SimulatedNetwork",
+    "TRAFFIC_FIELDS",
+    "Delivery",
+    "TransportError",
+    "RequestDropped",
+    "ResponseDropped",
+    "ResponseTruncated",
+    "ServerUnavailable",
+    "OperationTimeout",
+]
+
+
+class TransportError(Exception):
+    """A message was lost to the network rather than refused by a peer.
+
+    Base class of every injectable transport fault.  Consumers must
+    treat these as *transient*: retry with backoff, never wipe local
+    replica state (contrast :class:`repro.sync.SyncProtocolError`,
+    whose recovery path is a cookie reload).  ``fault`` names the
+    injected fault kind (matches the ``net.fault.<kind>`` counter).
+    """
+
+    fault = "transport"
+
+
+class RequestDropped(TransportError):
+    """The request never reached the server (no server-side effect)."""
+
+    fault = "drop_request"
+
+
+class ResponseDropped(TransportError):
+    """The server processed the request but the response was lost."""
+
+    fault = "drop_response"
+
+
+class ResponseTruncated(TransportError):
+    """The response stream was cut mid-delivery.
+
+    ``partial`` carries the prefix that did arrive (cookie stripped —
+    the cookie travels last).  Appliers may only use the prefix when
+    it is safe without the tail: not an initial-content response and
+    not a retain-mode response (docs/PROTOCOL.md §9).
+    """
+
+    fault = "truncate"
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class ServerUnavailable(TransportError):
+    """The server is inside a crash/restart window."""
+
+    fault = "crash"
+
+
+class OperationTimeout(TransportError):
+    """The response arrived later than the consumer's per-operation
+    timeout; the consumer treats it exactly like a lost response."""
+
+    fault = "timeout"
+
+
+@dataclass
+class Delivery:
+    """One delivered copy of a synchronization response.
+
+    A perfect network delivers exactly one; a faulty one may deliver
+    two (duplication) or attach a latency the consumer can compare
+    against its per-operation timeout.
+    """
+
+    response: object
+    delay_ms: float = 0.0
+    duplicate: bool = False
 
 #: The seven protocol-level counters, in declaration order.  Each is
 #: backed by the registry counter ``net.traffic.<field>``.
@@ -174,6 +264,13 @@ class SimulatedNetwork:
         self._elapsed = self.registry.gauge("net.latency.elapsed_ms")
         self._open = self.registry.gauge("net.connections.open")
         self._total = self.registry.counter("net.connections.total")
+        # Live client connections, for forced disconnection on a server
+        # crash window (see disconnect_server / repro.server.faults).
+        self._live_connections: List[object] = []
+        #: Bumped once per simulated server crash; consumers holding a
+        #: persist-mode subscription compare epochs to detect that their
+        #: connection died with the old server incarnation.
+        self.crash_epoch = 0
 
     def register(self, server: DirectoryServer) -> None:
         """Make *server* reachable at its URL."""
@@ -212,14 +309,78 @@ class SimulatedNetwork:
         self.stats.sync_dn_pdus += 1
         self.stats.bytes_sent += dn_bytes
 
-    def connection_opened(self) -> None:
+    def connection_opened(self, connection: Optional[object] = None) -> None:
         """Account one opened client connection (§5.2's scaling metric,
-        reported as ``net.connections.open``/``.total``)."""
+        reported as ``net.connections.open``/``.total``).
+
+        When the caller passes the connection object it is registered
+        for forced disconnection on a crash window
+        (:meth:`disconnect_server`); counter-only callers may pass
+        nothing, keeping the historical bare-accounting API.
+        """
         self._open.inc()
         self._total.inc()
+        if connection is not None:
+            self._live_connections.append(connection)
 
-    def connection_closed(self) -> None:
+    def connection_closed(self, connection: Optional[object] = None) -> None:
         self._open.set(max(0.0, self._open.value - 1))
+        if connection is not None and connection in self._live_connections:
+            self._live_connections.remove(connection)
+
+    def disconnect_server(self, url: str) -> int:
+        """Forcibly drop every registered connection to the server at
+        *url* — what a crash does to its TCP connections.
+
+        Each dropped connection's ``drop()`` method runs (closing it and
+        decrementing ``net.connections.open`` exactly once); returns the
+        number of connections dropped.  Persist-mode consumers detect
+        the loss through :attr:`crash_epoch` and must re-subscribe —
+        re-counting the connection, not leaking it.
+        """
+        victims = [
+            conn
+            for conn in list(self._live_connections)
+            if getattr(getattr(conn, "server", None), "url", None) == url
+        ]
+        for conn in victims:
+            drop = getattr(conn, "drop", None)
+            if drop is not None:
+                drop()
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # synchronization exchange hooks (the fault-injection seam)
+    # ------------------------------------------------------------------
+    def sync_exchange(self, provider, request, control) -> List[Delivery]:
+        """One poll-mode request/response exchange with *provider*.
+
+        The perfect network charges one round trip and returns exactly
+        one :class:`Delivery`.  Fault-injecting subclasses may raise
+        :class:`TransportError` (before or after the provider ran) or
+        return a duplicated/delayed delivery — see
+        :class:`repro.server.faults.FaultyNetwork`.
+        """
+        self.charge_round_trip()
+        return [Delivery(provider.handle(request, control))]
+
+    def persist_exchange(self, provider, request, deliver, cookie=None):
+        """Open a persist-mode session on *provider*.
+
+        Returns ``(deliveries, handle)`` where *deliveries* carries the
+        initial response.  *deliver* is wrapped by :meth:`wrap_deliver`,
+        so notification-level faults apply to the pushed stream too.
+        """
+        self.charge_round_trip()
+        response, handle = provider.persist(
+            request, self.wrap_deliver(deliver), cookie=cookie
+        )
+        return [Delivery(response)], handle
+
+    def wrap_deliver(self, deliver: Callable) -> Callable:
+        """Hook for notification-level faults; identity on the perfect
+        network."""
+        return deliver
 
     @property
     def elapsed_ms(self) -> float:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import functools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
@@ -232,11 +232,16 @@ class SearchResult:
             the single superior referral when name resolution failed.
         code: SUCCESS when the target was found, REFERRAL when the
             client must go elsewhere, NO_SUCH_OBJECT otherwise.
+        degraded: True when the answering server was serving stale
+            reads — a replica whose master was unreachable at answer
+            time (docs/PROTOCOL.md §9).  The entries are the replica's
+            last synchronized content, not fresh master content.
     """
 
     entries: List[Entry] = field(default_factory=list)
     referrals: List[Referral] = field(default_factory=list)
     code: ResultCode = ResultCode.SUCCESS
+    degraded: bool = False
 
     @property
     def complete(self) -> bool:

@@ -16,6 +16,7 @@ from .baselines import (
 )
 from .consumer import SyncedContent
 from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
+from .resilient import ResilientConsumer, RetryPolicy
 from .resync import PersistHandle, ResyncProvider, RetainResyncProvider
 from .session import Session, SessionStore
 
@@ -29,6 +30,8 @@ __all__ = [
     "RetainResyncProvider",
     "PersistHandle",
     "SyncedContent",
+    "ResilientConsumer",
+    "RetryPolicy",
     "Changelog",
     "ChangelogRecord",
     "ChangelogProvider",

@@ -16,15 +16,20 @@ experiments (Figures 6/7, E11) can read PDU and byte counts.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..ldap.controls import ReSyncControl, SyncAction, SyncMode
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.query import SearchRequest
 from ..obs.tracing import span
-from ..server.network import SimulatedNetwork
-from .protocol import SyncResponse, SyncUpdate
+from ..server.network import (
+    Delivery,
+    OperationTimeout,
+    SimulatedNetwork,
+    TransportError,
+)
+from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
 
 __all__ = ["SyncedContent"]
 
@@ -53,7 +58,18 @@ class SyncedContent:
     # applying responses
     # ------------------------------------------------------------------
     def apply(self, response: SyncResponse) -> None:
-        """Apply one synchronization response to the local content."""
+        """Apply one synchronization response to the local content.
+
+        An ``initial`` response (null-cookie request) carries the entire
+        current content, so anything held locally but absent from it is
+        stale — crash recovery, session reload, re-subscription.  The
+        local content is replaced *here*, only once the response has
+        fully arrived: a reload whose response is lost or truncated in
+        flight must leave the previous (stale but serviceable) content
+        untouched (docs/PROTOCOL.md §9).
+        """
+        if response.initial:
+            self.entries.clear()
         retained: set = set()
         upserted: set = set()
         for update in response.updates:
@@ -93,45 +109,94 @@ class SyncedContent:
     # ------------------------------------------------------------------
     # driving a provider
     # ------------------------------------------------------------------
-    def poll(self, provider) -> SyncResponse:
-        """One poll cycle against *provider* (either provider class).
+    def poll(self, provider, timeout_ms: Optional[float] = None) -> SyncResponse:
+        """One poll cycle against *provider* (any provider class).
 
         One full cookie round-trip: request with the resumption cookie,
         provider-side scan, response application — traced as
-        ``sync.resync.cookie_round_trip``.
+        ``sync.resync.cookie_round_trip``.  When a network is attached,
+        the exchange is routed through its
+        :meth:`~repro.server.network.SimulatedNetwork.sync_exchange`
+        hook, which charges the round trip and — on a fault-injecting
+        network — may raise :class:`TransportError` or deliver the
+        response twice (duplicates are re-applied; every action is an
+        idempotent state-setter).
+
+        With *timeout_ms* set, deliveries arriving later than the
+        timeout are discarded unapplied; if none arrive in time the
+        poll raises :class:`OperationTimeout` — indistinguishable, to
+        the consumer, from a lost response, and recovered the same way
+        (retry with the old cookie → the provider retransmits).
         """
         with span("sync.resync.cookie_round_trip") as sp:
             control = ReSyncControl(mode=SyncMode.POLL, cookie=self.cookie)
-            response = provider.handle(self.request, control)
-            if self.network is not None:
-                self.network.charge_round_trip()
-            self.apply(response)
-            sp.add("updates_applied", len(response.updates))
-        return response
+            deliveries = self._exchange(provider, control)
+            if timeout_ms is not None:
+                timely = [d for d in deliveries if d.delay_ms <= timeout_ms]
+                if not timely:
+                    raise OperationTimeout(
+                        f"no response within {timeout_ms:g}ms "
+                        f"(slowest delivery {deliveries[-1].delay_ms:.0f}ms)"
+                    )
+                deliveries = timely
+            applied = 0
+            for delivery in deliveries:
+                self.apply(delivery.response)
+                applied += len(delivery.response.updates)
+            sp.add("updates_applied", applied)
+        return deliveries[-1].response
 
-    def reload(self, provider) -> SyncResponse:
-        """Full recovery: discard local state, restart with a null cookie.
+    def _exchange(self, provider, control: ReSyncControl) -> List[Delivery]:
+        """Route one request/response exchange, through the network's
+        fault-injection seam when a network is attached."""
+        if self.network is not None:
+            return self.network.sync_exchange(provider, self.request, control)
+        return [Delivery(provider.handle(self.request, control))]
+
+    def reload(self, provider, timeout_ms: Optional[float] = None) -> SyncResponse:
+        """Full recovery: restart the session with a null cookie.
 
         The escape hatch for an expired/stale session (the server
-        answers such cookies with :class:`SyncProtocolError`).
+        answers such cookies with :class:`SyncProtocolError`).  Local
+        entries are *not* discarded up front: the initial response
+        replaces the whole content on arrival (:meth:`apply`), so a
+        reload that fails in flight leaves the previous content — stale
+        but serviceable — in place.
         """
         self.cookie = None
-        self.entries.clear()
-        return self.poll(provider)
+        return self.poll(provider, timeout_ms=timeout_ms)
 
-    def resilient_poll(self, provider) -> SyncResponse:
-        """Poll, falling back to a full reload on protocol errors.
+    def resilient_poll(self, provider, max_attempts: int = 4) -> SyncResponse:
+        """Poll, recovering from protocol errors and transport faults.
 
-        Handles both recoverable failures a consumer can see: an
-        expired session (unknown cookie) and a cookie too old to
-        retransmit.
+        Two recovery paths, matching the fault taxonomy of
+        docs/PROTOCOL.md §9:
+
+        * :class:`SyncProtocolError` — the session is gone (expired,
+          unknown or too-old cookie): fall back to a full reload
+          (null cookie), the paper's §5 recovery path.
+        * :class:`TransportError` — the session is fine, a message was
+          lost: retry, up to *max_attempts* transport failures, without
+          touching local content.  A transient fault must never wipe
+          the replica (regression-tested in
+          ``tests/sync/test_resilient.py``).
+
+        Raises the last :class:`TransportError` when attempts are
+        exhausted.  For backoff pacing, timeouts and degraded-mode
+        handling use :class:`~repro.sync.resilient.ResilientConsumer`.
         """
-        from .protocol import SyncProtocolError
-
-        try:
-            return self.poll(provider)
-        except SyncProtocolError:
-            return self.reload(provider)
+        failures = 0
+        while True:
+            try:
+                return self.poll(provider)
+            except SyncProtocolError:
+                if self.cookie is None:
+                    raise  # a fresh session was refused — not recoverable
+                self.cookie = None  # session gone: retry as a full reload
+            except TransportError:
+                failures += 1
+                if failures >= max_attempts:
+                    raise
 
     def end(self, provider) -> None:
         """Terminate the session at the provider (mode ``sync_end``)."""

@@ -15,7 +15,7 @@ PDUs carry only the DN.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..ldap.controls import SyncAction
 from ..ldap.dn import DN

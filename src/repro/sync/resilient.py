@@ -1,0 +1,359 @@
+"""Fault-tolerant ReSync consumption: retries, backoff, degraded reads.
+
+:class:`SyncedContent` applies responses; :class:`ResilientConsumer`
+decides *when and how to keep asking* on a network that drops,
+duplicates, delays and truncates messages and whose servers crash
+(:mod:`repro.server.faults`).  The division of labour:
+
+* transport faults (:class:`~repro.server.network.TransportError`) are
+  transient — retry with capped exponential backoff and deterministic
+  jitter, never touching local content;
+* protocol errors (:class:`~repro.sync.protocol.SyncProtocolError` —
+  expired, unknown or too-old cookies) mean the session is gone — fall
+  back to the paper's §5 recovery path: a full reload with a null
+  cookie (poll mode) or a fresh subscription (persist mode);
+* duplicated deliveries are re-applied; every ReSync action is an
+  idempotent state-setter, so over-delivery is harmless;
+* when every attempt of a cycle fails, the consumer (and optionally the
+  :class:`~repro.server.directory.DirectoryServer` serving this
+  replica's clients) enters **degraded** mode: reads keep answering
+  from the last synchronized content, stamped
+  ``SearchResult.degraded=True`` — availability over freshness.  The
+  first successful cycle exits degraded mode.
+
+Persist mode additionally bounds divergence from undetectable
+notification loss: the subscription is refreshed — torn down and
+re-opened with a null cookie, replacing the whole content — every
+``persist_refresh_interval`` cycles, and immediately when the consumer
+detects its connection died with a crashed server incarnation
+(``network.crash_epoch``).
+
+All pacing is simulated: backoff accumulates into the network's
+``net.latency.elapsed_ms`` clock, no real sleeping.  Retry traffic is
+recorded under ``sync.resilient.*`` metrics (docs/OBSERVABILITY.md §2)
+next to the network's ``net.fault.*`` counters, so benches can report
+convergence cost against fault rates
+(``benchmarks/bench_fault_convergence.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ldap.query import SearchRequest
+from ..obs.registry import MetricsRegistry
+from ..server.directory import DirectoryServer
+from ..server.network import (
+    ResponseTruncated,
+    SimulatedNetwork,
+    TransportError,
+)
+from .consumer import SyncedContent
+from .protocol import SyncProtocolError, SyncResponse
+
+__all__ = ["RetryPolicy", "ResilientConsumer"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard one synchronization cycle tries before giving up.
+
+    Attributes:
+        max_attempts: transport failures tolerated per cycle.
+        base_backoff_ms / backoff_factor / max_backoff_ms: capped
+            exponential backoff; failure *n* waits
+            ``min(base * factor**n, max)`` milliseconds.
+        jitter: fraction of the backoff randomized away (deterministic,
+            from the consumer's seed): the wait is uniform in
+            ``[backoff * (1 - jitter), backoff]``.
+        timeout_ms: per-operation timeout — deliveries arriving later
+            count as lost (None: wait forever).
+        degraded_after: consecutive *failed cycles* (all attempts
+            exhausted) before the consumer enters degraded mode.
+        persist_refresh_interval: persist-mode cycles between full
+            subscription refreshes (bounds divergence from dropped
+            notifications).
+    """
+
+    max_attempts: int = 8
+    base_backoff_ms: float = 10.0
+    backoff_factor: float = 2.0
+    max_backoff_ms: float = 2000.0
+    jitter: float = 0.25
+    timeout_ms: Optional[float] = None
+    degraded_after: int = 3
+    persist_refresh_interval: int = 8
+
+    def backoff_ms(self, failure: int, rng: random.Random) -> float:
+        """Backoff before retrying after the (zero-based) *failure*-th
+        transport failure, jittered deterministically by *rng*."""
+        base = min(
+            self.base_backoff_ms * self.backoff_factor**failure,
+            self.max_backoff_ms,
+        )
+        if self.jitter <= 0:
+            return base
+        return base * (1.0 - self.jitter * rng.random())
+
+
+class ResilientConsumer:
+    """A replica-side sync driver that survives an unreliable network.
+
+    Args:
+        request: the replicated search request (the unit of replication).
+        provider: the master-side provider (any ``handle``-speaking
+            provider; persist mode additionally needs ``persist``).
+        network: network joining consumer and master; faults are
+            injected here (:class:`repro.server.faults.FaultyNetwork`).
+        policy: retry/backoff/timeout policy.
+        seed: seeds the deterministic backoff jitter.
+        replica_server: optional :class:`DirectoryServer` serving this
+            replica's clients; flipped into degraded stale-read mode
+            while the master is unreachable.
+        mode: ``"poll"`` (cookie sessions) or ``"persist"`` (an open
+            connection carrying change notifications).
+    """
+
+    def __init__(
+        self,
+        request: SearchRequest,
+        provider,
+        network: Optional[SimulatedNetwork] = None,
+        policy: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        replica_server: Optional[DirectoryServer] = None,
+        mode: str = "poll",
+    ):
+        if mode not in ("poll", "persist"):
+            raise ValueError(f"mode must be 'poll' or 'persist', got {mode!r}")
+        self.provider = provider
+        self.network = network
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.replica_server = replica_server
+        self.mode = mode
+        self.content = SyncedContent(request, network=network)
+        self._rng = random.Random(f"resilient:{seed}")
+        self._is_degraded = False
+        self._consecutive_failed_cycles = 0
+        # persist-mode subscription state
+        self._handle = None
+        self._subscribed_epoch = -1
+        self._cycles_since_refresh = 0
+        self._last_response: Optional[SyncResponse] = None
+
+        registry = network.registry if network is not None else MetricsRegistry()
+        self._retries = registry.counter("sync.resilient.retries")
+        self._reloads = registry.counter("sync.resilient.reloads")
+        self._refreshes = registry.counter("sync.resilient.refreshes")
+        self._exhausted = registry.counter("sync.resilient.exhausted")
+        self._cycles = registry.counter("sync.resilient.cycles")
+        self._backoff_total = registry.gauge("sync.resilient.backoff_ms")
+        self._degraded_gauge = registry.gauge("sync.resilient.degraded")
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    @property
+    def request(self) -> SearchRequest:
+        return self.content.request
+
+    @property
+    def server(self):
+        """The master server behind :attr:`provider` (for the network's
+        per-server crash bookkeeping), or None."""
+        return getattr(self.provider, "server", None)
+
+    @property
+    def degraded(self) -> bool:
+        """True while the master is considered unreachable and local
+        reads are stale."""
+        return self._is_degraded
+
+    def sync_once(self) -> Optional[SyncResponse]:
+        """One resilient synchronization cycle.
+
+        Polls (or, in persist mode, verifies/refreshes the
+        subscription), retrying transport failures per the policy with
+        backoff, and falling back to §5's reload path on protocol
+        errors.  Returns the last applied response, or None when every
+        attempt failed — the consumer is then counting toward (or in)
+        degraded mode.  Local content survives any failure.
+        """
+        self._cycles.inc()
+        failures = 0
+        while failures < self.policy.max_attempts:
+            try:
+                if self.mode == "poll":
+                    response = self.content.poll(
+                        self.provider, timeout_ms=self.policy.timeout_ms
+                    )
+                else:
+                    response = self._persist_cycle()
+            except SyncProtocolError:
+                # The session is gone (expired / invalidated cookie or a
+                # crashed master that forgot us): §5's recovery path.
+                if self.mode == "poll" and self.content.cookie is None:
+                    raise  # a fresh session was refused — not recoverable
+                self._reloads.inc()
+                self.content.cookie = None
+                if self.mode == "persist":
+                    self._teardown_subscription()
+                continue
+            except TransportError as exc:
+                self._apply_safe_prefix(exc)
+                self._retries.inc()
+                self._retries.labels(kind=exc.fault).inc()
+                self._backoff(failures)
+                failures += 1
+                continue
+            self._cycle_succeeded()
+            return response
+        self._cycle_failed()
+        return None
+
+    def converge(
+        self, master: DirectoryServer, max_cycles: int = 64
+    ) -> Optional[int]:
+        """Drive :meth:`sync_once` until the replica content matches
+        *master*; returns the number of cycles taken (≥ 1), or None if
+        *max_cycles* was not enough."""
+        for cycle in range(1, max_cycles + 1):
+            self.sync_once()
+            if self.content.matches_master(master):
+                return cycle
+        return None
+
+    def close(self) -> None:
+        """Tear down any persist subscription (client-side abandon)."""
+        self._teardown_subscription()
+
+    # ------------------------------------------------------------------
+    # persist-mode subscription management
+    # ------------------------------------------------------------------
+    def _persist_cycle(self) -> Optional[SyncResponse]:
+        """Keep the persist subscription alive and fresh.
+
+        Re-subscribes when the connection died with a crashed server
+        incarnation (epoch mismatch) or the handle was torn down; also
+        refreshes on the policy's interval so divergence from dropped
+        notifications is bounded by ``persist_refresh_interval`` cycles.
+        """
+        dead = (
+            self._handle is None
+            or not self._handle.active
+            or self._current_epoch() != self._subscribed_epoch
+        )
+        refresh_due = (
+            self._cycles_since_refresh + 1 >= self.policy.persist_refresh_interval
+        )
+        if dead or refresh_due:
+            if not dead:
+                self._refreshes.inc()
+            self._teardown_subscription()
+            self._subscribe()
+        else:
+            self._cycles_since_refresh += 1
+        return self._last_response
+
+    def _subscribe(self) -> None:
+        """Open a fresh persist subscription (null cookie: the initial
+        response replaces the whole local content on arrival)."""
+        epoch = self._current_epoch()
+        if self.network is not None:
+            deliveries, handle = self.network.persist_exchange(
+                self.provider,
+                self.request,
+                self.content.apply_notification,
+                cookie=None,
+            )
+            response = deliveries[-1].response
+        else:
+            response, handle = self.provider.persist(
+                self.request, self.content.apply_notification, cookie=None
+            )
+        self.content.apply(response)
+        self._handle = handle
+        self._subscribed_epoch = epoch
+        self._cycles_since_refresh = 0
+        self._last_response = response
+        if self.network is not None:
+            # One open connection per persist-mode subscription — §5.2's
+            # scaling metric; re-counted (not leaked) across crashes.
+            self.network.connection_opened(self)
+
+    def _teardown_subscription(self) -> None:
+        """Voluntarily end the subscription (sync_end semantics)."""
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        self._subscribed_epoch = -1
+        handle.abandon()
+        if self.network is not None:
+            self.network.connection_closed(self)
+
+    def drop(self) -> None:
+        """Forced disconnect: our persist connection died with a crashed
+        server (called by the network's crash handling).  The server
+        side is already gone; only account the close locally."""
+        if self._handle is None:
+            return
+        self._handle = None
+        self._subscribed_epoch = -1
+        if self.network is not None:
+            self.network.connection_closed(self)
+
+    def _current_epoch(self) -> int:
+        return getattr(self.network, "crash_epoch", 0) if self.network else 0
+
+    def _apply_safe_prefix(self, exc: TransportError) -> None:
+        """Apply the delivered prefix of a truncated response when that
+        is safe (docs/PROTOCOL.md §9).
+
+        Update batches order deletes before adds and every action is an
+        idempotent state-setter, so a *plain update* prefix only moves
+        the replica closer to the master; the cookie travels last, so
+        the retry at the old generation retransmits the full batch.  An
+        ``initial`` prefix is NOT safe (applying it would replace the
+        whole content with a fragment), nor is a ``retain`` response
+        (the retain set is only meaningful complete) — those are
+        retried wholesale.
+        """
+        if not isinstance(exc, ResponseTruncated) or exc.partial is None:
+            return
+        partial = exc.partial
+        if partial.initial or partial.uses_retain:
+            return
+        self.content.apply(partial)
+
+    # ------------------------------------------------------------------
+    # pacing and degradation
+    # ------------------------------------------------------------------
+    def _backoff(self, failure: int) -> None:
+        """Wait out the backoff for the zero-based *failure*-th failure —
+        on the network's simulated clock, no real sleeping."""
+        delay = self.policy.backoff_ms(failure, self._rng)
+        self._backoff_total.inc(delay)
+        if self.network is not None:
+            self.network.elapsed_ms += delay
+
+    def _cycle_succeeded(self) -> None:
+        self._consecutive_failed_cycles = 0
+        if self._is_degraded:
+            self._is_degraded = False
+            self._degraded_gauge.set(0)
+            if self.replica_server is not None:
+                self.replica_server.exit_degraded()
+
+    def _cycle_failed(self) -> None:
+        self._exhausted.inc()
+        self._consecutive_failed_cycles += 1
+        if (
+            not self._is_degraded
+            and self._consecutive_failed_cycles >= self.policy.degraded_after
+        ):
+            self._is_degraded = True
+            self._degraded_gauge.set(1)
+            if self.replica_server is not None:
+                self.replica_server.enter_degraded()

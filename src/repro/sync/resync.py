@@ -133,6 +133,15 @@ class ResyncProvider:
         sent; (iii) mode ``persist`` — connection kept open, *deliver*
         called for each later change; (iv) mode ``poll`` — a resumption
         cookie is returned.  Mode ``sync_end`` terminates the session.
+
+        **Partial-delivery safety** (docs/PROTOCOL.md §9): every
+        response is safe to cut anywhere.  Batches order deletes before
+        adds (:meth:`Session.drain`), every action is an idempotent
+        state-setter, and the cookie travels *after* the update stream —
+        so a consumer that applied only a prefix still holds its old
+        cookie, retries at generation ``G-1``, and receives the retained
+        batch again (:meth:`Session.retransmit`).  Over-delivery is
+        harmless; the truncated tail is never silently lost.
         """
         response, _session = self._handle(request, control, deliver)
         return response
@@ -194,14 +203,39 @@ class ResyncProvider:
         assert session is not None
         return response, PersistHandle(self, session)
 
+    # ------------------------------------------------------------------
+    # failure hooks (docs/PROTOCOL.md §9)
+    # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """Simulate a master crash/restart.
+
+        The DIT survives (it is the server's, not the provider's), but
+        every piece of in-memory protocol state dies with the process:
+        session histories, unacked batches and persist callbacks.  Every
+        outstanding cookie now names an unknown session, so the next
+        poll from any consumer raises :class:`SyncProtocolError` and the
+        consumer must take §5's reload path (``cookie=None``).  Persist
+        streams simply stop; consumers detect the dead connection and
+        re-subscribe.
+        """
+        self.sessions = SessionStore(idle_limit=self.sessions.idle_limit)
+        self._persist_callbacks.clear()
+
+    def invalidate_cookie(self, cookie: str) -> None:
+        """Expire the session named by *cookie* (the admin time limit
+        firing early); its next presentation raises
+        :class:`SyncProtocolError`."""
+        self.sessions.end(cookie)
+
     def _end_persist(self, session: Session) -> None:
         self._persist_callbacks.pop(session.session_id, None)
         self.sessions.end(session.session_id)
 
     def _search_content(self, request: SearchRequest):
-        """Current master content of *request* (a list of entries)."""
+        """Current master content of *request*, in deterministic DN
+        order (so truncated initial deliveries are reproducible)."""
         result = self.server.search(request)
-        return result.entries
+        return sorted(result.entries, key=lambda e: str(e.dn))
 
     @property
     def active_session_count(self) -> int:

@@ -35,7 +35,6 @@ polled (the paper's "admin time limit", in logical time).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..ldap.controls import SyncAction

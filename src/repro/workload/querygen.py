@@ -33,14 +33,13 @@ Deterministic given the config seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.filters import And, Equality
 from ..ldap.query import Scope, SearchRequest
-from .datagen import EnterpriseDirectory, ORG_SUFFIX
+from .datagen import EnterpriseDirectory
 from .distributions import TemporalMixer, WeightedChoice, ZipfSampler
 from .trace import QueryRecord, QueryType, Trace
 

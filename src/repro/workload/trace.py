@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO
 
 from ..ldap.query import Scope, SearchRequest
 

@@ -1,6 +1,5 @@
 """Tests for the QC algorithm: region, attribute and full containment."""
 
-import pytest
 
 from repro.core import (
     attributes_contained_in,

@@ -12,7 +12,6 @@ containment comparison exact on the fragment it covers:
 
 import itertools
 
-import pytest
 
 from repro.core import filter_contained_in, predicate_contained_in
 from repro.ldap import (

@@ -12,7 +12,6 @@ from repro.ldap import (
     Equality,
     GreaterOrEqual,
     LessOrEqual,
-    Not,
     Present,
     Substring,
     parse_filter,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import AnswerStatus, FilterReplica, TemplateRegistry
-from repro.ldap import DN, Entry, Scope, SearchRequest
+from repro.ldap import Entry, Scope, SearchRequest
 from repro.server import DirectoryServer, Modification, SimulatedNetwork
 from repro.sync import ResyncProvider
 

@@ -1,6 +1,5 @@
 """Tests for filter generalization rules (§6.1)."""
 
-import pytest
 
 from repro.core import (
     Generalizer,

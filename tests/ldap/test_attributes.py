@@ -1,6 +1,5 @@
 """Tests for attribute types, syntaxes and the registry."""
 
-import pytest
 
 from repro.ldap import AttributeRegistry, AttributeType, DEFAULT_REGISTRY, Syntax
 from repro.ldap.attributes import normalize_value

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import FilterReplica
-from repro.ldap import Scope, SearchRequest
 from repro.metrics import ExperimentResult, ReplicaDriver
 from repro.server import DirectoryServer, SimulatedNetwork
 from repro.sync import ResyncProvider

@@ -6,15 +6,7 @@ import math
 
 import pytest
 
-from repro.obs import (
-    Counter,
-    Gauge,
-    Histogram,
-    MetricsRegistry,
-    Timer,
-    default_buckets,
-    snapshot_diff,
-)
+from repro.obs import Histogram, MetricsRegistry, default_buckets, snapshot_diff
 
 
 class TestCounter:

@@ -5,7 +5,6 @@ import pytest
 from repro.ldap import Entry, Scope, SearchRequest
 from repro.server import (
     BindState,
-    Connection,
     ConnectionError_,
     DirectoryServer,
     LdapError,
@@ -176,3 +175,64 @@ class TestAbandon:
         conn.abandon_all()
         assert conn.outstanding_persists == 0
         assert conn.state is not BindState.CLOSED
+
+
+class TestCrashAccounting:
+    """Open/close accounting across server restarts (docs/PROTOCOL.md §9).
+
+    A crash closes connections under their clients: ``drop()`` must
+    abandon outstanding persistent searches locally and decrement
+    ``net.connections.open`` exactly once — re-counted on reconnect,
+    never leaked, never negative.
+    """
+
+    def test_drop_closes_and_decrements_once(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        assert network.open_connections == 1
+        conn.drop()
+        assert conn.state is BindState.CLOSED
+        assert network.open_connections == 0
+        conn.drop()  # idempotent: a second drop must not go negative
+        conn.unbind()
+        assert network.open_connections == 0
+
+    def test_drop_abandons_persist_handles(self, network_and_server):
+        network, server = network_and_server
+        provider = ResyncProvider(server)
+        conn = connect(network, "ldap://hostA")
+        _resp, handle = provider.persist(
+            SearchRequest("o=xyz", Scope.SUB, "(objectClass=person)"), lambda u: None
+        )
+        conn.track_persist(handle)
+        conn.drop()
+        assert not handle.active
+        assert provider.active_session_count == 0
+
+    def test_disconnect_server_drops_only_that_servers_connections(self):
+        network = SimulatedNetwork()
+        for name in ("hostA", "hostB"):
+            server = DirectoryServer(name)
+            server.add_naming_context("o=xyz")
+            server.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+            network.register(server)
+        conn_a = connect(network, "ldap://hostA")
+        conn_b = connect(network, "ldap://hostB")
+        assert network.open_connections == 2
+
+        dropped = network.disconnect_server("ldap://hostA")
+        assert dropped == 1
+        assert conn_a.state is BindState.CLOSED
+        assert conn_b.state is not BindState.CLOSED
+        assert network.open_connections == 1
+
+    def test_reconnect_after_crash_recounts(self, network_and_server):
+        network, _server = network_and_server
+        conn = connect(network, "ldap://hostA")
+        network.disconnect_server("ldap://hostA")
+        assert conn.state is BindState.CLOSED
+        reconnected = connect(network, "ldap://hostA")
+        assert network.open_connections == 1
+        assert network.total_connections == 2
+        reconnected.unbind()
+        assert network.open_connections == 0

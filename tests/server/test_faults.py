@@ -1,0 +1,286 @@
+"""Deterministic fault injection: plans, fault kinds, crash windows.
+
+Every fault kind of :mod:`repro.server.faults` is exercised in
+isolation with probability 1, asserting both the transport-level effect
+(the raised :class:`TransportError` subclass or the shape of the
+deliveries) and the ``net.fault.*`` accounting.  Determinism is the
+load-bearing property — two plans with the same seed must produce
+byte-identical schedules — because the CI fault matrix replays fixed
+seeds.
+"""
+
+import pytest
+
+from repro.ldap import Entry, ReSyncControl, Scope, SearchRequest, SyncMode
+from repro.server import (
+    DirectoryServer,
+    FaultPlan,
+    FaultSpec,
+    FaultyNetwork,
+    RequestDropped,
+    ResponseDropped,
+    ResponseTruncated,
+    ServerUnavailable,
+    connect,
+)
+from repro.sync import ResyncProvider, SyncProtocolError, SyncedContent
+
+REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
+
+
+def person(name: str) -> Entry:
+    return Entry(
+        f"cn={name},o=xyz",
+        {"objectClass": ["person"], "cn": name, "sn": "T", "departmentNumber": "42"},
+    )
+
+
+def build_master(n: int = 4) -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(n):
+        master.add(person(f"E{i}"))
+    return master
+
+
+def poll_control(content: SyncedContent) -> ReSyncControl:
+    return ReSyncControl(mode=SyncMode.POLL, cookie=content.cookie)
+
+
+class TestFaultSpec:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(drop_request=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(crash=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(crash_length=0)
+
+    def test_uniform_scales_crash_down(self):
+        spec = FaultSpec.uniform(0.4)
+        assert spec.drop_request == 0.4
+        assert spec.crash == 0.1
+        assert spec.cookie_invalidate == 0.1
+
+    def test_uniform_overrides(self):
+        spec = FaultSpec.uniform(0.4, crash=0.0, max_delay_ms=50.0)
+        assert spec.crash == 0.0
+        assert spec.max_delay_ms == 50.0
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_schedule(self):
+        spec = FaultSpec.uniform(0.3)
+        a = FaultPlan(spec, seed=42)
+        b = FaultPlan(spec, seed=42)
+        assert [a.next_exchange() for _ in range(50)] == [
+            b.next_exchange() for _ in range(50)
+        ]
+        assert [a.next_notification() for _ in range(50)] == [
+            b.next_notification() for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec.uniform(0.3)
+        a = [FaultPlan(spec, seed=1).next_exchange() for _ in range(20)]
+        b = [FaultPlan(spec, seed=2).next_exchange() for _ in range(20)]
+        assert a != b
+
+    def test_streams_independent(self):
+        # Drawing notifications between exchanges must not shift the
+        # exchange schedule (decision i depends on (seed, i) alone).
+        spec = FaultSpec.uniform(0.3)
+        plain = FaultPlan(spec, seed=7)
+        interleaved = FaultPlan(spec, seed=7)
+        expected = [plain.next_exchange() for _ in range(10)]
+        got = []
+        for _ in range(10):
+            interleaved.next_notification()
+            got.append(interleaved.next_exchange())
+        assert got == expected
+
+
+def faulty(spec: FaultSpec, seed: int = 0) -> FaultyNetwork:
+    return FaultyNetwork(FaultPlan(spec, seed=seed))
+
+
+class TestFaultKinds:
+    def test_drop_request_charges_and_records(self):
+        net = faulty(FaultSpec(drop_request=1.0))
+        provider = ResyncProvider(build_master())
+        content = SyncedContent(REQUEST, network=net)
+        with pytest.raises(RequestDropped):
+            content.poll(provider)
+        assert net.fault_counts() == {"drop_request": 1}
+        assert net.stats.round_trips == 1  # the attempt still cost a trip
+        assert provider.active_session_count == 0  # server never saw it
+
+    def test_drop_response_after_server_processed(self):
+        net = faulty(FaultSpec(drop_response=1.0))
+        provider = ResyncProvider(build_master())
+        content = SyncedContent(REQUEST, network=net)
+        with pytest.raises(ResponseDropped):
+            content.poll(provider)
+        # The poll executed at the master: a session exists even though
+        # the consumer saw nothing.
+        assert provider.active_session_count == 1
+        assert net.fault_counts() == {"drop_response": 1}
+
+    def test_duplicate_delivers_twice(self):
+        net = faulty(FaultSpec(duplicate=1.0))
+        provider = ResyncProvider(build_master(n=3))
+        content = SyncedContent(REQUEST, network=net)
+        content.poll(provider)
+        assert content.matches_master(provider.server)
+        assert content.updates_applied == 6  # 3 entries applied twice
+        assert net.fault_counts() == {"duplicate": 1}
+
+    def test_delay_is_carried_on_delivery(self):
+        net = faulty(FaultSpec(delay=1.0, max_delay_ms=500.0))
+        provider = ResyncProvider(build_master())
+        deliveries = net.sync_exchange(
+            provider, REQUEST, ReSyncControl(mode=SyncMode.POLL, cookie=None)
+        )
+        assert len(deliveries) == 1
+        assert 0.0 < deliveries[0].delay_ms <= 500.0
+        assert net.fault_counts() == {"delay": 1}
+
+    def test_truncate_carries_cookieless_prefix(self):
+        net = faulty(FaultSpec(truncate=1.0))
+        provider = ResyncProvider(build_master(n=4))
+        content = SyncedContent(REQUEST, network=net)
+        with pytest.raises(ResponseTruncated) as excinfo:
+            content.poll(provider)
+        partial = excinfo.value.partial
+        assert partial is not None
+        assert partial.cookie is None  # the cookie travels last
+        assert len(partial.updates) < 4  # a proper prefix
+        assert net.fault_counts() == {"truncate": 1}
+
+    def test_cookie_invalidate_forces_reload_path(self):
+        net = faulty(FaultSpec())  # first poll clean
+        master = build_master()
+        provider = ResyncProvider(master)
+        content = SyncedContent(REQUEST, network=net)
+        content.poll(provider)
+        net.plan = FaultPlan(FaultSpec(cookie_invalidate=1.0), seed=0)
+        with pytest.raises(SyncProtocolError):
+            content.poll(provider)
+        assert net.fault_counts() == {"cookie_invalidate": 1}
+        # §5 recovery: a reload converges (fresh sessions are unaffected
+        # because invalidation only applies to presented cookies).
+        content.reload(provider)
+        assert content.matches_master(master)
+
+
+class TestCrashWindows:
+    def test_crash_loses_sessions_and_opens_window(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork()  # plan-less: perfect
+        content = SyncedContent(REQUEST, network=net)
+        content.poll(provider)
+        assert provider.active_session_count == 1
+
+        net.plan = FaultPlan(FaultSpec(crash=1.0, crash_length=2), seed=0)
+        epoch_before = net.crash_epoch
+        with pytest.raises(ServerUnavailable):
+            content.poll(provider)  # crash + first unavailable attempt
+        assert net.crash_epoch == epoch_before + 1
+        assert provider.active_session_count == 0  # session state died
+
+        net.plan = None  # no further faults; the window still runs
+        with pytest.raises(ServerUnavailable):
+            content.poll(provider)  # second (last) unavailable attempt
+        # Server is back up, but it forgot the cookie: §5's reload path.
+        with pytest.raises(SyncProtocolError):
+            content.poll(provider)
+        content.reload(provider)
+        assert content.matches_master(master)
+        counts = net.fault_counts()
+        assert counts["crash"] == 1
+        assert counts["unavailable"] == 2
+
+    def test_crash_drops_registered_connections(self):
+        net = FaultyNetwork()
+        server = build_master()
+        net.register(server)
+        provider = ResyncProvider(server)
+        conn = connect(net, server.url)
+        assert net.open_connections == 1
+
+        net.plan = FaultPlan(FaultSpec(crash=1.0, crash_length=1), seed=0)
+        content = SyncedContent(REQUEST, network=net)
+        with pytest.raises(ServerUnavailable):
+            content.poll(provider)
+        assert net.open_connections == 0  # forced drop, not a leak
+        conn.drop()  # idempotent: a second close must not go negative
+        assert net.open_connections == 0
+
+    def test_unavailability_charges_round_trips(self):
+        net = faulty(FaultSpec(crash=1.0, crash_length=3))
+        provider = ResyncProvider(build_master())
+        content = SyncedContent(REQUEST, network=net)
+        with pytest.raises(ServerUnavailable):
+            content.poll(provider)
+        assert net.stats.round_trips == 1  # the timed-out attempt cost one
+
+
+class TestHealAndCounts:
+    def test_heal_restores_perfect_network(self):
+        net = faulty(FaultSpec(drop_response=1.0))
+        master = build_master()
+        provider = ResyncProvider(master)
+        content = SyncedContent(REQUEST, network=net)
+        with pytest.raises(ResponseDropped):
+            content.poll(provider)
+        net.heal()
+        content.poll(provider)
+        assert content.matches_master(master)
+
+    def test_heal_ends_crash_window(self):
+        net = faulty(FaultSpec(crash=1.0, crash_length=10))
+        provider = ResyncProvider(build_master())
+        content = SyncedContent(REQUEST, network=net)
+        with pytest.raises(ServerUnavailable):
+            content.poll(provider)
+        net.heal()
+        content.poll(provider)  # no residual window
+
+    def test_fault_counts_aggregate_by_kind(self):
+        net = faulty(FaultSpec(drop_request=1.0))
+        provider = ResyncProvider(build_master())
+        content = SyncedContent(REQUEST, network=net)
+        for _ in range(3):
+            with pytest.raises(RequestDropped):
+                content.poll(provider)
+        assert net.fault_counts() == {"drop_request": 3}
+        assert net.registry.counter("net.fault.injected").value == 3
+
+
+class TestNotificationFaults:
+    def test_dropped_and_duplicated_notifications(self):
+        master = build_master(n=2)
+        provider = ResyncProvider(master)
+        net = FaultyNetwork()  # subscribe cleanly
+        content = SyncedContent(REQUEST, network=net)
+        deliveries, handle = net.persist_exchange(
+            provider, REQUEST, content.apply_notification
+        )
+        content.apply(deliveries[-1].response)
+        assert content.matches_master(master)
+
+        # Every notification dropped: the replica silently diverges —
+        # exactly why persist consumers need periodic refreshes.
+        net.plan = FaultPlan(FaultSpec(notification_drop=1.0), seed=0)
+        master.add(person("E9"))
+        assert not content.matches_master(master)
+        assert net.fault_counts() == {"notification_drop": 1}
+
+        # Every notification duplicated: harmless (idempotent apply).
+        net.plan = FaultPlan(FaultSpec(notification_duplicate=1.0), seed=0)
+        master.add(person("E10"))
+        assert "cn=E10,o=xyz" in {str(dn) for dn in content.dns()}
+        assert net.fault_counts()["notification_duplicate"] == 1
+        handle.abandon()

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ldap import Entry
 from repro.server import DirectoryServer, SimulatedNetwork, TrafficStats
 
 

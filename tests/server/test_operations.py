@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import AnswerStatus, HitStats, ReplicaAnswer
-from repro.ldap import DN, Entry
+from repro.ldap import DN
 from repro.server import (
     LdapError,
     Modification,

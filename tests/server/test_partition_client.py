@@ -3,12 +3,7 @@
 import pytest
 
 from repro.ldap import Entry, Scope, SearchRequest
-from repro.server import (
-    DistributedDirectory,
-    LdapClient,
-    ReferralLimitExceeded,
-    SimulatedNetwork,
-)
+from repro.server import DistributedDirectory, LdapClient, SimulatedNetwork
 
 
 def person(dn: str, **attrs) -> Entry:

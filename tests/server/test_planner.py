@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ldap import DN, Entry, Scope, SearchRequest, matches, parse_filter
-from repro.server import DirectoryServer, EntryStore, SearchPlan, SearchPlanner
+from repro.server import DirectoryServer, EntryStore, SearchPlan
 
 
 def build_server(n: int = 40) -> DirectoryServer:

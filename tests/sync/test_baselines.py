@@ -230,7 +230,6 @@ class TestTrafficComparison:
         extra PDUs (conservative deletes, retains, or full reloads)."""
         from repro.sync import ResyncProvider
 
-        masters = {}
         totals = {}
         for name, factory in (
             ("resync", ResyncProvider),

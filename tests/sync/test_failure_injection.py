@@ -16,20 +16,11 @@ replica actually sees:
   resilient poll falls back to a reload.
 """
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ldap import (
-    DN,
-    Entry,
-    ReSyncControl,
-    Scope,
-    SearchRequest,
-    SyncAction,
-    SyncMode,
-)
+from repro.ldap import DN, Entry, ReSyncControl, Scope, SearchRequest, SyncMode
 from repro.server import DirectoryServer, Modification
 from repro.sync import ResyncProvider, SyncProtocolError, SyncedContent
 
@@ -102,7 +93,7 @@ class TestLostResponse:
 
         master.delete("cn=E0,o=xyz")
         master.modify("cn=E1,o=xyz", [Modification.replace("title", "x")])
-        response = content.poll(provider)
+        content.poll(provider)
         assert content.matches_master(master)
 
         # replay: pretend the cookie update was lost

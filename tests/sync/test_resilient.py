@@ -1,0 +1,385 @@
+"""The resilient consumer: retries, backoff, reloads, degraded reads.
+
+Fault schedules here are *scripted* (an explicit list of
+:class:`ExchangeFaults`, then a perfect network) rather than drawn from
+probabilities, so each test controls exactly which exchange fails and
+how.  The seeded-probabilistic end-to-end runs live in
+``test_fault_resilience_property.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import (
+    DirectoryServer,
+    ExchangeFaults,
+    FaultPlan,
+    FaultSpec,
+    FaultyNetwork,
+    OperationTimeout,
+    ResponseDropped,
+)
+from repro.sync import (
+    ResilientConsumer,
+    ResyncProvider,
+    RetainResyncProvider,
+    RetryPolicy,
+    SyncedContent,
+)
+
+REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
+
+
+def person(name: str) -> Entry:
+    return Entry(
+        f"cn={name},o=xyz",
+        {"objectClass": ["person"], "cn": name, "sn": "T", "departmentNumber": "42"},
+    )
+
+
+def build_master(n: int = 4) -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(n):
+        master.add(person(f"E{i}"))
+    return master
+
+
+class ScriptedPlan(FaultPlan):
+    """A plan that plays back an explicit list of exchange faults, then
+    behaves perfectly (empty decisions)."""
+
+    def __init__(self, *script: ExchangeFaults, spec: FaultSpec = FaultSpec()):
+        super().__init__(spec, seed=0)
+        self._script = list(script)
+
+    def next_exchange(self) -> ExchangeFaults:
+        if self._script:
+            return self._script.pop(0)
+        return ExchangeFaults()
+
+    def next_notification(self):
+        return (False, False)
+
+
+class TestDroppedResponseRegression:
+    """A transient transport fault must never wipe the replica.
+
+    Regression for the old ``resilient_poll``, whose only recovery path
+    was a reload that cleared all local entries before re-fetching: a
+    single dropped response emptied the replica until the next
+    successful poll.
+    """
+
+    def test_single_drop_does_not_empty_replica(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan())
+        content = SyncedContent(REQUEST, network=net)
+        content.resilient_poll(provider)
+        assert len(content) == 4
+
+        master.delete("cn=E0,o=xyz")
+        net.plan = ScriptedPlan(ExchangeFaults(drop_response=True))
+        content.resilient_poll(provider)  # drop, then clean retry
+        assert content.matches_master(master)
+        # The retry reused the session (no reload): exactly one session,
+        # and the replica was never empty in between.
+        assert provider.active_session_count == 1
+
+    def test_drop_leaves_content_untouched_until_retry(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan())
+        content = SyncedContent(REQUEST, network=net)
+        content.resilient_poll(provider)
+
+        net.plan = ScriptedPlan(
+            ExchangeFaults(drop_response=True),
+            ExchangeFaults(drop_response=True),
+            ExchangeFaults(drop_response=True),
+            ExchangeFaults(drop_response=True),
+        )
+        with pytest.raises(ResponseDropped):
+            content.resilient_poll(provider, max_attempts=4)
+        # Even after exhausting every attempt the stale content stands.
+        assert len(content) == 4
+
+    def test_failed_reload_keeps_stale_content(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan())
+        content = SyncedContent(REQUEST, network=net)
+        content.resilient_poll(provider)
+
+        net.plan = ScriptedPlan(ExchangeFaults(drop_response=True))
+        with pytest.raises(ResponseDropped):
+            content.reload(provider)
+        assert len(content) == 4  # stale but serviceable
+
+    def test_protocol_error_still_reloads(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan())
+        content = SyncedContent(REQUEST, network=net)
+        content.resilient_poll(provider)
+
+        provider.invalidate_cookie(content.cookie)
+        master.add(person("E9"))
+        content.resilient_poll(provider)
+        assert content.matches_master(master)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(
+            base_backoff_ms=10.0, backoff_factor=2.0, max_backoff_ms=50.0, jitter=0.0
+        )
+        rng = random.Random(0)
+        waits = [policy.backoff_ms(i, rng) for i in range(5)]
+        assert waits == [10.0, 20.0, 40.0, 50.0, 50.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_backoff_ms=100.0, jitter=0.25)
+        a = [policy.backoff_ms(0, random.Random("s")) for _ in range(3)]
+        b = [policy.backoff_ms(0, random.Random("s")) for _ in range(3)]
+        assert a == b
+        assert all(75.0 <= w <= 100.0 for w in a)
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            ResilientConsumer(REQUEST, object(), mode="push")
+
+
+class TestResilientPoll:
+    def test_retries_accumulate_backoff_on_simulated_clock(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(
+            ScriptedPlan(
+                ExchangeFaults(drop_request=True), ExchangeFaults(drop_response=True)
+            )
+        )
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            policy=RetryPolicy(base_backoff_ms=10.0, jitter=0.0),
+        )
+        assert consumer.sync_once() is not None
+        assert consumer.content.matches_master(master)
+        assert net.elapsed_ms == 30.0  # 10 + 20, no real sleeping
+        registry = net.registry
+        assert registry.counter("sync.resilient.retries").value == 2
+        assert (
+            registry.counter("sync.resilient.retries").labels(kind="drop_request").value
+            == 1
+        )
+
+    def test_timeout_treats_late_delivery_as_lost(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan(ExchangeFaults(delay_ms=5000.0)))
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            policy=RetryPolicy(timeout_ms=100.0, jitter=0.0),
+        )
+        assert consumer.sync_once() is not None  # timed out once, retried
+        assert consumer.content.matches_master(master)
+        assert (
+            net.registry.counter("sync.resilient.retries").labels(kind="timeout").value
+            == 1
+        )
+
+    def test_bare_timeout_raises_operation_timeout(self):
+        provider = ResyncProvider(build_master())
+        net = FaultyNetwork(ScriptedPlan(ExchangeFaults(delay_ms=5000.0)))
+        content = SyncedContent(REQUEST, network=net)
+        with pytest.raises(OperationTimeout):
+            content.poll(provider, timeout_ms=100.0)
+
+    def test_cookie_invalidation_falls_back_to_reload(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(
+            ScriptedPlan(ExchangeFaults(), ExchangeFaults(cookie_invalidate=True))
+        )
+        consumer = ResilientConsumer(REQUEST, provider, network=net)
+        consumer.sync_once()
+        master.delete("cn=E1,o=xyz")
+        consumer.sync_once()  # cookie invalidated -> reload, same cycle
+        assert consumer.content.matches_master(master)
+        assert net.registry.counter("sync.resilient.reloads").value == 1
+
+    def test_truncated_prefix_applied_then_retried(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan())
+        consumer = ResilientConsumer(
+            REQUEST, provider, network=net, policy=RetryPolicy(jitter=0.0)
+        )
+        consumer.sync_once()
+
+        for name in ("E0", "E1", "E2"):
+            master.delete(f"cn={name},o=xyz")
+        net.plan = ScriptedPlan(ExchangeFaults(truncate=True, truncate_keep=0.7))
+        before = consumer.content.updates_applied
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+        # The safe prefix (2 of 3 deletes) was applied, then the retry
+        # retransmitted the full batch: 2 + 3 update applications.
+        assert consumer.content.updates_applied - before == 5
+
+    def test_truncated_initial_response_not_partially_applied(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan(ExchangeFaults(truncate=True, truncate_keep=0.5)))
+        consumer = ResilientConsumer(
+            REQUEST, provider, network=net, policy=RetryPolicy(jitter=0.0)
+        )
+        consumer.sync_once()  # truncated initial is retried wholesale
+        assert consumer.content.matches_master(master)
+        assert len(consumer.content) == 4
+
+    def test_retain_provider_truncation_retried_wholesale(self):
+        master = build_master()
+        provider = RetainResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan())
+        consumer = ResilientConsumer(
+            REQUEST, provider, network=net, policy=RetryPolicy(jitter=0.0)
+        )
+        consumer.sync_once()
+        master.delete("cn=E3,o=xyz")
+        net.plan = ScriptedPlan(ExchangeFaults(truncate=True, truncate_keep=0.5))
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+
+
+class TestDegradedMode:
+    def unreachable_net(self):
+        # Every exchange drops: the master is effectively unreachable.
+        return FaultyNetwork(FaultPlan(FaultSpec(drop_response=1.0), seed=0))
+
+    def test_enters_and_exits_degraded(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        replica_server = build_master(n=0)
+        net = self.unreachable_net()
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            replica_server=replica_server,
+            policy=RetryPolicy(max_attempts=2, degraded_after=2, jitter=0.0),
+        )
+        assert consumer.sync_once() is None
+        assert not consumer.degraded  # one failed cycle: not yet
+        assert consumer.sync_once() is None
+        assert consumer.degraded
+        assert replica_server.degraded
+        assert net.registry.gauge("sync.resilient.degraded").value == 1
+
+        # Stale reads keep answering, stamped degraded.
+        result = replica_server.search(SearchRequest("o=xyz", Scope.SUB, "(objectClass=*)"))
+        assert result.degraded
+
+        net.heal()
+        assert consumer.sync_once() is not None
+        assert not consumer.degraded
+        assert not replica_server.degraded
+        result = replica_server.search(SearchRequest("o=xyz", Scope.SUB, "(objectClass=*)"))
+        assert not result.degraded
+
+    def test_content_survives_degradation(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan())
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            policy=RetryPolicy(max_attempts=2, degraded_after=1, jitter=0.0),
+        )
+        consumer.sync_once()
+        net.plan = FaultPlan(FaultSpec(drop_response=1.0), seed=0)
+        assert consumer.sync_once() is None
+        assert consumer.degraded
+        assert len(consumer.content) == 4  # last synchronized content
+
+
+class TestPersistResilience:
+    def test_subscription_counts_one_connection(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork()
+        consumer = ResilientConsumer(
+            REQUEST, provider, network=net, mode="persist"
+        )
+        consumer.sync_once()
+        assert net.open_connections == 1
+        consumer.close()
+        assert net.open_connections == 0
+
+    def test_crash_recounts_connection_without_leak(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(ScriptedPlan())
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            mode="persist",
+            policy=RetryPolicy(jitter=0.0),
+        )
+        consumer.sync_once()
+        assert net.open_connections == 1
+
+        net.plan = ScriptedPlan(spec=FaultSpec(crash_length=1))
+        net.crash(provider)  # connection force-dropped, session state lost
+        assert net.open_connections == 0
+        master.add(person("E9"))
+        consumer.sync_once()  # epoch mismatch detected -> re-subscribe
+        assert consumer.content.matches_master(master)
+        assert net.open_connections == 1  # re-counted, not leaked
+        assert net.total_connections == 2
+
+    def test_periodic_refresh_bounds_notification_loss(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(FaultPlan(FaultSpec(notification_drop=1.0), seed=0))
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            mode="persist",
+            policy=RetryPolicy(persist_refresh_interval=2, jitter=0.0),
+        )
+        consumer.sync_once()
+        master.add(person("E9"))  # notification dropped: silent divergence
+        assert not consumer.content.matches_master(master)
+        cycles = consumer.converge(master, max_cycles=4)
+        assert cycles is not None  # the refresh re-fetched full content
+        assert net.registry.counter("sync.resilient.refreshes").value >= 1
+
+    def test_subscribe_failure_does_not_leak_half_open_session(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(
+            ScriptedPlan(ExchangeFaults(drop_response=True))
+        )
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            mode="persist",
+            policy=RetryPolicy(jitter=0.0),
+        )
+        consumer.sync_once()  # first subscribe lost, retried
+        assert consumer.content.matches_master(master)
+        assert net.open_connections == 1
+        assert provider.active_session_count == 1  # half-open one was reset

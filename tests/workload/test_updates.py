@@ -3,7 +3,6 @@
 import pytest
 
 from repro.server import DirectoryServer
-from repro.workload import generate_directory, DirectoryConfig
 from repro.workload.updates import UpdateConfig, UpdateGenerator
 
 
