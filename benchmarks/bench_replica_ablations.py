@@ -39,12 +39,18 @@ N_QUERIES = 3000
 def run_replica(env: BenchEnv, templates, cache_policy="fifo", cache=0):
     master = env.fresh_master()
     provider = ResyncProvider(master)
+    # routing=False pins the paper's linear containment scan: template
+    # pruning is a simplification of *that* scan (§7.4's "directly
+    # proportional to the number of stored filters"), and the routed
+    # answer path (bench_replica_scaling) already narrows candidates so
+    # far that there is nothing left for templates to prune.
     replica = FilterReplica(
         "branch",
         network=SimulatedNetwork(),
         templates=templates,
         cache_capacity=cache,
         cache_policy=cache_policy,
+        routing=False,
     )
     for block, cc, _h in hot_blocks(env)[:N_FILTERS]:
         replica.add_filter(block_filter(block, cc), provider)

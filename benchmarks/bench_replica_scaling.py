@@ -1,0 +1,270 @@
+"""E18 — derived: routed answering / fan-out vs the seed linear scans.
+
+The paper's replica answers a query by scanning every stored filter for
+containment (§7.1), and its provider fans an update out by evaluating
+every active session's filter (§5) — both linear in the configuration
+size.  The routing subsystem (docs/ROUTING.md) replaces the scans with
+guard-atom and holder/fingerprint candidate routing, equivalence-tested
+against the linear oracles in ``tests/core/test_routing_equivalence.py``
+and ``tests/sync/test_router.py``.  This bench measures what the
+routing buys: answer throughput against stored-filter count and update
+fan-out throughput against active-session count, sweeping 50/200/500.
+
+The in-bench asserts double as the perf smoke: a reversion to the
+linear scan (or a routing layer that silently degrades to one) fails
+the ``>= 5x at 500`` speedup floors and the sublinear
+``containment_checks`` ceiling, independent of machine speed.  The
+exported ``*_per_s`` rates are additionally diffed against
+``benchmarks/baselines/replica_scaling.json`` by ``validate_results.py``.
+
+Workload: a synthetic site directory of 600 serialNumber blocks with 4
+persons each (serials ``BBBBSSUS``, the paper's site-block shape);
+stored filters and session filters are the generalized per-block
+``(serialNumber=BBBB*US)`` substrings; queries are distinct per-query
+equality serials (so neither the QC pair cache nor the routing memo can
+answer from a previous query); updates replace ``telephoneNumber`` — an
+attribute no filter constrains, which is exactly the case the paper's
+linear fan-out pays full price for and holder routing does not.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+import pytest
+
+from repro.core import FilterReplica
+from repro.core.containment import clear_containment_cache
+from repro.ldap import Entry, ReSyncControl, Scope, SearchRequest, SyncMode
+from repro.server import DirectoryServer, Modification
+from repro.sync import ResyncProvider
+
+from .common import report
+
+BLOCKS = 600
+PERSONS_PER_BLOCK = 4
+SWEEP = (50, 200, 500)
+N_QUERIES = 400
+N_UPDATES = 150
+# Update targets stay inside the first TARGET_BLOCKS blocks at every
+# sweep point (covered by sessions at every size), so the master-side
+# modify cost is a constant and the sweep varies only the fan-out.
+TARGET_BLOCKS = SWEEP[0]
+
+
+def _serial(block: int, seq: int) -> str:
+    return f"{block:04d}{seq:02d}US"
+
+
+def _person(block: int, seq: int) -> Entry:
+    cn = f"p{block:04d}{seq}"
+    return Entry(
+        f"cn={cn},o=xyz",
+        {
+            "objectClass": ["person"],
+            "cn": cn,
+            "sn": f"s{block % 37}",
+            "serialNumber": [_serial(block, seq)],
+            "telephoneNumber": ["+1-000"],
+        },
+    )
+
+
+def _block_filter(block: int) -> SearchRequest:
+    return SearchRequest("o=xyz", Scope.SUB, f"(serialNumber={block:04d}*US)")
+
+
+@contextmanager
+def _quiesced():
+    """GC off for the timed window.  The routed loops are so short that
+    a single gen-2 collection of the suite's whole heap landing inside
+    one would dominate the measurement."""
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+@pytest.fixture(scope="module")
+def site_entries() -> List[List[Entry]]:
+    """Per-block person entries for the synthetic site directory."""
+    return [
+        [_person(block, seq) for seq in range(PERSONS_PER_BLOCK)]
+        for block in range(BLOCKS)
+    ]
+
+
+def _fresh_master(site_entries: List[List[Entry]]) -> DirectoryServer:
+    master = DirectoryServer("master")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for block_entries in site_entries:
+        for entry in block_entries:
+            master.add(entry)
+    return master
+
+
+# ----------------------------------------------------------------------
+# sweep points
+# ----------------------------------------------------------------------
+def _answer_point(
+    site_entries: List[List[Entry]], n_filters: int, routing: bool
+) -> Dict[str, float]:
+    """Answer *N_QUERIES* distinct serial lookups over *n_filters*."""
+    replica = FilterReplica("r", cache_capacity=0, routing=routing)
+    for block in range(n_filters):
+        replica.load_directly(_block_filter(block), site_entries[block])
+    # Distinct serials per query: neither the global QC pair cache nor
+    # the routing memo may answer from an earlier query's work.
+    queries = [
+        SearchRequest(
+            "o=xyz", Scope.SUB, f"(serialNumber={(i * 7) % n_filters:04d}{i:04d}US)"
+        )
+        for i in range(N_QUERIES)
+    ]
+    clear_containment_cache()
+    with _quiesced():
+        start = time.perf_counter()
+        hits = sum(1 for q in queries if replica.answer(q).is_hit)
+        elapsed = time.perf_counter() - start
+    assert hits == N_QUERIES
+    return {
+        "rate": N_QUERIES / elapsed if elapsed else 0.0,
+        "checks_per_query": replica.containment_checks / N_QUERIES,
+    }
+
+
+def _fanout_point(
+    site_entries: List[List[Entry]], n_sessions: int, routed: bool
+) -> Dict[str, float]:
+    """Fan *N_UPDATES* master updates out to *n_sessions* poll sessions."""
+    master = _fresh_master(site_entries)
+    provider = ResyncProvider(master, routed=routed)
+    for i in range(n_sessions):
+        provider.handle(
+            _block_filter(i % BLOCKS), ReSyncControl(mode=SyncMode.POLL)
+        )
+    # telephoneNumber occurs in no session filter: the linear scan still
+    # evaluates every session twice per update, holder routing visits
+    # only the block's holders.
+    targets = [
+        str(site_entries[(i * 13) % TARGET_BLOCKS][i % PERSONS_PER_BLOCK].dn)
+        for i in range(N_UPDATES)
+    ]
+    with _quiesced():
+        start = time.perf_counter()
+        for i, dn in enumerate(targets):
+            master.modify(dn, [Modification.replace("telephoneNumber", f"+1-{i}")])
+        elapsed = time.perf_counter() - start
+    routed_candidates = master.metrics.counter("sync.route.candidates").value
+    return {
+        "rate": N_UPDATES / elapsed if elapsed else 0.0,
+        "candidates_per_update": routed_candidates / N_UPDATES,
+    }
+
+
+@pytest.fixture(scope="module")
+def scaling_rows(site_entries):
+    rows = []
+    points = {}
+    for n in SWEEP:
+        linear_a = _answer_point(site_entries, n, routing=False)
+        routed_a = _answer_point(site_entries, n, routing=True)
+        linear_f = _fanout_point(site_entries, n, routed=False)
+        routed_f = _fanout_point(site_entries, n, routed=True)
+        points[n] = (linear_a, routed_a, linear_f, routed_f)
+        rows.append(
+            (
+                n,
+                linear_a["rate"],
+                routed_a["rate"],
+                routed_a["rate"] / linear_a["rate"],
+                linear_a["checks_per_query"],
+                routed_a["checks_per_query"],
+                linear_f["rate"],
+                routed_f["rate"],
+                routed_f["rate"] / linear_f["rate"],
+            )
+        )
+    return rows, points
+
+
+def test_replica_scaling(benchmark, site_entries, scaling_rows):
+    rows, points = scaling_rows
+    top = SWEEP[-1]
+    linear_a, routed_a, linear_f, routed_f = points[top]
+    metrics = {
+        # Gated rates (validate_results: lower is a regression).
+        "answer_routed_per_s": routed_a["rate"],
+        "fanout_routed_per_s": routed_f["rate"],
+        # Informational context for the baseline diff.
+        "answer_linear_rate": linear_a["rate"],
+        "fanout_linear_rate": linear_f["rate"],
+        "answer_speedup_at_500": routed_a["rate"] / linear_a["rate"],
+        "fanout_speedup_at_500": routed_f["rate"] / linear_f["rate"],
+        "routed_checks_per_query_at_500": routed_a["checks_per_query"],
+        "linear_checks_per_query_at_500": linear_a["checks_per_query"],
+        "routed_candidates_per_update_at_500": routed_f["candidates_per_update"],
+    }
+    report(
+        "replica_scaling",
+        f"Routed vs linear answering/fan-out, {N_QUERIES} queries / "
+        f"{N_UPDATES} updates per point",
+        [
+            "size",
+            "ans_lin/s",
+            "ans_rt/s",
+            "ans_x",
+            "chk_lin",
+            "chk_rt",
+            "upd_lin/s",
+            "upd_rt/s",
+            "upd_x",
+        ],
+        rows,
+        params={
+            "blocks": BLOCKS,
+            "persons_per_block": PERSONS_PER_BLOCK,
+            "queries_per_point": N_QUERIES,
+            "updates_per_point": N_UPDATES,
+            "sweep": "/".join(str(n) for n in SWEEP),
+        },
+        metrics=metrics,
+        paper_expected={
+            "shape": "routed throughput stays flat as stored filters and "
+            "sessions grow; linear scans degrade proportionally"
+        },
+    )
+
+    # Perf smoke (machine-independent): the routed paths must beat the
+    # linear oracles by 5x at the top of the sweep, and never be the
+    # slower path anywhere.  A reversion to the linear scan fails here.
+    for n, (la, ra, lf, rf) in points.items():
+        floor = 5.0 if n == top else 1.5
+        assert ra["rate"] >= floor * la["rate"], (
+            f"answer routing speedup below {floor}x at {n} stored filters"
+        )
+        assert rf["rate"] >= floor * lf["rate"], (
+            f"fan-out routing speedup below {floor}x at {n} sessions"
+        )
+
+    # Containment checks per answered query must be sublinear in the
+    # stored-filter count: flat across a 10x sweep, against a linear
+    # scan that pays ~n/2.
+    first, last = SWEEP[0], SWEEP[-1]
+    routed_cpq = {n: points[n][1]["checks_per_query"] for n in SWEEP}
+    assert routed_cpq[last] <= 4.0
+    assert routed_cpq[last] <= 2.0 * routed_cpq[first] + 1.0
+    assert points[last][0]["checks_per_query"] >= last / 4
+
+    # Timed unit: one routed answer at the top sweep point.
+    replica = FilterReplica("r", cache_capacity=0, routing=True)
+    for block in range(top):
+        replica.load_directly(_block_filter(block), site_entries[block])
+    sample = SearchRequest("o=xyz", Scope.SUB, "(serialNumber=004201US)")
+    benchmark(lambda: replica.answer(sample))

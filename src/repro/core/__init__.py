@@ -7,7 +7,9 @@
 * :mod:`repro.core.filter_replica` — filter based replication (§3, §7);
 * :mod:`repro.core.generalization` / :mod:`repro.core.selection` —
   replica content determination (§6);
-* :mod:`repro.core.query_cache` — recent-user-query window (§7.4).
+* :mod:`repro.core.query_cache` — recent-user-query window (§7.4);
+* :mod:`repro.core.routing` — sublinear candidate routing for the
+  containment scans (docs/ROUTING.md).
 """
 
 from .containment import (
@@ -33,6 +35,7 @@ from .generalization import (
 )
 from .query_cache import CachedQuery, RecentQueryCache
 from .replica import AnswerStatus, HitStats, ReplicaAnswer
+from .routing import ContainmentIndex, guard_atoms, probe_atoms
 from .selection import CandidateStats, FilterSelector, SelectionReport
 from .subtree_replica import ReplicationContext, SubtreeReplica
 from .templates import Template, TemplateRegistry, template_key
@@ -58,6 +61,9 @@ __all__ = [
     "ReplicaFrontend",
     "RecentQueryCache",
     "CachedQuery",
+    "ContainmentIndex",
+    "guard_atoms",
+    "probe_atoms",
     "Generalizer",
     "IdentityGeneralization",
     "PrefixGeneralization",

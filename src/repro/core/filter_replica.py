@@ -16,19 +16,31 @@ The replica combines the three content sources of §7:
 * **dynamic selection** — stored filters can be installed/discarded at
   runtime by :class:`repro.core.selection.FilterSelector` revolutions.
 
+With ``routing=True`` (the default) the ``QC`` scan is replaced by
+candidate routing through a :class:`~repro.core.routing.
+ContainmentIndex` — guard-atom posting lists plus a base-DN region
+prefix structure, with a positive memo for repeat queries — so
+``answer()`` consults O(candidates) stored filters instead of all of
+them, and hit evaluation runs compiled filters over
+:meth:`SyncedContent.evaluate`'s incremental indexes instead of an
+interpreted full-content rescan.  ``routing=False`` keeps the seed
+linear scan callable as the equivalence oracle (docs/ROUTING.md).
+
 Template-based containment (§3.4.2) prunes the stored filters checked
 per query; ``containment_checks`` counts the comparisons actually made
-(the query-processing-overhead metric of §7.4).
+(the query-processing-overhead metric of §7.4), including the cache
+path's, split out as ``core.replica.containment_checks{source}``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.query import SearchRequest
+from ..obs.registry import MetricsRegistry
 from ..obs.tracing import span
 from ..server.network import SimulatedNetwork
 from ..server.operations import Referral
@@ -36,6 +48,7 @@ from ..sync.consumer import SyncedContent
 from .containment import query_contained_in
 from .query_cache import RecentQueryCache
 from .replica import AnswerStatus, HitStats, ReplicaAnswer
+from .routing import ContainmentIndex
 from .templates import TemplateRegistry, template_key
 
 __all__ = ["StoredFilter", "FilterReplica"]
@@ -78,6 +91,12 @@ class FilterReplica:
             is contained in some stored query, by uniting the per-
             disjunct evaluations.  Sound (each disjunct's answer set is
             complete) and strictly increases hit ratio.
+        routing: route stored-filter and cache lookups through
+            :class:`~repro.core.routing.ContainmentIndex` and evaluate
+            hits through content indexes; ``False`` replays the seed
+            linear scans (the property-test oracle).
+        metrics: registry for ``core.replica.*`` / ``core.route.*``
+            counters (private registry by default).
     """
 
     def __init__(
@@ -89,18 +108,36 @@ class FilterReplica:
         cache_capacity: int = 0,
         compose_unions: bool = False,
         cache_policy: str = "fifo",
+        routing: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.name = name
         self.master_url = master_url
         self.network = network
         self.templates = templates
         self.compose_unions = compose_unions
-        self.cache = RecentQueryCache(cache_capacity, policy=cache_policy)
+        self.routing = routing
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = RecentQueryCache(
+            cache_capacity, policy=cache_policy, indexed=routing
+        )
         self._stored: Dict[SearchRequest, StoredFilter] = {}
+        self._index: Optional[ContainmentIndex] = (
+            ContainmentIndex() if routing else None
+        )
         self._persist_handles: Dict[SearchRequest, object] = {}
         self.stats = HitStats()
         self.containment_checks = 0
         self._sync_round = 0
+        self._size_memo: Optional[Tuple[Tuple, int, int]] = None
+        self._checks_stored = self.metrics.counter(
+            "core.replica.containment_checks", source="stored"
+        )
+        self._checks_cache = self.metrics.counter(
+            "core.replica.containment_checks", source="cache"
+        )
+        self._route_candidates = self.metrics.counter("core.route.candidates")
+        self._route_memo_hits = self.metrics.counter("core.route.memo_hits")
 
     # ------------------------------------------------------------------
     # stored-filter management
@@ -131,11 +168,17 @@ class FilterReplica:
         if provider is not None:
             stored.content.poll(provider)
         self._stored[request] = stored
+        if self._index is not None:
+            self._index.add(request, stored)
+        self._size_memo = None
         return stored
 
     def remove_filter(self, request: SearchRequest, provider=None) -> None:
         """Discard a replicated query (ending its sync session)."""
         stored = self._stored.pop(request, None)
+        if self._index is not None:
+            self._index.remove(request)
+        self._size_memo = None
         handle = self._persist_handles.pop(request, None)
         if handle is not None:
             handle.abandon()
@@ -233,28 +276,74 @@ class FilterReplica:
             sp.add("hit", 1 if result.status is AnswerStatus.HIT else 0)
         return result
 
-    def _answer(self, request: SearchRequest) -> ReplicaAnswer:
-        qkey = template_key(request.filter)
-        admitted = self._admitted(request, qkey)
+    def _find_stored(self, request: SearchRequest, qkey: str) -> Optional[StoredFilter]:
+        """First stored query containing *request*, in insertion order.
 
-        if admitted:
-            for stored in self._stored.values():
+        The routed path consults the :class:`ContainmentIndex` (positive
+        memo, then guard-atom/region candidates); the linear path
+        replays the seed scan.  Both apply the ``templates.may_answer``
+        prune and count each :func:`query_contained_in` actually run, so
+        answers — and the prune's effect on ``containment_checks`` — are
+        identical.
+        """
+        if self._index is not None:
+            memo = self._index.memo_get(request)
+            if memo is not None:
+                self._route_memo_hits.inc()
+                return memo.handle
+            candidates = self._index.candidates(request)
+            self._route_candidates.inc(len(candidates))
+            for cand in candidates:
+                stored = cand.handle
                 if self.templates is not None and not self.templates.may_answer(
                     stored.key, qkey
                 ):
                     continue
                 self.containment_checks += 1
+                self._checks_stored.inc()
                 if query_contained_in(request, stored.request):
-                    stored.hits += 1
-                    answer = ReplicaAnswer(
-                        AnswerStatus.HIT,
-                        entries=self._evaluate(request, stored),
-                        answered_by=str(stored.request),
-                    )
-                    self.stats.record(answer)
-                    return answer
+                    self._index.memo_put(request, cand)
+                    return stored
+            return None
+        for stored in self._stored.values():
+            if self.templates is not None and not self.templates.may_answer(
+                stored.key, qkey
+            ):
+                continue
+            self.containment_checks += 1
+            self._checks_stored.inc()
+            if query_contained_in(request, stored.request):
+                return stored
+        return None
 
-            cached = self.cache.lookup(request)
+    def _cache_lookup(self, request: SearchRequest):
+        """Cache lookup with its containment checks folded into the
+        replica's §7.4 overhead metric (labeled ``source=cache``)."""
+        before = self.cache.containment_checks
+        cached = self.cache.lookup(request)
+        checked = self.cache.containment_checks - before
+        if checked:
+            self.containment_checks += checked
+            self._checks_cache.inc(checked)
+        return cached
+
+    def _answer(self, request: SearchRequest) -> ReplicaAnswer:
+        qkey = template_key(request.filter)
+        admitted = self._admitted(request, qkey)
+
+        if admitted:
+            stored = self._find_stored(request, qkey)
+            if stored is not None:
+                stored.hits += 1
+                answer = ReplicaAnswer(
+                    AnswerStatus.HIT,
+                    entries=self._evaluate(request, stored),
+                    answered_by=str(stored.request),
+                )
+                self.stats.record(answer)
+                return answer
+
+            cached = self._cache_lookup(request)
             if cached is not None:
                 entries, source = cached
                 answer = ReplicaAnswer(
@@ -283,6 +372,11 @@ class FilterReplica:
         (same base/scope/attributes, the disjunct as filter) must be
         contained in a stored query; the answer is the DN-deduplicated
         union of the per-disjunct evaluations.
+
+        Disjunct lookup goes through :meth:`_find_stored`, so the
+        ``templates.may_answer`` prune applies here exactly as on the
+        direct path — a union can no longer be served via a template
+        pairing the registry rejects.
         """
         from ..ldap.filters import Or, simplify
 
@@ -293,12 +387,7 @@ class FilterReplica:
         sources: List[str] = []
         for disjunct in flt.children:
             sub_request = request.with_filter(disjunct)
-            holder: Optional[StoredFilter] = None
-            for stored in self._stored.values():
-                self.containment_checks += 1
-                if query_contained_in(sub_request, stored.request):
-                    holder = stored
-                    break
+            holder = self._find_stored(sub_request, template_key(disjunct))
             if holder is None:
                 return None  # one uncovered disjunct forfeits the union
             holder.hits += 1
@@ -320,6 +409,8 @@ class FilterReplica:
 
     def _evaluate(self, request: SearchRequest, stored: StoredFilter) -> List[Entry]:
         """Evaluate *request* over the containing stored query's content."""
+        if self.routing:
+            return stored.content.evaluate(request)
         return [
             request.project(entry)
             for entry in stored.content.entries.values()
@@ -333,26 +424,40 @@ class FilterReplica:
     # ------------------------------------------------------------------
     # sizing
     # ------------------------------------------------------------------
+    def _content_fingerprint(self) -> Tuple:
+        """Cheap identity of all stored content: each ``SyncedContent``
+        bumps ``version`` on every mutation, so an unchanged fingerprint
+        means the memoized sizes are still exact."""
+        return tuple(
+            (stored.content.serial, stored.content.version)
+            for stored in self._stored.values()
+        )
+
+    def _sizes(self) -> Tuple[int, int]:
+        fingerprint = self._content_fingerprint()
+        memo = self._size_memo
+        if memo is None or memo[0] != fingerprint:
+            seen: Set[DN] = set()
+            total = 0
+            for stored in self._stored.values():
+                for dn, entry in stored.content.entries.items():
+                    if dn not in seen:
+                        seen.add(dn)
+                        total += entry.estimated_size()
+            memo = (fingerprint, len(seen), total)
+            self._size_memo = memo
+        return memo[1], memo[2]
+
     def entry_count(self, include_cache: bool = True) -> int:
         """Unique entries held (the paper's replica-size metric)."""
-        dns: Set[DN] = set()
-        for stored in self._stored.values():
-            dns.update(stored.content.entries)
-        count = len(dns)
+        count = self._sizes()[0]
         if include_cache:
             count += self.cache.entry_count()
         return count
 
     def size_bytes(self) -> int:
         """Approximate stored bytes across stored filters."""
-        seen: Set[DN] = set()
-        total = 0
-        for stored in self._stored.values():
-            for dn, entry in stored.content.entries.items():
-                if dn not in seen:
-                    seen.add(dn)
-                    total += entry.estimated_size()
-        return total
+        return self._sizes()[1]
 
     def __repr__(self) -> str:
         return (

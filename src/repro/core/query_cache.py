@@ -6,19 +6,32 @@ Cached queries are "simply cached for a short time window and not
 updated" — the window is a FIFO of the last N queries with their result
 entries, answered through the same containment machinery as stored
 filters, and results may be slightly stale by design.
+
+Lookup is routed through a recency-ordered
+:class:`~repro.core.routing.ContainmentIndex` (``indexed=True``, the
+default): instead of scanning the whole window newest-first, only
+guard-atom/region candidates are containment-checked, in the same
+newest-first order, so hits and results are byte-identical to the
+linear scan (kept reachable with ``indexed=False`` as the test oracle).
+Hit evaluation uses compiled filters (one closure per distinct query
+filter via :func:`~repro.ldap.matching.compile_filter_cached`), and
+``containment_checks`` counts the :func:`query_contained_in` calls
+actually made — the replica folds it into its §7.4 overhead metric.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 from ..ldap.filters import attributes_of
+from ..ldap.matching import compile_filter_cached
 from ..ldap.query import SearchRequest
 from .containment import query_contained_in
+from .routing import ContainmentIndex
 
 __all__ = ["CachedQuery", "RecentQueryCache"]
 
@@ -46,11 +59,14 @@ class RecentQueryCache:
 
     Queries identical to an already-cached one refresh its result but do
     not consume an extra slot.
+
+    ``indexed=False`` disables candidate routing and replays the seed
+    linear scan — the equivalence oracle for the property tests.
     """
 
     POLICIES = ("fifo", "lru")
 
-    def __init__(self, capacity: int = 50, policy: str = "fifo"):
+    def __init__(self, capacity: int = 50, policy: str = "fifo", indexed: bool = True):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         if policy not in self.POLICIES:
@@ -58,55 +74,94 @@ class RecentQueryCache:
         self.capacity = capacity
         self.policy = policy
         self._window: "OrderedDict[SearchRequest, CachedQuery]" = OrderedDict()
+        self._index: Optional[ContainmentIndex] = (
+            ContainmentIndex(order="recency") if indexed and capacity else None
+        )
+        self._dn_refs: Dict[DN, int] = {}
         self.lookups = 0
         self.hits = 0
+        self.containment_checks = 0
 
     def __len__(self) -> int:
         return len(self._window)
+
+    # ------------------------------------------------------------------
+    # replica-size refcounts (entry_count in O(1), not a window scan)
+    # ------------------------------------------------------------------
+    def _ref(self, dns) -> None:
+        refs = self._dn_refs
+        for dn in dns:
+            refs[dn] = refs.get(dn, 0) + 1
+
+    def _deref(self, dns) -> None:
+        refs = self._dn_refs
+        for dn in dns:
+            left = refs.get(dn, 1) - 1
+            if left <= 0:
+                refs.pop(dn, None)
+            else:
+                refs[dn] = left
+
+    def _evict(self, request: SearchRequest, cached: CachedQuery) -> None:
+        self._deref(cached.entries)
+        if self._index is not None:
+            self._index.remove(request)
 
     def insert(self, request: SearchRequest, entries: Sequence[Entry]) -> None:
         """Cache *request* with its result, evicting the oldest entry."""
         if self.capacity == 0:
             return
-        if request in self._window:
-            self._window.move_to_end(request)
-        self._window[request] = CachedQuery(
+        previous = self._window.pop(request, None)
+        if previous is not None:
+            self._evict(request, previous)
+        cached = CachedQuery(
             request=request,
             entries={e.dn: e.copy() for e in entries},
             filter_attrs=attributes_of(request.filter),
         )
+        self._window[request] = cached
+        self._ref(cached.entries)
+        if self._index is not None:
+            self._index.add(request, cached)
         while len(self._window) > self.capacity:
-            self._window.popitem(last=False)
+            old_request, old_cached = self._window.popitem(last=False)
+            self._evict(old_request, old_cached)
 
     def lookup(self, request: SearchRequest) -> Optional[Tuple[List[Entry], str]]:
         """Answer *request* from a containing cached query, if any.
 
         Returns (entries, cache key) on a hit, None on a miss.  Newest
-        cached queries are consulted first (temporal locality).
+        cached queries are consulted first (temporal locality); with the
+        index only routed candidates are checked, in the same order.
         """
         self.lookups += 1
         request_attrs = attributes_of(request.filter)
-        for cached in reversed(self._window.values()):
+        if self._index is not None:
+            window = (c.handle for c in self._index.candidates(request))
+        else:
+            window = reversed(self._window.values())
+        for cached in window:
             if not cached.filter_attrs <= request_attrs:
                 continue
+            self.containment_checks += 1
             if query_contained_in(request, cached.request):
                 self.hits += 1
+                compiled = compile_filter_cached(request.filter)
                 answer = [
                     request.project(entry)
                     for entry in cached.entries.values()
-                    if request.selects(entry)
+                    if request.in_scope(entry.dn) and compiled(entry)
                 ]
                 if self.policy == "lru":
                     self._window.move_to_end(cached.request)
+                    if self._index is not None:
+                        self._index.touch(cached.request)
                 return answer, str(cached.request)
         return None
 
     def entry_count(self) -> int:
         """Unique entries held in the window (counts toward replica size)."""
-        dns: Set[DN] = set()
-        for cached in self._window.values():
-            dns.update(cached.entries)
-        return len(dns)
+        return len(self._dn_refs)
 
     def stored_queries(self) -> List[SearchRequest]:
         """Cached requests, oldest first."""
@@ -114,3 +169,6 @@ class RecentQueryCache:
 
     def clear(self) -> None:
         self._window.clear()
+        self._dn_refs.clear()
+        if self._index is not None:
+            self._index.clear()

@@ -13,6 +13,7 @@ string comparison rather than failing, mirroring real servers.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Iterable, Optional
 
 from .attributes import AttributeRegistry, AttributeType, DEFAULT_REGISTRY
@@ -31,7 +32,13 @@ from .filters import (
     Substring,
 )
 
-__all__ = ["matches", "substring_match", "compare_values", "compile_filter"]
+__all__ = [
+    "matches",
+    "substring_match",
+    "compare_values",
+    "compile_filter",
+    "compile_filter_cached",
+]
 
 
 def compare_values(atype: AttributeType, left: str, right: str) -> int:
@@ -254,3 +261,16 @@ def compile_filter(
         inner = compile_filter(node.child, reg)
         return lambda entry: not inner(entry)
     raise TypeError(f"unknown filter node {node!r}")  # pragma: no cover
+
+
+@lru_cache(maxsize=65_536)
+def compile_filter_cached(node: Filter) -> CompiledFilter:
+    """Memoized :func:`compile_filter` under the default registry.
+
+    Filters are immutable and hot paths (replica evaluation, routing,
+    session fan-out) compile the same filter over and over — this keeps
+    one closure per distinct filter.  Only the default registry is
+    memoized, matching the memoization policy of
+    :func:`repro.core.containment.query_contained_in`.
+    """
+    return compile_filter(node, DEFAULT_REGISTRY)

@@ -29,8 +29,9 @@ import bisect
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..ldap.attributes import AttributeType
+from ..ldap.attributes import AttributeRegistry, AttributeType
 from ..ldap.dn import DN
+from ..ldap.entry import Entry
 
 __all__ = [
     "EqualityIndex",
@@ -38,6 +39,7 @@ __all__ = [
     "SubstringIndex",
     "OrderingIndex",
     "AttributeIndexSet",
+    "ContentIndex",
 ]
 
 
@@ -318,3 +320,133 @@ class AttributeIndexSet:
         self.substring.remove(dn, values)
         if self.ordering is not None:
             self.ordering.remove(dn, values)
+
+
+class ContentIndex:
+    """Incremental per-attribute equality + DN indexes over one
+    replicated content mapping.
+
+    :class:`repro.sync.consumer.SyncedContent` (and anything else that
+    owns a ``Dict[DN, Entry]`` it mutates through a funnel) attaches one
+    of these so replica-local evaluation intersects candidate sets
+    instead of scanning the whole content (docs/ROUTING.md §3).
+
+    * equality indexes are built **lazily per attribute** on the first
+      query that constrains it, then maintained incrementally by
+      :meth:`upsert`/:meth:`discard`;
+    * a sorted ``reversed_key`` list answers BASE/ONE/SUB region probes
+      (the same subtree-range trick as :class:`repro.server.backend.
+      EntryStore`);
+    * an insertion-sequence map preserves the content dict's iteration
+      order, so index-pruned evaluation returns entries in exactly the
+      order a linear scan of the dict would.
+
+    Candidate sets are supersets; callers re-verify every candidate
+    against the real filter and scope, so staleness bugs can cost speed
+    but never correctness.
+    """
+
+    def __init__(
+        self,
+        entries: Dict[DN, "Entry"],
+        registry: Optional["AttributeRegistry"] = None,
+    ):
+        from ..ldap.attributes import DEFAULT_REGISTRY
+
+        self._entries = entries
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._eq: Dict[str, EqualityIndex] = {}
+        self._seq: Dict[DN, int] = {}
+        self._next_seq = 0
+        self._rk: List[Tuple[Tuple, DN]] = []
+        for dn in entries:
+            self._admit(dn)
+        self._rk.sort()
+
+    def _admit(self, dn: DN) -> None:
+        self._seq[dn] = self._next_seq
+        self._next_seq += 1
+        self._rk.append((dn.reversed_key(), dn))
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (owner's mutation funnel)
+    # ------------------------------------------------------------------
+    def upsert(self, dn: DN, old: Optional["Entry"], new: "Entry") -> None:
+        """Fold one add/modify into every built structure."""
+        if dn not in self._seq:
+            self._seq[dn] = self._next_seq
+            self._next_seq += 1
+            bisect.insort(self._rk, (dn.reversed_key(), dn))
+        for attr, index in self._eq.items():
+            if old is not None:
+                index.remove(dn, old.get(attr))
+            index.insert(dn, new.get(attr))
+
+    def discard(self, dn: DN, old: "Entry") -> None:
+        """Fold one delete into every built structure."""
+        if self._seq.pop(dn, None) is None:
+            return
+        key = (dn.reversed_key(), dn)
+        pos = bisect.bisect_left(self._rk, key)
+        if pos < len(self._rk) and self._rk[pos] == key:
+            del self._rk[pos]
+        for attr, index in self._eq.items():
+            index.remove(dn, old.get(attr))
+
+    def seq_of(self, dn: DN) -> int:
+        """Insertion rank of *dn* (stable across upserts of the same
+        DN, advanced on re-insertion — dict-order semantics)."""
+        return self._seq.get(dn, 1 << 62)
+
+    # ------------------------------------------------------------------
+    # candidate generation
+    # ------------------------------------------------------------------
+    def _ensure_eq(self, attr: str) -> EqualityIndex:
+        key = attr.lower()
+        index = self._eq.get(key)
+        if index is None:
+            index = EqualityIndex(self._registry.get(attr))
+            for dn, entry in self._entries.items():
+                index.insert(dn, entry.get(attr))
+            self._eq[key] = index
+        return index
+
+    def region(self, base: DN) -> Set[DN]:
+        """DNs at or under *base* (SUB superset; ONE/BASE re-verify)."""
+        rk = base.reversed_key()
+        found: Set[DN] = set()
+        pos = bisect.bisect_left(self._rk, (rk,))
+        depth = len(rk)
+        while pos < len(self._rk):
+            key, dn = self._rk[pos]
+            if key[:depth] != rk:
+                break
+            found.add(dn)
+            pos += 1
+        return found
+
+    def candidates(self, request) -> Optional[Set[DN]]:
+        """Candidate DN superset for *request*, or None meaning "scan".
+
+        Intersects the equality posting lists of top-level equality
+        conjuncts; with no usable conjunct, falls back to the region
+        range when the base is below the content root.
+        """
+        from ..ldap.filters import And, Equality, simplify
+        from ..ldap.query import Scope
+
+        flt = simplify(request.filter)
+        conjuncts = flt.children if isinstance(flt, And) else (flt,)
+        best: Optional[Set[DN]] = None
+        for node in conjuncts:
+            if isinstance(node, Equality):
+                postings = self._ensure_eq(node.attr).lookup(node.value)
+                best = postings if best is None else best & postings
+                if not best:
+                    return best
+        if request.scope is Scope.BASE:
+            base_hit = {request.base} if request.base in self._seq else set()
+            return base_hit if best is None else best & base_hit
+        if best is None and len(request.base.reversed_key()) > 0:
+            return self.region(request.base)
+        return best

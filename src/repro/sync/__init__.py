@@ -18,6 +18,7 @@ from .consumer import SyncedContent
 from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
 from .resilient import ResilientConsumer, RetryPolicy
 from .resync import PersistHandle, ResyncProvider, RetainResyncProvider
+from .router import RoutedSession, SessionRouter
 from .session import Session, SessionStore
 
 __all__ = [
@@ -29,6 +30,8 @@ __all__ = [
     "ResyncProvider",
     "RetainResyncProvider",
     "PersistHandle",
+    "SessionRouter",
+    "RoutedSession",
     "SyncedContent",
     "ResilientConsumer",
     "RetryPolicy",

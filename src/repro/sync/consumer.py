@@ -16,13 +16,16 @@ experiments (Figures 6/7, E11) can read PDU and byte counts.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional
 
 from ..ldap.controls import ReSyncControl, SyncAction, SyncMode
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
+from ..ldap.matching import compile_filter_cached
 from ..ldap.query import SearchRequest
 from ..obs.tracing import span
+from ..server.indexes import ContentIndex
 from ..server.network import (
     Delivery,
     OperationTimeout,
@@ -32,6 +35,12 @@ from ..server.network import (
 from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
 
 __all__ = ["SyncedContent"]
+
+#: Contents below this size are always evaluated by a compiled linear
+#: scan — index bookkeeping costs more than it saves on tiny contents.
+INDEX_MIN_ENTRIES = 24
+
+_CONTENT_SERIALS = itertools.count(1)
 
 
 class SyncedContent:
@@ -49,10 +58,58 @@ class SyncedContent:
     ):
         self.request = request
         self.network = network
-        self.entries: Dict[DN, Entry] = {}
+        self._entries: Dict[DN, Entry] = {}
+        self._index: Optional[ContentIndex] = None
         self.cookie: Optional[str] = None
         self.polls = 0
         self.updates_applied = 0
+        #: Monotonic mutation counter — with :attr:`serial`, a cheap
+        #: fingerprint for memoizing aggregates over this content
+        #: (FilterReplica's size accounting).
+        self.version = 0
+        #: Process-unique identity, never reused (unlike ``id()``).
+        self.serial = next(_CONTENT_SERIALS)
+
+    # ------------------------------------------------------------------
+    # content mapping (all mutations funnel through here)
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> Dict[DN, Entry]:
+        """The replicated entries, keyed by DN (insertion-ordered).
+
+        Reading is free-form; *replacing* the mapping through this
+        property (``content.entries = {...}``) resets the attached
+        :class:`~repro.server.indexes.ContentIndex` and bumps
+        :attr:`version`.  In-place mutation by callers would bypass the
+        index — external writers must assign, as the replica loaders do.
+        """
+        return self._entries
+
+    @entries.setter
+    def entries(self, mapping: Dict[DN, Entry]) -> None:
+        self._entries = dict(mapping)
+        self._index = None
+        self.version += 1
+
+    def _upsert(self, dn: DN, entry: Entry) -> None:
+        old = self._entries.get(dn)
+        self._entries[dn] = entry
+        self.version += 1
+        if self._index is not None:
+            self._index.upsert(dn, old, entry)
+
+    def _discard(self, dn: DN) -> None:
+        old = self._entries.pop(dn, None)
+        if old is None:
+            return
+        self.version += 1
+        if self._index is not None:
+            self._index.discard(dn, old)
+
+    def _reset(self) -> None:
+        self._entries = {}
+        self._index = None
+        self.version += 1
 
     # ------------------------------------------------------------------
     # applying responses
@@ -69,22 +126,22 @@ class SyncedContent:
         untouched (docs/PROTOCOL.md §9).
         """
         if response.initial:
-            self.entries.clear()
+            self._reset()
         retained: set = set()
         upserted: set = set()
         for update in response.updates:
             self._charge(update)
             self.updates_applied += 1
             if update.action in (SyncAction.ADD, SyncAction.MODIFY):
-                self.entries[update.dn] = update.entry.copy()
+                self._upsert(update.dn, update.entry.copy())
                 upserted.add(update.dn)
             elif update.action is SyncAction.DELETE:
-                self.entries.pop(update.dn, None)
+                self._discard(update.dn)
             elif update.action is SyncAction.RETAIN:
                 retained.add(update.dn)
         if response.uses_retain:
             keep = retained | upserted
-            self.entries = {dn: e for dn, e in self.entries.items() if dn in keep}
+            self.entries = {dn: e for dn, e in self._entries.items() if dn in keep}
         if response.cookie is not None:
             self.cookie = response.cookie
         self.polls += 1
@@ -94,9 +151,9 @@ class SyncedContent:
         self._charge(update)
         self.updates_applied += 1
         if update.action in (SyncAction.ADD, SyncAction.MODIFY):
-            self.entries[update.dn] = update.entry.copy()
+            self._upsert(update.dn, update.entry.copy())
         elif update.action is SyncAction.DELETE:
-            self.entries.pop(update.dn, None)
+            self._discard(update.dn)
 
     def _charge(self, update: SyncUpdate) -> None:
         if self.network is None:
@@ -205,6 +262,42 @@ class SyncedContent:
         if self.network is not None:
             self.network.charge_round_trip()
         self.cookie = None
+
+    # ------------------------------------------------------------------
+    # local evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, request: SearchRequest) -> List[Entry]:
+        """Entries of this content matching *request*, projected.
+
+        Replaces the replica's interpreted full scan: the filter is
+        compiled once per distinct filter
+        (:func:`~repro.ldap.matching.compile_filter_cached`) and, above
+        :data:`INDEX_MIN_ENTRIES`, a lazily built
+        :class:`~repro.server.indexes.ContentIndex` narrows evaluation
+        to a candidate set.  Candidates are re-verified and returned in
+        content insertion order, so the result is identical to the
+        linear scan's (the equivalence property of
+        ``tests/core/test_routing_equivalence.py``).
+        """
+        compiled = compile_filter_cached(request.filter)
+        entries = self._entries
+        if len(entries) >= INDEX_MIN_ENTRIES:
+            if self._index is None:
+                self._index = ContentIndex(entries)
+            candidates = self._index.candidates(request)
+            if candidates is not None and len(candidates) < len(entries):
+                seq_of = self._index.seq_of
+                out: List[Entry] = []
+                for dn in sorted(candidates, key=seq_of):
+                    entry = entries.get(dn)
+                    if entry is not None and request.in_scope(dn) and compiled(entry):
+                        out.append(request.project(entry))
+                return out
+        return [
+            request.project(entry)
+            for entry in entries.values()
+            if request.in_scope(entry.dn) and compiled(entry)
+        ]
 
     # ------------------------------------------------------------------
     # inspection

@@ -33,6 +33,7 @@ from ..obs.tracing import span
 from ..server.directory import DirectoryServer
 from ..server.operations import UpdateOp, UpdateRecord
 from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
+from .router import SessionRouter
 from .session import Session, SessionStore
 
 __all__ = ["ResyncProvider", "RetainResyncProvider", "PersistHandle"]
@@ -65,22 +66,82 @@ class ResyncProvider:
     Registers itself as an update listener on *server*; every committed
     update is folded into each active session's pending actions.
 
+    With ``routed=True`` (the default) the fan-out goes through a
+    :class:`~repro.sync.router.SessionRouter`: only sessions whose
+    holder/attribute-fingerprint/region summaries say the update *can*
+    affect them are visited — a superset of the sessions the linear
+    scan would notify (property-tested), visited in the same creation
+    order with the same compiled-vs-interpreted-equivalent predicate,
+    so the per-session notification streams are byte-identical.
+    ``routed=False`` keeps the seed linear scan (the test oracle, also
+    reachable as :meth:`on_update_linear`).
+
     Args:
         server: the master directory server.
         idle_limit: logical-time session expiry (the admin time limit).
+        routed: route ``on_update`` through the session router.
     """
 
-    def __init__(self, server: DirectoryServer, idle_limit: int = 100_000):
+    def __init__(
+        self,
+        server: DirectoryServer,
+        idle_limit: int = 100_000,
+        routed: bool = True,
+    ):
         self.server = server
         self.sessions = SessionStore(idle_limit=idle_limit)
+        self.router: Optional[SessionRouter] = SessionRouter() if routed else None
         self._persist_callbacks: Dict[str, DeliverFn] = {}
+        self._route_candidates = server.metrics.counter("sync.route.candidates")
+        self._route_notified = server.metrics.counter("sync.route.notified")
         server.add_update_listener(self)
 
     # ------------------------------------------------------------------
     # update listener
     # ------------------------------------------------------------------
     def on_update(self, record: UpdateRecord) -> None:
-        """Fold one committed master update into every active session."""
+        """Fold one committed master update into every affected session."""
+        if self.router is None:
+            self.on_update_linear(record)
+            return
+        # Phase 1: route, evaluate the exact membership predicate per
+        # candidate, and advance *all* holder state before any delivery.
+        # A persist deliver callback may update the master and re-enter
+        # on_update mid-flush; with holders already advanced for every
+        # affected session, the nested routing pass is complete, and the
+        # nested visit happens between this record's deliveries exactly
+        # where the linear scan would put it.
+        routed = self.router.route(record)
+        self._route_candidates.inc(len(routed))
+        visits = []
+        for rs in routed:
+            session = self.sessions.get(rs.session_id)
+            if session is None:
+                self.router.unregister(rs.session_id)  # expired meanwhile
+                continue
+            in_before = record.before is not None and rs.selects(record.before)
+            in_after = record.after is not None and rs.selects(record.after)
+            if not in_before and not in_after:
+                continue
+            self.router.note_delivery(
+                rs, in_before, in_after, record.dn, record.effective_dn
+            )
+            visits.append((session, in_before, in_after))
+        self._route_notified.inc(len(visits))
+        # Phase 2: notify, in session-creation order (== linear order).
+        for session, in_before, in_after in visits:
+            session.observe(
+                in_before=in_before,
+                in_after=in_after,
+                old_dn=record.dn,
+                new_dn=record.effective_dn,
+                after_entry=record.after,
+            )
+            self._flush_persist(session)
+
+    def on_update_linear(self, record: UpdateRecord) -> None:
+        """The seed linear fan-out — every active session's filter is
+        evaluated against the update (the routing-equivalence oracle)."""
         for session in self.sessions.active_sessions():
             request = session.request
             in_before = record.before is not None and request.selects(record.before)
@@ -154,7 +215,7 @@ class ResyncProvider:
     ) -> tuple[SyncResponse, Optional[Session]]:
         if control.mode is SyncMode.SYNC_END:
             if control.cookie is not None:
-                self.sessions.end(control.cookie)
+                self._end_session(control.cookie)
             return SyncResponse(updates=[], cookie=None), None
 
         if control.cookie is None:
@@ -163,6 +224,9 @@ class ResyncProvider:
                 session = self.sessions.create(request)
                 content = self._search_content(request)
                 session.seed_content(content)
+                if self.router is not None:
+                    self.router.register(session)
+                    self.router.seed(session, (e.dn for e in content))
                 updates = [SyncUpdate.add(e) for e in content]
                 sp.add("entries_sent", len(updates))
             response = SyncResponse(updates=updates, initial=True)
@@ -220,16 +284,24 @@ class ResyncProvider:
         """
         self.sessions = SessionStore(idle_limit=self.sessions.idle_limit)
         self._persist_callbacks.clear()
+        if self.router is not None:
+            self.router.reset()
 
     def invalidate_cookie(self, cookie: str) -> None:
         """Expire the session named by *cookie* (the admin time limit
         firing early); its next presentation raises
         :class:`SyncProtocolError`."""
+        self._end_session(cookie)
+
+    def _end_session(self, cookie: str) -> None:
+        """Terminate a session and drop its routing registration."""
         self.sessions.end(cookie)
+        if self.router is not None:
+            self.router.unregister(cookie.split(":", 1)[0])
 
     def _end_persist(self, session: Session) -> None:
         self._persist_callbacks.pop(session.session_id, None)
-        self.sessions.end(session.session_id)
+        self._end_session(session.session_id)
 
     def _search_content(self, request: SearchRequest):
         """Current master content of *request*, in deterministic DN

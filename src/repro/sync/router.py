@@ -1,0 +1,285 @@
+"""Routed ReSync update fan-out (provider side).
+
+``ResyncProvider.on_update`` must decide, for every committed master
+update, which active sessions to notify.  The seed implementation
+evaluates every session's filter against the update's before/after
+entries — linear in the session count, twice per update, interpreted.
+The :class:`SessionRouter` keeps per-session routing summaries so only
+sessions that *can* be affected are visited:
+
+* **holders** — a ``DN → sessions`` map mirroring each session's
+  master-side content (``Session.content_dns``), seeded from the
+  initial content and advanced by :meth:`note_delivery` after every
+  notification.  Any update whose entry was in a session's content
+  (``in_before``) must route through this map.
+* **attribute fingerprints** — ``attributes_of(filter)`` posting lists.
+  An in-place MODIFY can only change a filter's verdict when some
+  *changed* attribute occurs in the filter, so non-holders are visited
+  only when the changed-attribute set intersects their fingerprint.
+* **anchors** — a set of attributes such that any entry matching the
+  filter holds at least one of them (:func:`anchor_attrs`).  An ADD (or
+  the new position of a rename) routes to sessions whose anchor set
+  intersects the entry's attributes; filters without derivable anchors
+  (NOT shapes) are visited for every add in region.
+* **regions** — sessions bucketed by ``base.reversed_key()``; a DN can
+  only be in a session's scope when the session base's key prefixes
+  the DN's, probed like the replica-side
+  :class:`~repro.core.routing.ContainmentIndex`.
+
+Soundness (property-tested in ``tests/sync/test_router.py``): routing
+never skips a session the linear scan would notify — skipped sessions
+provably have ``in_before == in_after == False``.  Visited candidates
+re-evaluate exactly the linear predicate (scope + compiled filter), in
+session-creation order, so the notification streams are byte-identical
+to the seed fan-out's.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.filters import And, Filter, Not, Or, Predicate, attributes_of, simplify
+from ..ldap.matching import compile_filter_cached
+from ..server.operations import UpdateRecord
+from .session import Session
+
+__all__ = ["SessionRouter", "RoutedSession", "anchor_attrs"]
+
+_EMPTY: FrozenSet["RoutedSession"] = frozenset()
+
+
+def anchor_attrs(flt: Filter) -> Optional[FrozenSet[str]]:
+    """Attributes of which any entry matching *flt* must hold one.
+
+    ``None`` means no such set is derivable (the filter may match
+    entries lacking any particular attribute — NOT shapes), so the
+    session must see every add.  Derivation: a predicate anchors on its
+    own attribute (matching requires it present); an AND anchors on any
+    one child's anchors (the smallest is kept); an OR needs anchors from
+    *every* child and takes the union.
+    """
+    flt = simplify(flt)
+    return _anchors(flt)
+
+
+def _anchors(flt: Filter) -> Optional[FrozenSet[str]]:
+    if isinstance(flt, Predicate):
+        return frozenset((flt.attr_key,))
+    if isinstance(flt, And):
+        best: Optional[FrozenSet[str]] = None
+        for child in flt.children:
+            found = _anchors(child)
+            if found is not None and (best is None or len(found) < len(best)):
+                best = found
+        return best
+    if isinstance(flt, Or):
+        merged: Set[str] = set()
+        for child in flt.children:
+            found = _anchors(child)
+            if found is None:
+                return None
+            merged |= found
+        return frozenset(merged)
+    if isinstance(flt, Not):
+        return None
+    return None  # pragma: no cover - all node kinds handled
+
+
+class RoutedSession:
+    """One registered session plus its routing summary."""
+
+    __slots__ = (
+        "session_id",
+        "serial",
+        "request",
+        "compiled",
+        "fingerprint",
+        "anchors",
+        "region",
+        "held",
+    )
+
+    def __init__(self, session: Session, serial: int):
+        self.session_id = session.session_id
+        self.serial = serial
+        self.request = session.request
+        self.compiled = compile_filter_cached(session.request.filter)
+        self.fingerprint = attributes_of(session.request.filter)
+        self.anchors = anchor_attrs(session.request.filter)
+        self.region = session.request.base.reversed_key()
+        self.held: Set[DN] = set()
+
+    def selects(self, entry: Entry) -> bool:
+        """Exactly ``request.selects`` with the compiled filter."""
+        return self.request.in_scope(entry.dn) and self.compiled(entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"RoutedSession({self.session_id})"
+
+
+class SessionRouter:
+    """Attribute/region/holder routing over a provider's sessions."""
+
+    def __init__(self):
+        self._serials = itertools.count(1)
+        self._sessions: Dict[str, RoutedSession] = {}
+        self._by_attr: Dict[str, Set[RoutedSession]] = {}
+        self._by_region: Dict[Tuple, Set[RoutedSession]] = {}
+        self._anchored: Dict[str, Set[RoutedSession]] = {}
+        self._unanchored: Set[RoutedSession] = set()
+        self._holders: Dict[DN, Set[RoutedSession]] = {}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, session: Session) -> RoutedSession:
+        """Register *session* (called when the provider creates it)."""
+        self.unregister(session.session_id)
+        rs = RoutedSession(session, next(self._serials))
+        self._sessions[rs.session_id] = rs
+        for attr in rs.fingerprint:
+            self._by_attr.setdefault(attr, set()).add(rs)
+        self._by_region.setdefault(rs.region, set()).add(rs)
+        if rs.anchors is None:
+            self._unanchored.add(rs)
+        else:
+            for attr in rs.anchors:
+                self._anchored.setdefault(attr, set()).add(rs)
+        return rs
+
+    def seed(self, session: Session, dns) -> None:
+        """Mirror the initial content delivered to *session*."""
+        rs = self._sessions.get(session.session_id)
+        if rs is None:
+            return
+        for dn in dns:
+            self._hold(rs, dn)
+
+    def unregister(self, session_id: str) -> None:
+        rs = self._sessions.pop(session_id, None)
+        if rs is None:
+            return
+        for attr in rs.fingerprint:
+            self._drop(self._by_attr, attr, rs)
+        self._drop(self._by_region, rs.region, rs)
+        if rs.anchors is None:
+            self._unanchored.discard(rs)
+        else:
+            for attr in rs.anchors:
+                self._drop(self._anchored, attr, rs)
+        for dn in list(rs.held):
+            self._drop(self._holders, dn, rs)
+
+    def reset(self) -> None:
+        """Forget every session (provider restart)."""
+        self._sessions.clear()
+        self._by_attr.clear()
+        self._by_region.clear()
+        self._anchored.clear()
+        self._unanchored.clear()
+        self._holders.clear()
+
+    @staticmethod
+    def _drop(postings: Dict, key, rs: "RoutedSession") -> None:
+        bucket = postings.get(key)
+        if bucket is not None:
+            bucket.discard(rs)
+            if not bucket:
+                del postings[key]
+
+    # ------------------------------------------------------------------
+    # holder tracking (mirrors Session._track_content)
+    # ------------------------------------------------------------------
+    def _hold(self, rs: RoutedSession, dn: DN) -> None:
+        rs.held.add(dn)
+        self._holders.setdefault(dn, set()).add(rs)
+
+    def _unhold(self, rs: RoutedSession, dn: DN) -> None:
+        rs.held.discard(dn)
+        self._drop(self._holders, dn, rs)
+
+    def note_delivery(
+        self,
+        rs: RoutedSession,
+        in_before: bool,
+        in_after: bool,
+        old_dn: DN,
+        new_dn: DN,
+    ) -> None:
+        """Advance *rs*'s holder state after one notification — the same
+        transitions ``Session.observe`` applies to ``content_dns``."""
+        if in_before and not in_after:
+            self._unhold(rs, old_dn)
+        elif in_after and not in_before:
+            self._hold(rs, new_dn)
+        elif in_before and in_after:
+            if old_dn != new_dn:
+                self._unhold(rs, old_dn)
+            self._hold(rs, new_dn)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _region_candidates(self, dn: DN) -> Set[RoutedSession]:
+        rk = dn.reversed_key()
+        found: Set[RoutedSession] = set()
+        for i in range(len(rk) + 1):
+            bucket = self._by_region.get(rk[:i])
+            if bucket:
+                found |= bucket
+        return found
+
+    @staticmethod
+    def _changed_attrs(before: Entry, after: Entry) -> Set[str]:
+        """Attributes whose raw value lists differ (a superset of the
+        semantically changed set, which is all soundness needs)."""
+        names = {n.lower() for n in before.attribute_names()}
+        names |= {n.lower() for n in after.attribute_names()}
+        return {
+            name
+            for name in names
+            if sorted(before.get(name)) != sorted(after.get(name))
+        }
+
+    def route(self, record: UpdateRecord) -> List[RoutedSession]:
+        """Sessions that may be affected by *record*, in creation order.
+
+        A superset of ``{s : in_before(s) or in_after(s)}`` — the
+        guarantee the equivalence property tests.  The caller still
+        evaluates the exact predicate per candidate.
+        """
+        candidates: Set[RoutedSession] = set()
+        old_dn = record.dn
+        new_dn = record.effective_dn
+        if record.before is not None:
+            candidates |= self._holders.get(old_dn, _EMPTY)
+        if record.after is not None:
+            if record.before is not None and old_dn == new_dn:
+                # In-place MODIFY: a non-holder's verdict can only flip
+                # when a changed attribute occurs in its filter.
+                changed = self._changed_attrs(record.before, record.after)
+                touched: Set[RoutedSession] = set()
+                for attr in changed:
+                    bucket = self._by_attr.get(attr)
+                    if bucket:
+                        touched |= bucket
+                if touched:
+                    candidates |= touched & self._region_candidates(new_dn)
+            else:
+                # ADD, or the new position of a rename: an entry can
+                # only enter a session whose region covers the DN and
+                # whose filter's anchors intersect the entry.
+                present = {n.lower() for n in record.after.attribute_names()}
+                for rs in self._region_candidates(new_dn):
+                    if rs.anchors is None or rs.anchors & present:
+                        candidates.add(rs)
+        return sorted(candidates, key=lambda rs: rs.serial)

@@ -280,6 +280,14 @@ class SessionStore:
         session_id = cookie.split(":", 1)[0]
         self._sessions.pop(session_id, None)
 
+    def get(self, session_id: str) -> Optional[Session]:
+        """The live session with *session_id*, or None.
+
+        Unlike :meth:`lookup` this neither touches the activity clock
+        nor raises — it is the provider's liveness probe (an expired
+        session simply reads as gone)."""
+        return self._sessions.get(session_id)
+
     def cookie_for(self, session: Session) -> str:
         """Cookie handed to the consumer to resume *session*.
 

@@ -1,0 +1,228 @@
+"""ContainmentIndex unit behaviour + the completeness property.
+
+The index is pure routing: it must never *miss* a registered query that
+could contain an incoming one (completeness), while extra candidates
+only cost a containment check.  Completeness is the load-bearing
+invariant — it is what lets `FilterReplica`/`RecentQueryCache` skip the
+linear scan without changing a single answer — so it gets a Hypothesis
+property over the same closed world the containment soundness suite
+uses.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import query_contained_in
+from repro.core.routing import ContainmentIndex, guard_atoms, probe_atoms
+from repro.ldap import (
+    And,
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Scope,
+    SearchRequest,
+    Substring,
+    parse_filter,
+)
+
+# ----------------------------------------------------------------------
+# guard/probe atom unit behaviour
+# ----------------------------------------------------------------------
+
+
+def test_equality_guard_is_exact_value():
+    assert guard_atoms(Equality("sn", "Kumar")) == {("eq", "sn", "kumar")}
+
+
+def test_anchored_substring_guard_is_prefix():
+    assert guard_atoms(Substring("sn", initial="Ku")) == {("pfx", "sn", "ku")}
+
+
+def test_unanchored_substring_guard_is_attribute():
+    assert guard_atoms(Substring("sn", any_parts=("um",))) == {("attr", "sn")}
+
+
+def test_range_and_present_guards_are_attribute():
+    assert guard_atoms(GreaterOrEqual("uid", "5")) == {("attr", "uid")}
+    assert guard_atoms(Present("uid")) == {("attr", "uid")}
+
+
+def test_not_guard_is_any():
+    assert guard_atoms(Not(Equality("sn", "a"))) == {("any",)}
+
+
+def test_and_guard_picks_most_selective_conjunct():
+    flt = And((Present("objectClass"), Equality("sn", "a")))
+    assert guard_atoms(flt) == {("eq", "sn", "a")}
+
+
+def test_or_guard_unions_children():
+    flt = Or((Equality("sn", "a"), Substring("cn", initial="b")))
+    assert guard_atoms(flt) == {("eq", "sn", "a"), ("pfx", "cn", "b")}
+
+
+def test_probe_atoms_cover_equality_prefixes():
+    atoms = probe_atoms(Equality("sn", "abc"))
+    assert ("eq", "sn", "abc") in atoms
+    assert ("attr", "sn") in atoms
+    assert {("pfx", "sn", "a"), ("pfx", "sn", "ab"), ("pfx", "sn", "abc")} <= atoms
+    assert ("any",) in atoms
+
+
+# ----------------------------------------------------------------------
+# index routing behaviour
+# ----------------------------------------------------------------------
+
+
+def _req(filter_text: str, base: str = "o=xyz") -> SearchRequest:
+    return SearchRequest(base, Scope.SUB, parse_filter(filter_text))
+
+
+def test_candidates_route_equality_to_anchored_substring():
+    index = ContainmentIndex()
+    stored = _req("(serialNumber=0001*US)")
+    index.add(stored, "h")
+    got = index.candidates(_req("(serialNumber=000123US)"))
+    assert [c.request for c in got] == [stored]
+
+
+def test_or_stored_filter_reached_from_single_disjunct_query():
+    # The Or-right containment rule: (sn=a) ⊆ (|(sn=a)(cn=b)).  A naive
+    # attribute-subset prescreen would skip the stored OR; the guard
+    # union must not.
+    index = ContainmentIndex()
+    stored = _req("(|(sn=a)(cn=b))")
+    index.add(stored, "h")
+    query = _req("(sn=a)")
+    assert query_contained_in(query, stored)
+    assert stored in [c.request for c in index.candidates(query)]
+
+
+def test_unrelated_attribute_is_not_a_candidate():
+    index = ContainmentIndex()
+    index.add(_req("(sn=a)"), "h")
+    assert index.candidates(_req("(uid=a)")) == []
+
+
+def test_region_prefix_probing():
+    index = ContainmentIndex()
+    wide = _req("(sn=a)", base="o=xyz")
+    narrow = _req("(sn=a)", base="c=us,o=xyz")
+    other = _req("(sn=a)", base="c=in,o=xyz")
+    index.add(wide, "w")
+    index.add(narrow, "n")
+    index.add(other, "o")
+    got = [c.request for c in index.candidates(_req("(sn=a)", base="c=us,o=xyz"))]
+    # Stored bases must be ancestor-or-self of the query base.
+    assert got == [wide, narrow]
+
+
+def test_insertion_order_preserved():
+    index = ContainmentIndex()
+    first = _req("(sn=a)")
+    second = _req("(|(sn=a)(sn=b))")
+    index.add(first, 1)
+    index.add(second, 2)
+    got = [c.request for c in index.candidates(_req("(sn=a)"))]
+    assert got == [first, second]
+
+
+def test_recency_order_newest_first_and_touch():
+    index = ContainmentIndex(order="recency")
+    first = _req("(sn=a)")
+    second = _req("(|(sn=a)(sn=b))")
+    index.add(first, 1)
+    index.add(second, 2)
+    probe = _req("(sn=a)")
+    assert [c.request for c in index.candidates(probe)] == [second, first]
+    index.touch(first)  # LRU hit moves it to the front
+    assert [c.request for c in index.candidates(probe)] == [first, second]
+
+
+def test_remove_unregisters_and_invalidates_memo():
+    index = ContainmentIndex()
+    stored = _req("(sn=a)")
+    cand = index.add(stored, "h")
+    query = _req("(sn=a)")
+    index.memo_put(query, cand)
+    assert index.memo_get(query) is cand
+    index.remove(stored)
+    assert index.candidates(query) == []
+    assert index.memo_get(query) is None  # liveness check drops it
+
+
+def test_readd_after_remove_gets_fresh_memo_identity():
+    index = ContainmentIndex()
+    stored = _req("(sn=a)")
+    old = index.add(stored, "h")
+    query = _req("(sn=a)")
+    index.memo_put(query, old)
+    index.remove(stored)
+    fresh = index.add(stored, "h2")
+    # The stale memo entry must not resurrect the removed candidate.
+    assert index.memo_get(query) is None
+    assert [c is fresh for c in index.candidates(query)] == [True]
+
+
+def test_memo_disabled_in_recency_order():
+    index = ContainmentIndex(order="recency")
+    stored = _req("(sn=a)")
+    cand = index.add(stored, "h")
+    query = _req("(sn=a)")
+    index.memo_put(query, cand)
+    assert index.memo_get(query) is None
+
+
+# ----------------------------------------------------------------------
+# completeness property
+# ----------------------------------------------------------------------
+
+_ATTRS = ["sn", "uid", "l"]
+_VALUES = ["a", "ab", "abc", "b", "ba", "c"]
+_attr = st.sampled_from(_ATTRS)
+_value = st.sampled_from(_VALUES)
+
+_leaves = st.one_of(
+    st.builds(Equality, _attr, _value),
+    st.builds(GreaterOrEqual, _attr, _value),
+    st.builds(LessOrEqual, _attr, _value),
+    st.builds(Present, _attr),
+    st.builds(lambda a, v: Substring(a, initial=v), _attr, _value),
+    st.builds(lambda a, v: Substring(a, final=v), _attr, _value),
+    st.builds(lambda a, v: Substring(a, any_parts=(v,)), _attr, _value),
+)
+
+_filters = st.recursive(
+    _leaves,
+    lambda kids: st.one_of(
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: And(tuple(cs))),
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: Or(tuple(cs))),
+        kids.map(Not),
+    ),
+    max_leaves=6,
+)
+
+_BASES = ["", "o=xyz", "c=us,o=xyz", "cn=probe,c=us,o=xyz"]
+_requests = st.builds(
+    SearchRequest,
+    st.sampled_from(_BASES),
+    st.sampled_from(list(Scope)),
+    _filters,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_requests, st.lists(_requests, min_size=1, max_size=8))
+def test_candidates_superset_of_containing(query, population):
+    """Any stored query that contains *query* must be routed."""
+    index = ContainmentIndex()
+    for stored in population:
+        index.add(stored, stored)
+    routed = {c.request for c in index.candidates(query)}
+    for stored in set(population):
+        if query_contained_in(query, stored):
+            assert stored in routed, (
+                f"routing skipped containing query {stored} for {query}"
+            )

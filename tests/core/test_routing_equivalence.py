@@ -1,0 +1,303 @@
+"""Routed replica answering must be byte-identical to the seed scan.
+
+``FilterReplica(routing=False)`` preserves the seed linear containment
+scan and interpreted evaluation — the oracle.  The property drives both
+replicas through identical stored-filter sets, query streams, and
+cache feedback, and requires identical answers: status, entry list
+*including order*, ``answered_by`` attribution, and referrals.
+
+The file also carries the satellite regressions that ride on this
+subsystem: the union path's template pruning, cache containment-check
+accounting, replica-size memoization, and the cache's refcounted
+``entry_count``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FilterReplica, RecentQueryCache, TemplateRegistry
+from repro.ldap import (
+    And,
+    DN,
+    Entry,
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Scope,
+    SearchRequest,
+    Substring,
+)
+from repro.sync import SyncUpdate
+
+_ATTRS = ["sn", "uid", "l"]
+_VALUES = ["a", "ab", "abc", "b", "ba", "c"]
+_attr = st.sampled_from(_ATTRS)
+_value = st.sampled_from(_VALUES)
+
+_leaves = st.one_of(
+    st.builds(Equality, _attr, _value),
+    st.builds(GreaterOrEqual, _attr, _value),
+    st.builds(LessOrEqual, _attr, _value),
+    st.builds(Present, _attr),
+    st.builds(lambda a, v: Substring(a, initial=v), _attr, _value),
+    st.builds(lambda a, v: Substring(a, final=v), _attr, _value),
+)
+
+_filters = st.recursive(
+    _leaves,
+    lambda kids: st.one_of(
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: And(tuple(cs))),
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: Or(tuple(cs))),
+        kids.map(Not),
+    ),
+    max_leaves=5,
+)
+
+_BASES = ["", "o=xyz", "c=us,o=xyz"]
+_requests = st.builds(
+    SearchRequest,
+    st.sampled_from(_BASES),
+    st.sampled_from([Scope.SUB, Scope.ONE, Scope.BASE]),
+    _filters,
+)
+
+_DN_POOL = [
+    "o=xyz",
+    "c=us,o=xyz",
+    "cn=p0,c=us,o=xyz",
+    "cn=p1,c=us,o=xyz",
+    "cn=p2,o=xyz",
+    "cn=p3,o=xyz",
+]
+
+_entry_values = st.lists(_value, max_size=2)
+_entries = st.builds(
+    lambda dn, svals, uvals, lvals: Entry(
+        DN.parse(dn),
+        {
+            "objectClass": ["person"],
+            "cn": "x",
+            **({"sn": svals} if svals else {}),
+            **({"uid": uvals} if uvals else {}),
+            **({"l": lvals} if lvals else {}),
+        },
+    ),
+    st.sampled_from(_DN_POOL),
+    _entry_values,
+    _entry_values,
+    _entry_values,
+)
+
+
+def _entry_fp(entry):
+    return (
+        str(entry.dn),
+        sorted((n, tuple(entry.get(n))) for n in entry.attribute_names()),
+    )
+
+
+def _answer_fp(answer):
+    return (
+        answer.status,
+        [_entry_fp(e) for e in answer.entries],
+        answer.answered_by,
+        answer.referrals,
+    )
+
+
+def _drive(routing, directory, stored_requests, queries, capacity, unions, policy):
+    replica = FilterReplica(
+        "r",
+        cache_capacity=capacity,
+        compose_unions=unions,
+        cache_policy=policy,
+        routing=routing,
+    )
+    for request in stored_requests:
+        replica.load_directly(
+            request, [e for e in directory if request.selects(e)]
+        )
+    outcomes = []
+    for query in queries:
+        answer = replica.answer(query)
+        outcomes.append(_answer_fp(answer))
+        if not answer.is_hit:
+            # Master-answered misses feed the cache on both sides.
+            replica.observe_miss(
+                query, [e for e in directory if query.selects(e)]
+            )
+    return outcomes
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(_entries, min_size=1, max_size=8, unique_by=lambda e: str(e.dn)),
+    st.lists(_requests, min_size=1, max_size=6),
+    st.lists(_requests, min_size=1, max_size=10),
+    st.sampled_from([0, 3]),
+    st.booleans(),
+    st.sampled_from(["fifo", "lru"]),
+)
+def test_routed_answers_equal_linear(
+    directory, stored_requests, queries, capacity, unions, policy
+):
+    routed = _drive(
+        True, directory, stored_requests, queries, capacity, unions, policy
+    )
+    linear = _drive(
+        False, directory, stored_requests, queries, capacity, unions, policy
+    )
+    assert routed == linear
+
+
+_TEMPLATES = TemplateRegistry.from_strings("(sn=_)", "(uid=_)", "(|(sn=_)(uid=_))")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(_entries, min_size=1, max_size=8, unique_by=lambda e: str(e.dn)),
+    st.lists(_requests, min_size=1, max_size=6),
+    st.lists(_requests, min_size=1, max_size=10),
+)
+def test_routed_answers_equal_linear_with_templates(
+    directory, stored_requests, queries
+):
+    def drive(routing):
+        replica = FilterReplica(
+            "r", templates=_TEMPLATES, compose_unions=True, routing=routing
+        )
+        for request in stored_requests:
+            replica.load_directly(
+                request, [e for e in directory if request.selects(e)]
+            )
+        return [_answer_fp(replica.answer(q)) for q in queries]
+
+    assert drive(True) == drive(False)
+
+
+# ----------------------------------------------------------------------
+# satellite regressions
+# ----------------------------------------------------------------------
+
+
+def _person(dn, **attrs):
+    return Entry(
+        dn,
+        {
+            "objectClass": ["person"],
+            "cn": dn.split(",", 1)[0].split("=", 1)[1],
+            **{k: [v] for k, v in attrs.items()},
+        },
+    )
+
+
+def test_union_path_applies_template_pruning():
+    """`_answer_union` must prune template-incompatible stored filters
+    exactly like the direct path: the (mail=_) stored filter can never
+    answer a (sn=_) disjunct, so no containment check is spent on it."""
+    registry = TemplateRegistry.from_strings(
+        "(sn=_)", "(mail=_)", "(|(sn=_)(mail=_))"
+    )
+    replica = FilterReplica(
+        "r", templates=registry, compose_unions=True, routing=False
+    )
+    mail_req = SearchRequest("o=xyz", Scope.SUB, "(mail=b)")
+    sn_req = SearchRequest("o=xyz", Scope.SUB, "(sn=a)")
+    replica.load_directly(mail_req, [_person("cn=m,o=xyz", mail="b")])
+    replica.load_directly(sn_req, [_person("cn=s,o=xyz", sn="a")])
+
+    query = SearchRequest("o=xyz", Scope.SUB, "(|(sn=a)(mail=b))")
+    answer = replica.answer(query)
+    assert answer.is_hit
+    assert answer.answered_by.startswith("union:")
+    assert {str(e.dn) for e in answer.entries} == {"cn=s,o=xyz", "cn=m,o=xyz"}
+    # Direct path: 2 checks (the OR query vs both stored filters).
+    # Union path: 1 per disjunct — the cross-template pair is pruned,
+    # where the seed burned a third check on (sn=a) vs (mail=b).
+    assert replica.containment_checks == 4
+
+
+def test_cache_containment_checks_counted_and_labeled():
+    replica = FilterReplica("r", cache_capacity=4)
+    wide = SearchRequest("o=xyz", Scope.SUB, "(sn=a*)")
+    replica.observe_miss(wide, [_person("cn=s,o=xyz", sn="ab")])
+
+    narrow = SearchRequest("o=xyz", Scope.SUB, "(sn=ab)")
+    before = replica.containment_checks
+    answer = replica.answer(narrow)
+    assert answer.is_hit and answer.answered_by.startswith("cache:")
+    # The cache's checks now surface in the replica's §7.4 metric…
+    assert replica.containment_checks == before + 1
+    assert replica.cache.containment_checks == 1
+    # …and in the labeled counter split.
+    cache_counter = replica.metrics.counter(
+        "core.replica.containment_checks", source="cache"
+    )
+    assert cache_counter.value == 1
+
+    replica.add_filter(SearchRequest("o=xyz", Scope.SUB, "(uid=x)"))
+    replica.answer(SearchRequest("o=xyz", Scope.SUB, "(uid=x)"))
+    stored_counter = replica.metrics.counter(
+        "core.replica.containment_checks", source="stored"
+    )
+    assert stored_counter.value == 1
+
+
+def test_replica_sizes_memoized_with_invalidation(monkeypatch):
+    replica = FilterReplica("r")
+    first = SearchRequest("o=xyz", Scope.SUB, "(sn=*)")
+    e1 = _person("cn=a,o=xyz", sn="a")
+    e2 = _person("cn=b,o=xyz", sn="b")
+    stored = replica.load_directly(first, [e1])
+
+    sizing_calls = []
+    true_size = Entry.estimated_size
+    monkeypatch.setattr(
+        Entry,
+        "estimated_size",
+        lambda self: sizing_calls.append(1) or true_size(self),
+    )
+
+    assert replica.entry_count() == 1
+    baseline = replica.size_bytes()
+    after_first = len(sizing_calls)
+    assert replica.size_bytes() == baseline
+    assert replica.entry_count() == 1
+    assert len(sizing_calls) == after_first  # memo hit: no re-walk
+
+    # Content mutation through the sync path invalidates the memo.
+    stored.content.apply_notification(SyncUpdate.add(e2))
+    assert replica.entry_count() == 2
+    assert replica.size_bytes() > baseline
+    assert len(sizing_calls) > after_first
+
+    # Overlapping filters still dedup by DN, and removal invalidates.
+    second = SearchRequest("o=xyz", Scope.SUB, "(uid=*)")
+    replica.load_directly(second, [e2])
+    assert replica.entry_count() == 2
+    replica.remove_filter(second)
+    assert replica.entry_count() == 2
+    replica.remove_filter(first)
+    assert replica.entry_count() == 0
+
+
+def test_cache_entry_count_refcounted():
+    cache = RecentQueryCache(capacity=2)
+    e1 = _person("cn=a,o=xyz", sn="a")
+    e2 = _person("cn=b,o=xyz", sn="b")
+    e3 = _person("cn=c,o=xyz", sn="c")
+    q1 = SearchRequest("o=xyz", Scope.SUB, "(sn=a)")
+    q2 = SearchRequest("o=xyz", Scope.SUB, "(sn=b)")
+    q3 = SearchRequest("o=xyz", Scope.SUB, "(sn=c)")
+
+    cache.insert(q1, [e1, e2])
+    cache.insert(q2, [e2, e3])
+    assert cache.entry_count() == 3
+    cache.insert(q3, [e3])  # evicts q1; e1 leaves, e2 survives via q2
+    assert cache.entry_count() == 2
+    cache.insert(q2, [e1])  # refresh replaces q2's result set
+    assert cache.entry_count() == 2  # {e1, e3}
+    cache.clear()
+    assert cache.entry_count() == 0

@@ -1,0 +1,336 @@
+"""SessionRouter: unit behaviour + routed-vs-linear fan-out equivalence.
+
+The router's contract has two halves, both tested here:
+
+* **completeness** — ``route(record)`` never skips a session the seed
+  linear scan would notify (audited per update inside the equivalence
+  property, via a wrapper that replays the linear verdict for every
+  active session);
+* **equivalence** — with routing on, every session's notification
+  stream (poll batches and persist deliveries) is byte-identical to a
+  linear provider fed the same update stream, for poll and persist
+  modes, including deliver callbacks that update the master and
+  re-enter ``on_update`` mid-flush.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ldap import (
+    And,
+    Entry,
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    ReSyncControl,
+    Scope,
+    SearchRequest,
+    Substring,
+    SyncMode,
+    parse_filter,
+)
+from repro.server import DirectoryServer, LdapError, Modification
+from repro.sync import ResyncProvider
+from repro.sync.router import anchor_attrs
+
+# ----------------------------------------------------------------------
+# anchor derivation
+# ----------------------------------------------------------------------
+
+
+def test_predicate_anchors_on_its_attribute():
+    assert anchor_attrs(parse_filter("(sn=a)")) == {"sn"}
+    assert anchor_attrs(parse_filter("(sn=*)")) == {"sn"}
+
+
+def test_and_anchors_on_one_conjunct():
+    got = anchor_attrs(parse_filter("(&(objectClass=person)(sn=a))"))
+    assert got is not None and len(got) == 1
+
+
+def test_or_anchors_union_all_disjuncts():
+    assert anchor_attrs(parse_filter("(|(sn=a)(uid=b))")) == {"sn", "uid"}
+
+
+def test_not_has_no_anchor():
+    assert anchor_attrs(parse_filter("(!(sn=a))")) is None
+    assert anchor_attrs(parse_filter("(|(sn=a)(!(uid=b)))")) is None
+
+
+# ----------------------------------------------------------------------
+# equivalence harness
+# ----------------------------------------------------------------------
+
+_POOL = [
+    "cn=e0,o=xyz",
+    "cn=e1,o=xyz",
+    "cn=e2,o=xyz",
+    "cn=e3,o=xyz",
+    "cn=u0,c=us,o=xyz",
+    "cn=u1,c=us,o=xyz",
+]
+
+_ATTRS = ["sn", "uid", "l"]
+_VALUES = ["a", "ab", "abc", "b", "ba", "c"]
+
+
+def _build_master(name: str) -> DirectoryServer:
+    master = DirectoryServer(name)
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    master.add(Entry("c=us,o=xyz", {"objectClass": ["country"], "c": "us"}))
+    return master
+
+
+def _apply(master: DirectoryServer, op) -> None:
+    """Apply one generated op; invalid ops fail identically on both
+    masters (validation precedes commit), keeping their states equal."""
+    kind = op[0]
+    try:
+        if kind == "upsert":
+            _kind, dn, attr, value = op
+            if master.store.get(dn) is not None:
+                master.modify(dn, [Modification.replace(attr, value)])
+            else:
+                rdn = dn.split(",", 1)[0].split("=", 1)[1]
+                master.add(
+                    Entry(
+                        dn,
+                        {"objectClass": ["person"], "cn": rdn, attr: [value]},
+                    )
+                )
+        elif kind == "clearattr":
+            _kind, dn, attr = op
+            if master.store.get(dn) is not None:
+                master.modify(dn, [Modification.replace(attr)])
+        elif kind == "delete":
+            master.delete(op[1])
+        elif kind == "rename":
+            _kind, dn, tag = op
+            master.modify_dn(dn, new_rdn=f"cn=r{tag}")
+    except LdapError:
+        pass
+
+
+def _update_fp(update):
+    entry = update.entry
+    attrs = (
+        None
+        if entry is None
+        else sorted(
+            (name, tuple(entry.get(name))) for name in entry.attribute_names()
+        )
+    )
+    return (update.action, str(update.dn), attrs)
+
+
+class _RouteAudit:
+    """Wraps ``router.route`` to assert completeness on every update:
+    any session the linear verdict would notify must be routed."""
+
+    def __init__(self, provider: ResyncProvider):
+        self.provider = provider
+        self.violations = []
+        self._inner = provider.router.route
+        provider.router.route = self._route  # type: ignore[method-assign]
+
+    def _route(self, record):
+        routed = self._inner(record)
+        routed_ids = {rs.session_id for rs in routed}
+        for session in self.provider.sessions.active_sessions():
+            in_before = record.before is not None and session.request.selects(
+                record.before
+            )
+            in_after = record.after is not None and session.request.selects(
+                record.after
+            )
+            if (in_before or in_after) and session.session_id not in routed_ids:
+                self.violations.append((str(record.dn), session.session_id))
+        return routed
+
+
+def _run_side(routed: bool, ops1, ops2, requests, persist_flags):
+    master = _build_master(f"m-{routed}")
+    for dn in _POOL[:3]:  # part of the pool pre-exists
+        _apply(master, ("upsert", dn, "sn", "a"))
+    provider = ResyncProvider(master, routed=routed)
+    audit = _RouteAudit(provider) if routed else None
+
+    streams = []  # one list of update fingerprints per session
+    cookies = []
+    for request, persist in zip(requests, persist_flags):
+        if persist:
+            log = []
+            response, _handle = provider.persist(
+                request, lambda u, log=log: log.append(_update_fp(u))
+            )
+            streams.append(log)
+            cookies.append(None)
+        else:
+            log = []
+            response = provider.handle(
+                request, ReSyncControl(mode=SyncMode.POLL)
+            )
+            streams.append(log)
+            cookies.append(response.cookie)
+
+    def poll_all():
+        for i, cookie in enumerate(cookies):
+            if cookie is None:
+                continue
+            response = provider.handle(
+                requests[i], ReSyncControl(mode=SyncMode.POLL, cookie=cookie)
+            )
+            streams[i].extend(_update_fp(u) for u in response.updates)
+            cookies[i] = response.cookie
+
+    for op in ops1:
+        _apply(master, op)
+    poll_all()
+    for op in ops2:
+        _apply(master, op)
+    poll_all()
+
+    if audit is not None:
+        assert not audit.violations, f"routing skipped sessions: {audit.violations}"
+    return streams
+
+
+_attr = st.sampled_from(_ATTRS)
+_value = st.sampled_from(_VALUES)
+
+_leaves = st.one_of(
+    st.builds(Equality, _attr, _value),
+    st.builds(GreaterOrEqual, _attr, _value),
+    st.builds(LessOrEqual, _attr, _value),
+    st.builds(Present, _attr),
+    st.builds(lambda a, v: Substring(a, initial=v), _attr, _value),
+    st.builds(lambda a, v: Substring(a, final=v), _attr, _value),
+)
+
+_filters = st.recursive(
+    _leaves,
+    lambda kids: st.one_of(
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: And(tuple(cs))),
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: Or(tuple(cs))),
+        kids.map(Not),
+    ),
+    max_leaves=5,
+)
+
+_requests = st.builds(
+    SearchRequest,
+    st.sampled_from(["o=xyz", "c=us,o=xyz"]),
+    st.sampled_from([Scope.SUB, Scope.ONE]),
+    _filters,
+)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("upsert"), st.sampled_from(_POOL), _attr, _value
+        ),
+        st.tuples(st.just("clearattr"), st.sampled_from(_POOL), _attr),
+        st.tuples(st.just("delete"), st.sampled_from(_POOL)),
+        st.tuples(
+            st.just("rename"),
+            st.sampled_from(_POOL),
+            st.integers(min_value=0, max_value=2),
+        ),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    _ops,
+    _ops,
+    st.lists(_requests, min_size=1, max_size=6),
+    st.lists(st.booleans(), min_size=6, max_size=6),
+)
+def test_routed_fanout_equals_linear(ops1, ops2, requests, persist_flags):
+    """Poll batches and persist deliveries are byte-identical between the
+    routed provider and the seed linear scan, and routing never skips a
+    session the linear verdict would notify (audited per update)."""
+    routed = _run_side(True, ops1, ops2, requests, persist_flags)
+    linear = _run_side(False, ops1, ops2, requests, persist_flags)
+    assert routed == linear
+
+
+def test_reentrant_persist_delivery_matches_linear():
+    """A persist deliver callback that updates the master re-enters
+    on_update mid-flush; the routed two-phase fan-out must interleave
+    the nested record between deliveries exactly like the linear scan."""
+
+    def run(routed: bool):
+        master = _build_master(f"m-{routed}")
+        for dn in _POOL[:3]:
+            _apply(master, ("upsert", dn, "sn", "a"))
+        provider = ResyncProvider(master, routed=routed)
+        wide = SearchRequest("o=xyz", Scope.SUB, "(sn=*)")
+        log1, log2 = [], []
+        fired = []
+
+        def deliver1(update):
+            log1.append(_update_fp(update))
+            if not fired:  # one nested master update, mid-flush
+                fired.append(True)
+                master.modify(
+                    "cn=e1,o=xyz", [Modification.replace("sn", "ba")]
+                )
+
+        provider.persist(wide, deliver1)
+        provider.persist(wide, lambda u: log2.append(_update_fp(u)))
+        master.modify("cn=e0,o=xyz", [Modification.replace("sn", "ab")])
+        return log1, log2
+
+    assert run(True) == run(False)
+
+
+def test_ended_session_is_unrouted():
+    master = _build_master("m-end")
+    _apply(master, ("upsert", "cn=e0,o=xyz", "sn", "a"))
+    provider = ResyncProvider(master, routed=True)
+    request = SearchRequest("o=xyz", Scope.SUB, "(sn=*)")
+    response = provider.handle(request, ReSyncControl(mode=SyncMode.POLL))
+    assert len(provider.router) == 1
+    provider.handle(
+        request, ReSyncControl(mode=SyncMode.SYNC_END, cookie=response.cookie)
+    )
+    assert len(provider.router) == 0
+    # Updates after the end must not reach the dead session.
+    master.modify("cn=e0,o=xyz", [Modification.replace("sn", "b")])
+
+
+def test_restart_resets_router():
+    master = _build_master("m-restart")
+    provider = ResyncProvider(master, routed=True)
+    provider.handle(
+        SearchRequest("o=xyz", Scope.SUB, "(sn=*)"),
+        ReSyncControl(mode=SyncMode.POLL),
+    )
+    assert len(provider.router) == 1
+    provider.restart()
+    assert len(provider.router) == 0
+
+
+def test_expired_session_lazily_unregistered():
+    master = _build_master("m-expire")
+    _apply(master, ("upsert", "cn=e0,o=xyz", "sn", "a"))
+    provider = ResyncProvider(master, idle_limit=2, routed=True)
+    stale_req = SearchRequest("o=xyz", Scope.SUB, "(sn=a)")
+    provider.handle(stale_req, ReSyncControl(mode=SyncMode.POLL))
+    busy_req = SearchRequest("o=xyz", Scope.SUB, "(sn=*)")
+    response = provider.handle(busy_req, ReSyncControl(mode=SyncMode.POLL))
+    for _ in range(4):  # run the store's activity clock past the limit
+        response = provider.handle(
+            busy_req, ReSyncControl(mode=SyncMode.POLL, cookie=response.cookie)
+        )
+    assert provider.active_session_count == 1
+    assert len(provider.router) == 2  # stale registration still around
+    master.modify("cn=e0,o=xyz", [Modification.replace("sn", "ab")])
+    assert len(provider.router) == 1  # dropped on first routed visit
