@@ -23,13 +23,21 @@ from repro.server import (
     FaultyNetwork,
     Modification,
 )
-from repro.sync import ResilientConsumer, ResyncProvider, RetryPolicy
+from repro.sync import (
+    DurabilityConfig,
+    MemoryJournal,
+    ResilientConsumer,
+    ResyncProvider,
+    RetryPolicy,
+)
 
 from .common import report
 
 REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
 NAMES = [f"P{i}" for i in range(10)]
 RATES = (0.0, 0.1, 0.2, 0.3, 0.4)
+CRASH_RATES = (0.0, 0.2)
+CRASH_STEPS = (5, 10)
 SEED = 101
 FAULT_STEPS = 15
 MAX_CLEAN_CYCLES = 16
@@ -99,7 +107,53 @@ def run_cell(mode: str, rate: float, seed: int = SEED) -> dict:
     }
 
 
-def test_fault_convergence(benchmark):
+def run_crash_cell(mode: str, rate: float, seed: int = SEED) -> dict:
+    """One ``--provider-crash`` cell: the master itself crashes twice
+    mid-schedule (restart + seeded journal damage + recovery) on top of
+    network faults at *rate*, so the export covers master-side faults,
+    not just lost PDUs."""
+    master = build_master()
+    provider = ResyncProvider(
+        master,
+        durability=DurabilityConfig(snapshot_interval=8),
+        journal=MemoryJournal(),
+    )
+    net = FaultyNetwork(FaultPlan(FaultSpec.uniform(rate), seed=seed))
+    consumer = ResilientConsumer(
+        REQUEST,
+        provider,
+        network=net,
+        seed=seed,
+        mode=mode,
+        policy=RetryPolicy(max_attempts=4, persist_refresh_interval=4),
+    )
+    for step in range(FAULT_STEPS):
+        mutate(master, step)
+        if step in CRASH_STEPS:
+            net.crash(provider)
+        consumer.sync_once()
+    faults = sum(net.fault_counts().values())
+    net.heal()
+    cycles = consumer.converge(master, max_cycles=MAX_CLEAN_CYCLES)
+    assert cycles is not None, f"no convergence (crash, mode={mode}, rate={rate})"
+    assert consumer.content.matches_master(master)
+    registry = net.registry
+    durability = master.metrics
+    return {
+        "faults": faults,
+        "retries": int(registry.counter("sync.resilient.retries").value),
+        "reloads": int(registry.counter("sync.resilient.reloads").value),
+        "clean_cycles": cycles,
+        "round_trips": net.stats.round_trips,
+        "bytes_sent": net.stats.bytes_sent,
+        "recoveries": int(durability.counter("sync.durability.recoveries").value),
+        "replayed": int(
+            durability.counter("sync.durability.replayed_records").value
+        ),
+    }
+
+
+def test_fault_convergence(benchmark, provider_crash):
     rows = []
     metrics = {}
     for mode in ("poll", "persist"):
@@ -126,6 +180,32 @@ def test_fault_convergence(benchmark):
     assert metrics["persist_r00_retries"] == 0
     assert metrics["poll_r00_clean_cycles"] == 1
 
+    if provider_crash:
+        for mode in ("poll", "persist"):
+            for rate in CRASH_RATES:
+                cell = run_crash_cell(mode, rate)
+                rows.append(
+                    [
+                        f"{mode}+crash",
+                        rate,
+                        cell["faults"],
+                        cell["retries"],
+                        cell["reloads"],
+                        cell["clean_cycles"],
+                        cell["round_trips"],
+                    ]
+                )
+                key = f"crash_{mode}_r{int(rate * 100):02d}"
+                metrics[f"{key}_retries"] = cell["retries"]
+                metrics[f"{key}_clean_cycles"] = cell["clean_cycles"]
+                metrics[f"{key}_round_trips"] = cell["round_trips"]
+                metrics[f"{key}_recoveries"] = cell["recoveries"]
+                metrics[f"{key}_replayed"] = cell["replayed"]
+        # Both scheduled crashes must actually have exercised recovery,
+        # and a crash on a clean network must not force full reloads.
+        assert metrics["crash_poll_r00_recoveries"] == len(CRASH_STEPS)
+        assert metrics["crash_persist_r00_recoveries"] == len(CRASH_STEPS)
+
     report(
         "fault_convergence",
         "Convergence cost vs fault rate (uniform faults, seed 101)",
@@ -136,6 +216,9 @@ def test_fault_convergence(benchmark):
             "fault_steps": FAULT_STEPS,
             "max_clean_cycles": MAX_CLEAN_CYCLES,
             "rates": ",".join(str(r) for r in RATES),
+            "crash_rates": ",".join(str(r) for r in CRASH_RATES)
+            if provider_crash
+            else "",
             "entries": len(NAMES),
         },
         metrics=metrics,

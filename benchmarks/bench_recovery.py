@@ -1,0 +1,191 @@
+"""E13 — crash recovery: resume-from-journal vs full reload.
+
+A durable :class:`ResyncProvider` journals session state so a crash is
+survivable: consumers keep their cookies and the first post-crash poll
+carries only the delta (docs/PROTOCOL.md §10).  Without the journal a
+provider restart voids every session and each consumer must reload its
+full content.  This bench quantifies that difference as the session
+count grows: post-crash traffic (bytes on the wire after the crash)
+and recovery time for the journal replay itself.
+
+The sweep is deterministic (fixed directory, fixed update schedule, no
+network faults), so ``s{N}_durable_bytes_sent`` / ``s{N}_reload_bytes_sent``
+are regression-diffable by ``validate_results.py``; ``recovery_seconds``
+is wall time and stays informational.  The in-bench floor — reload
+traffic at least 5x the durable resume at 100 sessions — fails on any
+reversion to reload-after-crash independent of runner speed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import DirectoryServer, Modification
+from repro.sync import DurabilityConfig, MemoryJournal, ResyncProvider, SyncedContent
+
+from .common import report
+
+DEPARTMENTS = 12
+PERSONS_PER_DEPT = 10
+SESSION_COUNTS = (25, 50, 100)
+UPDATES = DEPARTMENTS  # one touched entry per department
+SNAPSHOT_INTERVAL = 64
+MIN_TRAFFIC_RATIO = 5.0  # reload must cost >=5x the durable resume
+
+
+def build_master() -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for dept in range(DEPARTMENTS):
+        for person in range(PERSONS_PER_DEPT):
+            name = f"P{dept:02d}-{person:02d}"
+            master.add(
+                Entry(
+                    f"cn={name},o=xyz",
+                    {
+                        "objectClass": ["person"],
+                        "cn": name,
+                        "sn": "T",
+                        "departmentNumber": f"D{dept:02d}",
+                    },
+                )
+            )
+    return master
+
+
+def open_sessions(provider, count: int):
+    """*count* consumers, one department filter each, initial content
+    delivered; returns (consumers, initial bytes on the wire)."""
+    consumers = []
+    initial_bytes = 0
+    for i in range(count):
+        request = SearchRequest(
+            "o=xyz", Scope.SUB, f"(departmentNumber=D{i % DEPARTMENTS:02d})"
+        )
+        content = SyncedContent(request)
+        initial_bytes += sum(u.pdu_bytes for u in content.poll(provider).updates)
+        consumers.append(content)
+    return consumers, initial_bytes
+
+
+def mutate(master: DirectoryServer) -> None:
+    """One modified entry per department: every session has a 1-entry
+    delta pending when the crash hits."""
+    for dept in range(DEPARTMENTS):
+        master.modify(
+            f"cn=P{dept:02d}-00,o=xyz", [Modification.replace("sn", f"S{dept}")]
+        )
+
+
+def run_durable_cell(count: int) -> dict:
+    master = build_master()
+    journal = MemoryJournal()
+    provider = ResyncProvider(
+        master,
+        durability=DurabilityConfig(snapshot_interval=SNAPSHOT_INTERVAL),
+        journal=journal,
+    )
+    consumers, initial_bytes = open_sessions(provider, count)
+    mutate(master)
+    provider.restart()  # the crash
+    started = time.perf_counter()
+    replayed = provider.recover()
+    recovery_seconds = time.perf_counter() - started
+    post_bytes = 0
+    for content in consumers:
+        post_bytes += sum(u.pdu_bytes for u in content.poll(provider).updates)
+        assert content.matches_master(master)
+    assert provider.active_session_count == count
+    return {
+        "initial_bytes": initial_bytes,
+        "post_bytes": post_bytes,
+        "recovery_seconds": recovery_seconds,
+        "replayed": replayed,
+        "journal_records": journal.record_count,
+    }
+
+
+def run_reload_cell(count: int) -> dict:
+    """The same schedule against a journal-less provider: the restart
+    voids every session and consumers fall back to full reloads."""
+    master = build_master()
+    provider = ResyncProvider(master)
+    consumers, initial_bytes = open_sessions(provider, count)
+    mutate(master)
+    provider.restart()  # the crash: nothing to recover from
+    post_bytes = 0
+    for content in consumers:
+        post_bytes += sum(u.pdu_bytes for u in content.reload(provider).updates)
+        assert content.matches_master(master)
+    return {"initial_bytes": initial_bytes, "post_bytes": post_bytes}
+
+
+def test_recovery(benchmark):
+    rows = []
+    metrics = {}
+    for count in SESSION_COUNTS:
+        durable = run_durable_cell(count)
+        reload_ = run_reload_cell(count)
+        ratio = reload_["post_bytes"] / max(durable["post_bytes"], 1)
+        rows.append(
+            [
+                count,
+                durable["post_bytes"],
+                reload_["post_bytes"],
+                round(ratio, 1),
+                durable["replayed"],
+                round(durable["recovery_seconds"] * 1000, 2),
+            ]
+        )
+        metrics[f"s{count}_durable_bytes_sent"] = durable["post_bytes"]
+        metrics[f"s{count}_reload_bytes_sent"] = reload_["post_bytes"]
+        metrics[f"s{count}_replayed"] = durable["replayed"]
+        metrics[f"s{count}_recovery_seconds"] = durable["recovery_seconds"]
+
+    # Identical schedules: the durable resume must beat the reload by a
+    # wide margin, not by noise — the headline robustness claim.
+    assert (
+        metrics["s100_reload_bytes_sent"]
+        >= MIN_TRAFFIC_RATIO * metrics["s100_durable_bytes_sent"]
+    )
+    # The delta a recovered session serves never exceeds what a live one
+    # would have: post-crash traffic is O(delta), not O(content).
+    for count in SESSION_COUNTS:
+        assert metrics[f"s{count}_durable_bytes_sent"] > 0
+
+    report(
+        "recovery",
+        "Post-crash traffic and recovery time vs session count",
+        [
+            "sessions",
+            "durable bytes",
+            "reload bytes",
+            "ratio",
+            "replayed",
+            "recover ms",
+        ],
+        rows,
+        params={
+            "departments": DEPARTMENTS,
+            "persons_per_dept": PERSONS_PER_DEPT,
+            "updates": UPDATES,
+            "snapshot_interval": SNAPSHOT_INTERVAL,
+            "session_counts": ",".join(str(c) for c in SESSION_COUNTS),
+        },
+        metrics=metrics,
+        paper_expected=None,
+    )
+
+    # Timed unit: one full journal replay at the largest session count.
+    master = build_master()
+    provider = ResyncProvider(
+        master,
+        durability=DurabilityConfig(snapshot_interval=SNAPSHOT_INTERVAL),
+        journal=MemoryJournal(),
+    )
+    open_sessions(provider, SESSION_COUNTS[-1])
+    mutate(master)
+    provider.restart()
+    benchmark(provider.recover)

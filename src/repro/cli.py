@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands wrap the library for shell use::
+Six subcommands wrap the library for shell use::
 
     repro-ldap gen-directory --employees 5000 --out directory.ldif
     repro-ldap gen-carrier --subscribers 10000 --out carrier.ldif
     repro-ldap gen-workload --queries 10000 --days 2 --out trace.txt
     repro-ldap case-study --employees 4000 --queries 6000
     repro-ldap obs --employees 1000 --queries 1500
+    repro-ldap recovery --journal-dir /tmp/resync-journal --sessions 10
 
 ``gen-directory`` / ``gen-carrier`` write the synthetic DITs as LDIF;
 ``gen-workload`` writes one query per line (tab-separated: day, type,
@@ -14,7 +15,11 @@ filter, scoped base); ``case-study`` runs the §7 filter-vs-subtree
 comparison and prints the summary table; ``obs`` runs a small built-in
 workload with the observability layer enabled and pretty-prints the
 resulting metrics snapshot and span aggregates (see
-``docs/OBSERVABILITY.md``).
+``docs/OBSERVABILITY.md``); ``recovery`` demonstrates the durable
+provider end to end with a file-backed journal: replica sessions are
+opened, the master mutates, the provider crashes, and the recovered
+incarnation serves every cookie an incremental delta instead of a
+full resync (``docs/PROTOCOL.md`` §10).
 """
 
 from __future__ import annotations
@@ -229,6 +234,76 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    """Durable-provider walkthrough on a file-backed journal.
+
+    Opens *sessions* replica sessions against a durable master, applies
+    a burst of updates, crashes the provider, recovers a fresh provider
+    instance from the journal directory, and polls every session once —
+    printing how many bytes the resumes cost against what a full resync
+    would have, plus the ``sync.durability.*`` counters.
+    """
+    from .ldap.entry import Entry
+    from .server import Modification
+    from .sync import DurabilityConfig, FileJournal, SyncedContent
+
+    directory = generate_directory(
+        DirectoryConfig(employees=args.employees, seed=args.seed)
+    )
+    master = DirectoryServer("master")
+    master.add_naming_context(directory.suffix)
+    master.load(directory.entries)
+
+    journal = FileJournal(args.journal_dir)
+    durability = DurabilityConfig(snapshot_interval=args.snapshot_interval)
+    provider = ResyncProvider(master, durability=durability, journal=journal)
+
+    def response_bytes(response) -> int:
+        return sum(u.pdu_bytes for u in response.updates)
+
+    people = [e for e in directory.entries if "person" in e.object_classes]
+    consumers = []
+    initial_bytes = 0
+    for i in range(args.sessions):
+        request = SearchRequest(
+            directory.suffix, Scope.SUB, f"(sn={people[i % len(people)].get('sn')[0]})"
+        )
+        content = SyncedContent(request)
+        initial_bytes += response_bytes(content.poll(provider))
+        consumers.append(content)
+
+    for step, entry in enumerate(people[-args.updates :]):
+        master.modify(entry.dn, [Modification.replace("title", f"T{step}")])
+    # A new entry matching the first session, so the post-crash delta is
+    # visibly incremental rather than empty.
+    master.add(
+        Entry(
+            f"cn=recovery probe,{directory.suffix}",
+            {
+                "objectClass": ["person"],
+                "cn": ["recovery probe"],
+                "sn": [people[0].get("sn")[0]],
+            },
+        )
+    )
+
+    provider.restart()  # crash: all in-memory session state gone
+    provider.detach()
+    recovered = ResyncProvider(master, durability=durability, journal=journal)
+    replayed = recovered.recover()
+
+    delta_bytes = sum(response_bytes(c.poll(recovered)) for c in consumers)
+    print(f"sessions recovered : {recovered.active_session_count}/{args.sessions}")
+    print(f"journal records    : {replayed} replayed")
+    print(f"initial content    : {initial_bytes} bytes")
+    print(f"post-crash resumes : {delta_bytes} bytes")
+    for name, value in sorted(master.metrics.to_dict().items()):
+        if name.startswith(("sync.durability.", "sync.admission.")):
+            print(f"{name:<40} {value}")
+    journal.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ldap",
@@ -277,6 +352,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the Prometheus exposition text",
     )
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser(
+        "recovery",
+        help="durable-provider crash/recovery walkthrough (file journal)",
+    )
+    p.add_argument("--journal-dir", required=True)
+    p.add_argument("--employees", type=int, default=500)
+    p.add_argument("--sessions", type=int, default=10)
+    p.add_argument("--updates", type=int, default=40)
+    p.add_argument("--snapshot-interval", type=int, default=64)
+    p.add_argument("--seed", type=int, default=20050607)
+    p.set_defaults(func=_cmd_recovery)
 
     return parser
 

@@ -16,6 +16,7 @@ from .network import (
     RequestDropped,
     ResponseDropped,
     ResponseTruncated,
+    ServerBusy,
     ServerUnavailable,
     SimulatedNetwork,
     TrafficStats,
@@ -57,6 +58,7 @@ __all__ = [
     "ResponseTruncated",
     "ServerUnavailable",
     "OperationTimeout",
+    "ServerBusy",
     "FaultSpec",
     "FaultPlan",
     "ExchangeFaults",

@@ -213,7 +213,12 @@ class DirectoryServer:
         self._listeners.append(listener)
 
     def remove_update_listener(self, listener: UpdateListener) -> None:
-        self._listeners.remove(listener)
+        """Deregister *listener*; idempotent (a provider being replaced
+        after crash recovery may detach more than once)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def _commit(self, record: UpdateRecord) -> UpdateRecord:
         for listener in self._listeners:

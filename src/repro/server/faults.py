@@ -41,7 +41,15 @@ truncate            the update stream is cut mid-delivery; the prefix
 crash               the server crashes: in-memory session state is lost
                     (``provider.restart()``), open connections drop, and
                     the server stays unreachable for ``crash_length``
-                    further exchanges (:class:`ServerUnavailable`)
+                    further exchanges (:class:`ServerUnavailable`).  A
+                    *durable* provider (one with a journal) additionally
+                    recovers from its journal (``provider.recover()``)
+                    before the restart window ends
+journal_truncate    the crash tears the journal tail: a fraction of the
+                    trailing records is lost before recovery replays it
+journal_corrupt     the crash corrupts one journal record (or the
+                    snapshot); everything from that point on is
+                    unreadable and dropped by recovery
 cookie_invalidate   the presented session cookie is expired server-side
                     (or corrupted in flight) — the provider answers with
                     :class:`~repro.sync.SyncProtocolError`, exercising
@@ -92,6 +100,8 @@ class FaultSpec:
     crash_length: int = 2
     notification_drop: float = 0.0
     notification_duplicate: float = 0.0
+    journal_truncate: float = 0.0
+    journal_corrupt: float = 0.0
 
     def __post_init__(self):
         for name in (
@@ -104,6 +114,8 @@ class FaultSpec:
             "crash",
             "notification_drop",
             "notification_duplicate",
+            "journal_truncate",
+            "journal_corrupt",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -126,6 +138,10 @@ class FaultSpec:
             crash=rate / 4,
             notification_drop=rate,
             notification_duplicate=rate,
+            # Only durable (journaled) providers are affected; a crash
+            # damages the journal at the same modest rate it happens.
+            journal_truncate=rate / 4,
+            journal_corrupt=rate / 4,
         )
         params.update(overrides)
         return cls(**params)
@@ -171,6 +187,7 @@ class FaultPlan:
         self.seed = seed
         self._exchange_index = 0
         self._notification_index = 0
+        self._journal_index = 0
 
     def next_exchange(self) -> ExchangeFaults:
         """Fault decisions for the next poll/subscribe exchange."""
@@ -196,6 +213,19 @@ class FaultPlan:
         return (
             rng.random() < self.spec.notification_drop,
             rng.random() < self.spec.notification_duplicate,
+        )
+
+    def next_journal(self) -> Tuple[bool, bool, float]:
+        """(truncate, corrupt, position) decisions for the next crash of
+        a journaled provider — its own ``:j`` stream, so providers with
+        and without journals see identical exchange/notification
+        schedules for the same seed."""
+        rng = random.Random(f"{self.seed}:j{self._journal_index}")
+        self._journal_index += 1
+        return (
+            rng.random() < self.spec.journal_truncate,
+            rng.random() < self.spec.journal_corrupt,
+            rng.random(),
         )
 
 
@@ -272,6 +302,21 @@ class FaultyNetwork(SimulatedNetwork):
         restart = getattr(provider, "restart", None)
         if restart is not None:
             restart()
+        journal = getattr(provider, "journal", None)
+        if journal is not None:
+            # The journal is on disk: it survives the crash, possibly
+            # damaged, and the restarting provider recovers from it.
+            if self.plan is not None:
+                truncate, corrupt, position = self.plan.next_journal()
+                if truncate:
+                    self._record("journal_truncate")
+                    journal.damage_truncate(position)
+                if corrupt:
+                    self._record("journal_corrupt")
+                    journal.damage_corrupt(position)
+            recover = getattr(provider, "recover", None)
+            if recover is not None:
+                recover()
         self.disconnect_server(key)
 
     def _check_unavailable(self, provider) -> None:

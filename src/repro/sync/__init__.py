@@ -15,6 +15,13 @@ from .baselines import (
     TombstoneStore,
 )
 from .consumer import SyncedContent
+from .durability import (
+    AdmissionController,
+    DurabilityConfig,
+    FileJournal,
+    JournalBackend,
+    MemoryJournal,
+)
 from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
 from .resilient import ResilientConsumer, RetryPolicy
 from .resync import PersistHandle, ResyncProvider, RetainResyncProvider
@@ -35,6 +42,11 @@ __all__ = [
     "SyncedContent",
     "ResilientConsumer",
     "RetryPolicy",
+    "DurabilityConfig",
+    "JournalBackend",
+    "MemoryJournal",
+    "FileJournal",
+    "AdmissionController",
     "Changelog",
     "ChangelogRecord",
     "ChangelogProvider",

@@ -1,0 +1,479 @@
+"""Provider-side durability: session journaling, snapshots, admission.
+
+The §5 ReSync master keeps everything that makes cookies honorable —
+session histories, pending queues, generations — in process memory, so
+one master crash turns every active replica into a simultaneous full
+resync: exactly the traffic blowup the cookie/history design exists to
+avoid.  This module gives :class:`~repro.sync.resync.ResyncProvider`
+a durable shadow of that state, in the spirit of directory
+reconciliation: post-crash cost proportional to the *difference*, not
+the content.
+
+Three pieces:
+
+* **Write-ahead journal + snapshots** — every state-changing provider
+  event (committed master update, session create, poll, degraded
+  resume, session end) is appended to a :class:`JournalBackend` as one
+  JSON record; every ``snapshot_interval`` appends the full provider
+  state is serialized and the journal truncated (compaction).
+  ``ResyncProvider.recover()`` replays snapshot + tail to rebuild the
+  exact pre-crash session state, so consumers resume from their
+  existing cookies with an incremental delta.  Two backends:
+  :class:`MemoryJournal` (replayable in-memory log for tests/benches —
+  records are *serialized strings*, so torn tails and corruption are
+  honest) and :class:`FileJournal` (``journal.jsonl`` +
+  ``snapshot.json`` for the CLI).
+
+* **Bounded histories** — :class:`DurabilityConfig` caps a session's
+  pending history by entries and/or bytes; on overflow the session
+  degrades to an incomplete-history resume (eq. 3 semantics) instead
+  of growing without bound (enforced in
+  :class:`~repro.sync.session.Session`).
+
+* **Admission control** — :class:`AdmissionController` is a token
+  bucket over full-content rebuilds.  When the bucket is empty the
+  provider answers :class:`~repro.server.network.ServerBusy` (a
+  transport-level busy with a ``retry_after_ms`` hint), which
+  :class:`~repro.sync.resilient.ResilientConsumer` backs off from —
+  so a post-crash resync storm is spread out instead of stampeding.
+  The bucket refills in *logical* time (a fraction of a token per
+  request the provider services), keeping benches deterministic.
+
+Everything is metered under ``sync.durability.*`` / ``sync.admission.*``
+(docs/OBSERVABILITY.md §2) and fault-injectable through the journal
+damage hooks (``journal_truncate`` / ``journal_corrupt`` kinds in
+:class:`~repro.server.faults.FaultSpec`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..ldap.controls import SyncAction
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+from ..ldap.query import Scope, SearchRequest
+from ..obs.registry import MetricsRegistry
+from ..server.network import ServerBusy
+from ..server.operations import UpdateOp, UpdateRecord
+from .protocol import SyncUpdate
+from .session import Session
+
+__all__ = [
+    "DurabilityConfig",
+    "JournalBackend",
+    "MemoryJournal",
+    "FileJournal",
+    "AdmissionController",
+]
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Tuning knobs for the durable provider.
+
+    Attributes:
+        snapshot_interval: journal appends between snapshots (compaction
+            cadence; each snapshot truncates the journal).
+        history_max_entries / history_max_bytes: per-session pending
+            history caps; ``None`` disables that cap.  A session
+            crossing either cap abandons its history and is served an
+            incomplete-history resume (eq. 3) on its next poll.
+        admission_burst: token-bucket size for concurrent full-content
+            rebuilds; ``None`` disables admission control.
+        admission_refill: tokens replenished per request the provider
+            services (logical-time refill).
+        admission_retry_after_ms: the busy response's backoff hint.
+    """
+
+    snapshot_interval: int = 256
+    history_max_entries: Optional[int] = None
+    history_max_bytes: Optional[int] = None
+    admission_burst: Optional[int] = None
+    admission_refill: float = 0.25
+    admission_retry_after_ms: float = 50.0
+
+    def __post_init__(self):
+        if self.snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        for name in ("history_max_entries", "history_max_bytes", "admission_burst"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {value!r}")
+        if self.admission_refill <= 0:
+            raise ValueError("admission_refill must be > 0")
+
+
+# ----------------------------------------------------------------------
+# wire serialization (journal records are plain-JSON dicts)
+# ----------------------------------------------------------------------
+def entry_to_wire(entry: Optional[Entry]) -> Optional[dict]:
+    if entry is None:
+        return None
+    return {
+        "dn": str(entry.dn),
+        "attrs": {name: list(entry.get(name)) for name in entry.attribute_names()},
+    }
+
+
+def entry_from_wire(wire: Optional[dict]) -> Optional[Entry]:
+    if wire is None:
+        return None
+    return Entry(wire["dn"], wire["attrs"])
+
+
+def request_to_wire(request: SearchRequest) -> dict:
+    return {
+        "base": str(request.base),
+        "scope": int(request.scope),
+        "filter": str(request.filter),
+        "attrs": sorted(request.attributes),
+    }
+
+
+def request_from_wire(wire: dict) -> SearchRequest:
+    return SearchRequest(
+        wire["base"], Scope(wire["scope"]), wire["filter"], wire["attrs"]
+    )
+
+
+def update_to_wire(update: SyncUpdate) -> dict:
+    return {
+        "action": update.action.value,
+        "dn": str(update.dn),
+        "entry": entry_to_wire(update.entry),
+    }
+
+
+def update_from_wire(wire: dict) -> SyncUpdate:
+    return SyncUpdate(
+        SyncAction(wire["action"]),
+        DN.parse(wire["dn"]),
+        entry_from_wire(wire["entry"]),
+    )
+
+
+def record_to_wire(record: UpdateRecord) -> dict:
+    return {
+        "csn": record.csn,
+        "op": record.op.value,
+        "dn": str(record.dn),
+        "new_dn": str(record.new_dn) if record.new_dn is not None else None,
+        "before": entry_to_wire(record.before),
+        "after": entry_to_wire(record.after),
+    }
+
+
+def record_from_wire(wire: dict) -> UpdateRecord:
+    return UpdateRecord(
+        csn=wire["csn"],
+        op=UpdateOp(wire["op"]),
+        dn=DN.parse(wire["dn"]),
+        before=entry_from_wire(wire["before"]),
+        after=entry_from_wire(wire["after"]),
+        new_dn=DN.parse(wire["new_dn"]) if wire["new_dn"] is not None else None,
+    )
+
+
+def session_to_wire(session: Session) -> dict:
+    """Serialize one session's full resumable state (snapshot format)."""
+    return {
+        "sid": session.session_id,
+        "req": request_to_wire(session.request),
+        "pending": [update_to_wire(u) for u in session._pending.values()],
+        "unacked": [update_to_wire(u) for u in session._unacked.values()],
+        "content": sorted(str(dn) for dn in session.content_dns),
+        "delivered": sorted(str(dn) for dn in session._delivered),
+        "generation": session.generation,
+        "polls": session.polls,
+        "tick": session.last_active_tick,
+        "persist": session.persist_queue is not None,
+        "overflowed": session.history_overflowed,
+        "pending_bytes": session.pending_bytes,
+        "drain_csn": session.drain_csn,
+        "prev_drain_csn": session.prev_drain_csn,
+        "degraded_since": session.degraded_since_csn,
+    }
+
+
+def session_from_wire(wire: dict) -> Session:
+    session = Session(wire["sid"], request_from_wire(wire["req"]))
+    for uw in wire["pending"]:
+        update = update_from_wire(uw)
+        session._pending[update.dn] = update
+    for uw in wire["unacked"]:
+        update = update_from_wire(uw)
+        session._unacked[update.dn] = update
+    session.content_dns = {DN.parse(d) for d in wire["content"]}
+    session._delivered = {DN.parse(d) for d in wire["delivered"]}
+    session.generation = wire["generation"]
+    session.polls = wire["polls"]
+    session.last_active_tick = wire["tick"]
+    session.persist_queue = [] if wire["persist"] else None
+    session.history_overflowed = wire["overflowed"]
+    session.pending_bytes = wire["pending_bytes"]
+    session.drain_csn = wire["drain_csn"]
+    session.prev_drain_csn = wire["prev_drain_csn"]
+    session.degraded_since_csn = wire["degraded_since"]
+    return session
+
+
+# ----------------------------------------------------------------------
+# journal backends
+# ----------------------------------------------------------------------
+class JournalBackend:
+    """Storage contract for the provider's write-ahead journal.
+
+    One *snapshot* (the serialized provider state at compaction time)
+    plus an append-only sequence of JSON *records* after it.  Loading
+    is damage-tolerant: a torn or corrupted record ends the readable
+    stream there; everything after it is dropped and counted, never
+    silently misparsed.  The two ``damage_*`` hooks emulate the crash
+    leaving the journal torn/corrupted (driven by
+    :class:`~repro.server.faults.FaultyNetwork`).
+    """
+
+    def append(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def write_snapshot(self, snapshot: dict) -> None:
+        """Atomically replace the snapshot and truncate the journal."""
+        raise NotImplementedError
+
+    def load(self) -> Tuple[Optional[dict], List[dict], int]:
+        """``(snapshot | None, readable records, dropped record count)``.
+
+        A corrupt snapshot voids everything (records after it reference
+        state the snapshot held): returns ``(None, [], all dropped)``.
+        """
+        raise NotImplementedError
+
+    @property
+    def size_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def record_count(self) -> int:
+        raise NotImplementedError
+
+    def damage_truncate(self, keep_fraction: float) -> None:
+        """Tear the journal tail: keep roughly *keep_fraction* of it."""
+        raise NotImplementedError
+
+    def damage_corrupt(self, position_fraction: float) -> None:
+        """Corrupt one record (or the snapshot when the journal is
+        empty) at roughly *position_fraction* through the log."""
+        raise NotImplementedError
+
+
+class MemoryJournal(JournalBackend):
+    """In-memory journal for tests and benches.
+
+    Records are held as their *serialized* JSON strings — not live
+    objects — so replay genuinely round-trips through the wire format
+    and the damage hooks can tear or corrupt real bytes.
+    """
+
+    def __init__(self):
+        self._snapshot: Optional[str] = None
+        self._records: List[str] = []
+
+    def append(self, record: dict) -> None:
+        self._records.append(json.dumps(record, sort_keys=True))
+
+    def write_snapshot(self, snapshot: dict) -> None:
+        self._snapshot = json.dumps(snapshot, sort_keys=True)
+        self._records = []
+
+    def load(self) -> Tuple[Optional[dict], List[dict], int]:
+        snapshot: Optional[dict] = None
+        if self._snapshot is not None:
+            try:
+                snapshot = json.loads(self._snapshot)
+            except ValueError:
+                return None, [], 1 + len(self._records)
+        records: List[dict] = []
+        dropped = 0
+        for i, line in enumerate(self._records):
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                dropped = len(self._records) - i
+                break
+        return snapshot, records, dropped
+
+    @property
+    def size_bytes(self) -> int:
+        size = len(self._snapshot) if self._snapshot is not None else 0
+        return size + sum(len(line) + 1 for line in self._records)
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def damage_truncate(self, keep_fraction: float) -> None:
+        keep = int(len(self._records) * keep_fraction)
+        del self._records[keep:]
+
+    def damage_corrupt(self, position_fraction: float) -> None:
+        if self._records:
+            i = min(int(len(self._records) * position_fraction), len(self._records) - 1)
+            self._records[i] = self._records[i][: len(self._records[i]) // 2] + "\x00"
+        elif self._snapshot is not None:
+            self._snapshot = self._snapshot[: len(self._snapshot) // 2] + "\x00"
+
+
+class FileJournal(JournalBackend):
+    """File-backed journal: ``journal.jsonl`` + ``snapshot.json``.
+
+    Appends are flushed per record; snapshots are written to a temp
+    file and atomically renamed into place before the journal is
+    truncated, so a crash between the two leaves a readable state.
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+    SNAPSHOT_NAME = "snapshot.json"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.journal_path = os.path.join(directory, self.JOURNAL_NAME)
+        self.snapshot_path = os.path.join(directory, self.SNAPSHOT_NAME)
+        self._fh = None
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def append(self, record: dict) -> None:
+        if self._fh is None:
+            self._fh = open(self.journal_path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def write_snapshot(self, snapshot: dict) -> None:
+        tmp = self.snapshot_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, sort_keys=True)
+        os.replace(tmp, self.snapshot_path)
+        self.close()
+        open(self.journal_path, "w", encoding="utf-8").close()
+
+    def _read_lines(self) -> List[str]:
+        self.close()
+        if not os.path.exists(self.journal_path):
+            return []
+        with open(self.journal_path, "r", encoding="utf-8") as fh:
+            return [line for line in fh.read().splitlines() if line]
+
+    def load(self) -> Tuple[Optional[dict], List[dict], int]:
+        lines = self._read_lines()
+        snapshot: Optional[dict] = None
+        if os.path.exists(self.snapshot_path):
+            try:
+                with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                    snapshot = json.load(fh)
+            except ValueError:
+                return None, [], 1 + len(lines)
+        records: List[dict] = []
+        dropped = 0
+        for i, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                dropped = len(lines) - i
+                break
+        return snapshot, records, dropped
+
+    @property
+    def size_bytes(self) -> int:
+        size = 0
+        for path in (self.journal_path, self.snapshot_path):
+            if os.path.exists(path):
+                size += os.path.getsize(path)
+        return size
+
+    @property
+    def record_count(self) -> int:
+        return len(self._read_lines())
+
+    def damage_truncate(self, keep_fraction: float) -> None:
+        lines = self._read_lines()
+        keep = int(len(lines) * keep_fraction)
+        with open(self.journal_path, "w", encoding="utf-8") as fh:
+            fh.write("".join(line + "\n" for line in lines[:keep]))
+
+    def damage_corrupt(self, position_fraction: float) -> None:
+        lines = self._read_lines()
+        if lines:
+            i = min(int(len(lines) * position_fraction), len(lines) - 1)
+            lines[i] = lines[i][: len(lines[i]) // 2] + "\x00"
+            with open(self.journal_path, "w", encoding="utf-8") as fh:
+                fh.write("".join(line + "\n" for line in lines))
+        elif os.path.exists(self.snapshot_path):
+            with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+            with open(self.snapshot_path, "w", encoding="utf-8") as fh:
+                fh.write(text[: len(text) // 2] + "\x00")
+
+
+# ----------------------------------------------------------------------
+# resync-storm admission control
+# ----------------------------------------------------------------------
+class AdmissionController:
+    """Token bucket over full-content rebuilds (resync-storm control).
+
+    One token buys one full-content rebuild (a null-cookie request in
+    either mode); the bucket refills by ``refill`` per request the
+    provider services — logical time, so a rejected consumer that
+    backs off and retries is eventually admitted even when *every*
+    consumer needs a rebuild (no wall-clock dependency, deterministic
+    in benches).  Empty bucket → :class:`ServerBusy` carrying
+    ``retry_after_ms``, the hint
+    :class:`~repro.sync.resilient.ResilientConsumer` honors as a
+    minimum backoff.
+    """
+
+    def __init__(
+        self,
+        burst: int,
+        refill: float,
+        retry_after_ms: float,
+        registry: MetricsRegistry,
+    ):
+        self.burst = burst
+        self.refill = refill
+        self.retry_after_ms = retry_after_ms
+        self.tokens = float(burst)
+        self._admitted = registry.counter("sync.admission.admitted")
+        self._rejected = registry.counter("sync.admission.rejected")
+        self._tokens_gauge = registry.gauge("sync.admission.tokens")
+        self._tokens_gauge.set(self.tokens)
+
+    def replenish(self) -> None:
+        """One serviced request's worth of logical-time refill."""
+        self.tokens = min(float(self.burst), self.tokens + self.refill)
+        self._tokens_gauge.set(self.tokens)
+
+    def admit(self) -> None:
+        """Spend one token on a full-content rebuild, or refuse."""
+        self.replenish()
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self._tokens_gauge.set(self.tokens)
+            self._admitted.inc()
+            return
+        self._rejected.inc()
+        raise ServerBusy(
+            "full-content rebuild refused: resync-storm admission control",
+            retry_after_ms=self.retry_after_ms,
+        )
+
+    def reset(self) -> None:
+        """Refill to burst (provider restart/recovery)."""
+        self.tokens = float(self.burst)
+        self._tokens_gauge.set(self.tokens)

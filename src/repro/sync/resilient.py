@@ -205,7 +205,9 @@ class ResilientConsumer:
                 self._apply_safe_prefix(exc)
                 self._retries.inc()
                 self._retries.labels(kind=exc.fault).inc()
-                self._backoff(failures)
+                # A busy server's retry-after hint (admission control)
+                # is honored as a floor under the computed backoff.
+                self._backoff(failures, minimum=getattr(exc, "retry_after_ms", 0.0))
                 failures += 1
                 continue
             self._cycle_succeeded()
@@ -330,10 +332,11 @@ class ResilientConsumer:
     # ------------------------------------------------------------------
     # pacing and degradation
     # ------------------------------------------------------------------
-    def _backoff(self, failure: int) -> None:
+    def _backoff(self, failure: int, minimum: float = 0.0) -> None:
         """Wait out the backoff for the zero-based *failure*-th failure —
-        on the network's simulated clock, no real sleeping."""
-        delay = self.policy.backoff_ms(failure, self._rng)
+        on the network's simulated clock, no real sleeping.  *minimum*
+        floors the jittered delay (a ``ServerBusy`` retry-after hint)."""
+        delay = max(self.policy.backoff_ms(failure, self._rng), minimum)
         self._backoff_total.inc(delay)
         if self.network is not None:
             self.network.elapsed_ms += delay

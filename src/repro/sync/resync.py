@@ -24,7 +24,7 @@ Both speak the same request/response types, so the consumer
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from ..ldap.controls import ReSyncControl, SyncMode
 from ..ldap.dn import DN
@@ -32,6 +32,17 @@ from ..ldap.query import SearchRequest
 from ..obs.tracing import span
 from ..server.directory import DirectoryServer
 from ..server.operations import UpdateOp, UpdateRecord
+from .durability import (
+    AdmissionController,
+    DurabilityConfig,
+    JournalBackend,
+    record_from_wire,
+    record_to_wire,
+    request_from_wire,
+    request_to_wire,
+    session_from_wire,
+    session_to_wire,
+)
 from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
 from .router import SessionRouter
 from .session import Session, SessionStore
@@ -76,10 +87,24 @@ class ResyncProvider:
     ``routed=False`` keeps the seed linear scan (the test oracle, also
     reachable as :meth:`on_update_linear`).
 
+    With a *journal* the provider becomes **durable** (docs/PROTOCOL.md
+    §10): every state-changing event is journaled write-ahead, state is
+    snapshotted periodically, and :meth:`recover` rebuilds the exact
+    pre-crash session state so consumers resume from their existing
+    cookies with an incremental delta instead of a full resync.  A
+    :class:`~repro.sync.durability.DurabilityConfig` additionally caps
+    per-session histories (overflow degrades that one session to an
+    incomplete-history resume, eq. 3) and rate-limits full-content
+    rebuilds (resync-storm admission control).
+
     Args:
         server: the master directory server.
         idle_limit: logical-time session expiry (the admin time limit).
         routed: route ``on_update`` through the session router.
+        durability: history caps / admission / snapshot cadence; implied
+            (with defaults) when *journal* is given.
+        journal: write-ahead journal backend; None keeps the seed
+            memory-only behavior.
     """
 
     def __init__(
@@ -87,6 +112,8 @@ class ResyncProvider:
         server: DirectoryServer,
         idle_limit: int = 100_000,
         routed: bool = True,
+        durability: Optional[DurabilityConfig] = None,
+        journal: Optional[JournalBackend] = None,
     ):
         self.server = server
         self.sessions = SessionStore(idle_limit=idle_limit)
@@ -94,6 +121,43 @@ class ResyncProvider:
         self._persist_callbacks: Dict[str, DeliverFn] = {}
         self._route_candidates = server.metrics.counter("sync.route.candidates")
         self._route_notified = server.metrics.counter("sync.route.notified")
+        if durability is None and journal is not None:
+            durability = DurabilityConfig()
+        self.durability = durability
+        self.journal = journal
+        metrics = server.metrics
+        self._unknown_cookie = metrics.counter("sync.session.unknown_cookie")
+        self._journal_appends = metrics.counter("sync.durability.journal_appends")
+        self._journal_bytes = metrics.gauge("sync.durability.journal_bytes")
+        self._snapshots = metrics.counter("sync.durability.snapshots")
+        self._recoveries = metrics.counter("sync.durability.recoveries")
+        self._replayed = metrics.counter("sync.durability.replayed_records")
+        self._dropped = metrics.counter("sync.durability.dropped_records")
+        self._overflows = metrics.counter("sync.durability.history_overflow")
+        self._degraded_resumes = metrics.counter("sync.durability.degraded_resumes")
+        self._sessions_lost = metrics.counter("sync.durability.sessions_lost")
+        # CSN of the last committed update this provider has seen; for a
+        # durable provider this doubles as the replayed-journal position
+        # during recovery (it equals server.current_csn exactly when the
+        # journal lost nothing).
+        self._watermark = server.current_csn
+        # Per-entry last-change CSNs (eq.-3 degraded resumes); only
+        # maintained when a durability config is present.
+        self._last_change: Dict[DN, int] = {}
+        # Recovered sessions not yet re-registered into the router; they
+        # take the linear fan-out path until their first poll registers
+        # them (lazy re-registration).
+        self._lazy_router: Set[str] = set()
+        self._appends_since_snapshot = 0
+        self._replaying = False
+        self.admission: Optional[AdmissionController] = None
+        if durability is not None and durability.admission_burst is not None:
+            self.admission = AdmissionController(
+                durability.admission_burst,
+                durability.admission_refill,
+                durability.admission_retry_after_ms,
+                metrics,
+            )
         server.add_update_listener(self)
 
     # ------------------------------------------------------------------
@@ -101,9 +165,25 @@ class ResyncProvider:
     # ------------------------------------------------------------------
     def on_update(self, record: UpdateRecord) -> None:
         """Fold one committed master update into every affected session."""
+        self._journal_event({"t": "update", **record_to_wire(record)})
+        self._watermark = record.csn
+        if self.durability is not None:
+            self._note_last_change(record)
         if self.router is None:
             self.on_update_linear(record)
-            return
+        else:
+            self._on_update_routed(record)
+            # Recovered-but-not-yet-registered sessions take the linear
+            # path until their first poll re-registers them.
+            for sid in list(self._lazy_router):
+                session = self.sessions.get(sid)
+                if session is None:
+                    self._lazy_router.discard(sid)
+                    continue
+                self._apply_to_session(session, record)
+        self._maybe_snapshot()
+
+    def _on_update_routed(self, record: UpdateRecord) -> None:
         # Phase 1: route, evaluate the exact membership predicate per
         # candidate, and advance *all* holder state before any delivery.
         # A persist deliver callback may update the master and re-enter
@@ -143,19 +223,24 @@ class ResyncProvider:
         """The seed linear fan-out — every active session's filter is
         evaluated against the update (the routing-equivalence oracle)."""
         for session in self.sessions.active_sessions():
-            request = session.request
-            in_before = record.before is not None and request.selects(record.before)
-            in_after = record.after is not None and request.selects(record.after)
-            if not in_before and not in_after:
-                continue
-            session.observe(
-                in_before=in_before,
-                in_after=in_after,
-                old_dn=record.dn,
-                new_dn=record.effective_dn,
-                after_entry=record.after,
-            )
-            self._flush_persist(session)
+            self._apply_to_session(session, record)
+
+    def _apply_to_session(self, session: Session, record: UpdateRecord) -> None:
+        """Evaluate *record* against one session exactly like the linear
+        scan (also the journal-replay fan-out)."""
+        request = session.request
+        in_before = record.before is not None and request.selects(record.before)
+        in_after = record.after is not None and request.selects(record.after)
+        if not in_before and not in_after:
+            return
+        session.observe(
+            in_before=in_before,
+            in_after=in_after,
+            old_dn=record.dn,
+            new_dn=record.effective_dn,
+            after_entry=record.after,
+        )
+        self._flush_persist(session)
 
     def _flush_persist(self, session: Session) -> None:
         if session.persist_queue is None:
@@ -218,30 +303,84 @@ class ResyncProvider:
                 self._end_session(control.cookie)
             return SyncResponse(updates=[], cookie=None), None
 
+        event: Optional[dict] = None
         if control.cookie is None:
-            # Initial request: the whole current content travels.
+            # Initial request: the whole current content travels — the
+            # expensive full-content rebuild admission control meters.
+            if self.admission is not None:
+                self.admission.admit()  # may raise ServerBusy
             with span("sync.resync.initial_content") as sp:
                 session = self.sessions.create(request)
+                self._configure_session(session)
                 content = self._search_content(request)
                 session.seed_content(content)
+                session.drain_csn = self._watermark
+                session.prev_drain_csn = self._watermark
                 if self.router is not None:
                     self.router.register(session)
                     self.router.seed(session, (e.dn for e in content))
                 updates = [SyncUpdate.add(e) for e in content]
                 sp.add("entries_sent", len(updates))
             response = SyncResponse(updates=updates, initial=True)
+            event = {
+                "t": "create",
+                "sid": session.session_id,
+                "req": request_to_wire(request),
+                "content": sorted(str(e.dn) for e in content),
+                "csn": self._watermark,
+            }
         else:
             # Resumed session: scan the per-session history and emit the
-            # coalesced net actions (eq. 2).
+            # coalesced net actions (eq. 2) — or, when the history was
+            # abandoned at the cap, an incomplete-history resume (eq. 3).
+            if self.admission is not None:
+                self.admission.replenish()
             with span("sync.resync.history_scan") as sp:
                 session = self.sessions.lookup(control.cookie)
-                if session.request != request:
-                    raise SyncProtocolError(
-                        "cookie presented with a different search request"
-                    )
-                updates = self.sessions.service_poll(session, control.cookie)
-                sp.add("actions_emitted", len(updates))
-            response = SyncResponse(updates=updates)
+                try:
+                    if session.request != request:
+                        raise SyncProtocolError(
+                            "cookie presented with a different search request"
+                        )
+                    generation = SessionStore.generation_of(control.cookie)
+                    if self._needs_degraded_resume(session, generation):
+                        if control.mode is SyncMode.PERSIST:
+                            raise SyncProtocolError(
+                                "incomplete-history resume requires poll mode"
+                            )
+                        response, event = self._serve_degraded(session, generation)
+                        sp.add("actions_emitted", len(response.updates))
+                    else:
+                        if generation == session.generation:
+                            # The latest cookie acknowledges any pending
+                            # degraded resume along with the last batch.
+                            session.degraded_since_csn = None
+                        gen_before = session.generation
+                        updates = self.sessions.service_poll(session, control.cookie)
+                        # Both drain and retransmit rebuild the batch at
+                        # the current watermark; only a drain retires
+                        # the previous one.
+                        if session.generation != gen_before:
+                            session.prev_drain_csn = session.drain_csn
+                        session.drain_csn = self._watermark
+                        response = SyncResponse(updates=updates)
+                        event = {
+                            "t": "poll",
+                            "sid": session.session_id,
+                            "gen": generation,
+                        }
+                        sp.add("actions_emitted", len(updates))
+                except SyncProtocolError:
+                    # The lookup already advanced the activity clock;
+                    # replay must advance it identically.
+                    self._journal_event({"t": "touch", "sid": session.session_id})
+                    raise
+            if self.router is not None and session.session_id in self._lazy_router:
+                # Lazy re-registration: the recovered session's first
+                # poll re-enters the router, seeded from its (possibly
+                # just resumed) content mirror.
+                self.router.reregister(session, session.content_dns)
+                self._lazy_router.discard(session.session_id)
 
         if control.mode is SyncMode.PERSIST:
             if deliver is None:
@@ -252,7 +391,13 @@ class ResyncProvider:
         else:
             session.persist_queue = None
             self._persist_callbacks.pop(session.session_id, None)
-            response.cookie = self.sessions.cookie_for(session)
+            if not response.uses_retain:
+                # A degraded resume already stamped its own ":h" cookie.
+                response.cookie = self.sessions.cookie_for(session)
+        if event is not None:
+            event["persist"] = control.mode is SyncMode.PERSIST
+            self._journal_event(event)
+        self._maybe_snapshot()
         return response, session
 
     def persist(
@@ -286,6 +431,14 @@ class ResyncProvider:
         self._persist_callbacks.clear()
         if self.router is not None:
             self.router.reset()
+        self._lazy_router.clear()
+        self._last_change.clear()
+        self._watermark = self.server.current_csn
+        self._appends_since_snapshot = 0
+        if self.admission is not None:
+            self.admission.reset()
+        # The journal is the durable store: it survives the crash
+        # untouched (modulo injected damage) for recover() to replay.
 
     def invalidate_cookie(self, cookie: str) -> None:
         """Expire the session named by *cookie* (the admin time limit
@@ -294,10 +447,21 @@ class ResyncProvider:
         self._end_session(cookie)
 
     def _end_session(self, cookie: str) -> None:
-        """Terminate a session and drop its routing registration."""
-        self.sessions.end(cookie)
+        """Terminate a session and drop its routing registration.
+
+        An unknown or already-ended cookie is a counted no-op
+        (``sync.session.unknown_cookie``), not an error: sync_end is
+        how consumers *stop caring*, and double delivery of it (a retry
+        after a lost ack, an admin expiry racing a voluntary end) must
+        not fail the caller."""
+        sid = cookie.split(":", 1)[0]
+        if not self.sessions.end(cookie):
+            self._unknown_cookie.inc()
+            return
+        self._journal_event({"t": "end", "sid": sid})
         if self.router is not None:
-            self.router.unregister(cookie.split(":", 1)[0])
+            self.router.unregister(sid)
+        self._lazy_router.discard(sid)
 
     def _end_persist(self, session: Session) -> None:
         self._persist_callbacks.pop(session.session_id, None)
@@ -313,6 +477,287 @@ class ResyncProvider:
     def active_session_count(self) -> int:
         return len(self.sessions)
 
+    def detach(self) -> None:
+        """Stop receiving updates from the server (idempotent) — used
+        when a recovered provider instance replaces this one."""
+        self.server.remove_update_listener(self)
+
+    # ------------------------------------------------------------------
+    # durability: journal plumbing (docs/PROTOCOL.md §10)
+    # ------------------------------------------------------------------
+    def _journal_event(self, event: dict) -> None:
+        if self.journal is None or self._replaying:
+            return
+        self.journal.append(event)
+        self._journal_appends.inc()
+        self._appends_since_snapshot += 1
+        self._journal_bytes.set(self.journal.size_bytes)
+
+    def _maybe_snapshot(self) -> None:
+        """Compact once enough has been appended since the last
+        snapshot.  Called only *after* a handler finished folding its
+        event into provider state — snapshotting mid-fold would truncate
+        the journal while the state still excludes the in-flight record,
+        losing it."""
+        if self.journal is None or self._replaying:
+            return
+        if self._appends_since_snapshot < self.durability.snapshot_interval:
+            return
+        self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        snapshot = {
+            "csn": self._watermark,
+            "tick": self.sessions.tick,
+            "next_id": self.sessions.next_id,
+            "last_change": {str(dn): csn for dn, csn in self._last_change.items()},
+            "sessions": [
+                session_to_wire(s) for s in self.sessions.active_sessions()
+            ],
+        }
+        self.journal.write_snapshot(snapshot)
+        self._appends_since_snapshot = 0
+        self._snapshots.inc()
+        self._journal_bytes.set(self.journal.size_bytes)
+
+    def _note_last_change(self, record: UpdateRecord) -> None:
+        """Maintain the per-entry last-change CSN map that backs
+        degraded (eq. 3) resumes — same bookkeeping as
+        :meth:`RetainResyncProvider.on_update`."""
+        if record.op is UpdateOp.DELETE:
+            self._last_change.pop(record.dn, None)
+            return
+        if record.op is UpdateOp.MODIFY_DN:
+            self._last_change.pop(record.dn, None)
+        self._last_change[record.effective_dn] = record.csn
+
+    def _configure_session(self, session: Session) -> None:
+        if self.durability is None:
+            return
+        session.history_max_entries = self.durability.history_max_entries
+        session.history_max_bytes = self.durability.history_max_bytes
+        session.overflow_callback = self._on_history_overflow
+
+    def _on_history_overflow(self, session: Session) -> None:
+        # Overflow re-occurs deterministically during journal replay;
+        # the registry survives the crash, so count it only once.
+        if not self._replaying:
+            self._overflows.inc()
+
+    # ------------------------------------------------------------------
+    # durability: degraded (incomplete-history) resume — eq. 3
+    # ------------------------------------------------------------------
+    def _needs_degraded_resume(self, session: Session, generation: int) -> bool:
+        if self.durability is None:
+            return False
+        if session.history_overflowed:
+            return True
+        # An unacknowledged degraded resume retried with the pre-resume
+        # cookie (its response was lost) is re-served, not poll-drained:
+        # the complete history restarted empty at the resume point, so a
+        # retransmit would silently skip the resume delta.
+        return (
+            session.degraded_since_csn is not None
+            and generation == session.generation - 1
+        )
+
+    def _serve_degraded(
+        self, session: Session, generation: int
+    ) -> tuple[SyncResponse, dict]:
+        """Serve one incomplete-history resume (eq. 3): full entries for
+        everything changed since the consumer's last-known state, a
+        DN-only ``retain`` for the unchanged rest; the consumer discards
+        whatever is neither.  The cookie is stamped ``:h`` so the
+        consumer can tell (and count) the degraded path."""
+        if session.history_overflowed:
+            first = True
+            if generation == session.generation:
+                since = session.drain_csn
+            elif generation == session.generation - 1:
+                since = session.prev_drain_csn
+            else:
+                raise SyncProtocolError(
+                    f"cookie generation {generation} is too old for session "
+                    f"{session.session_id}; full reload required"
+                )
+        else:
+            first = False
+            since = session.degraded_since_csn
+        content = self._search_content(session.request)
+        now = self._watermark
+        updates: List[SyncUpdate] = []
+        for entry in content:
+            if self._last_change.get(entry.dn, 0) > since:
+                updates.append(SyncUpdate.add(entry))
+            else:
+                updates.append(SyncUpdate.retain(entry.dn))
+        dns = [str(e.dn) for e in content]
+        self._apply_resume(session, first, since, dns, now)
+        if not self._replaying:
+            self._degraded_resumes.inc()
+        response = SyncResponse(
+            updates=updates,
+            cookie=f"{session.session_id}:{session.generation}:h",
+            uses_retain=True,
+        )
+        event = {
+            "t": "resume",
+            "sid": session.session_id,
+            "first": first,
+            "since": since,
+            "csn": now,
+            "content": dns,
+        }
+        return response, event
+
+    def _apply_resume(
+        self, session: Session, first: bool, since: int, dns: List[str], csn: int
+    ) -> None:
+        """Fold a degraded resume into session state — shared verbatim
+        by the live path and journal replay, so both land on identical
+        state."""
+        session.polls += 1
+        session._pending.clear()
+        session.pending_bytes = 0
+        session._unacked = {}
+        session.content_dns = {DN.parse(d) for d in dns}
+        session._delivered = set(session.content_dns)
+        session.prev_drain_csn = since
+        session.drain_csn = csn
+        if first:
+            session.generation += 1
+            session.history_overflowed = False
+        session.degraded_since_csn = since
+
+    # ------------------------------------------------------------------
+    # durability: crash recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> int:
+        """Rebuild session state from the journal after :meth:`restart`.
+
+        Loads the snapshot, replays the journal tail through the same
+        fold functions the live path uses, then applies two safety
+        rules: (i) persist sessions are dropped — their delivery
+        callback died with the process and no cookie was ever issued for
+        them, so they are unreachable; (ii) if the replayed watermark
+        trails ``server.current_csn``, the journal lost committed
+        updates (torn tail / corruption) and *every* recovered session
+        would silently miss them — all are dropped (counted
+        ``sync.durability.sessions_lost``) so consumers take the honest
+        reload path instead of diverging.  Surviving sessions re-enter
+        the :class:`SessionRouter` lazily on their first poll.
+
+        Returns the number of journal records replayed.
+        """
+        if self.journal is None:
+            raise RuntimeError("recover() requires a journal backend")
+        snapshot, records, dropped = self.journal.load()
+        if dropped:
+            self._dropped.inc(dropped)
+        self.sessions = SessionStore(idle_limit=self.sessions.idle_limit)
+        self._persist_callbacks.clear()
+        if self.router is not None:
+            self.router.reset()
+        self._lazy_router.clear()
+        self._last_change.clear()
+        self._watermark = 0
+        self._appends_since_snapshot = 0
+        replayed = 0
+        self._replaying = True
+        try:
+            if snapshot is not None:
+                self._watermark = snapshot["csn"]
+                self.sessions.restore_clock(snapshot["tick"], snapshot["next_id"])
+                self._last_change = {
+                    DN.parse(d): csn for d, csn in snapshot["last_change"].items()
+                }
+                for wire in snapshot["sessions"]:
+                    session = session_from_wire(wire)
+                    self._configure_session(session)
+                    self.sessions.adopt(session)
+            for record in records:
+                self._replay_record(record)
+                replayed += 1
+        finally:
+            self._replaying = False
+        self._replayed.inc(replayed)
+        for session in self.sessions.active_sessions():
+            if session.persist_queue is not None:
+                self.sessions.drop(session.session_id)
+        if self._watermark < self.server.current_csn:
+            lost = len(self.sessions)
+            if lost:
+                self._sessions_lost.inc(lost)
+                for session in self.sessions.active_sessions():
+                    self.sessions.drop(session.session_id)
+            # The lost window cannot poison future sessions: a new
+            # session's resume point is at least its creation watermark,
+            # which now covers it.
+            self._watermark = self.server.current_csn
+            self._last_change.clear()
+        if self.router is not None:
+            self._lazy_router = {
+                s.session_id for s in self.sessions.active_sessions()
+            }
+        self._write_snapshot()
+        if self.admission is not None:
+            self.admission.reset()
+        self._recoveries.inc()
+        return replayed
+
+    def _replay_record(self, rec: dict) -> None:
+        """Fold one journal record into provider state, mirroring the
+        live handler that wrote it tick-for-tick."""
+        kind = rec.get("t")
+        if kind == "update":
+            record = record_from_wire(rec)
+            self._watermark = record.csn
+            self._note_last_change(record)
+            for session in self.sessions.active_sessions():
+                self._apply_to_session(session, record)
+        elif kind == "create":
+            session = Session(rec["sid"], request_from_wire(rec["req"]))
+            self._configure_session(session)
+            session.content_dns = {DN.parse(d) for d in rec["content"]}
+            session._delivered = set(session.content_dns)
+            # A creation (like a resume) attests the directory CSN it was
+            # served at — without it a journal holding only session events
+            # would look torn-tailed and recovery would shed the sessions.
+            self._watermark = max(self._watermark, rec["csn"])
+            session.drain_csn = rec["csn"]
+            session.prev_drain_csn = rec["csn"]
+            session.last_active_tick = self.sessions.tick
+            session.persist_queue = [] if rec["persist"] else None
+            self.sessions.adopt(session)
+        elif kind == "poll":
+            session = self.sessions.touch_by_id(rec["sid"])
+            if session is None:
+                return
+            if rec["gen"] == session.generation:
+                session.degraded_since_csn = None
+            gen_before = session.generation
+            try:
+                self.sessions.service_poll(session, f"{rec['sid']}:{rec['gen']}")
+            except SyncProtocolError:
+                return  # state diverged less than the live path did
+            if session.generation != gen_before:
+                session.prev_drain_csn = session.drain_csn
+            session.drain_csn = self._watermark
+            session.persist_queue = [] if rec["persist"] else None
+        elif kind == "touch":
+            self.sessions.touch_by_id(rec["sid"])
+        elif kind == "resume":
+            session = self.sessions.touch_by_id(rec["sid"])
+            if session is None:
+                return
+            self._watermark = max(self._watermark, rec["csn"])
+            self._apply_resume(
+                session, rec["first"], rec["since"], rec["content"], rec["csn"]
+            )
+        elif kind == "end":
+            self.sessions.drop(rec["sid"])
+        # Unknown kinds (a newer writer) are skipped, not fatal.
+
 
 class RetainResyncProvider:
     """Incomplete-history ReSync master (eq. 3, ``retain`` actions).
@@ -327,6 +772,7 @@ class RetainResyncProvider:
     def __init__(self, server: DirectoryServer):
         self.server = server
         self._last_change: Dict[DN, int] = {}
+        self._unknown_cookie = server.metrics.counter("sync.session.unknown_cookie")
         server.add_update_listener(self)
 
     def on_update(self, record: UpdateRecord) -> None:
@@ -344,6 +790,14 @@ class RetainResyncProvider:
         and ``sync_end`` are accepted.
         """
         if control.mode is SyncMode.SYNC_END:
+            # Stateless provider: sync_end drops nothing, but a cookie
+            # this provider never minted is still a counted no-op
+            # (mirrors ResyncProvider._end_session).
+            if control.cookie is not None:
+                try:
+                    self._parse_cookie(control.cookie)
+                except SyncProtocolError:
+                    self._unknown_cookie.inc()
             return SyncResponse(updates=[], cookie=None)
         if control.mode is not SyncMode.POLL:
             raise SyncProtocolError(

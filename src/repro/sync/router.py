@@ -164,6 +164,16 @@ class SessionRouter:
         for dn in dns:
             self._hold(rs, dn)
 
+    def reregister(self, session: Session, dns) -> RoutedSession:
+        """(Re-)enter *session* with *dns* as its held content in one
+        step — the lazy re-registration a recovered provider performs on
+        a session's first post-crash poll, after which routed fan-out
+        replaces the linear fallback (docs/PROTOCOL.md §10).  Any stale
+        registration (and its holder state) is replaced wholesale."""
+        rs = self.register(session)
+        self.seed(session, dns)
+        return rs
+
     def unregister(self, session_id: str) -> None:
         rs = self._sessions.pop(session_id, None)
         if rs is None:

@@ -34,8 +34,7 @@ polled (the paper's "admin time limit", in logical time).
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..ldap.controls import SyncAction
 from ..ldap.dn import DN
@@ -75,6 +74,29 @@ class Session:
         self.polls = 0
         self.generation = 0
         self.last_active_tick = 0
+        # --- bounded history (repro.sync.durability) -------------------
+        # Approximate wire bytes of the coalesced pending actions,
+        # maintained incrementally so the cap check is O(1).
+        self.pending_bytes = 0
+        # Caps on the pending history (None: unbounded, the seed
+        # behavior).  Crossing either cap abandons the history: pending
+        # is cleared, the flag below is raised, and the provider serves
+        # the next poll as an incomplete-history resume (eq. 3).
+        self.history_max_entries: Optional[int] = None
+        self.history_max_bytes: Optional[int] = None
+        self.history_overflowed = False
+        self.overflow_callback: Optional[Callable[["Session"], None]] = None
+        # --- consumer-state watermarks (durability/recovery) -----------
+        # CSN at which the latest / previous served batch was built: a
+        # consumer presenting generation G holds the master state of
+        # drain_csn; presenting G-1, of prev_drain_csn.  These are the
+        # safe "changed since" points for a degraded eq.-3 resume.
+        self.drain_csn = 0
+        self.prev_drain_csn = 0
+        # The "since" CSN of an unacknowledged degraded resume (set when
+        # one is served, cleared when the next cookie acknowledges it);
+        # a retry at generation G-1 re-serves the resume from here.
+        self.degraded_since_csn: Optional[int] = None
 
     # ------------------------------------------------------------------
     # update ingestion (called by the provider's update listener)
@@ -115,13 +137,39 @@ class Session:
             self._track_content(update)
             self._track_delivered(update)
             return
+        if self.history_overflowed:
+            # The history was abandoned at the cap: only the content
+            # mirror advances; the next poll is served as an
+            # incomplete-history resume, which re-derives everything.
+            self._track_content(update)
+            return
         pending = self._pending.get(update.dn)
         merged = self._coalesce(pending, update)
         if merged is None:
             self._pending.pop(update.dn, None)
         else:
             self._pending[update.dn] = merged
+        self.pending_bytes += (merged.pdu_bytes if merged is not None else 0) - (
+            pending.pdu_bytes if pending is not None else 0
+        )
         self._track_content(update)
+        self._check_history_cap()
+
+    def _check_history_cap(self) -> None:
+        over = (
+            self.history_max_entries is not None
+            and len(self._pending) > self.history_max_entries
+        ) or (
+            self.history_max_bytes is not None
+            and self.pending_bytes > self.history_max_bytes
+        )
+        if not over:
+            return
+        self._pending.clear()
+        self.pending_bytes = 0
+        self.history_overflowed = True
+        if self.overflow_callback is not None:
+            self.overflow_callback(self)
 
     def _track_content(self, update: SyncUpdate) -> None:
         if update.action is SyncAction.DELETE:
@@ -174,6 +222,7 @@ class Session:
         """
         self._unacked = dict(self._pending)
         self._pending.clear()
+        self.pending_bytes = 0
         updates = self._sorted(self._unacked)
         for update in updates:
             self._track_delivered(update)
@@ -215,6 +264,7 @@ class Session:
                 merged = SyncUpdate.modify(update.entry)
             self._unacked[dn] = merged
         self._pending.clear()
+        self.pending_bytes = 0
         self.polls += 1
         updates = self._sorted(self._unacked)
         for update in updates:
@@ -247,20 +297,47 @@ class SessionStore:
 
     def __init__(self, idle_limit: int = 1000):
         self._sessions: Dict[str, Session] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self.idle_limit = idle_limit
         self._tick = 0
+        self._expiring = False
 
     def __len__(self) -> int:
         return len(self._sessions)
 
+    @property
+    def tick(self) -> int:
+        """The logical activity clock (snapshot/recovery bookkeeping)."""
+        return self._tick
+
+    @property
+    def next_id(self) -> int:
+        """The next session id to be assigned (recovery bookkeeping)."""
+        return self._next_id
+
+    def restore_clock(self, tick: int, next_id: int) -> None:
+        """Restore the activity clock and id counter from a snapshot, so
+        post-recovery session ids and expiry decisions continue exactly
+        where the crashed incarnation left off."""
+        self._tick = tick
+        self._next_id = next_id
+
     def create(self, request: SearchRequest) -> Session:
         """Open a new session for *request* and return it."""
-        session_id = f"s{next(self._ids)}"
+        session_id = f"s{self._next_id}"
+        self._next_id += 1
         session = Session(session_id, request)
         session.last_active_tick = self._tick
         self._sessions[session_id] = session
         return session
+
+    def adopt(self, session: Session) -> None:
+        """Re-insert a recovered *session* under its original id
+        (journal replay); keeps the id counter ahead of it."""
+        self._sessions[session.session_id] = session
+        numeric = session.session_id.lstrip("s")
+        if numeric.isdigit():
+            self._next_id = max(self._next_id, int(numeric) + 1)
 
     def lookup(self, cookie: str) -> Session:
         """Resolve a cookie to its session.
@@ -275,10 +352,29 @@ class SessionStore:
         self._touch(session)
         return session
 
-    def end(self, cookie: str) -> None:
-        """Terminate the session named by *cookie* (mode ``sync_end``)."""
+    def end(self, cookie: str) -> bool:
+        """Terminate the session named by *cookie* (mode ``sync_end``).
+
+        Returns whether a live session was actually ended — False for
+        an unknown or already-ended cookie, which callers count as a
+        no-op (``sync.session.unknown_cookie``) rather than erroring.
+        """
         session_id = cookie.split(":", 1)[0]
-        self._sessions.pop(session_id, None)
+        return self._sessions.pop(session_id, None) is not None
+
+    def drop(self, session_id: str) -> bool:
+        """Remove a session by id without cookie parsing or touching
+        the activity clock (recovery/replay bookkeeping)."""
+        return self._sessions.pop(session_id, None) is not None
+
+    def touch_by_id(self, session_id: str) -> Optional[Session]:
+        """Advance the activity clock for *session_id* exactly as a
+        successful :meth:`lookup` would (journal replay); returns the
+        session, or None when it no longer exists."""
+        session = self._sessions.get(session_id)
+        if session is not None:
+            self._touch(session)
+        return session
 
     def get(self, session_id: str) -> Optional[Session]:
         """The live session with *session_id*, or None.
@@ -299,8 +395,15 @@ class SessionStore:
 
     @staticmethod
     def generation_of(cookie: str) -> int:
-        """The generation number encoded in *cookie*."""
-        _sid, _, gen = cookie.partition(":")
+        """The generation number encoded in *cookie*.
+
+        Cookies are ``<session-id>:<generation>`` with optional
+        ``:``-separated flags after the generation — ``:h`` stamps an
+        incomplete-history (degraded) resume
+        (docs/PROTOCOL.md §10).  Flags are ignored here.
+        """
+        parts = cookie.split(":")
+        gen = parts[1] if len(parts) > 1 else ""
         if not gen.isdigit():
             raise SyncProtocolError(f"malformed cookie {cookie!r}")
         return int(gen)
@@ -324,15 +427,30 @@ class SessionStore:
         self._expire()
 
     def _expire(self) -> None:
-        """Drop sessions idle for more than ``idle_limit`` ticks."""
-        cutoff = self._tick - self.idle_limit
-        stale = [
-            sid
-            for sid, session in self._sessions.items()
-            if session.last_active_tick < cutoff
-        ]
-        for sid in stale:
-            del self._sessions[sid]
+        """Drop sessions idle for more than ``idle_limit`` ticks.
+
+        Two-phase (collect over a frozen item list, then drop), and
+        reentrancy-guarded: a persist deliver callback can re-enter the
+        store mid-delivery (``ResyncProvider._flush_persist`` → consumer
+        polls → :meth:`lookup` → here), so expiry must neither mutate
+        the map while an outer pass iterates it nor expire a session
+        whose queue is being drained right now (``draining`` — it is
+        demonstrably live; it will be collected on a later tick if it
+        truly goes idle)."""
+        if self._expiring:
+            return
+        self._expiring = True
+        try:
+            cutoff = self._tick - self.idle_limit
+            stale = [
+                sid
+                for sid, session in list(self._sessions.items())
+                if session.last_active_tick < cutoff and not session.draining
+            ]
+            for sid in stale:
+                self._sessions.pop(sid, None)
+        finally:
+            self._expiring = False
 
     def active_sessions(self) -> List[Session]:
         return list(self._sessions.values())

@@ -1,0 +1,674 @@
+"""Provider durability: journaling, recovery, history caps, admission.
+
+Covers docs/PROTOCOL.md §10 — the write-ahead journal backends and
+their damage tolerance, `ResyncProvider.recover()` rebuilding sessions
+so cookies stay honorable across crashes, bounded histories degrading
+to incomplete-history (eq. 3) resumes, resync-storm admission control,
+and the satellite bugfixes (two-phase session expiry, counted
+unknown-cookie no-ops).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ldap.controls import ReSyncControl, SyncMode
+from repro.ldap.entry import Entry
+from repro.ldap.query import Scope, SearchRequest
+from repro.server import DirectoryServer, Modification
+from repro.server.faults import FaultyNetwork
+from repro.server.network import ServerBusy
+from repro.server.operations import UpdateOp, UpdateRecord
+from repro.sync import (
+    AdmissionController,
+    DurabilityConfig,
+    FileJournal,
+    MemoryJournal,
+    ResilientConsumer,
+    ResyncProvider,
+    RetainResyncProvider,
+    SyncedContent,
+    SyncProtocolError,
+    SyncUpdate,
+)
+from repro.sync.durability import (
+    record_from_wire,
+    record_to_wire,
+    request_from_wire,
+    request_to_wire,
+    session_from_wire,
+    session_to_wire,
+    update_from_wire,
+    update_to_wire,
+)
+from repro.sync.session import Session
+from repro.obs.registry import MetricsRegistry
+
+REQUEST = SearchRequest("o=xyz", Scope.SUB, "(objectClass=person)")
+
+
+def person(name: str, dept: str = "42") -> Entry:
+    return Entry(
+        f"cn={name},o=xyz",
+        {"objectClass": ["person"], "cn": name, "sn": "T", "departmentNumber": dept},
+    )
+
+
+def build_master(n: int = 6) -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(n):
+        master.add(person(f"P{i}"))
+    return master
+
+
+def durable_provider(master, journal=None, **cfg) -> ResyncProvider:
+    journal = journal if journal is not None else MemoryJournal()
+    return ResyncProvider(
+        master, durability=DurabilityConfig(**cfg), journal=journal
+    )
+
+
+# ----------------------------------------------------------------------
+# wire serialization round trips
+# ----------------------------------------------------------------------
+class TestWireFormat:
+    def test_request_round_trip(self):
+        req = SearchRequest("c=us,o=xyz", Scope.ONE, "(sn=T)", ["cn", "sn"])
+        assert request_from_wire(request_to_wire(req)) == req
+
+    def test_request_round_trip_all_attributes(self):
+        assert request_from_wire(request_to_wire(REQUEST)) == REQUEST
+
+    def test_update_round_trip(self):
+        for update in (
+            SyncUpdate.add(person("A")),
+            SyncUpdate.modify(person("B")),
+            SyncUpdate.delete(person("C").dn),
+            SyncUpdate.retain(person("D").dn),
+        ):
+            back = update_from_wire(update_to_wire(update))
+            assert back.action == update.action
+            assert back.dn == update.dn
+            assert (back.entry is None) == (update.entry is None)
+            if update.entry is not None:
+                assert back.entry == update.entry
+
+    def test_record_round_trip(self):
+        before, after = person("A"), person("A", dept="99")
+        record = UpdateRecord(
+            csn=7, op=UpdateOp.MODIFY, dn=before.dn, before=before, after=after
+        )
+        back = record_from_wire(record_to_wire(record))
+        assert back.csn == 7 and back.op is UpdateOp.MODIFY
+        assert back.dn == record.dn and back.effective_dn == record.effective_dn
+        assert back.after == after
+
+    def test_session_round_trip(self):
+        session = Session("s9", REQUEST)
+        session.seed_content([person("A"), person("B")])
+        session.observe(
+            in_before=True,
+            in_after=True,
+            old_dn=person("A").dn,
+            new_dn=person("A").dn,
+            after_entry=person("A", dept="99"),
+        )
+        session.generation = 3
+        session.polls = 5
+        session.drain_csn = 11
+        session.prev_drain_csn = 9
+        back = session_from_wire(session_to_wire(session))
+        assert back.session_id == "s9" and back.request == REQUEST
+        assert back.content_dns == session.content_dns
+        assert back.generation == 3 and back.polls == 5
+        assert back.pending_count == session.pending_count
+        assert back.pending_bytes == session.pending_bytes
+        assert (back.drain_csn, back.prev_drain_csn) == (11, 9)
+        # A second trip is byte-stable (the wire format is canonical).
+        assert session_to_wire(back) == session_to_wire(session)
+
+
+# ----------------------------------------------------------------------
+# journal backends
+# ----------------------------------------------------------------------
+class TestJournalBackends:
+    @pytest.fixture(params=["memory", "file"])
+    def journal(self, request, tmp_path):
+        if request.param == "memory":
+            return MemoryJournal()
+        return FileJournal(str(tmp_path / "journal"))
+
+    def test_append_load_round_trip(self, journal):
+        events = [{"t": "update", "csn": i} for i in range(5)]
+        for event in events:
+            journal.append(event)
+        snapshot, records, dropped = journal.load()
+        assert snapshot is None and records == events and dropped == 0
+        assert journal.record_count == 5
+        assert journal.size_bytes > 0
+
+    def test_snapshot_truncates_journal(self, journal):
+        journal.append({"t": "update", "csn": 1})
+        journal.write_snapshot({"csn": 1, "sessions": []})
+        journal.append({"t": "update", "csn": 2})
+        snapshot, records, dropped = journal.load()
+        assert snapshot == {"csn": 1, "sessions": []}
+        assert records == [{"t": "update", "csn": 2}] and dropped == 0
+
+    def test_truncation_drops_tail(self, journal):
+        for i in range(10):
+            journal.append({"t": "update", "csn": i})
+        journal.damage_truncate(0.5)
+        snapshot, records, dropped = journal.load()
+        assert [r["csn"] for r in records] == [0, 1, 2, 3, 4]
+        assert dropped == 0  # a clean tear, nothing unreadable
+
+    def test_corruption_ends_readable_stream(self, journal):
+        for i in range(10):
+            journal.append({"t": "update", "csn": i})
+        journal.damage_corrupt(0.5)
+        snapshot, records, dropped = journal.load()
+        assert [r["csn"] for r in records] == [0, 1, 2, 3, 4]
+        assert dropped == 5  # the damaged record and everything after
+
+    def test_corrupt_snapshot_voids_everything(self, journal):
+        journal.write_snapshot({"csn": 3, "sessions": []})
+        journal.damage_corrupt(0.0)  # journal empty -> snapshot corrupted
+        journal.append({"t": "update", "csn": 4})
+        snapshot, records, dropped = journal.load()
+        assert snapshot is None and records == [] and dropped == 2
+
+    def test_file_journal_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "j")
+        journal = FileJournal(path)
+        journal.append({"t": "update", "csn": 1})
+        journal.write_snapshot({"csn": 1})
+        journal.append({"t": "update", "csn": 2})
+        journal.close()
+        reopened = FileJournal(path)
+        snapshot, records, dropped = reopened.load()
+        assert snapshot == {"csn": 1}
+        assert records == [{"t": "update", "csn": 2}] and dropped == 0
+
+
+class TestDurabilityConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DurabilityConfig(snapshot_interval=0)
+        with pytest.raises(ValueError):
+            DurabilityConfig(history_max_entries=0)
+        with pytest.raises(ValueError):
+            DurabilityConfig(admission_burst=0)
+        with pytest.raises(ValueError):
+            DurabilityConfig(admission_refill=0.0)
+
+    def test_journal_implies_default_config(self):
+        provider = ResyncProvider(build_master(), journal=MemoryJournal())
+        assert provider.durability == DurabilityConfig()
+
+
+# ----------------------------------------------------------------------
+# crash recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_recover_without_journal_raises(self):
+        provider = ResyncProvider(build_master())
+        with pytest.raises(RuntimeError):
+            provider.recover()
+
+    def test_cookie_survives_crash_with_incremental_delta(self):
+        master = build_master()
+        provider = durable_provider(master)
+        content = SyncedContent(REQUEST)
+        initial = content.poll(provider)
+        assert len(initial.updates) == 6
+
+        master.modify("cn=P1,o=xyz", [Modification.replace("sn", "S")])
+        provider.restart()
+        provider.recover()
+
+        delta = content.poll(provider)  # the pre-crash cookie still works
+        assert [str(u.dn) for u in delta.updates] == ["cn=P1,o=xyz"]
+        assert content.matches_master(master)
+        assert master.metrics.counter("sync.durability.recoveries").value == 1
+
+    def test_unchanged_master_resumes_with_empty_delta(self):
+        master = build_master()
+        provider = durable_provider(master)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        provider.restart()
+        provider.recover()
+        assert content.poll(provider).updates == []
+
+    def test_snapshot_compaction_path(self):
+        master = build_master()
+        provider = durable_provider(master, snapshot_interval=3)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        for i in range(6):
+            master.modify("cn=P0,o=xyz", [Modification.replace("sn", f"S{i}")])
+            content.poll(provider)
+        assert master.metrics.counter("sync.durability.snapshots").value >= 2
+        master.delete("cn=P5,o=xyz")
+        provider.restart()
+        provider.recover()
+        content.poll(provider)
+        assert content.matches_master(master)
+
+    def test_multiple_sessions_and_mid_life_crash(self):
+        master = build_master()
+        provider = durable_provider(master)
+        requests = [
+            SearchRequest("o=xyz", Scope.SUB, f"(cn=P{i})") for i in range(4)
+        ]
+        consumers = [SyncedContent(r) for r in requests]
+        for consumer in consumers:
+            consumer.poll(provider)
+        master.modify("cn=P2,o=xyz", [Modification.replace("sn", "X")])
+        consumers[0].poll(provider)  # different generations across sessions
+        provider.restart()
+        assert provider.active_session_count == 0
+        provider.recover()
+        assert provider.active_session_count == 4
+        for consumer in consumers:
+            consumer.poll(provider)
+            assert consumer.matches_master(master)
+
+    def test_persist_sessions_are_dropped_on_recovery(self):
+        master = build_master()
+        provider = durable_provider(master)
+        received = []
+        response, handle = provider.persist(REQUEST, received.append)
+        assert provider.active_session_count == 1
+        provider.restart()
+        provider.recover()
+        # No cookie was ever issued for the persist session; it cannot
+        # be resumed and must not linger.
+        assert provider.active_session_count == 0
+
+    def test_torn_tail_drops_sessions_instead_of_diverging(self):
+        master = build_master()
+        journal = MemoryJournal()
+        provider = durable_provider(master, journal=journal)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        master.modify("cn=P1,o=xyz", [Modification.replace("sn", "S")])
+        # The crash tears off the committed update's journal record
+        # (keeping the session-create record before it).
+        journal.damage_truncate(0.5)
+        provider.restart()
+        provider.recover()
+        assert provider.active_session_count == 0
+        assert master.metrics.counter("sync.durability.sessions_lost").value >= 1
+        # The consumer's next poll is refused; the reload path converges.
+        with pytest.raises(SyncProtocolError):
+            content.poll(provider)
+        content.cookie = None
+        content.poll(provider)
+        assert content.matches_master(master)
+
+    def test_corrupted_journal_is_counted_and_safe(self):
+        master = build_master()
+        journal = MemoryJournal()
+        provider = durable_provider(master, journal=journal)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        master.modify("cn=P1,o=xyz", [Modification.replace("sn", "S")])
+        journal.damage_corrupt(0.9)
+        provider.restart()
+        provider.recover()
+        assert master.metrics.counter("sync.durability.dropped_records").value >= 1
+        content.cookie = None  # reload regardless of what survived
+        content.poll(provider)
+        assert content.matches_master(master)
+
+    def test_unknown_journal_record_kinds_are_skipped(self):
+        master = build_master()
+        journal = MemoryJournal()
+        provider = durable_provider(master, journal=journal)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        journal.append({"t": "future-kind", "payload": 1})
+        provider.restart()
+        provider.recover()
+        content.poll(provider)
+        assert content.matches_master(master)
+
+    def test_lazy_router_reregistration(self):
+        master = build_master()
+        provider = durable_provider(master)
+        assert provider.router is not None
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        provider.restart()
+        provider.recover()
+        sid = next(iter(provider.sessions.active_sessions())).session_id
+        assert sid in provider._lazy_router
+        # Updates before the first poll still reach the session (linear
+        # fallback)...
+        master.add(person("P9"))
+        # ...and the first poll re-enters the router.
+        content.poll(provider)
+        assert sid not in provider._lazy_router
+        assert provider.router._sessions.get(sid) is not None
+        master.add(person("P10"))
+        content.poll(provider)
+        assert content.matches_master(master)
+
+    def test_file_journal_recovery_across_provider_instances(self, tmp_path):
+        master = build_master()
+        journal = FileJournal(str(tmp_path / "journal"))
+        provider = ResyncProvider(master, journal=journal)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        master.modify("cn=P3,o=xyz", [Modification.replace("sn", "Z")])
+        provider.detach()
+        provider.detach()  # idempotent
+        journal.close()
+        # A brand-new provider instance on the same directory.
+        recovered = ResyncProvider(
+            master, journal=FileJournal(str(tmp_path / "journal"))
+        )
+        recovered.recover()
+        delta = content.poll(recovered)
+        assert [str(u.dn) for u in delta.updates] == ["cn=P3,o=xyz"]
+        assert content.matches_master(master)
+
+    def test_network_crash_recovers_durable_provider(self):
+        master = build_master()
+        provider = durable_provider(master)
+        net = FaultyNetwork()
+        consumer = ResilientConsumer(REQUEST, provider, network=net, seed=1)
+        consumer.sync_once()
+        master.modify("cn=P0,o=xyz", [Modification.replace("sn", "Q")])
+        net.crash(provider)  # restart + journal recovery in one step
+        assert provider.active_session_count == 1
+        assert consumer.converge(master) is not None
+
+
+# ----------------------------------------------------------------------
+# bounded histories -> degraded (eq. 3) resume
+# ----------------------------------------------------------------------
+class TestHistoryCap:
+    def test_overflow_degrades_and_converges(self):
+        master = build_master()
+        provider = durable_provider(master, history_max_entries=2)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        for i in range(5):
+            master.modify(f"cn=P{i},o=xyz", [Modification.replace("sn", f"S{i}")])
+        response = content.poll(provider)
+        assert response.uses_retain  # eq.-3 resume, not a history drain
+        assert response.cookie.endswith(":h")  # degraded stamp
+        assert content.matches_master(master)
+        assert master.metrics.counter("sync.durability.history_overflow").value == 1
+        assert master.metrics.counter("sync.durability.degraded_resumes").value == 1
+
+    def test_next_poll_after_degraded_resume_is_complete_history_again(self):
+        master = build_master()
+        provider = durable_provider(master, history_max_entries=2)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        for i in range(5):
+            master.modify(f"cn=P{i},o=xyz", [Modification.replace("sn", f"S{i}")])
+        content.poll(provider)  # degraded resume
+        master.delete("cn=P4,o=xyz")
+        response = content.poll(provider)
+        assert not response.uses_retain
+        assert [str(u.dn) for u in response.updates] == ["cn=P4,o=xyz"]
+        assert content.matches_master(master)
+
+    def test_byte_cap_also_degrades(self):
+        master = build_master()
+        provider = durable_provider(master, history_max_bytes=100)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        for i in range(4):
+            master.modify(f"cn=P{i},o=xyz", [Modification.replace("sn", f"S{i}")])
+        response = content.poll(provider)
+        assert response.uses_retain
+        assert content.matches_master(master)
+
+    def test_lost_degraded_response_is_reserved_on_retry(self):
+        master = build_master()
+        provider = durable_provider(master, history_max_entries=2)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        old_cookie = content.cookie
+        for i in range(5):
+            master.modify(f"cn=P{i},o=xyz", [Modification.replace("sn", f"S{i}")])
+        first = provider.handle(
+            REQUEST, ReSyncControl(mode=SyncMode.POLL, cookie=old_cookie)
+        )
+        assert first.uses_retain
+        # The response is lost: the consumer retries with its old cookie
+        # and must get an equivalent degraded resume, not a (now empty)
+        # complete-history drain that would strand the stale entries.
+        retry = provider.handle(
+            REQUEST, ReSyncControl(mode=SyncMode.POLL, cookie=old_cookie)
+        )
+        assert retry.uses_retain
+        content.apply(retry)
+        content.cookie = retry.cookie
+        assert content.matches_master(master)
+        assert master.metrics.counter("sync.durability.degraded_resumes").value == 2
+
+    def test_degraded_resume_refused_in_persist_mode(self):
+        master = build_master()
+        provider = durable_provider(master, history_max_entries=1)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        for i in range(4):
+            master.modify(f"cn=P{i},o=xyz", [Modification.replace("sn", f"S{i}")])
+        with pytest.raises(SyncProtocolError):
+            provider.persist(REQUEST, lambda u: None, cookie=content.cookie)
+
+    def test_overflow_survives_crash_recovery(self):
+        master = build_master()
+        provider = durable_provider(master, history_max_entries=2)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        for i in range(5):
+            master.modify(f"cn=P{i},o=xyz", [Modification.replace("sn", f"S{i}")])
+        provider.restart()
+        provider.recover()
+        session = provider.sessions.active_sessions()[0]
+        assert session.history_overflowed  # replay re-derived the overflow
+        response = content.poll(provider)
+        assert response.uses_retain
+        assert content.matches_master(master)
+
+    def test_no_unbounded_growth_in_soak(self):
+        """A session never polled again must not grow beyond its cap."""
+        master = build_master(12)
+        provider = durable_provider(master, history_max_entries=8)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        session = provider.sessions.active_sessions()[0]
+        for step in range(500):
+            master.modify(
+                f"cn=P{step % 12},o=xyz", [Modification.replace("sn", f"S{step}")]
+            )
+            assert session.pending_count <= 8
+            assert session.pending_bytes == 0 or not session.history_overflowed
+        assert session.history_overflowed
+        assert session.pending_count == 0 and session.pending_bytes == 0
+        content.poll(provider)
+        assert content.matches_master(master)
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_token_bucket_admits_then_rejects(self):
+        controller = AdmissionController(2, 0.25, 40.0, MetricsRegistry())
+        controller.admit()
+        controller.admit()
+        with pytest.raises(ServerBusy) as excinfo:
+            controller.admit()
+        assert excinfo.value.retry_after_ms == 40.0
+        assert excinfo.value.fault == "busy"
+
+    def test_logical_refill_eventually_readmits(self):
+        controller = AdmissionController(1, 0.5, 40.0, MetricsRegistry())
+        controller.admit()
+        with pytest.raises(ServerBusy):
+            controller.admit()
+        controller.replenish()  # two serviced requests -> one token
+        controller.admit()
+
+    def test_reset_refills_to_burst(self):
+        controller = AdmissionController(1, 0.1, 40.0, MetricsRegistry())
+        controller.admit()
+        controller.reset()
+        controller.admit()
+
+    def test_provider_rejects_storm_but_serves_resumes(self):
+        master = build_master()
+        provider = durable_provider(master, admission_burst=1, admission_refill=0.25)
+        first = SyncedContent(REQUEST)
+        first.poll(provider)
+        second = SyncedContent(REQUEST)
+        with pytest.raises(ServerBusy):
+            second.poll(provider)
+        # Resumes are never refused -- only full-content rebuilds are.
+        first.poll(provider)
+        assert master.metrics.counter("sync.admission.rejected").value == 1
+
+    def test_resilient_consumer_backs_off_and_gets_in(self):
+        master = build_master()
+        provider = durable_provider(
+            master, admission_burst=1, admission_refill=0.5,
+            admission_retry_after_ms=123.0,
+        )
+        net = FaultyNetwork()
+        consumers = [
+            ResilientConsumer(REQUEST, provider, network=net, seed=i)
+            for i in range(4)
+        ]
+        for consumer in consumers:
+            assert consumer.sync_once() is not None
+            assert consumer.content.matches_master(master)
+        registry = master.metrics
+        assert registry.counter("sync.admission.rejected").value > 0
+        # The busy hint floors the backoff: at least one rejected retry
+        # waited >= retry_after_ms on the simulated clock.
+        assert net.registry.gauge("sync.resilient.backoff_ms").value >= 123.0
+
+    def test_post_recovery_storm_is_paced(self):
+        master = build_master()
+        journal = MemoryJournal()
+        provider = durable_provider(
+            master, journal=journal, admission_burst=2, admission_refill=0.5
+        )
+        net = FaultyNetwork()
+        consumers = [
+            ResilientConsumer(REQUEST, provider, network=net, seed=i)
+            for i in range(5)
+        ]
+        for consumer in consumers:
+            consumer.sync_once()
+        # Tear the whole journal: recovery drops every session, so all
+        # five consumers need simultaneous full rebuilds -- the storm.
+        journal.damage_truncate(0.0)
+        journal.damage_corrupt(0.0)
+        provider.restart()
+        provider.recover()
+        for consumer in consumers:
+            assert consumer.converge(master) is not None
+        assert master.metrics.counter("sync.admission.rejected").value > 0
+
+
+# ----------------------------------------------------------------------
+# satellite bugfixes
+# ----------------------------------------------------------------------
+class TestUnknownCookieNoOp:
+    def test_end_unknown_cookie_is_counted(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        provider.handle(REQUEST, ReSyncControl(mode=SyncMode.SYNC_END, cookie="s99:0"))
+        assert master.metrics.counter("sync.session.unknown_cookie").value == 1
+
+    def test_double_end_is_counted_not_raised(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        content = SyncedContent(REQUEST)
+        content.poll(provider)
+        cookie = content.cookie
+        provider.invalidate_cookie(cookie)
+        provider.invalidate_cookie(cookie)  # already gone: counted no-op
+        assert master.metrics.counter("sync.session.unknown_cookie").value == 1
+
+    def test_durable_provider_counts_too(self):
+        master = build_master()
+        provider = durable_provider(master)
+        provider.invalidate_cookie("s5:1")
+        assert master.metrics.counter("sync.session.unknown_cookie").value == 1
+        # Nothing was journaled for the no-op: recovery is unaffected.
+        provider.restart()
+        provider.recover()
+        assert provider.active_session_count == 0
+
+    def test_retain_provider_counts_malformed_end(self):
+        master = build_master()
+        provider = RetainResyncProvider(master)
+        provider.handle(
+            REQUEST, ReSyncControl(mode=SyncMode.SYNC_END, cookie="bogus")
+        )
+        assert master.metrics.counter("sync.session.unknown_cookie").value == 1
+        provider.handle(
+            REQUEST, ReSyncControl(mode=SyncMode.SYNC_END, cookie="csn:3")
+        )
+        assert master.metrics.counter("sync.session.unknown_cookie").value == 1
+
+
+class TestExpiryMidDelivery:
+    def test_expire_during_persist_delivery_is_safe(self):
+        """Session expiry fired by a poll *inside* a persist delivery
+        must neither corrupt the store nor expire the draining session
+        (the two-phase `_expire` regression)."""
+        master = build_master()
+        provider = ResyncProvider(master, idle_limit=3)
+        poller = SyncedContent(SearchRequest("o=xyz", Scope.SUB, "(cn=P1)"))
+
+        delivered = []
+
+        def deliver(update):
+            delivered.append(update)
+            # Re-enter the session store mid-delivery: this poll ticks
+            # the activity clock far enough to expire the persist
+            # session that is currently draining.
+            for _ in range(4):
+                poller.poll(provider)
+
+        response, handle = provider.persist(REQUEST, deliver)
+        persist_sid = [
+            s.session_id
+            for s in provider.sessions.active_sessions()
+            if s.persist_queue is not None
+        ][0]
+        master.add(person("P7"))  # triggers delivery -> reentrant polls
+        assert delivered
+        # The draining session survived the reentrant expiry sweep...
+        assert provider.sessions.get(persist_sid) is not None
+        # ...and keeps receiving notifications afterwards.
+        before = len(delivered)
+        master.add(person("P8"))
+        assert len(delivered) > before
+
+    def test_idle_sessions_still_expire(self):
+        master = build_master()
+        provider = ResyncProvider(master, idle_limit=2)
+        stale = SyncedContent(SearchRequest("o=xyz", Scope.SUB, "(cn=P0)"))
+        stale.poll(provider)
+        busy = SyncedContent(REQUEST)
+        busy.poll(provider)
+        for _ in range(4):
+            busy.poll(provider)
+        assert provider.active_session_count == 1
+        with pytest.raises(SyncProtocolError):
+            stale.poll(provider)

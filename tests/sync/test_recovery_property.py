@@ -1,0 +1,298 @@
+"""Crash-recovery properties: the journal replay oracle and convergence.
+
+Two claims about the durable provider (docs/PROTOCOL.md §10):
+
+* **Replay oracle** — a provider that crashes, replays its journal and
+  resumes is *observationally identical* to one that never crashed: the
+  notification streams served to the same consumers afterwards are
+  byte-identical (same updates, same order, same PDU sizes, same
+  cookies).  Checked by driving two mirrored masters through one
+  deterministic schedule and crashing only one provider.
+* **Convergence** — for any seeded schedule of mutations, crashes and
+  journal damage (truncation/corruption), every
+  :class:`ResilientConsumer` reconverges to the master's content once
+  the network heals, in both poll and persist modes.
+
+Like the fault matrix, the fixed cells are selectable through
+``RECOVERY_SEEDS`` / ``FAULT_MODES`` so the CI ``crash-recovery`` job
+can shard one (seed, mode) cell per matrix entry and any cell can be
+replayed locally verbatim:
+``RECOVERY_SEEDS=202 FAULT_MODES=persist pytest
+tests/sync/test_recovery_property.py``.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import (
+    DirectoryServer,
+    FaultPlan,
+    FaultSpec,
+    FaultyNetwork,
+    Modification,
+)
+from repro.sync import (
+    DurabilityConfig,
+    MemoryJournal,
+    ResilientConsumer,
+    ResyncProvider,
+    RetryPolicy,
+    SyncedContent,
+)
+from repro.sync.durability import update_to_wire
+
+REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
+NAMES = [f"P{i}" for i in range(8)]
+
+SEEDS = [int(s) for s in os.environ.get("RECOVERY_SEEDS", "101,202,303").split(",")]
+MODES = [m.strip() for m in os.environ.get("FAULT_MODES", "poll,persist").split(",")]
+
+
+def person(name: str, dept: str = "42") -> Entry:
+    return Entry(
+        f"cn={name},o=xyz",
+        {"objectClass": ["person"], "cn": name, "sn": "T", "departmentNumber": dept},
+    )
+
+
+def build_master() -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i, name in enumerate(NAMES):
+        master.add(person(name, dept="42" if i % 2 == 0 else "99"))
+    return master
+
+
+def mutate(master: DirectoryServer, step: int) -> None:
+    """One deterministic master update, cycling through all kinds."""
+    name = NAMES[step % len(NAMES)]
+    dn = f"cn={name},o=xyz"
+    kind = step % 5
+    if kind == 0:
+        master.modify(dn, [Modification.replace("sn", f"S{step}")])
+    elif kind == 1:
+        master.modify(dn, [Modification.replace("departmentNumber", "42")])
+    elif kind == 2:
+        master.modify(dn, [Modification.replace("departmentNumber", "99")])
+    elif kind == 3:
+        master.delete(dn)
+        master.add(person(name))
+    else:
+        master.add(person(f"X{step}"))
+
+
+def durable(master: DirectoryServer, snapshot_interval: int = 8) -> ResyncProvider:
+    return ResyncProvider(
+        master,
+        durability=DurabilityConfig(snapshot_interval=snapshot_interval),
+        journal=MemoryJournal(),
+    )
+
+
+def response_signature(response):
+    """Everything a consumer can observe about one response."""
+    return (
+        [update_to_wire(u) for u in response.updates],
+        [u.pdu_bytes for u in response.updates],
+        response.cookie,
+        response.initial,
+        response.uses_retain,
+    )
+
+
+# ----------------------------------------------------------------------
+# the journal replay oracle
+# ----------------------------------------------------------------------
+def run_oracle(seed: int, steps: int, snapshot_interval: int) -> None:
+    """Mirror one schedule onto two masters; crash only one provider.
+
+    After every post-crash poll the crashed-and-recovered provider must
+    serve byte-identical responses to the never-crashed one.
+    """
+    crashed_master, clean_master = build_master(), build_master()
+    crashed = durable(crashed_master, snapshot_interval)
+    clean = durable(clean_master, snapshot_interval)
+
+    rng = random.Random(seed)
+    requests = [REQUEST, SearchRequest("o=xyz", Scope.SUB, "(sn=T)")]
+    pairs = [
+        (SyncedContent(r), SyncedContent(r)) for r in requests
+    ]  # (vs crashed, vs clean)
+    for against_crashed, against_clean in pairs:
+        a = response_signature(against_crashed.poll(crashed))
+        b = response_signature(against_clean.poll(clean))
+        assert a == b
+
+    crash_at = rng.randrange(steps) if steps else 0
+    for step in range(steps):
+        mutate(crashed_master, step)
+        mutate(clean_master, step)
+        if step == crash_at:
+            crashed.restart()
+            crashed.recover()
+        if rng.random() < 0.5:
+            against_crashed, against_clean = pairs[step % len(pairs)]
+            a = response_signature(against_crashed.poll(crashed))
+            b = response_signature(against_clean.poll(clean))
+            assert a == b, f"streams diverged at step {step} (seed={seed})"
+
+    for against_crashed, against_clean in pairs:
+        assert response_signature(against_crashed.poll(crashed)) == (
+            response_signature(against_clean.poll(clean))
+        )
+        assert against_crashed.matches_master(crashed_master)
+        assert against_clean.matches_master(clean_master)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestReplayOracle:
+    def test_recovered_stream_is_byte_identical(self, seed):
+        run_oracle(seed, steps=14, snapshot_interval=8)
+
+    def test_oracle_holds_without_snapshots(self, seed):
+        run_oracle(seed, steps=10, snapshot_interval=10_000)
+
+    def test_oracle_holds_under_repeated_crashes(self, seed):
+        crashed_master, clean_master = build_master(), build_master()
+        crashed, clean = durable(crashed_master, 4), durable(clean_master, 4)
+        a, b = SyncedContent(REQUEST), SyncedContent(REQUEST)
+        assert response_signature(a.poll(crashed)) == response_signature(b.poll(clean))
+        for step in range(12):
+            mutate(crashed_master, step)
+            mutate(clean_master, step)
+            crashed.restart()
+            crashed.recover()  # crash between every single poll
+            assert response_signature(a.poll(crashed)) == (
+                response_signature(b.poll(clean))
+            ), f"diverged at step {step} (seed={seed})"
+        assert a.matches_master(crashed_master)
+
+
+# ----------------------------------------------------------------------
+# post-recovery traffic is O(delta)
+# ----------------------------------------------------------------------
+def test_post_recovery_poll_is_delta_sized():
+    master = build_master()
+    provider = durable(master)
+    content = SyncedContent(REQUEST)
+    initial = sum(u.pdu_bytes for u in content.poll(provider).updates)
+    master.modify(f"cn={NAMES[0]},o=xyz", [Modification.replace("sn", "Z")])
+    provider.restart()
+    provider.recover()
+    response = content.poll(provider)
+    delta = sum(u.pdu_bytes for u in response.updates)
+    assert len(response.updates) == 1  # just the touched entry...
+    assert 0 < delta <= initial / 4  # ...one of four matching: not a reload
+
+
+# ----------------------------------------------------------------------
+# crash-recover-resume convergence under seeded faults
+# ----------------------------------------------------------------------
+def run_crash_scenario(
+    seed: int, mode: str, rate: float = 0.3, steps: int = 12
+) -> None:
+    """Faulty phase with mid-schedule crashes (journal damage seeded by
+    the plan), heal, converge, check."""
+    master = build_master()
+    provider = durable(master)
+    net = FaultyNetwork(FaultPlan(FaultSpec.uniform(rate), seed=seed))
+    consumer = ResilientConsumer(
+        REQUEST,
+        provider,
+        network=net,
+        seed=seed,
+        mode=mode,
+        policy=RetryPolicy(max_attempts=4, jitter=0.25, persist_refresh_interval=3),
+    )
+    crash_rng = random.Random(f"{seed}:crashes")
+    for step in range(steps):
+        mutate(master, step)
+        if crash_rng.random() < 0.25:
+            net.crash(provider)  # restart + journal damage + recover
+        consumer.sync_once()
+    net.heal()
+    cycles = consumer.converge(master, max_cycles=16)
+    assert cycles is not None, (
+        f"no convergence within 16 clean cycles (seed={seed}, mode={mode}, "
+        f"rate={rate}, faults={net.fault_counts()})"
+    )
+    assert consumer.content.matches_master(master)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mode", MODES)
+class TestCrashRecoveryMatrix:
+    """The CI crash-recovery matrix cells: fixed seeds × modes."""
+
+    def test_converges_after_crashes(self, seed, mode):
+        run_crash_scenario(seed, mode)
+
+    def test_converges_with_hostile_journal(self, seed, mode):
+        """Every crash damages the journal."""
+        master = build_master()
+        provider = durable(master)
+        spec = FaultSpec(journal_truncate=0.5, journal_corrupt=0.5)
+        net = FaultyNetwork(FaultPlan(spec, seed=seed))
+        consumer = ResilientConsumer(
+            REQUEST, provider, network=net, seed=seed, mode=mode
+        )
+        consumer.sync_once()
+        for step in range(8):
+            mutate(master, step)
+            if step % 3 == 0:
+                net.crash(provider)
+            consumer.sync_once()
+        net.heal()
+        assert consumer.converge(master, max_cycles=16) is not None
+        assert consumer.content.matches_master(master)
+
+    def test_crash_replay_is_deterministic(self, seed, mode):
+        """The same seed injects the same crashes and journal damage."""
+
+        def run():
+            master = build_master()
+            provider = durable(master)
+            net = FaultyNetwork(FaultPlan(FaultSpec.uniform(0.4), seed=seed))
+            consumer = ResilientConsumer(
+                REQUEST, provider, network=net, seed=seed, mode=mode
+            )
+            crash_rng = random.Random(f"{seed}:crashes")
+            for step in range(8):
+                mutate(master, step)
+                if crash_rng.random() < 0.25:
+                    net.crash(provider)
+                consumer.sync_once()
+            registry = master.metrics
+            return (
+                net.fault_counts(),
+                net.stats.round_trips,
+                registry.counter("sync.durability.recoveries").value,
+                registry.counter("sync.durability.replayed_records").value,
+            )
+
+        assert run() == run()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    rate=st.floats(min_value=0.0, max_value=0.5),
+    steps=st.integers(min_value=1, max_value=10),
+    mode=st.sampled_from(MODES),
+)
+@settings(max_examples=30, deadline=None)
+def test_any_crash_schedule_converges(seed, rate, steps, mode):
+    run_crash_scenario(seed, mode, rate=rate, steps=steps)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_replay_oracle_property(seed, steps):
+    run_oracle(seed, steps=steps, snapshot_interval=4)

@@ -90,6 +90,29 @@ class TestCaseStudy:
         assert "hit ratio" in out
 
 
+class TestRecovery:
+    def test_crash_recover_demo(self, tmp_path, capsys):
+        code = main(
+            [
+                "recovery",
+                "--journal-dir",
+                str(tmp_path / "journal"),
+                "--employees",
+                "120",
+                "--sessions",
+                "4",
+                "--updates",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sessions recovered : 4/4" in out
+        assert "sync.durability.recoveries" in out
+        # The journal survives on disk for a post-mortem.
+        assert (tmp_path / "journal" / "journal.jsonl").exists()
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
