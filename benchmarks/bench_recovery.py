@@ -1,19 +1,28 @@
-"""E13 — crash recovery: resume-from-journal vs full reload.
+"""Recovery benches: crash recovery (E13) and sketch reconciliation (E17).
 
-A durable :class:`ResyncProvider` journals session state so a crash is
-survivable: consumers keep their cookies and the first post-crash poll
-carries only the delta (docs/PROTOCOL.md §10).  Without the journal a
-provider restart voids every session and each consumer must reload its
-full content.  This bench quantifies that difference as the session
-count grows: post-crash traffic (bytes on the wire after the crash)
-and recovery time for the journal replay itself.
+``test_recovery`` — a durable :class:`ResyncProvider` journals session
+state so a crash is survivable: consumers keep their cookies and the
+first post-crash poll carries only the delta (docs/PROTOCOL.md §10).
+Without the journal a provider restart voids every session and each
+consumer must reload its full content.  This bench quantifies that
+difference as the session count grows: post-crash traffic (bytes on
+the wire after the crash) and recovery time for the journal replay
+itself.
 
-The sweep is deterministic (fixed directory, fixed update schedule, no
-network faults), so ``s{N}_durable_bytes_sent`` / ``s{N}_reload_bytes_sent``
-are regression-diffable by ``validate_results.py``; ``recovery_seconds``
-is wall time and stays informational.  The in-bench floor — reload
-traffic at least 5x the durable resume at 100 sessions — fails on any
-reversion to reload-after-crash independent of runner speed.
+``test_reconcile_divergence`` — the divergence sweep for the third
+recovery tier (docs/RECOVERY.md): a consumer whose ``:h`` cookie died
+recovers through sketch reconciliation (docs/PROTOCOL.md §11) instead
+of a full rebuild.  Sweeps the replica's divergence from 0.1% to 5% of
+a 1000-entry content and compares bytes on the wire against the
+rebuild path for the identical schedule.
+
+Both sweeps are deterministic (fixed directory, fixed update schedule,
+no network faults), so their ``*_bytes_sent`` metrics are
+regression-diffable by ``validate_results.py``; ``recovery_seconds``
+is wall time and stays informational.  The in-bench floors — reload
+traffic at least 5x the durable resume at 100 sessions, rebuild
+traffic at least 10x the reconcile tier at <=1% divergence — fail on
+any reversion to reload-after-crash independent of runner speed.
 """
 
 from __future__ import annotations
@@ -21,8 +30,16 @@ from __future__ import annotations
 import time
 
 from repro.ldap import Entry, Scope, SearchRequest
-from repro.server import DirectoryServer, Modification
-from repro.sync import DurabilityConfig, MemoryJournal, ResyncProvider, SyncedContent
+from repro.server import DirectoryServer, Modification, SimulatedNetwork
+from repro.sync import (
+    DurabilityConfig,
+    MemoryJournal,
+    ReconcileConfig,
+    ResilientConsumer,
+    ResyncProvider,
+    SyncedContent,
+    build_sketch,
+)
 
 from .common import report
 
@@ -189,3 +206,160 @@ def test_recovery(benchmark):
     mutate(master)
     provider.restart()
     benchmark(provider.recover)
+
+
+# ----------------------------------------------------------------------
+# E17 — sketch reconciliation vs full rebuild across divergence
+# ----------------------------------------------------------------------
+RECONCILE_CONTENT = 1000
+DIVERGENCES = (1, 5, 10, 50)  # 0.1% .. 5% of the content
+MIN_RECONCILE_RATIO = 10.0  # rebuild must cost >=10x at <=1% divergence
+RECONCILE_REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=D00)")
+
+
+def build_reconcile_master() -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(RECONCILE_CONTENT):
+        name = f"R{i:04d}"
+        master.add(
+            Entry(
+                f"cn={name},o=xyz",
+                {
+                    "objectClass": ["person"],
+                    "cn": name,
+                    "sn": "T",
+                    "departmentNumber": "D00",
+                },
+            )
+        )
+    return master
+
+
+def diverge(master: DirectoryServer, amount: int) -> None:
+    """*amount* entries' worth of divergence: mostly modifies, one
+    delete and one add once the delta is big enough to carry them."""
+    mods = amount
+    if amount >= 3:
+        mods = amount - 2
+        master.delete(f"cn=R{RECONCILE_CONTENT - 1:04d},o=xyz")
+        master.add(
+            Entry(
+                f"cn=N{amount:04d},o=xyz",
+                {
+                    "objectClass": ["person"],
+                    "cn": f"N{amount:04d}",
+                    "sn": "T",
+                    "departmentNumber": "D00",
+                },
+            )
+        )
+    for i in range(mods):
+        master.modify(f"cn=R{i:04d},o=xyz", [Modification.replace("sn", f"Z{i}")])
+
+
+def run_reconcile_cell(amount: int, tier_enabled: bool) -> dict:
+    """One recovery after *amount* entries of divergence: the full
+    ladder when *tier_enabled*, the rebuild fallback otherwise.
+
+    The schedule mints an ``:h`` cookie (overflowing a 2-entry session
+    history), diverges the master while the session is dead, and
+    measures only the recovery cycle's bytes on the wire.
+    """
+    master = build_reconcile_master()
+    provider = ResyncProvider(
+        master,
+        durability=DurabilityConfig(history_max_entries=2),
+        journal=MemoryJournal(),
+    )
+    net = SimulatedNetwork()
+    consumer = ResilientConsumer(
+        RECONCILE_REQUEST,
+        provider,
+        network=net,
+        reconcile_config=ReconcileConfig() if tier_enabled else None,
+    )
+    consumer.sync_once()
+    for i in range(4):  # overflow the history: the cookie gains :h
+        master.modify(
+            f"cn=R{900 + i:04d},o=xyz", [Modification.replace("sn", "ovf")]
+        )
+    consumer.sync_once()
+    assert consumer._cookie_overflowed()
+    diverge(master, amount)
+    provider.invalidate_cookie(consumer.content.cookie)
+
+    before = net.stats.snapshot()
+    assert consumer.sync_once() is not None
+    recovery = net.stats - before
+    assert consumer.content.matches_master(master)
+    registry = net.registry.to_dict()
+    if tier_enabled:
+        assert registry.get("sync.resilient.reloads", 0) == 0
+        assert registry.get("sync.reconcile.decode_success", 0) == 1
+    return {
+        "bytes": recovery.bytes_sent,
+        "round_trips": recovery.round_trips,
+        "rounds": registry.get("sync.reconcile.rounds", 0),
+        "sketch_bytes": registry.get("sync.reconcile.sketch_bytes", 0),
+    }
+
+
+def test_reconcile_divergence(benchmark):
+    rows = []
+    metrics = {}
+    for amount in DIVERGENCES:
+        reconcile = run_reconcile_cell(amount, tier_enabled=True)
+        rebuild = run_reconcile_cell(amount, tier_enabled=False)
+        ratio = rebuild["bytes"] / max(reconcile["bytes"], 1)
+        rows.append(
+            [
+                f"{100.0 * amount / RECONCILE_CONTENT:.1f}%",
+                reconcile["bytes"],
+                rebuild["bytes"],
+                round(ratio, 1),
+                reconcile["rounds"],
+                reconcile["sketch_bytes"],
+            ]
+        )
+        metrics[f"d{amount}_reconcile_bytes_sent"] = reconcile["bytes"]
+        metrics[f"d{amount}_rebuild_bytes_sent"] = rebuild["bytes"]
+        metrics[f"d{amount}_sketch_rounds"] = reconcile["rounds"]
+
+    # The headline claim of the tier: at realistic (<=1%) divergence the
+    # rebuild costs an order of magnitude more than reconciliation.
+    for amount in DIVERGENCES:
+        if amount <= RECONCILE_CONTENT // 100:
+            assert (
+                metrics[f"d{amount}_rebuild_bytes_sent"]
+                >= MIN_RECONCILE_RATIO * metrics[f"d{amount}_reconcile_bytes_sent"]
+            ), f"reconcile tier lost its edge at divergence {amount}"
+
+    report(
+        "reconcile",
+        "Recovery traffic: sketch reconciliation vs full rebuild",
+        [
+            "divergence",
+            "reconcile bytes",
+            "rebuild bytes",
+            "ratio",
+            "rounds",
+            "sketch bytes",
+        ],
+        rows,
+        params={
+            "content_entries": RECONCILE_CONTENT,
+            "divergences": ",".join(str(d) for d in DIVERGENCES),
+            "history_max_entries": 2,
+        },
+        metrics=metrics,
+        paper_expected=None,
+    )
+
+    # Timed unit: building the master-side sketch over the full content
+    # (the provider-side cost of serving one reconcile round).
+    master = build_reconcile_master()
+    provider = ResyncProvider(master)
+    content = provider._search_content(RECONCILE_REQUEST)
+    benchmark(lambda: build_sketch(content, 256))

@@ -54,6 +54,11 @@ cookie_invalidate   the presented session cookie is expired server-side
                     (or corrupted in flight) — the provider answers with
                     :class:`~repro.sync.SyncProtocolError`, exercising
                     §5's reload recovery path
+sketch_corrupt      one cell of a served reconcile sketch is damaged in
+                    flight (:func:`repro.sync.reconcile.corrupt_cell`);
+                    the consumer's verified decode detects it and
+                    doubles or falls back to a rebuild — never applies
+                    garbage (docs/PROTOCOL.md §11)
 ==================  ====================================================
 
 Persist-mode notification streams get their own decision stream
@@ -102,6 +107,7 @@ class FaultSpec:
     notification_duplicate: float = 0.0
     journal_truncate: float = 0.0
     journal_corrupt: float = 0.0
+    sketch_corrupt: float = 0.0
 
     def __post_init__(self):
         for name in (
@@ -116,6 +122,7 @@ class FaultSpec:
             "notification_duplicate",
             "journal_truncate",
             "journal_corrupt",
+            "sketch_corrupt",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -142,6 +149,8 @@ class FaultSpec:
             # damages the journal at the same modest rate it happens.
             journal_truncate=rate / 4,
             journal_corrupt=rate / 4,
+            # Only reconcile exchanges are affected (the :r stream).
+            sketch_corrupt=rate,
         )
         params.update(overrides)
         return cls(**params)
@@ -188,6 +197,7 @@ class FaultPlan:
         self._exchange_index = 0
         self._notification_index = 0
         self._journal_index = 0
+        self._reconcile_index = 0
 
     def next_exchange(self) -> ExchangeFaults:
         """Fault decisions for the next poll/subscribe exchange."""
@@ -227,6 +237,15 @@ class FaultPlan:
             rng.random() < self.spec.journal_corrupt,
             rng.random(),
         )
+
+    def next_reconcile(self) -> Tuple[bool, float]:
+        """(corrupt, cell position) decisions for the next served
+        sketch — its own ``:r`` stream, so runs that never reconcile
+        see identical exchange/notification/journal schedules for the
+        same seed."""
+        rng = random.Random(f"{self.seed}:r{self._reconcile_index}")
+        self._reconcile_index += 1
+        return (rng.random() < self.spec.sketch_corrupt, rng.random())
 
 
 class FaultyNetwork(SimulatedNetwork):
@@ -422,6 +441,82 @@ class FaultyNetwork(SimulatedNetwork):
                 partial=self._truncated(response, faults.truncate_keep),
             )
         return [Delivery(response)], handle
+
+    def reconcile_exchange(self, provider, request, rreq):
+        if self.plan is None:
+            self._check_unavailable(provider)
+            return super().reconcile_exchange(provider, request, rreq)
+        faults = self.plan.next_exchange()
+        if faults.crash:
+            self._crash(provider)
+        self._check_unavailable(provider)
+
+        if faults.drop_request:
+            self.charge_round_trip()
+            self._record("drop_request")
+            raise RequestDropped("reconcile request lost in flight")
+
+        self.charge_round_trip()
+        response = provider.reconcile(request, rreq)
+        self.stats.bytes_sent += response.pdu_bytes
+
+        if faults.drop_response:
+            self._record("drop_response")
+            raise ResponseDropped("sketch lost in flight")
+
+        corrupt, position = self.plan.next_reconcile()
+        if corrupt:
+            # In-flight sketch damage: the consumer's verified decode
+            # detects it (checksummed peel + zero-residue rule) and
+            # doubles or falls back — never applies garbage.
+            from ..sync.reconcile import corrupt_cell
+
+            self._record("sketch_corrupt")
+            corrupt_cell(response.sketch, position)
+
+        if faults.delay_ms > 0:
+            self._record("delay")
+            self._fault_delay_ms.inc(faults.delay_ms)
+        return response
+
+    def reconcile_fetch_exchange(self, provider, request, fetch):
+        if self.plan is None:
+            self._check_unavailable(provider)
+            return super().reconcile_fetch_exchange(provider, request, fetch)
+        faults = self.plan.next_exchange()
+        if faults.crash:
+            self._crash(provider)
+        self._check_unavailable(provider)
+
+        if faults.drop_request:
+            self.charge_round_trip()
+            self._record("drop_request")
+            raise RequestDropped("fetch request lost in flight")
+
+        self.charge_round_trip()
+        self.stats.bytes_sent += fetch.pdu_bytes
+        response = provider.reconcile_fetch(request, fetch)
+
+        if faults.drop_response:
+            self._record("drop_response")
+            raise ResponseDropped("fetch response lost in flight")
+        if faults.truncate and response.updates:
+            self._record("truncate")
+            raise ResponseTruncated(
+                "fetch stream cut mid-delivery",
+                partial=self._truncated(response, faults.truncate_keep),
+            )
+
+        if faults.delay_ms > 0:
+            self._record("delay")
+            self._fault_delay_ms.inc(faults.delay_ms)
+        deliveries = [Delivery(response, delay_ms=faults.delay_ms)]
+        if faults.duplicate:
+            self._record("duplicate")
+            deliveries.append(
+                Delivery(response, delay_ms=faults.delay_ms, duplicate=True)
+            )
+        return deliveries
 
     def wrap_deliver(self, deliver: Callable) -> Callable:
         """Apply notification-level faults to a persist deliver callback."""

@@ -401,6 +401,32 @@ class SimulatedNetwork:
         network."""
         return deliver
 
+    def reconcile_exchange(self, provider, request, rreq):
+        """One sketch solicitation/response exchange (anti-entropy
+        reconciliation, docs/PROTOCOL.md §11).
+
+        Charges a round trip plus the sketch's measured wire bytes and
+        returns the provider's
+        :class:`~repro.sync.protocol.ReconcileResponse`.  Fault-injecting
+        subclasses may raise :class:`TransportError` or corrupt the
+        sketch in flight (a *detected* decode failure at the consumer).
+        """
+        self.charge_round_trip()
+        response = provider.reconcile(request, rreq)
+        self.stats.bytes_sent += response.pdu_bytes
+        return response
+
+    def reconcile_fetch_exchange(self, provider, request, fetch) -> List[Delivery]:
+        """The follow-up targeted fetch of decoded master-only keys.
+
+        The request's key list is charged here; the returned entry PDUs
+        are charged by the consumer as it applies them (the normal
+        ``charge_sync_entry`` path).
+        """
+        self.charge_round_trip()
+        self.stats.bytes_sent += fetch.pdu_bytes
+        return [Delivery(provider.reconcile_fetch(request, fetch))]
+
     @property
     def elapsed_ms(self) -> float:
         """Accumulated simulated latency (``net.latency.elapsed_ms``)."""

@@ -22,7 +22,23 @@ from .durability import (
     JournalBackend,
     MemoryJournal,
 )
-from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
+from .protocol import (
+    ReconcileFetch,
+    ReconcileRequest,
+    ReconcileResponse,
+    SyncProtocolError,
+    SyncResponse,
+    SyncUpdate,
+)
+from .reconcile import (
+    EntrySketch,
+    ReconcileConfig,
+    build_sketch,
+    cells_for_divergence,
+    corrupt_cell,
+    entry_fingerprint,
+    entry_key,
+)
 from .resilient import ResilientConsumer, RetryPolicy
 from .resync import PersistHandle, ResyncProvider, RetainResyncProvider
 from .router import RoutedSession, SessionRouter
@@ -42,6 +58,16 @@ __all__ = [
     "SyncedContent",
     "ResilientConsumer",
     "RetryPolicy",
+    "ReconcileRequest",
+    "ReconcileResponse",
+    "ReconcileFetch",
+    "ReconcileConfig",
+    "EntrySketch",
+    "build_sketch",
+    "cells_for_divergence",
+    "corrupt_cell",
+    "entry_key",
+    "entry_fingerprint",
     "DurabilityConfig",
     "JournalBackend",
     "MemoryJournal",

@@ -146,6 +146,20 @@ class SyncedContent:
             self.cookie = response.cookie
         self.polls += 1
 
+    def apply_reconcile(self, response: SyncResponse, deletes) -> None:
+        """Apply one reconcile fetch response plus locally derived
+        deletes (docs/PROTOCOL.md §11).
+
+        The fetched ``add`` PDUs go through the normal :meth:`apply`
+        path (charged per entry, cookie adopted); *deletes* — the DNs
+        the sketch decode proved absent from the master — are discarded
+        locally and **uncharged**: their identities already travelled
+        inside the sketch bytes, no DN PDU crosses the wire for them.
+        """
+        self.apply(response)
+        for dn in deletes:
+            self._discard(dn)
+
     def apply_notification(self, update: SyncUpdate) -> None:
         """Apply one persist-mode change notification."""
         self._charge(update)

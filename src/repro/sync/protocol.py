@@ -10,18 +10,33 @@ resume the session (poll mode).
 whole poll answer.  Traffic accounting rule (used by the experiments):
 ``add``/``modify`` PDUs carry the complete entry, ``delete``/``retain``
 PDUs carry only the DN.
+
+The anti-entropy reconcile exchange (docs/PROTOCOL.md §11) adds three
+messages: :class:`ReconcileRequest` (sketch solicitation, sized by a
+divergence hint or an explicit doubled cell count),
+:class:`ReconcileResponse` (the served sketch plus the session cookie
+minted for the follow-up fetch) and :class:`ReconcileFetch` (the
+decoded master-only keys to pull as full entries; answered with a
+plain :class:`SyncResponse`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..ldap.controls import SyncAction
 from ..ldap.dn import DN
 from ..ldap.entry import Entry
 
-__all__ = ["SyncUpdate", "SyncResponse", "SyncProtocolError"]
+__all__ = [
+    "SyncUpdate",
+    "SyncResponse",
+    "SyncProtocolError",
+    "ReconcileRequest",
+    "ReconcileResponse",
+    "ReconcileFetch",
+]
 
 
 class SyncProtocolError(Exception):
@@ -119,3 +134,75 @@ class SyncResponse:
     def total_bytes(self) -> int:
         """Approximate wire size of all update PDUs."""
         return sum(u.pdu_bytes for u in self.updates)
+
+
+@dataclass(frozen=True)
+class ReconcileRequest:
+    """Solicit an anti-entropy sketch over the provider's current
+    content (docs/PROTOCOL.md §11).
+
+    Attributes:
+        divergence_hint: the consumer's estimate of the symmetric
+            difference, used by the provider to size the first sketch
+            (:func:`repro.sync.reconcile.cells_for_divergence`).
+        cells: explicit cell count — set on doubling retries after a
+            decode failure, overriding the hint.
+        salt: hash salt; retries carry a fresh salt so a difference that
+            cycled under one hashing peels under the next.
+        cookie: the *previous attempt's* reconcile session, ended
+            server-side before the new sketch is served (None on the
+            first attempt).
+    """
+
+    divergence_hint: int = 8
+    cells: Optional[int] = None
+    salt: int = 0
+    cookie: Optional[str] = None
+
+    @property
+    def pdu_bytes(self) -> int:
+        """Approximate wire size: three small integers plus the cookie."""
+        return 12 + len(self.cookie or "")
+
+
+@dataclass
+class ReconcileResponse:
+    """The provider's sketch answer.
+
+    ``sketch`` is an :class:`~repro.sync.reconcile.EntrySketch` over the
+    provider's current content digests; ``cookie`` resumes the session
+    minted at sketch time (presented by the follow-up
+    :class:`ReconcileFetch`, and by every later poll once
+    reconciliation succeeds); ``content_count`` lets the consumer
+    sanity-check scale before decoding.
+    """
+
+    sketch: object
+    cookie: str
+    content_count: int = 0
+
+    @property
+    def pdu_bytes(self) -> int:
+        """Measured wire size: the BER-encoded sketch plus the cookie."""
+        return self.sketch.encoded_size() + len(self.cookie) + 8
+
+
+@dataclass(frozen=True)
+class ReconcileFetch:
+    """Targeted per-entry fetch of the decoded master-only keys.
+
+    ``keys`` are :func:`~repro.sync.reconcile.entry_key` values; the
+    provider answers with ``add`` PDUs for every key still in content
+    (a key deleted since the sketch is skipped — the session minted at
+    sketch time carries the delete on the next poll).  ``cookie`` names
+    that session.
+    """
+
+    keys: Tuple[int, ...]
+    cookie: str
+
+    @property
+    def pdu_bytes(self) -> int:
+        """Approximate wire size: one 64-bit key per fetch plus the
+        cookie."""
+        return 8 + 9 * len(self.keys) + len(self.cookie)

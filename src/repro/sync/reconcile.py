@@ -1,0 +1,278 @@
+"""Sketch-based anti-entropy reconciliation (recovery tier 2).
+
+When a consumer's cookie is gone *and* its session went through a
+history overflow (a ``:h`` cookie, docs/PROTOCOL.md §10.4), the honest
+options used to be a full content rebuild — O(content) traffic for what
+is usually an O(delta) divergence.  Following the set-reconciliation
+construction of *Directory Reconciliation* (Mitzenmacher & Morgan,
+PAPERS.md), this module recovers the symmetric difference between the
+master's content and the replica's from an **invertible sketch** whose
+wire size tracks the divergence, not the directory:
+
+* every entry is reduced to a 64-bit DN key (:func:`entry_key`) plus a
+  64-bit content fingerprint (:func:`entry_fingerprint`) over its
+  normalized attributes;
+* an :class:`EntrySketch` is a fixed array of cells, each holding a
+  signed count and the XORs of the keys, fingerprints and per-item
+  checksums hashed into it (an IBLT); each item lands in one cell of
+  each of ``hash_count`` equal partitions, so its positions are
+  distinct by construction;
+* subtracting the replica's sketch from the master's leaves a sketch of
+  the symmetric difference alone, decodable by peeling **pure** cells
+  (count ±1 with a matching checksum) as long as the difference is
+  small enough for the cell count — ``+1`` items exist only at the
+  master (fetch them), ``-1`` items only at the replica (modified or
+  deleted there);
+* decode is *verified*: it succeeds only if peeling empties the sketch,
+  and every peeled item carries a checksum over (key, fingerprint), so
+  a corrupted or undersized sketch yields a detected failure — the
+  caller doubles the cell count and retries (bounded by
+  :class:`ReconcileConfig`), never applies garbage.
+
+The orchestration (who asks for a sketch when, how failures ladder into
+a paced full rebuild) lives in :class:`~repro.sync.resilient
+.ResilientConsumer`; the provider-side scan in
+:meth:`~repro.sync.resync.ResyncProvider.reconcile`.  Wire framing is
+specified in docs/PROTOCOL.md §11 and docs/RECOVERY.md tier 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..ldap.dn import DN
+from ..ldap.entry import Entry
+
+__all__ = [
+    "ReconcileConfig",
+    "EntrySketch",
+    "entry_key",
+    "entry_fingerprint",
+    "build_sketch",
+    "cells_for_divergence",
+    "corrupt_cell",
+]
+
+def _h64(*parts) -> int:
+    """64-bit hash of the ``\\x1f``-joined string forms of *parts*."""
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        digest.update(str(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest(), "big")
+
+
+def entry_key(dn: DN) -> int:
+    """64-bit identity of a DN — the unit the fetch phase addresses."""
+    return _h64("key", str(dn))
+
+
+def entry_fingerprint(entry: Entry) -> int:
+    """64-bit digest of an entry's DN plus normalized attributes.
+
+    Two entries that are :meth:`~repro.ldap.entry.Entry.semantically_equal`
+    fingerprint identically (names case-folded, values normalized and
+    order-independent), so a replica holding a semantically equal copy
+    contributes the same sketch item as the master and cancels out.
+    """
+    parts: List[str] = ["fp", str(entry.dn)]
+    for name in sorted(n.lower() for n in entry.attribute_names()):
+        parts.append(name)
+        parts.extend(sorted(str(v) for v in entry.normalized_values(name)))
+    return _h64(*parts)
+
+
+def _check(key: int, fp: int) -> int:
+    """Per-item checksum guarding pure-cell detection during peeling."""
+    return _h64("chk", key, fp)
+
+
+def cells_for_divergence(divergence: int, hash_count: int = 3, floor: int = 24) -> int:
+    """Cell count for an estimated symmetric difference of *divergence*.
+
+    Peeling an IBLT with ``hash_count`` ≥ 3 succeeds with high
+    probability above ~1.3 cells per item; 2× leaves margin for an
+    estimate that is only a hint.  Rounded up to a multiple of
+    *hash_count* so the partitions divide evenly.
+    """
+    need = max(floor, 2 * max(1, divergence))
+    return ((need + hash_count - 1) // hash_count) * hash_count
+
+
+@dataclass(frozen=True)
+class ReconcileConfig:
+    """Consumer-side sizing policy for the reconcile ladder.
+
+    Attributes:
+        initial_divergence: divergence hint for the first sketch request
+            when the consumer has nothing better (the provider sizes the
+            sketch from it, :func:`cells_for_divergence`).
+        max_cells: give up (fall back to a full rebuild) once a doubling
+            retry would exceed this many cells.
+        hash_count: hash partitions per sketch (the IBLT ``k``).
+    """
+
+    initial_divergence: int = 8
+    max_cells: int = 4096
+    hash_count: int = 3
+
+
+class EntrySketch:
+    """An invertible (IBLT-style) sketch of a set of entry digests.
+
+    ``size`` cells split into ``hash_count`` equal partitions; an item
+    ``(key, fp)`` occupies exactly one cell per partition, positioned by
+    a salted hash.  Cells hold ``(count, key_xor, fp_xor, check_xor)``.
+    Two sketches built with identical ``(size, salt, hash_count)`` are
+    compatible for :meth:`subtract`.
+    """
+
+    def __init__(self, size: int, salt: int = 0, hash_count: int = 3):
+        if hash_count < 2:
+            raise ValueError("hash_count must be >= 2")
+        if size < hash_count:
+            raise ValueError("size must be >= hash_count")
+        self.size = size - size % hash_count  # partitions divide evenly
+        self.salt = salt
+        self.hash_count = hash_count
+        self.counts = [0] * self.size
+        self.key_xor = [0] * self.size
+        self.fp_xor = [0] * self.size
+        self.check_xor = [0] * self.size
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _positions(self, key: int, fp: int) -> List[int]:
+        width = self.size // self.hash_count
+        return [
+            i * width + _h64("pos", self.salt, i, key, fp) % width
+            for i in range(self.hash_count)
+        ]
+
+    def insert(self, key: int, fp: int, sign: int = 1) -> None:
+        check = _check(key, fp)
+        for i in self._positions(key, fp):
+            self.counts[i] += sign
+            self.key_xor[i] ^= key
+            self.fp_xor[i] ^= fp
+            self.check_xor[i] ^= check
+
+    def subtract(self, other: "EntrySketch") -> "EntrySketch":
+        """Cell-wise difference ``self - other``; both sketches must
+        share size, salt and hash count (enforced)."""
+        if (self.size, self.salt, self.hash_count) != (
+            other.size,
+            other.salt,
+            other.hash_count,
+        ):
+            raise ValueError("sketches are not compatible for subtraction")
+        diff = EntrySketch(self.size, self.salt, self.hash_count)
+        for i in range(self.size):
+            diff.counts[i] = self.counts[i] - other.counts[i]
+            diff.key_xor[i] = self.key_xor[i] ^ other.key_xor[i]
+            diff.fp_xor[i] = self.fp_xor[i] ^ other.fp_xor[i]
+            diff.check_xor[i] = self.check_xor[i] ^ other.check_xor[i]
+        return diff
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def _pure(self, i: int) -> bool:
+        return self.counts[i] in (1, -1) and self.check_xor[i] == _check(
+            self.key_xor[i], self.fp_xor[i]
+        )
+
+    def decode(
+        self,
+    ) -> Optional[Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]]:
+        """Peel the sketch into ``(positive, negative)`` item lists.
+
+        For a difference sketch (master minus replica), positive items
+        exist only at the master and negative items only at the replica.
+        Returns None when peeling stalls or leaves residue — an
+        undersized or corrupted sketch — in which case nothing decoded
+        here may be trusted.  Destructive: decode on a copy-free basis
+        is fine because callers only decode difference sketches they
+        own.
+        """
+        positive: List[Tuple[int, int]] = []
+        negative: List[Tuple[int, int]] = []
+        stack = [i for i in range(self.size) if self._pure(i)]
+        while stack:
+            i = stack.pop()
+            if not self._pure(i):
+                continue  # became impure (or zero) since it was queued
+            sign = self.counts[i]
+            key, fp = self.key_xor[i], self.fp_xor[i]
+            (positive if sign > 0 else negative).append((key, fp))
+            check = _check(key, fp)
+            for j in self._positions(key, fp):
+                self.counts[j] -= sign
+                self.key_xor[j] ^= key
+                self.fp_xor[j] ^= fp
+                self.check_xor[j] ^= check
+                if self._pure(j):
+                    stack.append(j)
+        if (
+            any(self.counts)
+            or any(self.key_xor)
+            or any(self.fp_xor)
+            or any(self.check_xor)
+        ):
+            return None
+        return positive, negative
+
+    # ------------------------------------------------------------------
+    # wire size
+    # ------------------------------------------------------------------
+    def encoded_bytes(self) -> bytes:
+        """RFC 2251-style BER encoding of the sketch (the measured wire
+        form: a SEQUENCE of per-cell SEQUENCEs plus the parameters)."""
+        from ..ldap import ber
+
+        cells = b"".join(
+            ber.encode_sequence(
+                ber.encode_integer(self.counts[i]),
+                ber.encode_integer(self.key_xor[i]),
+                ber.encode_integer(self.fp_xor[i]),
+                ber.encode_integer(self.check_xor[i]),
+            )
+            for i in range(self.size)
+        )
+        return ber.encode_sequence(
+            ber.encode_integer(self.size),
+            ber.encode_integer(self.salt),
+            ber.encode_integer(self.hash_count),
+            ber.encode_sequence(cells),
+        )
+
+    def encoded_size(self) -> int:
+        """Wire bytes of :meth:`encoded_bytes` (charged to the network's
+        ``bytes_sent`` by the reconcile exchange)."""
+        return len(self.encoded_bytes())
+
+
+def build_sketch(
+    entries: Iterable[Entry], size: int, salt: int = 0, hash_count: int = 3
+) -> EntrySketch:
+    """Sketch the digest set of *entries* (every item inserted ``+1``)."""
+    sketch = EntrySketch(size, salt=salt, hash_count=hash_count)
+    for entry in entries:
+        sketch.insert(entry_key(entry.dn), entry_fingerprint(entry))
+    return sketch
+
+
+def corrupt_cell(sketch: EntrySketch, position: float) -> int:
+    """Deterministically damage one cell of *sketch* (fault injection).
+
+    *position* in ``[0, 1)`` selects the cell; its fingerprint XOR is
+    flipped so peeling either stalls on it or unmasks the damage through
+    the checksum — a decode failure, never silent garbage.  Returns the
+    damaged cell index.
+    """
+    i = min(int(position * sketch.size), sketch.size - 1)
+    sketch.fp_xor[i] ^= _h64("corrupt", sketch.salt, i) or 1
+    return i

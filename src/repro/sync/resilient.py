@@ -9,9 +9,16 @@ duplicates, delays and truncates messages and whose servers crash
   transient — retry with capped exponential backoff and deterministic
   jitter, never touching local content;
 * protocol errors (:class:`~repro.sync.protocol.SyncProtocolError` —
-  expired, unknown or too-old cookies) mean the session is gone — fall
-  back to the paper's §5 recovery path: a full reload with a null
-  cookie (poll mode) or a fresh subscription (persist mode);
+  expired, unknown or too-old cookies) mean the session is gone — the
+  consumer climbs the **recovery ladder** (docs/RECOVERY.md): a cookie
+  stamped ``:h`` (the session went through a history overflow, so the
+  divergence is real but typically small) first tries sketch-based
+  anti-entropy reconciliation (:mod:`repro.sync.reconcile`, O(delta)
+  traffic); a plain cookie — the provider simply restarted or expired
+  the session, with the replica still a faithful prefix — and any
+  failed reconciliation fall back to the paper's §5 recovery path: a
+  full reload with a null cookie (poll mode) or a fresh subscription
+  (persist mode);
 * duplicated deliveries are re-applied; every ReSync action is an
   idempotent state-setter, so over-delivery is harmless;
 * when every attempt of a cycle fails, the consumer (and optionally the
@@ -42,16 +49,29 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from ..ldap.controls import ReSyncControl, SyncMode
 from ..ldap.query import SearchRequest
 from ..obs.registry import MetricsRegistry
 from ..server.directory import DirectoryServer
 from ..server.network import (
+    Delivery,
     ResponseTruncated,
     SimulatedNetwork,
     TransportError,
 )
 from .consumer import SyncedContent
-from .protocol import SyncProtocolError, SyncResponse
+from .protocol import (
+    ReconcileFetch,
+    ReconcileRequest,
+    SyncProtocolError,
+    SyncResponse,
+)
+from .reconcile import (
+    ReconcileConfig,
+    build_sketch,
+    entry_fingerprint,
+    entry_key,
+)
 
 __all__ = ["RetryPolicy", "ResilientConsumer"]
 
@@ -114,6 +134,9 @@ class ResilientConsumer:
             while the master is unreachable.
         mode: ``"poll"`` (cookie sessions) or ``"persist"`` (an open
             connection carrying change notifications).
+        reconcile_config: sizing policy for the sketch-reconciliation
+            recovery tier (docs/RECOVERY.md); None disables the tier
+            (every dead cookie reloads, the pre-reconcile behavior).
     """
 
     def __init__(
@@ -125,12 +148,14 @@ class ResilientConsumer:
         seed: int = 0,
         replica_server: Optional[DirectoryServer] = None,
         mode: str = "poll",
+        reconcile_config: Optional[ReconcileConfig] = ReconcileConfig(),
     ):
         if mode not in ("poll", "persist"):
             raise ValueError(f"mode must be 'poll' or 'persist', got {mode!r}")
         self.provider = provider
         self.network = network
         self.policy = policy if policy is not None else RetryPolicy()
+        self.reconcile_config = reconcile_config
         self.replica_server = replica_server
         self.mode = mode
         self.content = SyncedContent(request, network=network)
@@ -151,6 +176,15 @@ class ResilientConsumer:
         self._cycles = registry.counter("sync.resilient.cycles")
         self._backoff_total = registry.gauge("sync.resilient.backoff_ms")
         self._degraded_gauge = registry.gauge("sync.resilient.degraded")
+        self._rec_attempts = registry.counter("sync.reconcile.attempts")
+        self._rec_rounds = registry.counter("sync.reconcile.rounds")
+        self._rec_success = registry.counter("sync.reconcile.decode_success")
+        self._rec_failures = registry.counter("sync.reconcile.decode_failure")
+        self._rec_fallbacks = registry.counter("sync.reconcile.fallbacks")
+        self._rec_sketch_bytes = registry.counter("sync.reconcile.sketch_bytes")
+        self._rec_delta = registry.counter("sync.reconcile.delta_entries")
+        self._rec_fetched = registry.counter("sync.reconcile.fetched_entries")
+        self._rec_deleted = registry.counter("sync.reconcile.deleted_entries")
 
     # ------------------------------------------------------------------
     # public surface
@@ -176,10 +210,12 @@ class ResilientConsumer:
 
         Polls (or, in persist mode, verifies/refreshes the
         subscription), retrying transport failures per the policy with
-        backoff, and falling back to §5's reload path on protocol
-        errors.  Returns the last applied response, or None when every
-        attempt failed — the consumer is then counting toward (or in)
-        degraded mode.  Local content survives any failure.
+        backoff, and climbing the recovery ladder (docs/RECOVERY.md) on
+        protocol errors: cookie resume → sketch reconciliation (``:h``
+        cookies only) → paced full rebuild.  Returns the last applied
+        response, or None when every attempt failed — the consumer is
+        then counting toward (or in) degraded mode.  Local content
+        survives any failure.
         """
         self._cycles.inc()
         failures = 0
@@ -192,10 +228,23 @@ class ResilientConsumer:
                 else:
                     response = self._persist_cycle()
             except SyncProtocolError:
-                # The session is gone (expired / invalidated cookie or a
-                # crashed master that forgot us): §5's recovery path.
+                # The session is gone — but *why* matters.  A provider
+                # restart with an intact journal never lands here (the
+                # cookie resolves after recover()); a plain cookie that
+                # died means the replica is still a faithful prefix of
+                # the master, so a reload is the honest price.  Only a
+                # ``:h`` cookie — the session overflowed its history and
+                # the chain has since broken — names a replica whose
+                # divergence is real but typically small: that (and only
+                # that) case enters the sketch-reconciliation tier
+                # before falling back to the paced full rebuild.
                 if self.mode == "poll" and self.content.cookie is None:
                     raise  # a fresh session was refused — not recoverable
+                if self.mode == "poll" and self._should_reconcile():
+                    reconciled = self.reconcile()
+                    if reconciled is not None:
+                        self._cycle_succeeded()
+                        return reconciled
                 self._reloads.inc()
                 self.content.cookie = None
                 if self.mode == "persist":
@@ -203,11 +252,9 @@ class ResilientConsumer:
                 continue
             except TransportError as exc:
                 self._apply_safe_prefix(exc)
-                self._retries.inc()
-                self._retries.labels(kind=exc.fault).inc()
                 # A busy server's retry-after hint (admission control)
                 # is honored as a floor under the computed backoff.
-                self._backoff(failures, minimum=getattr(exc, "retry_after_ms", 0.0))
+                self._note_transport_fault(exc, failures)
                 failures += 1
                 continue
             self._cycle_succeeded()
@@ -230,6 +277,202 @@ class ResilientConsumer:
     def close(self) -> None:
         """Tear down any persist subscription (client-side abandon)."""
         self._teardown_subscription()
+
+    # ------------------------------------------------------------------
+    # sketch reconciliation (recovery tier 2, docs/RECOVERY.md)
+    # ------------------------------------------------------------------
+    def _should_reconcile(self) -> bool:
+        """Whether this dead cookie qualifies for the reconcile tier.
+
+        Only the history-overflow chain (``:h``-stamped cookies,
+        docs/PROTOCOL.md §10.4) does: it names a replica that *has*
+        diverged, by an amount the sketch can recover in O(delta).  A
+        plain cookie (provider restarted and forgot us, admin expiry)
+        leaves the replica a faithful prefix — reloading is correct and
+        reconciling would only add a round of sketch traffic.  An empty
+        replica has no delta to exploit, and a provider without a
+        ``reconcile`` operation (the retain/baseline providers) cannot
+        serve the tier.
+        """
+        return (
+            self.reconcile_config is not None
+            and self._cookie_overflowed()
+            and len(self.content) > 0
+            and callable(getattr(self.provider, "reconcile", None))
+        )
+
+    def _cookie_overflowed(self) -> bool:
+        """True when the held cookie carries the ``:h`` flag."""
+        cookie = self.content.cookie
+        return cookie is not None and "h" in cookie.split(":")[2:]
+
+    def reconcile(self) -> Optional[SyncResponse]:
+        """One sketch-reconciliation ladder against the provider.
+
+        Solicits an invertible sketch of the master's content, subtracts
+        the local one, decodes the symmetric difference, and converts it
+        into targeted per-entry fetches plus local deletes — O(delta)
+        bytes instead of the O(content) rebuild.  On a decode failure
+        (undersized or corrupted sketch — always *detected*, see
+        :meth:`EntrySketch.decode <repro.sync.reconcile.EntrySketch>`)
+        the cell count doubles with a fresh salt, up to the config cap.
+
+        Returns the applied fetch response — the replica then holds the
+        master's sketch-time content and a live session cookie — or
+        None when the ladder failed and the caller should fall back to
+        a paced full rebuild.  Transport faults are retried with the
+        policy's backoff; protocol errors (the fetch session died under
+        us) abort the ladder.  Local content is only touched by a
+        successful, validated decode.
+        """
+        cfg = self.reconcile_config
+        if cfg is None:
+            return None
+        self._rec_attempts.inc()
+        cells: Optional[int] = None
+        salt = self._rng.getrandbits(32)
+        prev_cookie: Optional[str] = None
+        transport_failures = 0
+        while True:
+            rreq = ReconcileRequest(
+                divergence_hint=cfg.initial_divergence,
+                cells=cells,
+                salt=salt,
+                cookie=prev_cookie,
+            )
+            try:
+                response = self._reconcile_exchange(rreq)
+            except SyncProtocolError:
+                self._rec_fallbacks.inc()
+                return None
+            except TransportError as exc:
+                transport_failures += 1
+                if transport_failures >= self.policy.max_attempts:
+                    self._rec_fallbacks.inc()
+                    return None
+                self._note_transport_fault(exc, transport_failures - 1)
+                continue
+            self._rec_rounds.inc()
+            self._rec_sketch_bytes.inc(response.pdu_bytes)
+            prev_cookie = response.cookie
+            sketch = response.sketch
+            local = build_sketch(
+                self.content.entries.values(),
+                sketch.size,
+                salt=sketch.salt,
+                hash_count=sketch.hash_count,
+            )
+            decoded = sketch.subtract(local).decode()
+            plan = self._plan_reconcile(decoded) if decoded is not None else None
+            if plan is not None:
+                applied = self._fetch_and_apply(plan, response.cookie)
+                if applied is not None:
+                    return applied
+                self._rec_fallbacks.inc()
+                return None
+            # Undersized or corrupted sketch — a *detected* failure:
+            # double the cells, re-salt, bounded by the config cap.
+            self._rec_failures.inc()
+            next_cells = sketch.size * 2
+            salt += 1
+            if next_cells > cfg.max_cells:
+                self._rec_fallbacks.inc()
+                self._end_reconcile_session(prev_cookie)
+                return None
+            cells = next_cells
+
+    def _plan_reconcile(self, decoded):
+        """Validate a decoded difference against local content.
+
+        Every negative (replica-only) item must name an entry the
+        replica actually holds, fingerprint and all; a positive item
+        exactly matching a local digest is equally impossible (it would
+        have cancelled in the subtraction).  Either contradiction means
+        the peel produced garbage that slipped past the checksums —
+        treated as a decode failure, never applied.  Returns
+        ``(fetch_keys, delete_dns)`` or None.
+        """
+        master_only, replica_only = decoded
+        local_by_key = {entry_key(dn): dn for dn in self.content.entries}
+        master_keys = {key for key, _ in master_only}
+        delete_dns = []
+        for key, fp in replica_only:
+            dn = local_by_key.get(key)
+            if dn is None or entry_fingerprint(self.content.entries[dn]) != fp:
+                return None
+            if key not in master_keys:
+                delete_dns.append(dn)
+        for key, fp in master_only:
+            dn = local_by_key.get(key)
+            if dn is not None and entry_fingerprint(self.content.entries[dn]) == fp:
+                return None
+        return sorted(master_keys), delete_dns
+
+    def _fetch_and_apply(self, plan, cookie: str) -> Optional[SyncResponse]:
+        """Pull the master-only entries and fold the difference in.
+
+        The fetch travels even when there is nothing to pull: its
+        response carries the session cookie that makes the reconciled
+        replica resumable.  Duplicated deliveries re-apply idempotently,
+        like every ReSync action.
+        """
+        fetch_keys, delete_dns = plan
+        fetch = ReconcileFetch(keys=tuple(fetch_keys), cookie=cookie)
+        transport_failures = 0
+        while True:
+            try:
+                deliveries = self._reconcile_fetch_exchange(fetch)
+                break
+            except SyncProtocolError:
+                return None
+            except TransportError as exc:
+                transport_failures += 1
+                if transport_failures >= self.policy.max_attempts:
+                    return None
+                self._note_transport_fault(exc, transport_failures - 1)
+        self._rec_success.inc()
+        self._rec_delta.inc(len(fetch_keys) + len(delete_dns))
+        fetched = 0
+        for delivery in deliveries:
+            self.content.apply_reconcile(delivery.response, delete_dns)
+            fetched += len(delivery.response.updates)
+        self._rec_fetched.inc(fetched)
+        self._rec_deleted.inc(len(delete_dns))
+        return deliveries[-1].response
+
+    def _reconcile_exchange(self, rreq: ReconcileRequest):
+        if self.network is not None:
+            return self.network.reconcile_exchange(self.provider, self.request, rreq)
+        return self.provider.reconcile(self.request, rreq)
+
+    def _reconcile_fetch_exchange(self, fetch: ReconcileFetch):
+        if self.network is not None:
+            return self.network.reconcile_fetch_exchange(
+                self.provider, self.request, fetch
+            )
+        return [Delivery(self.provider.reconcile_fetch(self.request, fetch))]
+
+    def _note_transport_fault(self, exc: TransportError, failure: int) -> None:
+        """Count one transport fault and wait out its backoff (shared by
+        the poll loop and the reconcile ladder)."""
+        self._retries.inc()
+        self._retries.labels(kind=exc.fault).inc()
+        self._backoff(failure, minimum=getattr(exc, "retry_after_ms", 0.0))
+
+    def _end_reconcile_session(self, cookie: Optional[str]) -> None:
+        """Best-effort sync_end for an abandoned reconcile session, so
+        the ladder's cap fallback does not strand provider state until
+        idle expiry."""
+        if cookie is None:
+            return
+        try:
+            self.provider.handle(
+                self.request, ReSyncControl(mode=SyncMode.SYNC_END, cookie=cookie)
+            )
+        except (SyncProtocolError, TransportError):
+            return
+        if self.network is not None:
+            self.network.charge_round_trip()
 
     # ------------------------------------------------------------------
     # persist-mode subscription management

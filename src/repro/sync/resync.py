@@ -43,7 +43,15 @@ from .durability import (
     session_from_wire,
     session_to_wire,
 )
-from .protocol import SyncProtocolError, SyncResponse, SyncUpdate
+from .protocol import (
+    ReconcileFetch,
+    ReconcileRequest,
+    ReconcileResponse,
+    SyncProtocolError,
+    SyncResponse,
+    SyncUpdate,
+)
+from .reconcile import build_sketch, cells_for_divergence, entry_key
 from .router import SessionRouter
 from .session import Session, SessionStore
 
@@ -136,6 +144,8 @@ class ResyncProvider:
         self._overflows = metrics.counter("sync.durability.history_overflow")
         self._degraded_resumes = metrics.counter("sync.durability.degraded_resumes")
         self._sessions_lost = metrics.counter("sync.durability.sessions_lost")
+        self._reconcile_served = metrics.counter("sync.reconcile.served")
+        self._reconcile_fetches = metrics.counter("sync.reconcile.fetches")
         # CSN of the last committed update this provider has seen; for a
         # durable provider this doubles as the replayed-journal position
         # during recovery (it equals server.current_csn exactly when the
@@ -411,6 +421,105 @@ class ResyncProvider:
         response, session = self._handle(request, control, deliver=deliver)
         assert session is not None
         return response, PersistHandle(self, session)
+
+    # ------------------------------------------------------------------
+    # anti-entropy reconciliation (docs/PROTOCOL.md §11)
+    # ------------------------------------------------------------------
+    def reconcile(
+        self, request: SearchRequest, rreq: ReconcileRequest
+    ) -> ReconcileResponse:
+        """Serve one anti-entropy sketch over the current content.
+
+        The cheap alternative to a full-content rebuild for a consumer
+        whose ``:h`` cookie died (docs/RECOVERY.md tier 2): the sketch
+        costs O(cells) bytes instead of O(content), and admission
+        control does **not** meter it — reconciliation is precisely the
+        path that keeps a recovery storm off the rebuild budget.
+
+        A fresh session is minted *at sketch time*, seeded with the
+        sketched content, and journaled like any initial poll — so the
+        cookie in the response survives a provider crash, and every
+        master update between the sketch and the consumer's next poll
+        lands in the session's pending history rather than in a
+        divergence window.  ``rreq.cookie`` (a previous attempt's
+        session, on a doubling retry) is ended first.
+        """
+        if rreq.cookie is not None:
+            self._end_session(rreq.cookie)
+        if self.admission is not None:
+            self.admission.replenish()
+        with span("sync.resync.reconcile_scan") as sp:
+            cells = (
+                rreq.cells
+                if rreq.cells is not None
+                else cells_for_divergence(rreq.divergence_hint)
+            )
+            content = self._search_content(request)
+            session = self.sessions.create(request)
+            self._configure_session(session)
+            session.seed_content(content)
+            session.drain_csn = self._watermark
+            session.prev_drain_csn = self._watermark
+            if self.router is not None:
+                self.router.register(session)
+                self.router.seed(session, (e.dn for e in content))
+            sketch = build_sketch(content, cells, salt=rreq.salt)
+            sp.add("entries_sketched", len(content))
+        self._reconcile_served.inc()
+        self._journal_event(
+            {
+                "t": "create",
+                "sid": session.session_id,
+                "req": request_to_wire(request),
+                "content": sorted(str(e.dn) for e in content),
+                "csn": self._watermark,
+                "persist": False,
+            }
+        )
+        self._maybe_snapshot()
+        return ReconcileResponse(
+            sketch=sketch,
+            cookie=self.sessions.cookie_for(session),
+            content_count=len(content),
+        )
+
+    def reconcile_fetch(
+        self, request: SearchRequest, fetch: ReconcileFetch
+    ) -> SyncResponse:
+        """Resolve decoded master-only keys into full-entry ``add`` PDUs.
+
+        Keys are matched against the *current* content: an entry
+        modified since the sketch travels in its newest version (the
+        session redelivers the modify — idempotent), one deleted since
+        is skipped (the session delivers the delete on the next poll).
+        The response cookie resumes the sketch-time session, which from
+        here on is an ordinary §4 poll session.
+        """
+        with span("sync.resync.reconcile_fetch") as sp:
+            session = self.sessions.lookup(fetch.cookie)
+            try:
+                if session.request != request:
+                    raise SyncProtocolError(
+                        "cookie presented with a different search request"
+                    )
+                content = self._search_content(request)
+                by_key = {entry_key(e.dn): e for e in content}
+                wanted = set(fetch.keys)
+                updates = [
+                    SyncUpdate.add(e)
+                    for key, e in by_key.items()
+                    if key in wanted
+                ]
+                sp.add("entries_sent", len(updates))
+            finally:
+                # The lookup advanced the activity clock; replay must
+                # advance it identically (mirrors the poll error path).
+                self._journal_event({"t": "touch", "sid": session.session_id})
+        self._reconcile_fetches.inc()
+        self._maybe_snapshot()
+        return SyncResponse(
+            updates=updates, cookie=self.sessions.cookie_for(session)
+        )
 
     # ------------------------------------------------------------------
     # failure hooks (docs/PROTOCOL.md §9)

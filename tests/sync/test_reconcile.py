@@ -1,0 +1,393 @@
+"""Sketch-based anti-entropy reconciliation (recovery tier 2).
+
+Three layers under test (docs/PROTOCOL.md §11, docs/RECOVERY.md):
+
+* the invertible sketch itself — insert/subtract/decode, the
+  partitioned-hash layout, detected (never silent) decode failure;
+* the provider operations — ``reconcile`` serves a sketch plus a live
+  session cookie, ``reconcile_fetch`` resolves decoded keys against
+  current content, both journaled so the session survives a crash;
+* the consumer ladder — ``:h`` cookies (and only those) enter the
+  reconcile tier, decode failures double the sketch up to the cap,
+  the cap falls back to the paced full rebuild, and a corrupted
+  sketch can never install a wrong entry.
+"""
+
+import pytest
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import (
+    DirectoryServer,
+    FaultPlan,
+    FaultSpec,
+    FaultyNetwork,
+    Modification,
+)
+from repro.server.network import SimulatedNetwork
+from repro.sync import (
+    DurabilityConfig,
+    EntrySketch,
+    MemoryJournal,
+    ReconcileConfig,
+    ReconcileFetch,
+    ReconcileRequest,
+    ResilientConsumer,
+    ResyncProvider,
+    RetryPolicy,
+    SyncProtocolError,
+    build_sketch,
+    cells_for_divergence,
+    corrupt_cell,
+    entry_fingerprint,
+    entry_key,
+)
+
+REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
+
+
+def person(name: str, sn: str = "T") -> Entry:
+    return Entry(
+        f"cn={name},o=xyz",
+        {"objectClass": ["person"], "cn": name, "sn": sn, "departmentNumber": "42"},
+    )
+
+
+def build_master(n: int = 30) -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(n):
+        master.add(person(f"E{i:03d}"))
+    return master
+
+
+def overflowing_provider(master, **kwargs) -> ResyncProvider:
+    """A durable provider whose sessions overflow after 2 pending
+    updates — the cheapest way to mint ``:h`` cookies."""
+    return ResyncProvider(
+        master,
+        durability=DurabilityConfig(history_max_entries=2),
+        journal=MemoryJournal(),
+        **kwargs,
+    )
+
+
+def digests(entries):
+    return [(entry_key(e.dn), entry_fingerprint(e)) for e in entries]
+
+
+# ----------------------------------------------------------------------
+# the sketch
+# ----------------------------------------------------------------------
+class TestEntrySketch:
+    def test_subtract_of_equal_sets_decodes_empty(self):
+        entries = [person(f"E{i}") for i in range(20)]
+        a = build_sketch(entries, 24, salt=7)
+        b = build_sketch(list(entries), 24, salt=7)
+        decoded = a.subtract(b).decode()
+        assert decoded == ([], [])
+
+    def test_decodes_symmetric_difference(self):
+        shared = [person(f"S{i}") for i in range(40)]
+        master = shared + [person("Monly1"), person("Monly2")]
+        # replica: missing the master-only pair, one extra entry, and a
+        # stale version of S0 in place of the master's
+        replica = shared[1:] + [person("Ronly"), person("S0", sn="stale")]
+        m = build_sketch(master, 48, salt=3)
+        r = build_sketch(replica, 48, salt=3)
+        decoded = m.subtract(r).decode()
+        assert decoded is not None
+        positive, negative = decoded
+        assert sorted(positive) == sorted(digests([person("Monly1"), person("Monly2"), person("S0")]))
+        assert sorted(negative) == sorted(digests([person("Ronly"), person("S0", sn="stale")]))
+
+    def test_undersized_sketch_fails_detectably(self):
+        # 60 differing entries cannot peel out of 6 cells; the failure
+        # must be a None, never a wrong (partial or garbage) answer.
+        m = build_sketch([person(f"M{i}") for i in range(60)], 6, salt=1)
+        r = build_sketch([person(f"R{i}") for i in range(60)], 6, salt=1)
+        assert m.subtract(r).decode() is None
+
+    def test_corruption_is_detected(self):
+        entries = [person(f"E{i}") for i in range(10)]
+        m = build_sketch(entries + [person("extra")], 24, salt=5)
+        r = build_sketch(entries, 24, salt=5)
+        diff = m.subtract(r)
+        for position in (0.0, 0.37, 0.99):
+            broken = m.subtract(r)
+            corrupt_cell(broken, position)
+            assert broken.decode() is None, f"corruption at {position} slipped through"
+        assert diff.decode() is not None  # the pristine copy still decodes
+
+    def test_subtract_requires_matching_geometry(self):
+        with pytest.raises(ValueError):
+            EntrySketch(24, salt=1).subtract(EntrySketch(24, salt=2))
+        with pytest.raises(ValueError):
+            EntrySketch(24).subtract(EntrySketch(48))
+
+    def test_fingerprint_tracks_semantic_content(self):
+        a = person("E1")
+        assert entry_fingerprint(a) == entry_fingerprint(person("E1"))
+        assert entry_fingerprint(a) != entry_fingerprint(person("E1", sn="other"))
+        # value order and attribute-name case are not semantic
+        x = Entry("cn=V,o=xyz", {"objectClass": ["person"], "cn": ["V"], "memberOf": ["a", "b"]})
+        y = Entry("cn=V,o=xyz", {"objectClass": ["person"], "CN": ["V"], "memberof": ["b", "a"]})
+        assert entry_fingerprint(x) == entry_fingerprint(y)
+
+    def test_cells_for_divergence_floor_and_rounding(self):
+        assert cells_for_divergence(0) == 24
+        assert cells_for_divergence(1) == 24
+        assert cells_for_divergence(100) % 3 == 0
+        assert cells_for_divergence(100) >= 200
+
+    def test_encoded_bytes_scale_with_cells(self):
+        small = build_sketch([person("A")], 24).encoded_size()
+        large = build_sketch([person("A")], 96).encoded_size()
+        assert 0 < small < large
+        # BER framing: a parseable definite-length SEQUENCE
+        assert build_sketch([person("A")], 24).encoded_bytes()[0] == 0x30
+
+
+# ----------------------------------------------------------------------
+# provider operations
+# ----------------------------------------------------------------------
+class TestProviderReconcile:
+    def test_sketch_and_fetch_round_trip(self):
+        master = build_master(12)
+        provider = ResyncProvider(master)
+        response = provider.reconcile(REQUEST, ReconcileRequest(divergence_hint=4))
+        assert response.content_count == 12
+        local = build_sketch(
+            [], response.sketch.size, salt=response.sketch.salt
+        )
+        decoded = response.sketch.subtract(local).decode()
+        # 12 > 2*4 hint: possibly undersized — retry bigger like a consumer
+        if decoded is None:
+            response = provider.reconcile(
+                REQUEST,
+                ReconcileRequest(cells=96, cookie=response.cookie),
+            )
+            decoded = response.sketch.subtract(
+                build_sketch([], response.sketch.size, salt=response.sketch.salt)
+            ).decode()
+        positive, negative = decoded
+        assert negative == []
+        fetched = provider.reconcile_fetch(
+            REQUEST, ReconcileFetch(keys=tuple(k for k, _ in positive), cookie=response.cookie)
+        )
+        assert len(fetched.updates) == 12
+        assert fetched.cookie == response.cookie
+
+    def test_reconcile_session_is_live_and_journaled(self):
+        master = build_master(6)
+        provider = ResyncProvider(
+            master, durability=DurabilityConfig(), journal=MemoryJournal()
+        )
+        response = provider.reconcile(REQUEST, ReconcileRequest(cells=48))
+        cookie = response.cookie
+        # Updates after the sketch land in the session's pending history…
+        master.modify("cn=E000,o=xyz", [Modification.replace("sn", "post-sketch")])
+        provider.restart()
+        provider.recover()  # …and the whole session survives a crash.
+        from repro.sync import SyncedContent
+
+        content = SyncedContent(REQUEST)
+        content.entries = {e.dn: e for e in master.search(REQUEST).entries}
+        content.cookie = cookie
+        poll = content.poll(provider)
+        assert content.matches_master(master)
+        assert any(str(u.dn) == "cn=E000,o=xyz" for u in poll.updates)
+
+    def test_doubling_retry_ends_previous_session(self):
+        master = build_master(4)
+        provider = ResyncProvider(master)
+        first = provider.reconcile(REQUEST, ReconcileRequest(cells=24))
+        assert provider.active_session_count == 1
+        second = provider.reconcile(
+            REQUEST, ReconcileRequest(cells=48, cookie=first.cookie)
+        )
+        assert provider.active_session_count == 1  # replaced, not leaked
+        with pytest.raises(SyncProtocolError):
+            provider.reconcile_fetch(REQUEST, ReconcileFetch(keys=(), cookie=first.cookie))
+        provider.reconcile_fetch(REQUEST, ReconcileFetch(keys=(), cookie=second.cookie))
+
+    def test_fetch_rejects_foreign_request(self):
+        master = build_master(4)
+        provider = ResyncProvider(master)
+        response = provider.reconcile(REQUEST, ReconcileRequest(cells=24))
+        other = SearchRequest("o=xyz", Scope.SUB, "(sn=T)")
+        with pytest.raises(SyncProtocolError):
+            provider.reconcile_fetch(other, ReconcileFetch(keys=(), cookie=response.cookie))
+
+
+# ----------------------------------------------------------------------
+# the consumer ladder
+# ----------------------------------------------------------------------
+def overflow_then_kill(master, provider, consumer, touched=4):
+    """Sync, overflow the session history (mint an ``:h`` cookie), then
+    kill the session so the next poll faces a protocol error."""
+    consumer.sync_once()
+    for i in range(touched):
+        master.modify(f"cn=E{i:03d},o=xyz", [Modification.replace("sn", f"S{i}")])
+    consumer.sync_once()  # incomplete-history resume: cookie now carries :h
+    assert consumer._cookie_overflowed()
+    for i in range(touched):
+        master.modify(f"cn=E{i:03d},o=xyz", [Modification.replace("sn", f"Z{i}")])
+    provider.invalidate_cookie(consumer.content.cookie)
+
+
+class TestReconcileTier:
+    def test_h_cookie_reconciles_without_reload(self):
+        master = build_master(40)
+        provider = overflowing_provider(master)
+        net = SimulatedNetwork()
+        consumer = ResilientConsumer(REQUEST, provider, network=net)
+        overflow_then_kill(master, provider, consumer)
+        master.delete("cn=E039,o=xyz")
+        master.add(person("NEW"))
+
+        assert consumer.sync_once() is not None
+        assert consumer.content.matches_master(master)
+        reg = net.registry
+        assert reg.counter("sync.resilient.reloads").value == 0
+        assert reg.counter("sync.reconcile.attempts").value == 1
+        assert reg.counter("sync.reconcile.decode_success").value == 1
+        # …and the recovered session keeps polling normally.
+        master.modify("cn=E020,o=xyz", [Modification.replace("sn", "after")])
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+
+    def test_plain_cookie_restart_reloads_without_reconcile(self):
+        """Regression: a provider restart (journal intact or not) leaves
+        a *plain* cookie — the replica is a faithful prefix, so the
+        ladder must take the honest reload, not burn a sketch round."""
+        master = build_master(10)
+        provider = ResyncProvider(master)  # no journal: restart forgets all
+        net = SimulatedNetwork()
+        consumer = ResilientConsumer(REQUEST, provider, network=net)
+        consumer.sync_once()
+        assert not consumer._cookie_overflowed()
+        provider.restart()
+        master.add(person("NEW"))
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+        assert net.registry.counter("sync.resilient.reloads").value == 1
+        assert net.registry.counter("sync.reconcile.attempts").value == 0
+
+    def test_restart_with_intact_journal_needs_neither(self):
+        """The other half of the distinction: restart + recover resolves
+        the cookie — no protocol error, no reconcile, no reload."""
+        master = build_master(10)
+        provider = ResyncProvider(
+            master, durability=DurabilityConfig(), journal=MemoryJournal()
+        )
+        net = SimulatedNetwork()
+        consumer = ResilientConsumer(REQUEST, provider, network=net)
+        consumer.sync_once()
+        master.add(person("NEW"))
+        provider.restart()
+        provider.recover()
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+        assert net.registry.counter("sync.resilient.reloads").value == 0
+        assert net.registry.counter("sync.reconcile.attempts").value == 0
+
+    def test_disabled_tier_falls_back_to_reload(self):
+        master = build_master(20)
+        provider = overflowing_provider(master)
+        net = SimulatedNetwork()
+        consumer = ResilientConsumer(
+            REQUEST, provider, network=net, reconcile_config=None
+        )
+        overflow_then_kill(master, provider, consumer)
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+        assert net.registry.counter("sync.resilient.reloads").value == 1
+        assert net.registry.counter("sync.reconcile.attempts").value == 0
+
+    def test_sketch_doubles_until_divergence_fits(self):
+        master = build_master(120)
+        provider = overflowing_provider(master)
+        net = SimulatedNetwork()
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            reconcile_config=ReconcileConfig(initial_divergence=1, max_cells=4096),
+        )
+        overflow_then_kill(master, provider, consumer, touched=40)
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+        reg = net.registry
+        assert reg.counter("sync.resilient.reloads").value == 0
+        assert reg.counter("sync.reconcile.decode_success").value == 1
+        assert reg.counter("sync.reconcile.decode_failure").value >= 1
+        assert reg.counter("sync.reconcile.rounds").value >= 2
+
+    def test_cap_exhaustion_falls_back_to_rebuild(self):
+        master = build_master(60)
+        provider = overflowing_provider(master)
+        net = SimulatedNetwork()
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            reconcile_config=ReconcileConfig(initial_divergence=1, max_cells=6),
+        )
+        overflow_then_kill(master, provider, consumer, touched=30)
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+        reg = net.registry
+        assert reg.counter("sync.reconcile.fallbacks").value == 1
+        assert reg.counter("sync.resilient.reloads").value == 1
+        assert provider.active_session_count == 1  # abandoned ladder session ended
+
+    def test_corrupted_sketches_never_install_wrong_entries(self):
+        """Every served sketch corrupted: the ladder must detect each
+        failure, exhaust the cap, and converge through the rebuild —
+        with the replica never holding a non-master entry."""
+        master = build_master(40)
+        provider = overflowing_provider(master)
+        net = FaultyNetwork(FaultPlan(FaultSpec(sketch_corrupt=1.0), seed=9))
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            policy=RetryPolicy(jitter=0.0),
+            reconcile_config=ReconcileConfig(max_cells=128),
+        )
+        overflow_then_kill(master, provider, consumer)
+        consumer.sync_once()
+        assert consumer.content.matches_master(master)
+        reg = net.registry
+        assert reg.counter("sync.reconcile.decode_success").value == 0
+        assert reg.counter("sync.reconcile.fallbacks").value == 1
+        assert reg.counter("net.fault.injected").labels(kind="sketch_corrupt").value >= 1
+
+    def test_reconcile_traffic_is_delta_sized(self):
+        """The point of the tier: recovering a 1%-divergent replica must
+        cost far fewer bytes than the full rebuild."""
+        master = build_master(300)
+        provider = overflowing_provider(master)
+        net = SimulatedNetwork()
+        consumer = ResilientConsumer(REQUEST, provider, network=net)
+        overflow_then_kill(master, provider, consumer, touched=3)
+
+        before = net.stats.snapshot()
+        consumer.sync_once()
+        reconcile_bytes = (net.stats - before).bytes_sent
+        assert consumer.content.matches_master(master)
+
+        # Same divergence, tier disabled: the paced full rebuild.
+        master2 = build_master(300)
+        provider2 = overflowing_provider(master2)
+        net2 = SimulatedNetwork()
+        consumer2 = ResilientConsumer(
+            REQUEST, provider2, network=net2, reconcile_config=None
+        )
+        overflow_then_kill(master2, provider2, consumer2, touched=3)
+        before2 = net2.stats.snapshot()
+        consumer2.sync_once()
+        rebuild_bytes = (net2.stats - before2).bytes_sent
+        assert consumer2.content.matches_master(master2)
+        assert reconcile_bytes * 10 <= rebuild_bytes

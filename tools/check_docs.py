@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Docs-consistency checks (CI `lint` job, alongside ruff).
+
+Two classes of drift this catches (both have bitten this repo's docs
+before they were checked):
+
+1. **Dead intra-repo links** — every relative markdown link in every
+   tracked ``*.md`` must resolve to a file or directory in the tree.
+   External (``http://``, ``https://``, ``mailto:``) and pure-anchor
+   (``#...``) links are out of scope.
+2. **Phantom instruments** — every metric and span name listed in the
+   docs/OBSERVABILITY.md naming table (§2) must still exist in
+   ``src/``.  Names are usually literal at their creation site
+   (``registry.counter("sync.reconcile.attempts")``); a few families
+   are constructed (``net.traffic.<field>``), so a name also passes
+   when both its family prefix (``net.traffic.``) and its leaf
+   (``round_trips``) occur in the sources.  Templated rows
+   (``server.op.<op>``) are checked by family alone.
+
+Run from the repository root::
+
+    python tools/check_docs.py
+
+Exits 0 when clean, 1 with a per-finding report otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+OBSERVABILITY = os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md")
+
+SKIP_DIRS = {
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    "__pycache__",
+    ".ruff_cache",
+    "node_modules",
+}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: A naming-table row: ``| `some.metric.name` | ...``
+NAME_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_.<>]+)`\s*\|")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list:
+    found = []
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def source_texts() -> list:
+    texts = []
+    for dirpath, dirnames, filenames in os.walk(SRC_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as fh:
+                    texts.append(fh.read())
+    return texts
+
+
+def check_links(md_files: list) -> list:
+    problems = []
+    for path in md_files:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        # Fenced code blocks routinely contain example "links" — skip them.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        rel = os.path.relpath(path, REPO_ROOT)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target_path)
+            )
+            if not os.path.exists(resolved):
+                problems.append(f"{rel}: dead link -> {target}")
+    return problems
+
+
+def documented_names() -> list:
+    """Metric and span names from the OBSERVABILITY.md naming tables."""
+    names = []
+    with open(OBSERVABILITY, encoding="utf-8") as fh:
+        for line in fh:
+            match = NAME_ROW_RE.match(line.strip())
+            if match and "." in match.group(1):
+                names.append(match.group(1))
+    return names
+
+
+def check_instruments(sources: list) -> list:
+    problems = []
+    names = documented_names()
+    if not names:
+        return ["docs/OBSERVABILITY.md: no instrument names parsed — "
+                "has the naming-table format changed?"]
+    for name in names:
+        family, _, leaf = name.rpartition(".")
+        templated = "<" in name
+        if not templated and any(name in text for text in sources):
+            continue
+        family_found = any(family + "." in text for text in sources)
+        if templated:
+            if family_found:
+                continue
+            problems.append(
+                f"docs/OBSERVABILITY.md: templated instrument `{name}`: "
+                f"family `{family}.` not found in src/"
+            )
+            continue
+        leaf_found = any(leaf in text for text in sources)
+        if family_found and leaf_found:
+            continue
+        problems.append(
+            f"docs/OBSERVABILITY.md: instrument `{name}` not found in src/ "
+            f"(neither literally nor as family `{family}.` + leaf `{leaf}`)"
+        )
+    return problems
+
+
+def main() -> int:
+    md_files = markdown_files()
+    sources = source_texts()
+    problems = check_links(md_files) + check_instruments(sources)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        print(f"\n{len(problems)} docs-consistency problem(s)")
+        return 1
+    names = len(documented_names())
+    print(
+        f"ok: {len(md_files)} markdown files link-clean, "
+        f"{names} documented instruments present in src/"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
