@@ -1,4 +1,5 @@
-"""Recovery benches: crash recovery (E13) and sketch reconciliation (E17).
+"""Recovery benches: crash recovery (E13), sketch reconciliation (E17)
+and consumer snapshot warm starts (E18).
 
 ``test_recovery`` — a durable :class:`ResyncProvider` journals session
 state so a crash is survivable: consumers keep their cookies and the
@@ -16,13 +17,23 @@ of a full rebuild.  Sweeps the replica's divergence from 0.1% to 5% of
 a 1000-entry content and compares bytes on the wire against the
 rebuild path for the identical schedule.
 
-Both sweeps are deterministic (fixed directory, fixed update schedule,
+``test_snapshot_warmstart`` — the recovery ladder's *first* rung
+(docs/RECOVERY.md): a replica that dumped its content + cookie to a
+:class:`~repro.sync.snapshot.SnapshotStore` restarts, warm-starts from
+the verified dump and resumes via the cookie path, paying only for the
+entries that changed while it was down.  Sweeps the divergence accrued
+during the outage from 0.1% to 5% of a 1000-entry content and compares
+recovery bytes on the wire against a cold consumer rebuilding the same
+content from scratch.
+
+All sweeps are deterministic (fixed directory, fixed update schedule,
 no network faults), so their ``*_bytes_sent`` metrics are
 regression-diffable by ``validate_results.py``; ``recovery_seconds``
 is wall time and stays informational.  The in-bench floors — reload
 traffic at least 5x the durable resume at 100 sessions, rebuild
-traffic at least 10x the reconcile tier at <=1% divergence — fail on
-any reversion to reload-after-crash independent of runner speed.
+traffic at least 10x the reconcile tier at <=1% divergence, cold
+rebuild at least 5x the warm start at <=5% divergence — fail on any
+reversion to reload-after-restart independent of runner speed.
 """
 
 from __future__ import annotations
@@ -363,3 +374,132 @@ def test_reconcile_divergence(benchmark):
     provider = ResyncProvider(master)
     content = provider._search_content(RECONCILE_REQUEST)
     benchmark(lambda: build_sketch(content, 256))
+
+
+# ----------------------------------------------------------------------
+# E18 — snapshot warm start vs cold rebuild across outage divergence
+# ----------------------------------------------------------------------
+MIN_WARMSTART_RATIO = 5.0  # cold rebuild must cost >=5x at <=5% divergence
+
+
+def run_warmstart_cell(amount: int) -> dict:
+    """One replica restart after *amount* entries diverged during the
+    outage: warm start (snapshot + cookie resume) vs cold rebuild.
+
+    The replica syncs and snapshots, "goes down" while the master
+    diverges, then restarts from the store against the same provider
+    (whose session survived the replica's outage) — only the restart
+    cycle's bytes are measured.  The cold consumer replays the same
+    recovery moment with no snapshot state.
+    """
+    from repro.sync import MemorySnapshotStore
+
+    master = build_reconcile_master()
+    provider = ResyncProvider(master)
+    store = MemorySnapshotStore()
+
+    warm_net = SimulatedNetwork()
+    first = ResilientConsumer(
+        RECONCILE_REQUEST, provider, network=warm_net, snapshot_store=store
+    )
+    first.sync_once()
+    snapshot_size = store.size_bytes
+    assert snapshot_size > 0
+
+    diverge(master, amount)  # the outage: the master moves on
+
+    before = warm_net.stats.snapshot()
+    restarted = ResilientConsumer(
+        RECONCILE_REQUEST, provider, network=warm_net, snapshot_store=store
+    )
+    assert restarted.warm_started
+    started = time.perf_counter()
+    assert restarted.sync_once() is not None
+    warm_seconds = time.perf_counter() - started
+    warm = warm_net.stats - before
+    assert restarted.content.matches_master(master)
+    registry = warm_net.registry.to_dict()
+    assert registry.get("sync.resilient.reloads", 0) == 0
+    assert registry.get("sync.snapshot.warm_starts", 0) == 1
+
+    cold_net = SimulatedNetwork()
+    cold = ResilientConsumer(RECONCILE_REQUEST, provider, network=cold_net)
+    assert cold.sync_once() is not None
+    assert cold.content.matches_master(master)
+
+    return {
+        "warm_bytes": warm.bytes_sent,
+        "warm_round_trips": warm.round_trips,
+        "warm_seconds": warm_seconds,
+        "cold_bytes": cold_net.stats.bytes_sent,
+        "snapshot_size": snapshot_size,
+        "restored_entries": int(registry.get("sync.snapshot.restored_entries", 0)),
+    }
+
+
+def test_snapshot_warmstart(benchmark):
+    rows = []
+    metrics = {}
+    for amount in DIVERGENCES:
+        cell = run_warmstart_cell(amount)
+        ratio = cell["cold_bytes"] / max(cell["warm_bytes"], 1)
+        rows.append(
+            [
+                f"{100.0 * amount / RECONCILE_CONTENT:.1f}%",
+                cell["warm_bytes"],
+                cell["cold_bytes"],
+                round(ratio, 1),
+                cell["restored_entries"],
+                cell["snapshot_size"],
+            ]
+        )
+        metrics[f"d{amount}_warm_bytes_sent"] = cell["warm_bytes"]
+        metrics[f"d{amount}_cold_bytes_sent"] = cell["cold_bytes"]
+        metrics[f"d{amount}_warm_round_trips"] = cell["warm_round_trips"]
+        metrics[f"d{amount}_snapshot_size"] = cell["snapshot_size"]
+
+    # The headline claim of the tier (ISSUE 7 acceptance): across the
+    # whole <=5% sweep the cold rebuild moves at least 5x the bytes the
+    # warm start does.
+    for amount in DIVERGENCES:
+        assert (
+            metrics[f"d{amount}_cold_bytes_sent"]
+            >= MIN_WARMSTART_RATIO * metrics[f"d{amount}_warm_bytes_sent"]
+        ), f"snapshot warm start lost its edge at divergence {amount}"
+
+    report(
+        "recovery_warmstart",
+        "Replica restart traffic: snapshot warm start vs cold rebuild",
+        [
+            "divergence",
+            "warm bytes",
+            "cold bytes",
+            "ratio",
+            "restored",
+            "snapshot B",
+        ],
+        rows,
+        params={
+            "content_entries": RECONCILE_CONTENT,
+            "divergences": ",".join(str(d) for d in DIVERGENCES),
+        },
+        metrics=metrics,
+        paper_expected=None,
+    )
+
+    # Timed unit: one staged warm start (load + verify + install) of
+    # the full 1000-entry dump — the replica-side restart cost.
+    from repro.sync import MemorySnapshotStore, SnapshotRecoverer, SyncedContent
+
+    master = build_reconcile_master()
+    provider = ResyncProvider(master)
+    content = SyncedContent(RECONCILE_REQUEST)
+    content.poll(provider)
+    store = MemorySnapshotStore()
+    store.save(content.entries.values(), content.cookie)
+
+    def warm_start_once():
+        recoverer = SnapshotRecoverer(store, SyncedContent(RECONCILE_REQUEST))
+        assert recoverer.warm_start()
+
+    benchmark(warm_start_once)

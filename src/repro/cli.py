@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands wrap the library for shell use::
+Seven subcommands wrap the library for shell use::
 
     repro-ldap gen-directory --employees 5000 --out directory.ldif
     repro-ldap gen-carrier --subscribers 10000 --out carrier.ldif
@@ -8,6 +8,7 @@ Six subcommands wrap the library for shell use::
     repro-ldap case-study --employees 4000 --queries 6000
     repro-ldap obs --employees 1000 --queries 1500
     repro-ldap recovery --journal-dir /tmp/resync-journal --sessions 10
+    repro-ldap snapshot --snapshot-dir /tmp/replica-snapshot
 
 ``gen-directory`` / ``gen-carrier`` write the synthetic DITs as LDIF;
 ``gen-workload`` writes one query per line (tab-separated: day, type,
@@ -19,7 +20,11 @@ resulting metrics snapshot and span aggregates (see
 provider end to end with a file-backed journal: replica sessions are
 opened, the master mutates, the provider crashes, and the recovered
 incarnation serves every cookie an incremental delta instead of a
-full resync (``docs/PROTOCOL.md`` §10).
+full resync (``docs/PROTOCOL.md`` §10); ``snapshot`` demonstrates the
+consumer-side counterpart: a replica dumps its content to a
+file-backed snapshot, restarts, warm-starts from the verified dump and
+resumes in O(delta) — then the dump is deliberately corrupted to show
+the detect-and-discard path (``docs/RECOVERY.md``).
 """
 
 from __future__ import annotations
@@ -304,6 +309,70 @@ def _cmd_recovery(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Consumer warm-start walkthrough on a file-backed snapshot store.
+
+    A replica synchronizes and dumps its content (LDIF + cookie +
+    checksum), the master keeps mutating, the replica "restarts" —
+    warm-starting from the verified snapshot and paying only the delta
+    — and the byte cost is printed against a cold full rebuild.  A
+    second restart runs against a deliberately corrupted dump to show
+    detection: the snapshot is discarded, never applied, and the
+    replica still converges via the rebuild rung.
+    """
+    from .server import FaultyNetwork, Modification
+    from .sync import FileSnapshotStore, ResilientConsumer
+
+    directory = generate_directory(
+        DirectoryConfig(employees=args.employees, seed=args.seed)
+    )
+    master = DirectoryServer("master")
+    master.add_naming_context(directory.suffix)
+    master.load(directory.entries)
+    provider = ResyncProvider(master)
+    people = [e for e in directory.entries if "person" in e.object_classes]
+    request = SearchRequest(directory.suffix, Scope.SUB, "(objectClass=person)")
+
+    store = FileSnapshotStore(args.snapshot_dir)
+    first_net = FaultyNetwork()
+    consumer = ResilientConsumer(
+        request, provider, network=first_net, snapshot_store=store
+    )
+    consumer.sync_once()
+    print(f"replica synced     : {len(consumer.content)} entries")
+    print(f"snapshot written   : {store.size_bytes} bytes -> {store.path}")
+
+    for step, entry in enumerate(people[: args.updates]):
+        master.modify(entry.dn, [Modification.replace("title", f"T{step}")])
+
+    warm_net = FaultyNetwork()
+    warm = ResilientConsumer(
+        request, provider, network=warm_net, snapshot_store=store
+    )
+    warm.sync_once()
+    cold_net = FaultyNetwork()
+    cold = ResilientConsumer(request, provider, network=cold_net)
+    cold.sync_once()
+    ratio = cold_net.stats.bytes_sent / max(warm_net.stats.bytes_sent, 1)
+    print(f"warm-start resume  : {warm_net.stats.bytes_sent} bytes "
+          f"({warm.snapshot_recoverer.stage})")
+    print(f"cold full rebuild  : {cold_net.stats.bytes_sent} bytes "
+          f"({ratio:.1f}x the warm start)")
+
+    store.damage_corrupt(0.5)
+    damaged_net = FaultyNetwork()
+    damaged = ResilientConsumer(
+        request, provider, network=damaged_net, snapshot_store=store
+    )
+    damaged.sync_once()
+    print(f"corrupted restart  : snapshot {damaged.snapshot_recoverer.stage}, "
+          f"rebuilt {len(damaged.content)} entries from the master")
+    for name, value in sorted(damaged_net.registry.to_dict().items()):
+        if name.startswith("sync.snapshot."):
+            print(f"{name:<40} {value}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ldap",
@@ -364,6 +433,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshot-interval", type=int, default=64)
     p.add_argument("--seed", type=int, default=20050607)
     p.set_defaults(func=_cmd_recovery)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="consumer snapshot warm-start walkthrough (file store)",
+    )
+    p.add_argument("--snapshot-dir", required=True)
+    p.add_argument("--employees", type=int, default=500)
+    p.add_argument("--updates", type=int, default=25)
+    p.add_argument("--seed", type=int, default=20050607)
+    p.set_defaults(func=_cmd_snapshot)
 
     return parser
 

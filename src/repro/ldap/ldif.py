@@ -1,26 +1,52 @@
 """Minimal LDIF (LDAP Data Interchange Format, RFC 2849) support.
 
-Used by the examples and by tests to snapshot directory content in a
+Used by the examples, by tests and by the consumer snapshot tier
+(:mod:`repro.sync.snapshot`) to dump directory content in a
 human-readable, diff-friendly form.  Supports the content subset
 (``dn:`` + attribute lines, records separated by blank lines) with
 base64 encoding of unsafe values.
+
+Round-trip fidelity is load-bearing: a snapshot-restored replica that
+silently differs from what was dumped would diverge *undetectably*
+from the master.  The writer therefore base64-encodes any value the
+parser could not reproduce byte-for-byte (leading/trailing whitespace,
+leading ``:``/``<``, control or non-ASCII characters), and the parser
+strips exactly the single separator space — never the value's own
+whitespace.  The identity property ``parse_ldif(entries_to_ldif(es))
+== es`` is enforced for arbitrary generated entries in
+``tests/ldap/test_ldif.py``.
 """
 
 from __future__ import annotations
 
 import base64
-from typing import Iterable, Iterator, List, TextIO
+import binascii
+import re
+from typing import Iterable, Iterator, List, TextIO, Tuple
 
 from .entry import Entry
 
 __all__ = ["entry_to_ldif", "entries_to_ldif", "parse_ldif", "write_ldif"]
 
+#: RFC 2849 version-spec line — recognized (and skipped) at the head of
+#: a file, so LDIF produced by foreign tools parses.
+_VERSION_LINE = re.compile(r"version:\s*\d+\s*$")
+
 
 def _is_safe(value: str) -> bool:
-    """RFC 2849 SAFE-STRING test (conservative)."""
+    """RFC 2849 SAFE-STRING test (conservative).
+
+    Leading *and trailing* whitespace are unsafe: the parser strips one
+    separator space after ``:``, so a value that starts with a space
+    would lose it, and trailing spaces are invisible in the dump and
+    commonly mangled by editors — both are forced through base64 so the
+    round-trip is exact.
+    """
     if value == "":
         return True
     if value[0] in {" ", ":", "<"}:
+        return False
+    if value[-1] == " ":
         return False
     return all(32 <= ord(ch) < 127 for ch in value)
 
@@ -55,9 +81,12 @@ def write_ldif(entries: Iterable[Entry], stream: TextIO) -> None:
 def parse_ldif(text: str) -> Iterator[Entry]:
     """Parse LDIF content records back into entries.
 
-    Handles continuation lines (leading space), ``::`` base64 values and
-    ``#`` comments.  Raises :class:`ValueError` on records without a
-    ``dn:`` line.
+    Handles continuation lines (leading space), ``::`` base64 values,
+    ``#`` comments and a leading RFC 2849 ``version: 1`` line (skipped).
+    Raises :class:`ValueError` on records without a ``dn:`` line, on
+    lines without a ``:`` separator, on undecodable base64 values and
+    on unsupported ``name:< url`` references — always naming the
+    offending line.
     """
     # Unfold continuation lines first.
     unfolded: List[str] = []
@@ -68,6 +97,7 @@ def parse_ldif(text: str) -> Iterator[Entry]:
             unfolded.append(raw)
 
     record: List[str] = []
+    at_head = True  # before the first content line of the file
     for line in unfolded + [""]:
         stripped = line.rstrip("\n")
         if stripped.startswith("#"):
@@ -77,27 +107,64 @@ def parse_ldif(text: str) -> Iterator[Entry]:
                 yield _record_to_entry(record)
                 record = []
             continue
+        if at_head and _VERSION_LINE.match(stripped):
+            at_head = False
+            continue
+        at_head = False
         record.append(stripped)
+
+
+def _parse_attr_line(line: str) -> Tuple[str, str]:
+    """Split one (unfolded) ``name: value`` line into its parts.
+
+    The three RFC 2849 value forms are told apart by what follows the
+    first ``:`` — a second ``:`` (base64), a ``<`` (URL reference,
+    unsupported here) or a plain value, from which exactly one
+    separator space is stripped.
+    """
+    name, sep, rest = line.partition(":")
+    if not sep:
+        raise ValueError(f"LDIF line without a ':' separator: {line!r}")
+    name = name.strip()
+    if name == "":
+        raise ValueError(f"LDIF line without an attribute name: {line!r}")
+    if rest.startswith(":"):
+        data = rest[1:].strip()
+        try:
+            value = base64.b64decode(data, validate=True).decode("utf-8")
+        except (binascii.Error, UnicodeDecodeError) as exc:
+            raise ValueError(
+                f"undecodable base64 value in LDIF line {line!r}: {exc}"
+            ) from None
+        return name, value
+    if rest.startswith("<"):
+        raise ValueError(f"URL-valued LDIF lines are not supported: {line!r}")
+    # Exactly one separator space — the rest of the value, including any
+    # further leading/trailing whitespace, belongs to the value itself
+    # (though the writer base64-encodes such values; see _is_safe).
+    return name, rest[1:] if rest.startswith(" ") else rest
 
 
 def _record_to_entry(lines: List[str]) -> Entry:
     dn_value = None
     attrs: List[tuple] = []
     for line in lines:
-        if "::" in line and line.index("::") < line.index(":") + 1:
-            name, _, value = line.partition("::")
-            decoded = base64.b64decode(value.strip()).decode("utf-8")
-        else:
-            name, _, value = line.partition(":")
-            decoded = value.strip()
-        name = name.strip()
+        name, value = _parse_attr_line(line)
         if name.lower() == "dn":
-            dn_value = decoded
+            dn_value = value
         else:
-            attrs.append((name, decoded))
+            attrs.append((name, value))
     if dn_value is None:
         raise ValueError(f"LDIF record without dn line: {lines!r}")
     entry = Entry(dn_value)
+    # Group values per attribute and install them with put(), which
+    # stores raw values verbatim.  add_values() would drop values that
+    # are *matching-equivalent* to an earlier one (DIRECTORY_STRING
+    # collapses whitespace, so "a b" and "a  b" normalize alike) and
+    # break the byte-exact round trip the snapshot tier depends on.
+    grouped: dict = {}
     for name, value in attrs:
-        entry.add_values(name, value)
+        grouped.setdefault(name.lower(), (name, []))[1].append(value)
+    for canonical, values in grouped.values():
+        entry.put(canonical, values)
     return entry

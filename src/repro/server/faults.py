@@ -59,7 +59,23 @@ sketch_corrupt      one cell of a served reconcile sketch is damaged in
                     the consumer's verified decode detects it and
                     doubles or falls back to a rebuild — never applies
                     garbage (docs/PROTOCOL.md §11)
+snapshot_truncate   the replica's crash tears the tail off its content
+                    snapshot (:mod:`repro.sync.snapshot`); the restart's
+                    checksum verification detects it and the snapshot is
+                    discarded, never applied — a cold start
+snapshot_corrupt    the replica's snapshot is bit-flipped at rest; same
+                    detect-and-discard outcome as a torn one
+snapshot_stale      the snapshot is intact but its cookie has aged out
+                    of the provider's session table: content restores,
+                    the first poll is refused, and the consumer climbs
+                    the ladder (sketch reconcile, then rebuild)
 ==================  ====================================================
+
+Snapshot damage is applied at replica-restart time — the moment the
+restarting consumer is about to read its snapshot — via
+:meth:`FaultyNetwork.damage_snapshot`, on its own ``:s`` decision
+stream so existing exchange/notification/journal schedules for a seed
+stay byte-identical.
 
 Persist-mode notification streams get their own decision stream
 (``notification_drop`` / ``notification_duplicate``), applied by the
@@ -108,6 +124,9 @@ class FaultSpec:
     journal_truncate: float = 0.0
     journal_corrupt: float = 0.0
     sketch_corrupt: float = 0.0
+    snapshot_truncate: float = 0.0
+    snapshot_corrupt: float = 0.0
+    snapshot_stale: float = 0.0
 
     def __post_init__(self):
         for name in (
@@ -123,6 +142,9 @@ class FaultSpec:
             "journal_truncate",
             "journal_corrupt",
             "sketch_corrupt",
+            "snapshot_truncate",
+            "snapshot_corrupt",
+            "snapshot_stale",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -151,6 +173,11 @@ class FaultSpec:
             journal_corrupt=rate / 4,
             # Only reconcile exchanges are affected (the :r stream).
             sketch_corrupt=rate,
+            # Only snapshotting consumers are affected, at restart time
+            # (the :s stream); damaged at the journal's modest rate.
+            snapshot_truncate=rate / 4,
+            snapshot_corrupt=rate / 4,
+            snapshot_stale=rate / 4,
         )
         params.update(overrides)
         return cls(**params)
@@ -198,6 +225,7 @@ class FaultPlan:
         self._notification_index = 0
         self._journal_index = 0
         self._reconcile_index = 0
+        self._snapshot_index = 0
 
     def next_exchange(self) -> ExchangeFaults:
         """Fault decisions for the next poll/subscribe exchange."""
@@ -246,6 +274,21 @@ class FaultPlan:
         rng = random.Random(f"{self.seed}:r{self._reconcile_index}")
         self._reconcile_index += 1
         return (rng.random() < self.spec.sketch_corrupt, rng.random())
+
+    def next_snapshot(self) -> Tuple[bool, bool, bool, float]:
+        """(truncate, corrupt, stale, position) decisions for the next
+        replica restart that reads a content snapshot — its own ``:s``
+        stream, so consumers with and without snapshot stores see
+        identical exchange/notification/journal/reconcile schedules for
+        the same seed."""
+        rng = random.Random(f"{self.seed}:s{self._snapshot_index}")
+        self._snapshot_index += 1
+        return (
+            rng.random() < self.spec.snapshot_truncate,
+            rng.random() < self.spec.snapshot_corrupt,
+            rng.random() < self.spec.snapshot_stale,
+            rng.random(),
+        )
 
 
 class FaultyNetwork(SimulatedNetwork):
@@ -517,6 +560,31 @@ class FaultyNetwork(SimulatedNetwork):
                 Delivery(response, delay_ms=faults.delay_ms, duplicate=True)
             )
         return deliveries
+
+    def damage_snapshot(self, store) -> None:
+        """Apply the plan's snapshot-damage decisions to *store*.
+
+        Called by tests and benches at the moment a replica restarts —
+        just before the restarting consumer reads its
+        :class:`~repro.sync.snapshot.SnapshotStore` — mirroring how
+        :meth:`_crash` damages a provider's journal at crash time.
+        Truncation and corruption are *detectable* damage (the
+        restart's checksum verification discards the snapshot); a
+        stale cookie is intact-but-aged damage the provider refuses,
+        exercising the ladder's fall-through instead.
+        """
+        if self.plan is None:
+            return
+        truncate, corrupt, stale, position = self.plan.next_snapshot()
+        if truncate:
+            self._record("snapshot_truncate")
+            store.damage_truncate(position)
+        if corrupt:
+            self._record("snapshot_corrupt")
+            store.damage_corrupt(position)
+        if stale:
+            self._record("snapshot_stale")
+            store.damage_stale_cookie()
 
     def wrap_deliver(self, deliver: Callable) -> Callable:
         """Apply notification-level faults to a persist deliver callback."""

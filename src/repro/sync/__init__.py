@@ -41,6 +41,14 @@ from .reconcile import (
 )
 from .resilient import ResilientConsumer, RetryPolicy
 from .resync import PersistHandle, ResyncProvider, RetainResyncProvider
+from .snapshot import (
+    FileSnapshotStore,
+    MemorySnapshotStore,
+    SnapshotDocument,
+    SnapshotError,
+    SnapshotRecoverer,
+    SnapshotStore,
+)
 from .router import RoutedSession, SessionRouter
 from .session import Session, SessionStore
 
@@ -73,6 +81,12 @@ __all__ = [
     "MemoryJournal",
     "FileJournal",
     "AdmissionController",
+    "SnapshotStore",
+    "MemorySnapshotStore",
+    "FileSnapshotStore",
+    "SnapshotDocument",
+    "SnapshotError",
+    "SnapshotRecoverer",
     "Changelog",
     "ChangelogRecord",
     "ChangelogProvider",

@@ -8,16 +8,25 @@ duplicates, delays and truncates messages and whose servers crash
 * transport faults (:class:`~repro.server.network.TransportError`) are
   transient — retry with capped exponential backoff and deterministic
   jitter, never touching local content;
+* a consumer built with a :class:`~repro.sync.snapshot.SnapshotStore`
+  **warm-starts**: on construction it restores the last verified
+  point-in-time dump (content + cookie) through a staged
+  :class:`~repro.sync.snapshot.SnapshotRecoverer`, so the first poll
+  after a replica restart costs O(delta) instead of the O(content)
+  cold rebuild — the recovery ladder's first rung (docs/RECOVERY.md);
+  a corrupt or torn snapshot is detected, discarded and never applied;
 * protocol errors (:class:`~repro.sync.protocol.SyncProtocolError` —
   expired, unknown or too-old cookies) mean the session is gone — the
   consumer climbs the **recovery ladder** (docs/RECOVERY.md): a cookie
   stamped ``:h`` (the session went through a history overflow, so the
-  divergence is real but typically small) first tries sketch-based
-  anti-entropy reconciliation (:mod:`repro.sync.reconcile`, O(delta)
-  traffic); a plain cookie — the provider simply restarted or expired
-  the session, with the replica still a faithful prefix — and any
-  failed reconciliation fall back to the paper's §5 recovery path: a
-  full reload with a null cookie (poll mode) or a fresh subscription
+  divergence is real but typically small) — or a just-restored
+  snapshot cookie the provider refused (divergence bounded by the
+  snapshot's age) — first tries sketch-based anti-entropy
+  reconciliation (:mod:`repro.sync.reconcile`, O(delta) traffic); a
+  plain cookie — the provider simply restarted or expired the session,
+  with the replica still a faithful prefix — and any failed
+  reconciliation fall back to the paper's §5 recovery path: a full
+  reload with a null cookie (poll mode) or a fresh subscription
   (persist mode);
 * duplicated deliveries are re-applied; every ReSync action is an
   idempotent state-setter, so over-delivery is harmless;
@@ -72,6 +81,7 @@ from .reconcile import (
     entry_fingerprint,
     entry_key,
 )
+from .snapshot import SnapshotRecoverer, SnapshotStore
 
 __all__ = ["RetryPolicy", "ResilientConsumer"]
 
@@ -137,6 +147,13 @@ class ResilientConsumer:
         reconcile_config: sizing policy for the sketch-reconciliation
             recovery tier (docs/RECOVERY.md); None disables the tier
             (every dead cookie reloads, the pre-reconcile behavior).
+        snapshot_store: optional :class:`SnapshotStore` — when given,
+            the consumer warm-starts from it on construction (the
+            ladder's first rung) and re-dumps its content every
+            *snapshot_interval* successful cycles; None disables the
+            tier (a restarted replica boots empty, the pre-snapshot
+            behavior).
+        snapshot_interval: successful cycles between snapshot saves.
     """
 
     def __init__(
@@ -149,6 +166,8 @@ class ResilientConsumer:
         replica_server: Optional[DirectoryServer] = None,
         mode: str = "poll",
         reconcile_config: Optional[ReconcileConfig] = ReconcileConfig(),
+        snapshot_store: Optional[SnapshotStore] = None,
+        snapshot_interval: int = 1,
     ):
         if mode not in ("poll", "persist"):
             raise ValueError(f"mode must be 'poll' or 'persist', got {mode!r}")
@@ -186,6 +205,22 @@ class ResilientConsumer:
         self._rec_fetched = registry.counter("sync.reconcile.fetched_entries")
         self._rec_deleted = registry.counter("sync.reconcile.deleted_entries")
 
+        # Snapshot warm-start tier (docs/RECOVERY.md first rung): a
+        # store means this consumer is a restart of a replica that may
+        # have dumped content before — restore it now, so the first
+        # cycle resumes at the snapshot's generation.
+        if snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        self.snapshot_interval = snapshot_interval
+        self._recoverer: Optional[SnapshotRecoverer] = None
+        self._snapshot_restored = False
+        self._cycles_since_snapshot = 0
+        if snapshot_store is not None:
+            self._recoverer = SnapshotRecoverer(
+                snapshot_store, self.content, registry=registry
+            )
+            self._snapshot_restored = self._recoverer.warm_start()
+
     # ------------------------------------------------------------------
     # public surface
     # ------------------------------------------------------------------
@@ -204,6 +239,20 @@ class ResilientConsumer:
         """True while the master is considered unreachable and local
         reads are stale."""
         return self._is_degraded
+
+    @property
+    def snapshot_recoverer(self) -> Optional[SnapshotRecoverer]:
+        """The warm-start driver (stage inspection), or None when the
+        consumer was built without a snapshot store."""
+        return self._recoverer
+
+    @property
+    def warm_started(self) -> bool:
+        """True when construction restored a verified snapshot."""
+        return self._recoverer is not None and self._recoverer.stage in (
+            "resuming",
+            "live",
+        )
 
     def sync_once(self) -> Optional[SyncResponse]:
         """One resilient synchronization cycle.
@@ -236,8 +285,10 @@ class ResilientConsumer:
                 # ``:h`` cookie — the session overflowed its history and
                 # the chain has since broken — names a replica whose
                 # divergence is real but typically small: that (and only
-                # that) case enters the sketch-reconciliation tier
-                # before falling back to the paced full rebuild.
+                # that) case — plus a freshly warm-started snapshot
+                # whose cookie aged out (divergence bounded by the
+                # snapshot's age) — enters the sketch-reconciliation
+                # tier before falling back to the paced full rebuild.
                 if self.mode == "poll" and self.content.cookie is None:
                     raise  # a fresh session was refused — not recoverable
                 if self.mode == "poll" and self._should_reconcile():
@@ -293,10 +344,18 @@ class ResilientConsumer:
         replica has no delta to exploit, and a provider without a
         ``reconcile`` operation (the retain/baseline providers) cannot
         serve the tier.
+
+        A snapshot-restored replica whose *first* cycle is refused is
+        the other qualifying case: its divergence is bounded by the
+        snapshot's age (typically small), so the sketch tier beats the
+        full rebuild even though the refused cookie carries no ``:h``.
+        The exemption lasts exactly until the first successful cycle —
+        after that the replica is live and a later dead cookie means
+        what it always meant.
         """
         return (
             self.reconcile_config is not None
-            and self._cookie_overflowed()
+            and (self._cookie_overflowed() or self._snapshot_restored)
             and len(self.content) > 0
             and callable(getattr(self.provider, "reconcile", None))
         )
@@ -591,6 +650,14 @@ class ResilientConsumer:
             self._degraded_gauge.set(0)
             if self.replica_server is not None:
                 self.replica_server.exit_degraded()
+        if self._recoverer is not None:
+            if self._snapshot_restored:
+                self._snapshot_restored = False
+                self._recoverer.mark_live()
+            self._cycles_since_snapshot += 1
+            if self._cycles_since_snapshot >= self.snapshot_interval:
+                self._cycles_since_snapshot = 0
+                self._recoverer.save()
 
     def _cycle_failed(self) -> None:
         self._exhausted.inc()

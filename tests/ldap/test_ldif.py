@@ -2,6 +2,10 @@
 
 import io
 
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.ldap import Entry, entries_to_ldif, entry_to_ldif, parse_ldif, write_ldif
 
 
@@ -67,8 +71,6 @@ class TestParse:
         assert parsed[0].first("cn") == "long value"
 
     def test_missing_dn_rejected(self):
-        import pytest
-
         with pytest.raises(ValueError):
             list(parse_ldif("cn: orphan\n"))
 
@@ -76,3 +78,152 @@ class TestParse:
         buf = io.StringIO()
         write_ldif([sample()], buf)
         assert "dn: cn=John Doe,o=xyz" in buf.getvalue()
+
+
+class TestWhitespaceRoundTrip:
+    """Leading/trailing whitespace must survive the dump exactly —
+    a snapshot-restored replica must not silently differ from what was
+    dumped (ISSUE 7 satellite: the old writer deemed ``"foo "`` safe
+    while the old parser stripped it back to ``"foo"``)."""
+
+    def test_trailing_space_base64(self):
+        entry = Entry("cn=x,o=xyz", {"cn": ["x"], "sn": ["foo "]})
+        assert "sn:: " in entry_to_ldif(entry)
+
+    def test_trailing_space_roundtrip(self):
+        entry = Entry("cn=x,o=xyz", {"cn": ["x"], "sn": ["foo "]})
+        parsed = list(parse_ldif(entry_to_ldif(entry)))[0]
+        assert parsed.get("sn") == ["foo "]
+
+    def test_leading_space_roundtrip(self):
+        entry = Entry("cn=x,o=xyz", {"cn": ["x"], "sn": [" foo"]})
+        parsed = list(parse_ldif(entry_to_ldif(entry)))[0]
+        assert parsed.get("sn") == [" foo"]
+
+    def test_interior_whitespace_kept(self):
+        # Safe values keep their interior spacing through the plain path.
+        parsed = list(parse_ldif("dn: cn=a,o=xyz\ncn: two  spaces\n"))[0]
+        assert parsed.get("cn") == ["two  spaces"]
+
+    def test_empty_value_roundtrip(self):
+        entry = Entry("cn=x,o=xyz", {"cn": ["x"], "description": [""]})
+        parsed = list(parse_ldif(entry_to_ldif(entry)))[0]
+        assert parsed.get("description") == [""]
+
+
+class TestParseErrors:
+    """Malformed lines fail with a ValueError naming the offending
+    line — never a raw binascii traceback (ISSUE 7 satellite)."""
+
+    def test_bad_base64_named(self):
+        with pytest.raises(ValueError, match=r"sn:: %%%not-base64"):
+            list(parse_ldif("dn: cn=a,o=xyz\nsn:: %%%not-base64\n"))
+
+    def test_bad_utf8_named(self):
+        # Valid base64, but the bytes are not UTF-8.
+        with pytest.raises(ValueError, match=r"undecodable base64"):
+            list(parse_ldif("dn: cn=a,o=xyz\nsn:: /w==\n"))
+
+    def test_url_reference_rejected(self):
+        with pytest.raises(ValueError, match=r"not supported.*file://"):
+            list(parse_ldif("dn: cn=a,o=xyz\njpegPhoto:< file:///x.jpg\n"))
+
+    def test_separatorless_line_named(self):
+        with pytest.raises(ValueError, match=r"':' separator.*garbage"):
+            list(parse_ldif("dn: cn=a,o=xyz\ngarbage\n"))
+
+    def test_nameless_line_rejected(self):
+        with pytest.raises(ValueError, match=r"attribute name"):
+            list(parse_ldif("dn: cn=a,o=xyz\n: nameless\n"))
+
+
+class TestVersionLine:
+    """A leading RFC 2849 ``version: 1`` line is recognized and
+    skipped, so foreign-tool LDIF parses (ISSUE 7 satellite)."""
+
+    # The shape ldapsearch/OpenLDAP tools emit: version line, comments,
+    # then records.
+    FOREIGN = (
+        "version: 1\n"
+        "# extended LDIF\n"
+        "#\n"
+        "dn: cn=a,o=xyz\n"
+        "cn: a\n"
+        "\n"
+        "dn: cn=b,o=xyz\n"
+        "cn: b\n"
+    )
+
+    def test_version_line_skipped(self):
+        parsed = list(parse_ldif(self.FOREIGN))
+        assert [str(e.dn) for e in parsed] == ["cn=a,o=xyz", "cn=b,o=xyz"]
+
+    def test_version_with_blank_line_after(self):
+        parsed = list(parse_ldif("version: 1\n\ndn: cn=a,o=xyz\ncn: a\n"))
+        assert len(parsed) == 1
+
+    def test_version_attribute_inside_record_kept(self):
+        # Only the file head is special: a ``version`` attribute inside
+        # a record stays an attribute.
+        parsed = list(parse_ldif("dn: cn=a,o=xyz\nversion: 1\n"))
+        assert parsed[0].get("version") == ["1"]
+
+
+# Attribute values: any UTF-8-encodable text (surrogates excluded) —
+# leading/trailing/interior whitespace, colons, unicode, control chars.
+_VALUES = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+)
+_NAMES = st.sampled_from(
+    ["cn", "sn", "description", "title", "ou", "telephoneNumber"]
+)
+_DN_TOKEN = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12
+)
+
+
+@st.composite
+def entries(draw):
+    token = draw(_DN_TOKEN)
+    attrs = draw(
+        st.dictionaries(
+            _NAMES,
+            st.lists(_VALUES, min_size=1, max_size=3, unique=True),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    entry = Entry(f"uid={token},o=xyz")
+    for name, values in attrs.items():
+        entry.add_values(name, values)
+    return entry
+
+
+class TestRoundTripProperty:
+    @given(entries())
+    def test_entry_ldif_entry_identity(self, entry):
+        """entry → LDIF → entry is the identity on raw values.
+
+        Raw ``get()`` lists are compared (not Entry equality): matching
+        normalization collapses whitespace for directory strings, so it
+        cannot distinguish ``"foo "`` from ``"foo"`` — exactly the
+        corruption this property exists to rule out.
+        """
+        parsed = list(parse_ldif(entry_to_ldif(entry)))
+        assert len(parsed) == 1
+        got = parsed[0]
+        assert str(got.dn) == str(entry.dn)
+        assert sorted(got.attribute_names()) == sorted(entry.attribute_names())
+        for name in entry.attribute_names():
+            assert got.get(name) == entry.get(name)
+
+    @given(st.lists(entries(), min_size=1, max_size=4))
+    def test_multi_record_roundtrip(self, entry_list):
+        # Deduplicate by DN — the dump keys records by DN.
+        by_dn = {str(e.dn): e for e in entry_list}
+        originals = list(by_dn.values())
+        parsed = {str(e.dn): e for e in parse_ldif(entries_to_ldif(originals))}
+        assert set(parsed) == set(by_dn)
+        for dn, original in by_dn.items():
+            for name in original.attribute_names():
+                assert parsed[dn].get(name) == original.get(name)

@@ -113,6 +113,33 @@ class TestRecovery:
         assert (tmp_path / "journal" / "journal.jsonl").exists()
 
 
+class TestSnapshot:
+    def test_warm_start_demo(self, tmp_path, capsys):
+        code = main(
+            [
+                "snapshot",
+                "--snapshot-dir",
+                str(tmp_path / "replica"),
+                "--employees",
+                "120",
+                "--updates",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replica synced     : 120 entries" in out
+        assert "warm-start resume" in out and "(live)" in out
+        assert "snapshot discarded" in out
+        assert "sync.snapshot.discarded" in out
+        # The rebuilt replica re-dumped a fresh, verifiable snapshot
+        # over the discarded one.
+        from repro.sync.snapshot import decode_snapshot
+
+        text = (tmp_path / "replica" / "content.snapshot").read_text()
+        assert len(decode_snapshot(text).entries) == 120
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
