@@ -29,7 +29,9 @@ content from scratch.
 All sweeps are deterministic (fixed directory, fixed update schedule,
 no network faults), so their ``*_bytes_sent`` metrics are
 regression-diffable by ``validate_results.py``; ``recovery_seconds``
-is wall time and stays informational.  The in-bench floors — reload
+is wall time, measured as a warm-up plus median-of-N replay cycles so
+a cold start cannot land as the committed number, and is gated only by
+the validator's generous ``*_seconds`` sanity bound.  The in-bench floors — reload
 traffic at least 5x the durable resume at 100 sessions, rebuild
 traffic at least 10x the reconcile tier at <=1% divergence, cold
 rebuild at least 5x the warm start at <=5% divergence — fail on any
@@ -39,6 +41,7 @@ reversion to reload-after-restart independent of runner speed.
 from __future__ import annotations
 
 import time
+from statistics import median
 
 from repro.ldap import Entry, Scope, SearchRequest
 from repro.server import DirectoryServer, Modification, SimulatedNetwork
@@ -52,7 +55,7 @@ from repro.sync import (
     build_sketch,
 )
 
-from .common import report
+from .common import quiesced_gc, report
 
 DEPARTMENTS = 12
 PERSONS_PER_DEPT = 10
@@ -60,6 +63,7 @@ SESSION_COUNTS = (25, 50, 100)
 UPDATES = DEPARTMENTS  # one touched entry per department
 SNAPSHOT_INTERVAL = 64
 MIN_TRAFFIC_RATIO = 5.0  # reload must cost >=5x the durable resume
+TIMING_REPEATS = 5  # median-of-N journal replays per cell
 
 
 def build_master() -> DirectoryServer:
@@ -117,10 +121,27 @@ def run_durable_cell(count: int) -> dict:
     )
     consumers, initial_bytes = open_sessions(provider, count)
     mutate(master)
-    provider.restart()  # the crash
-    started = time.perf_counter()
-    replayed = provider.recover()
-    recovery_seconds = time.perf_counter() - started
+
+    # recover() compacts the journal when it finishes, so each timed
+    # cycle restores the crash-time image first and replays the
+    # identical log; warm-up + median-of-N keeps a one-off cold start
+    # out of the committed recovery time.
+    crash_snapshot, crash_records, crash_dropped = journal.load()
+    assert crash_dropped == 0
+    samples = []
+    replays = []
+    with quiesced_gc():
+        for _ in range(1 + TIMING_REPEATS):  # first cycle is the warm-up
+            journal.write_snapshot(crash_snapshot)  # truncates the tail too
+            for record in crash_records:
+                journal.append(record)
+            provider.restart()  # the crash
+            started = time.perf_counter()
+            replays.append(provider.recover())
+            samples.append(time.perf_counter() - started)
+    recovery_seconds = median(samples[1:])
+    replayed = replays[-1]
+    assert len(set(replays)) == 1  # every cycle folds the same journal
     post_bytes = 0
     for content in consumers:
         post_bytes += sum(u.pdu_bytes for u in content.poll(provider).updates)

@@ -13,15 +13,14 @@ were chosen and how many entries were examined per entry matched —
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.ldap import Scope, SearchRequest
 
-from .common import BenchEnv, hot_blocks, plan_metrics, report
+from .common import BenchEnv, hot_blocks, plan_metrics, report, timed_median
 
 N_QUERIES = 600
+TIMING_REPEATS = 5  # median-of-N workload passes for elapsed_s
 
 
 def mixed_requests(env: BenchEnv, n: int):
@@ -59,10 +58,17 @@ def mixed_requests(env: BenchEnv, n: int):
 def planner_rows(env: BenchEnv):
     master = env.fresh_master()
     requests = mixed_requests(env, N_QUERIES)
-    start = time.perf_counter()
-    matched = sum(len(master.search(r).entries) for r in requests)
-    elapsed = time.perf_counter() - start
+
+    def run_workload():
+        return sum(len(master.search(r).entries) for r in requests)
+
+    # Warm-up pass: pays first-touch costs and supplies the per-pass
+    # planner counters; the committed elapsed_s is the median of N
+    # repeat passes so one scheduler hiccup cannot fail the 20%
+    # baseline gate on a quiet-but-shared runner.
+    matched = run_workload()
     plans = plan_metrics(master)
+    elapsed = timed_median(run_workload, repeats=TIMING_REPEATS, warmup=0)
     examined = plans.get("server.plan.examined", 0)
     rows = [
         ("searches", N_QUERIES),

@@ -29,9 +29,13 @@ statistics so perf PRs have a baseline to diff against.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
+from statistics import median
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core import FilterReplica, FilterSelector, SubtreeReplica
@@ -86,6 +90,45 @@ def build_env(
         directory, WorkloadConfig(seed=seed + 1)
     ).generate(queries, days=2)
     return BenchEnv(directory=directory, trace=trace)
+
+
+# ----------------------------------------------------------------------
+# timing
+# ----------------------------------------------------------------------
+@contextmanager
+def quiesced_gc():
+    """GC off for a timed window.  Bench loops are short enough that a
+    single gen-2 collection of the suite's whole heap landing inside
+    one would dominate the measurement — and make a bench's committed
+    numbers depend on which benches ran before it in the process."""
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def timed_median(
+    fn: Callable[[], object], repeats: int = 5, warmup: int = 1
+) -> float:
+    """Median wall-clock seconds of *repeats* calls to *fn*, after
+    *warmup* untimed calls, with the GC quiesced.
+
+    Committed timing metrics come through here so that a single
+    cold-start (first-touch allocation, lazy imports) or scheduler
+    hiccup cannot land as the canonical number: the warm-up call pays
+    the one-time costs and the median discards outlier repeats.
+    """
+    for _ in range(warmup):
+        fn()
+    samples = []
+    with quiesced_gc():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+    return float(median(samples))
 
 
 # ----------------------------------------------------------------------

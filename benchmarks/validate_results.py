@@ -17,7 +17,10 @@ the same-named JSON under *DIR* (``benchmarks/baselines`` holds the
 committed reference run).  Regression-sensitive metrics — round trips,
 latencies, byte counts (higher is worse) and throughput rates (lower is
 worse) — may not regress by more than ``--tolerance`` (default 20%)
-relative to the baseline; anything else is informational.  A bench
+relative to the baseline; wall-time ``*_seconds`` metrics are gated
+only by a generous ``SECONDS_SANITY_FACTOR`` (8x) bound that catches
+order-of-magnitude measurement artifacts without tripping on normal
+runner jitter; anything else is informational.  A bench
 present in the baselines but missing from the results is a failure: a
 perf regression must not hide by not running.
 
@@ -49,10 +52,19 @@ SCALAR = (str, int, float, bool, type(None))
 _HIGHER_IS_WORSE = ("round_trips", "bytes_sent", "elapsed_s", "_ms")
 # ...and whose shrinkage is one (throughput rates).
 _LOWER_IS_WORSE = ("_per_s",)
+# Wall-time metrics ('*_seconds') stay informational at the normal
+# tolerance — they jitter with the runner — but an order-of-magnitude
+# jump is a measurement artifact (cold start, loaded machine) that must
+# not land silently as the canonical result: gate those at a generous
+# sanity multiple of the baseline instead.
+_SECONDS_SANITY = ("_seconds",)
+SECONDS_SANITY_FACTOR = 8.0
 
 
 def regression_direction(name: str) -> Optional[str]:
-    """'higher' / 'lower' = which movement of *name* is a regression.
+    """'higher' / 'lower' / 'higher-sanity' = which movement of *name*
+    is a regression ('higher-sanity' = gated only beyond the generous
+    ``SECONDS_SANITY_FACTOR`` multiple of the baseline).
 
     None for metrics that are not regression-gated (cache statistics,
     hit ratios, plan-strategy counts — informational only).
@@ -63,6 +75,9 @@ def regression_direction(name: str) -> Optional[str]:
     for pattern in _LOWER_IS_WORSE:
         if name.endswith(pattern):
             return "lower"
+    for pattern in _SECONDS_SANITY:
+        if name.endswith(pattern):
+            return "higher-sanity"
     return None
 
 
@@ -155,6 +170,12 @@ def diff_metrics(current: dict, baseline: dict, tolerance: float) -> List[str]:
         elif direction == "lower" and change < -tolerance:
             regressions.append(
                 f"{name}: {base:g} -> {now:g} ({change:.1%} < -{tolerance:.0%})"
+            )
+        elif direction == "higher-sanity" and now > SECONDS_SANITY_FACTOR * base:
+            regressions.append(
+                f"{name}: {base:g} -> {now:g} "
+                f"(over the {SECONDS_SANITY_FACTOR:g}x wall-time sanity bound "
+                "— measurement artifact?)"
             )
     return regressions
 

@@ -121,14 +121,17 @@ def test_baseline_diff_gates_regression_sensitive_metrics():
         "searches_per_s": 500.0,
         "qc_cache_hits": 50,
         "zero_elapsed_s": 0,
+        "s25_recovery_seconds": 0.010,
     }
-    # Within tolerance, improvements, non-gated churn, zero baselines: ok.
+    # Within tolerance, improvements, non-gated churn, zero baselines,
+    # wall-time jitter under the sanity multiple: ok.
     ok = {
         "round_trips": 110,  # +10% < 20%
         "baseline_avg_ms": 2.0,  # improvement
         "searches_per_s": 900.0,  # improvement
         "qc_cache_hits": 5000,  # informational, not gated
         "zero_elapsed_s": 3,  # baseline 0: no ratio, skipped
+        "s25_recovery_seconds": 0.050,  # 5x: noisy but under the 8x bound
     }
     assert validator.diff_metrics(ok, baseline, 0.20) == []
 
@@ -136,12 +139,16 @@ def test_baseline_diff_gates_regression_sensitive_metrics():
         "round_trips": 130,  # +30%
         "baseline_avg_ms": 13.0,  # +30%
         "searches_per_s": 300.0,  # -40%
+        "s25_recovery_seconds": 0.586,  # 58x: a cold-start artifact
     }
     problems = validator.diff_metrics(regressed, baseline, 0.20)
-    assert len(problems) == 3
+    assert len(problems) == 4
     assert any("round_trips" in p for p in problems)
     assert any("baseline_avg_ms" in p for p in problems)
     assert any("searches_per_s" in p for p in problems)
+    assert any(
+        "s25_recovery_seconds" in p and "sanity" in p for p in problems
+    )
 
 
 def test_baseline_diff_fails_on_missing_current_result(tmp_path):
