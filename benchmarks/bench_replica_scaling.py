@@ -29,6 +29,7 @@ linear fan-out pays full price for and holder routing does not.
 
 from __future__ import annotations
 
+import os
 import time
 from statistics import median
 from typing import Dict, List
@@ -274,4 +275,174 @@ def test_replica_scaling(benchmark, site_entries, scaling_rows):
     for block in range(top):
         replica.load_directly(_block_filter(block), site_entries[block])
     sample = SearchRequest("o=xyz", Scope.SUB, "(serialNumber=004201US)")
+    benchmark(lambda: replica.answer(sample))
+
+
+# ----------------------------------------------------------------------
+# E18b — prescreened answering at 10^5 stored filters (docs/ROUTING.md
+# §10): the AMQ prescreens must keep the per-answer cost flat from the
+# routed sweep's top (500) up to the 50k rung, with containment checks
+# per query independent of the population.
+# ----------------------------------------------------------------------
+PRESCREEN_REF = 500
+PRESCREEN_RUNG = 50_000
+# The 200k/500k rungs take minutes and gigabytes; they are opt-in for
+# the nightly-scale run, not the per-PR smoke.
+FULL_SWEEP_ENV = "REPLICA_SCALING_FULL_SWEEP"
+PRESCREEN_QUERIES = 400
+PRESCREEN_REPEATS = 5
+
+
+def _wide_filter(block: int) -> SearchRequest:
+    """Six-digit site-block filters — room for a 10^6 population."""
+    return SearchRequest("o=xyz", Scope.SUB, f"(serialNumber={block:06d}*US)")
+
+
+def _wide_person(block: int) -> Entry:
+    cn = f"w{block:06d}"
+    return Entry(
+        f"cn={cn},o=xyz",
+        {
+            "objectClass": ["person"],
+            "cn": cn,
+            "sn": f"s{block % 37}",
+            "serialNumber": [f"{block:06d}77US"],
+        },
+    )
+
+
+def _prescreen_point(n_filters: int, amq: bool) -> Dict[str, float]:
+    """Answer a 50/50 hit/miss mix over *n_filters* stored filters.
+
+    Hits are per-block equality serials (contained in exactly one
+    stored filter); misses are serials from blocks past the population
+    (contained in none — the case the prescreens exist for).  Serials
+    are distinct per query *and per pass*, so neither the QC pair
+    cache, the routing memo, nor the negative result caches can answer
+    from an earlier pass's work; what remains is the per-answer routing
+    cost the flatness floor guards.
+    """
+    replica = FilterReplica("r", cache_capacity=0, amq=amq)
+    for block in range(n_filters):
+        replica.load_directly(_wide_filter(block), [_wide_person(block)])
+    rates = []
+    passes = 1 + PRESCREEN_REPEATS  # warm-up + timed repeats
+    for rep in range(passes):
+        base = rep * PRESCREEN_QUERIES
+        queries = []
+        for i in range(PRESCREEN_QUERIES):
+            serial = base + i
+            if i % 2 == 0:
+                block = (serial * 7919) % n_filters
+            else:
+                block = 999_999 - (serial % 99_999)  # past any population
+            queries.append(
+                SearchRequest(
+                    "o=xyz",
+                    Scope.SUB,
+                    f"(serialNumber={block:06d}{serial % 10_000:04d}US)",
+                )
+            )
+        clear_containment_cache()
+        with _quiesced():
+            start = time.perf_counter()
+            hits = sum(1 for q in queries if replica.answer(q).is_hit)
+            elapsed = time.perf_counter() - start
+        assert hits == PRESCREEN_QUERIES // 2
+        if rep:  # pass 0 is the warm-up
+            rates.append(PRESCREEN_QUERIES / elapsed if elapsed else 0.0)
+    routing_amq = replica._index.amq if replica._index is not None else None
+    point = {
+        "rate": median(rates),
+        "checks_per_query": replica.containment_checks
+        / (passes * PRESCREEN_QUERIES),
+        "amq_items": float(routing_amq.items) if routing_amq else 0.0,
+        "amq_negatives": float(routing_amq.negatives) if routing_amq else 0.0,
+        "amq_extensions": float(routing_amq.extensions) if routing_amq else 0.0,
+        "amq_fpr": routing_amq.fpr() if routing_amq else 0.0,
+    }
+    del replica
+    return point
+
+
+def test_replica_scaling_prescreen(benchmark):
+    rungs = [PRESCREEN_REF, PRESCREEN_RUNG]
+    if os.environ.get(FULL_SWEEP_ENV):
+        rungs += [200_000, 500_000]
+    points = {}
+    rows = []
+    for n in rungs:
+        on = _prescreen_point(n, amq=True)
+        off = _prescreen_point(n, amq=False)
+        points[n] = (on, off)
+        rows.append(
+            (
+                n,
+                on["rate"],
+                off["rate"],
+                on["checks_per_query"],
+                on["amq_items"],
+                on["amq_negatives"],
+                on["amq_fpr"],
+            )
+        )
+
+    ref_on = points[PRESCREEN_REF][0]
+    rung_on, rung_off = points[PRESCREEN_RUNG]
+    metrics = {
+        # Gated rates (validate_results: lower is a regression).
+        "prescreen_ref_per_s": ref_on["rate"],
+        "prescreen_50k_per_s": rung_on["rate"],
+        # Informational context for the baseline diff.
+        "prescreen_50k_off_rate": rung_off["rate"],
+        "flatness_50k_vs_ref": rung_on["rate"] / ref_on["rate"],
+        "checks_per_query_at_50k": rung_on["checks_per_query"],
+        "amq_items_at_50k": rung_on["amq_items"],
+        "amq_negatives_at_50k": rung_on["amq_negatives"],
+        "amq_fpr_at_50k": rung_on["amq_fpr"],
+    }
+    report(
+        "replica_scaling_prescreen",
+        f"Prescreened answering, 50/50 hit-miss mix, {PRESCREEN_QUERIES} "
+        f"queries per pass, median of {PRESCREEN_REPEATS}",
+        ["size", "amq/s", "off/s", "chk/q", "amq_n", "amq_neg", "amq_fpr"],
+        rows,
+        params={
+            "ref": PRESCREEN_REF,
+            "rung": PRESCREEN_RUNG,
+            "queries_per_pass": PRESCREEN_QUERIES,
+            "timing_repeats": PRESCREEN_REPEATS,
+            "full_sweep": bool(os.environ.get(FULL_SWEEP_ENV)),
+        },
+        metrics=metrics,
+        paper_expected={
+            "shape": "per-answer cost flat from 500 to 50k stored filters; "
+            "containment checks per query independent of the population"
+        },
+    )
+
+    # Flatness floor (machine-independent: both points are measured by
+    # the same function in the same process): 100x the population may
+    # cost at most 2x the per-answer time.
+    assert rung_on["rate"] >= ref_on["rate"] / 2.0, (
+        "prescreened answering is not flat: "
+        f"{rung_on['rate']:.0f}/s at {PRESCREEN_RUNG} vs "
+        f"{ref_on['rate']:.0f}/s at {PRESCREEN_REF}"
+    )
+    for n in rungs:
+        if n <= PRESCREEN_REF:
+            continue
+        on, _ = points[n]
+        # ~1 containment check per hit, none per prescreened miss; any
+        # population dependence would blow through this ceiling.
+        assert on["checks_per_query"] <= 2.0
+        # The routing AMQ is active and actually screening at scale.
+        assert on["amq_items"] > 0
+        assert on["amq_negatives"] > 0
+
+    # Timed unit: one prescreened miss at the rung.
+    replica = FilterReplica("r", cache_capacity=0)
+    for block in range(PRESCREEN_RUNG):
+        replica.load_directly(_wide_filter(block), [_wide_person(block)])
+    sample = SearchRequest("o=xyz", Scope.SUB, "(serialNumber=99990000US)")
     benchmark(lambda: replica.answer(sample))

@@ -12,6 +12,7 @@
   containment scans (docs/ROUTING.md).
 """
 
+from .amq import AdaptiveQuotientFilter
 from .containment import (
     attributes_contained_in,
     query_contained_in,
@@ -33,7 +34,7 @@ from .generalization import (
     PrefixSuffixGeneralization,
     SuffixGeneralization,
 )
-from .query_cache import CachedQuery, RecentQueryCache
+from .query_cache import CachedQuery, NegativeResultCache, RecentQueryCache
 from .replica import AnswerStatus, HitStats, ReplicaAnswer
 from .routing import ContainmentIndex, guard_atoms, probe_atoms
 from .selection import CandidateStats, FilterSelector, SelectionReport
@@ -61,6 +62,8 @@ __all__ = [
     "ReplicaFrontend",
     "RecentQueryCache",
     "CachedQuery",
+    "NegativeResultCache",
+    "AdaptiveQuotientFilter",
     "ContainmentIndex",
     "guard_atoms",
     "probe_atoms",

@@ -1,0 +1,325 @@
+"""Adaptive quotient-style AMQ for negative-lookup prescreens.
+
+Posting-list structures (guard-atom maps, equality indexes, the QC
+window) answer *misses* by a failed dict probe per atom — cheap at 500
+stored filters, but the maps themselves grow with the population, and
+every miss-dominated path repeats the probes.  An approximate-
+membership (AMQ) summary in front turns a definite miss into one hash
+and a few word compares against a flat table whose size tracks the
+*population*, not the key universe.
+
+:class:`AdaptiveQuotientFilter` follows the quotient-filter family
+(Aleph Filter, Telescoping Filter — see PAPERS.md): a key's 64-bit
+mixed hash is split into a **quotient** (the top ``qbits`` bits, the
+bucket address) and a **fingerprint** (the top ``qbits + rbits`` bits,
+stored verbatim).  Each bucket holds a handful of slots; a slot records
+``(width, fingerprint)`` where *width* is how many leading hash bits
+the fingerprint carries.
+
+**Adaptive extension.**  When the load factor crosses the threshold the
+bucket array doubles (``qbits + 1``).  Because every stored fingerprint
+*is* a leading-bit prefix of its key's hash, the new bucket address is
+just the fingerprint's own top ``qbits + 1`` bits — no keys need to be
+retained or rehashed.  Fingerprints inserted *after* an extension carry
+one more bit (the new ``qbits + rbits``), so the per-slot false-
+positive probability stays ``2^-rbits`` regardless of how often the
+filter grows: the bound is preserved under doubling, which is the
+Aleph/Telescoping property this reproduces.
+
+**No false negatives — ever.**  ``contains`` compares the stored
+fingerprint against the same leading bits of the probe hash; an
+inserted key always reproduces its own prefix.  Bucket overflow and
+fingerprints too narrow for a future bucket address fall back to a
+small exact spill table (width → fingerprint set), which also cannot
+produce a false negative.  Deletions are not supported; owners that
+remove keys keep the stale entry (a stale entry can only widen the
+"maybe" set, never hide a present key) and rebuild when staleness
+accumulates.
+
+**Two-level probe.**  A definite negative must cost less than the dict
+probe it replaces, and a Python-level slot scan cannot beat CPython's
+C dict.  ``contains`` therefore first consults a plain ``set`` of
+32-bit digests — the low bits of the key's *native* (seeded) hash, one
+xor and one mask away from what CPython computes anyway — a C-level
+membership test that resolves almost every absent key (collision
+probability ``items * 2^-32``).  Only the rare survivor pays the full
+avalanche mix and the quotient-table walk, whose verdict is final.
+The digest set trades memory for speed (a boxed int per key); the
+quotient table remains the compact, bounded-FPR summary the
+Aleph/Telescoping analysis applies to, and the decision for any key
+the digest set cannot rule out is the table's.  :meth:`screen` batches
+the level-1 probe over a whole atom set, one Python call per query
+instead of one per atom.
+
+The structure is dependency-free and deliberately simple: correctness
+is carried by the property tests in ``tests/core/test_amq.py``
+(no-false-negative through forced extensions), not by tuning.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, Iterable, List, Set
+
+__all__ = ["AdaptiveQuotientFilter"]
+
+_M64 = (1 << 64) - 1
+_M32 = (1 << 32) - 1
+
+#: Width of the fast-path digest set (level 1 of the two-level probe).
+PREFIX_BITS = 32
+
+#: Slots per bucket; 4 keeps overflow-to-spill rare below the load cap.
+SLOTS_PER_BUCKET = 4
+
+#: Fraction of slots occupied that triggers a doubling.
+LOAD_FACTOR = 0.75
+
+#: Default fingerprint bits beyond the bucket address (per-slot false-
+#: positive probability ``2^-rbits``); also the doubling headroom — a
+#: fingerprint stays bucket-addressable through ``rbits`` extensions.
+DEFAULT_RBITS = 16
+
+# Slot encoding: ``(width << _WIDTH_SHIFT) | fingerprint``; 0 = empty.
+# width <= 63 and fingerprint < 2^58 hold for every reachable
+# configuration (qbits + rbits stays far below 58).
+_WIDTH_SHIFT = 58
+_FP_MASK = (1 << _WIDTH_SHIFT) - 1
+
+
+def _mix(x: int) -> int:
+    """64-bit avalanche mix (splitmix64 finalizer)."""
+    x &= _M64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _M64
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _M64
+    x ^= x >> 33
+    return x
+
+
+class AdaptiveQuotientFilter:
+    """Approximate membership with adaptive growth and no false negatives.
+
+    Args:
+        expected_items: sizing hint; the initial table holds this many
+            keys below the load threshold.  Growth is automatic, so a
+            low hint only costs extensions, never correctness.
+        rbits: fingerprint bits beyond the bucket address (false-
+            positive probability ``2^-rbits`` per occupied slot probed).
+        seed: hash seed, so independent filters over the same keys fail
+            independently.
+    """
+
+    def __init__(
+        self,
+        expected_items: int = 64,
+        rbits: int = DEFAULT_RBITS,
+        seed: int = 0,
+    ):
+        if expected_items < 1:
+            raise ValueError("expected_items must be >= 1")
+        if not 4 <= rbits <= 32:
+            raise ValueError("rbits must be in [4, 32]")
+        qbits = 2
+        while (1 << qbits) * SLOTS_PER_BUCKET * LOAD_FACTOR < expected_items:
+            qbits += 1
+        self._qbits = qbits
+        self._rbits = rbits
+        self._seed = _mix(seed ^ 0x9E3779B97F4A7C15)
+        self._table = array("Q", bytes(8 * (1 << qbits) * SLOTS_PER_BUCKET))
+        self._spill: Dict[int, Set[int]] = {}
+        self._digests: Set[int] = set()  # L1: seeded 32-bit native-hash digests
+        # plain-int accounting; owners mirror into metric instruments
+        self.items = 0
+        self.lookups = 0
+        self.negatives = 0
+        self.extensions = 0
+        self._fp_mass = 0.0  # sum of 2^-width over occupied slots
+
+    # ------------------------------------------------------------------
+    # hashing
+    # ------------------------------------------------------------------
+    def _hash(self, key: Hashable) -> int:
+        # One multiply + one xor-shift on top of Python's own hash: the
+        # multiply pushes entropy into the high bits (bucket address and
+        # fingerprint both read leading bits).  Only inserts and the
+        # rare level-1 survivor pay this; probes resolve on the digest
+        # set, one xor + one mask from the native hash.
+        h = ((hash(key) ^ self._seed) * 0x9E3779B97F4A7C15) & _M64
+        return h ^ (h >> 29)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add(self, key: Hashable) -> None:
+        """Insert *key*; duplicates are absorbed."""
+        self._digests.add((hash(key) ^ self._seed) & _M32)
+        self._insert_hash(self._hash(key))
+
+    def _insert_hash(self, h: int) -> None:
+        if self.items + 1 > (len(self._table) * LOAD_FACTOR):
+            self._extend()
+        width = self._qbits + self._rbits
+        fp = h >> (64 - width)
+        encoded = (width << _WIDTH_SHIFT) | fp
+        base = (h >> (64 - self._qbits)) * SLOTS_PER_BUCKET
+        table = self._table
+        free = -1
+        for pos in range(base, base + SLOTS_PER_BUCKET):
+            slot = table[pos]
+            if slot == encoded:
+                return  # duplicate
+            if slot == 0 and free < 0:
+                free = pos
+        if free >= 0:
+            table[free] = encoded
+        else:
+            self._spill.setdefault(width, set()).add(fp)
+        self.items += 1
+        self._fp_mass += 2.0**-width
+
+    def contains(self, key: Hashable) -> bool:
+        """False = definitely absent; True = possibly present.
+
+        Level 1 — one C-level set probe of the key's seeded 32-bit
+        digest — resolves nearly every absent key; only a digest
+        collision walks the quotient table, whose verdict is final.
+        """
+        self.lookups += 1
+        if ((hash(key) ^ self._seed) & _M32) not in self._digests:
+            self.negatives += 1
+            return False
+        if self._confirm(self._hash(key)):
+            return True
+        self.negatives += 1
+        return False
+
+    __contains__ = contains
+
+    def _confirm(self, h: int) -> bool:
+        """Level 2: the quotient table's verdict for mixed hash *h*."""
+        base = (h >> (64 - self._qbits)) * SLOTS_PER_BUCKET
+        table = self._table
+        for pos in range(base, base + SLOTS_PER_BUCKET):
+            slot = table[pos]
+            if slot and (h >> (64 - (slot >> _WIDTH_SHIFT))) == (slot & _FP_MASK):
+                return True
+        for width, fps in self._spill.items():
+            if (h >> (64 - width)) in fps:
+                return True
+        return False
+
+    def screen(self, keys: Iterable[Hashable]) -> List[Hashable]:
+        """The sub-list of *keys* possibly present, in iteration order.
+
+        One Python call per batch: each key pays a single xor + mask +
+        C-level set probe, and only digest collisions reach the table.
+        Dropped keys are definite negatives — callers skip real work
+        on them, exactly as for a ``False`` from :meth:`contains`.
+        """
+        seed = self._seed
+        digests = self._digests
+        survivors: List[Hashable] = []
+        append = survivors.append
+        probed = negatives = 0
+        for key in keys:
+            probed += 1
+            if (hash(key) ^ seed) & _M32 in digests:
+                if self._confirm(self._hash(key)):
+                    append(key)
+                else:
+                    negatives += 1
+            else:
+                negatives += 1
+        self.lookups += probed
+        self.negatives += negatives
+        return survivors
+
+    def __len__(self) -> int:
+        return self.items
+
+    # ------------------------------------------------------------------
+    # adaptive extension
+    # ------------------------------------------------------------------
+    def _extend(self) -> None:
+        """Double the bucket array, re-addressing from stored prefixes.
+
+        Every slot's fingerprint is the top ``width`` bits of its key's
+        hash, so its new bucket is the fingerprint's own top
+        ``qbits + 1`` bits.  A fingerprint narrower than the new bucket
+        address (possible only after ``rbits`` doublings since its
+        insertion) moves to the exact spill table instead — never lost.
+        """
+        old_table = self._table
+        self._qbits += 1
+        qbits = self._qbits
+        self._table = array("Q", bytes(8 * (1 << qbits) * SLOTS_PER_BUCKET))
+        table = self._table
+        for slot in old_table:
+            if not slot:
+                continue
+            width = slot >> _WIDTH_SHIFT
+            fp = slot & _FP_MASK
+            if width < qbits:
+                self._spill.setdefault(width, set()).add(fp)
+                continue
+            base = (fp >> (width - qbits)) * SLOTS_PER_BUCKET
+            for pos in range(base, base + SLOTS_PER_BUCKET):
+                if table[pos] == 0:
+                    table[pos] = slot
+                    break
+            else:
+                self._spill.setdefault(width, set()).add(fp)
+        self.extensions += 1
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every key, keeping the current table size."""
+        self._table = array("Q", bytes(8 * len(self._table)))
+        self._spill.clear()
+        self._digests.clear()
+        self.items = 0
+        self._fp_mass = 0.0
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._table)
+
+    def occupancy(self) -> float:
+        """Fraction of table slots occupied (spilled keys excluded)."""
+        spilled = sum(len(fps) for fps in self._spill.values())
+        return (self.items - spilled) / len(self._table)
+
+    def spilled(self) -> int:
+        return sum(len(fps) for fps in self._spill.values())
+
+    def fpr(self) -> float:
+        """Expected false-positive probability for a random absent key.
+
+        A random key matches an occupied slot of width ``w`` with
+        probability ``2^-w`` (bucket address and fingerprint bits are
+        the same leading hash bits); summing over slots gives the union
+        bound the per-slot ``2^-rbits`` design point rolls up to.
+        """
+        return min(1.0, self._fp_mass)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "items": self.items,
+            "slots": len(self._table),
+            "occupancy": self.occupancy(),
+            "spilled": self.spilled(),
+            "extensions": self.extensions,
+            "lookups": self.lookups,
+            "negatives": self.negatives,
+            "fpr": self.fpr(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"AdaptiveQuotientFilter({self.items} items, "
+            f"{len(self._table)} slots, {self.extensions} extensions)"
+        )

@@ -46,7 +46,7 @@ from ..server.network import SimulatedNetwork
 from ..server.operations import Referral
 from ..sync.consumer import SyncedContent
 from .containment import query_contained_in
-from .query_cache import RecentQueryCache
+from .query_cache import NegativeResultCache, RecentQueryCache
 from .replica import AnswerStatus, HitStats, ReplicaAnswer
 from .routing import ContainmentIndex
 from .templates import TemplateRegistry, template_key
@@ -95,8 +95,14 @@ class FilterReplica:
             :class:`~repro.core.routing.ContainmentIndex` and evaluate
             hits through content indexes; ``False`` replays the seed
             linear scans (the property-test oracle).
-        metrics: registry for ``core.replica.*`` / ``core.route.*``
-            counters (private registry by default).
+        amq: enable the miss-side prescreens of docs/ROUTING.md §10 —
+            the routing index's guard-atom AMQ, content-index AMQs, and
+            the negative result caches over the stored-filter scan and
+            the QC window.  ``False`` bypasses every prescreen while
+            keeping answers byte-identical (the oracle for
+            ``tests/core/test_prescreen_equivalence.py``).
+        metrics: registry for ``core.replica.*`` / ``core.route.*`` /
+            ``core.amq.*`` counters (private registry by default).
     """
 
     def __init__(
@@ -109,6 +115,7 @@ class FilterReplica:
         compose_unions: bool = False,
         cache_policy: str = "fifo",
         routing: bool = True,
+        amq: bool = True,
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.name = name
@@ -117,13 +124,20 @@ class FilterReplica:
         self.templates = templates
         self.compose_unions = compose_unions
         self.routing = routing
+        self.amq = amq
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = RecentQueryCache(
-            cache_capacity, policy=cache_policy, indexed=routing
+            cache_capacity, policy=cache_policy, indexed=routing, amq=amq
         )
         self._stored: Dict[SearchRequest, StoredFilter] = {}
         self._index: Optional[ContainmentIndex] = (
-            ContainmentIndex() if routing else None
+            ContainmentIndex(amq=amq) if routing else None
+        )
+        # Stored-path negative cache: only when no template registry is
+        # attached — registries are mutable, and a template registered
+        # after a recorded miss could change the prune decision.
+        self._negative: Optional[NegativeResultCache] = (
+            NegativeResultCache() if amq and templates is None else None
         )
         self._persist_handles: Dict[SearchRequest, object] = {}
         self.stats = HitStats()
@@ -161,7 +175,7 @@ class FilterReplica:
             return self._stored[request]
         stored = StoredFilter(
             request=request,
-            content=SyncedContent(request, network=self.network),
+            content=SyncedContent(request, network=self.network, amq=self.amq),
             key=template_key(request.filter),
             sync_interval=sync_interval,
         )
@@ -170,6 +184,9 @@ class FilterReplica:
         self._stored[request] = stored
         if self._index is not None:
             self._index.add(request, stored)
+        if self._negative is not None:
+            # The new filter may contain a previously-missed request.
+            self._negative.invalidate()
         self._size_memo = None
         return stored
 
@@ -285,7 +302,16 @@ class FilterReplica:
         prune and count each :func:`query_contained_in` actually run, so
         answers — and the prune's effect on ``containment_checks`` — are
         identical.
+
+        With prescreens on, a request that already proved to miss every
+        stored filter short-circuits through the negative result cache
+        (exact keys; invalidated whenever a filter is added), skipping
+        both the candidate walk and its containment checks.  The
+        *answer* is identical either way — only the re-derivation cost
+        differs.
         """
+        if self._negative is not None and self._negative.known_miss(request):
+            return None
         if self._index is not None:
             memo = self._index.memo_get(request)
             if memo is not None:
@@ -304,6 +330,8 @@ class FilterReplica:
                 if query_contained_in(request, stored.request):
                     self._index.memo_put(request, cand)
                     return stored
+            if self._negative is not None:
+                self._negative.note_miss(request)
             return None
         for stored in self._stored.values():
             if self.templates is not None and not self.templates.may_answer(
@@ -314,6 +342,8 @@ class FilterReplica:
             self._checks_stored.inc()
             if query_contained_in(request, stored.request):
                 return stored
+        if self._negative is not None:
+            self._negative.note_miss(request)
         return None
 
     def _cache_lookup(self, request: SearchRequest):
@@ -420,6 +450,59 @@ class FilterReplica:
     def observe_miss(self, request: SearchRequest, entries: Sequence[Entry]) -> None:
         """Feed a master-answered query back into the recent-query cache."""
         self.cache.insert(request, entries)
+
+    # ------------------------------------------------------------------
+    # prescreen observability
+    # ------------------------------------------------------------------
+    def sync_amq_metrics(self) -> None:
+        """Mirror the prescreens' plain-int accounting into the metric
+        registry (docs/OBSERVABILITY.md §2).
+
+        The prescreens keep plain ints on the hot path; this publishes
+        them on demand — benches and dashboards call it once per
+        snapshot instead of paying instrument updates per answer.
+        ``Counter.set`` is the documented idiom for syncing externally
+        maintained counts.
+        """
+        sites = []
+        if self._index is not None and self._index.amq is not None:
+            sites.append(("routing", self._index.amq))
+        cache_index = self.cache._index
+        if cache_index is not None and cache_index.amq is not None:
+            sites.append(("query_cache", cache_index.amq))
+        for stored in self._stored.values():
+            summary = stored.content.amq_summary()
+            if summary is not None:
+                sites.append(("content", summary))
+                break  # one representative content index per snapshot
+        for site, summary in sites:
+            self.metrics.counter("core.amq.lookups", site=site).set(summary.lookups)
+            self.metrics.counter("core.amq.negatives", site=site).set(
+                summary.negatives
+            )
+            self.metrics.counter("core.amq.extensions", site=site).set(
+                summary.extensions
+            )
+            self.metrics.gauge("core.amq.items", site=site).set(summary.items)
+            self.metrics.gauge("core.amq.occupancy", site=site).set(
+                summary.occupancy()
+            )
+            self.metrics.gauge("core.amq.fpr", site=site).set(summary.fpr())
+        for site, negcache in (
+            ("stored", self._negative),
+            ("query_cache", self.cache.negatives),
+        ):
+            if negcache is None:
+                continue
+            self.metrics.counter("core.qc.negcache.hits", site=site).set(
+                negcache.hits
+            )
+            self.metrics.counter("core.qc.negcache.lookups", site=site).set(
+                negcache.lookups
+            )
+            self.metrics.counter("core.qc.negcache.invalidations", site=site).set(
+                negcache.invalidations
+            )
 
     # ------------------------------------------------------------------
     # sizing

@@ -33,7 +33,7 @@ extra candidates only cost a check.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..ldap.attributes import AttributeRegistry, DEFAULT_REGISTRY
 from ..ldap.filters import (
@@ -48,6 +48,7 @@ from ..ldap.filters import (
     simplify,
 )
 from ..ldap.query import SearchRequest
+from .amq import AdaptiveQuotientFilter
 
 __all__ = ["ContainmentIndex", "Candidate", "guard_atoms", "probe_atoms"]
 
@@ -58,6 +59,11 @@ _ANY: Atom = ("any",)
 
 #: Memo entries kept before the positive memo is wholesale cleared.
 MEMO_CAPACITY = 65_536
+
+#: Populations below this skip the AMQ prescreen: a dict probe on a
+#: small atom map is already one hash, so the summary only pays off
+#: once the guard-atom map is large (docs/ROUTING.md §10).
+AMQ_MIN_POPULATION = 1_024
 
 
 def _norm(registry: AttributeRegistry, attr: str, value: str) -> str:
@@ -211,6 +217,14 @@ class ContainmentIndex:
             positive memo); ``"recency"`` iterates newest-first,
             mirroring the recent-query cache's window (the memo stays
             off: a later insert may preempt an older winner).
+        amq: keep an :class:`~repro.core.amq.AdaptiveQuotientFilter`
+            over the guard atoms and prescreen every probe atom through
+            it before touching the posting map — a definitely-absent
+            atom costs one hash instead of a dict miss on a population-
+            sized map.  ``False`` bypasses the prescreen (the oracle
+            for the byte-identical-candidates property tests).
+        amq_min_population: registered queries needed before the
+            prescreen activates (tests pass 0 to force it on).
     """
 
     ORDERS = ("insertion", "recency")
@@ -220,17 +234,22 @@ class ContainmentIndex:
         registry: Optional[AttributeRegistry] = None,
         order: str = "insertion",
         memo_capacity: int = MEMO_CAPACITY,
+        amq: bool = True,
+        amq_min_population: int = AMQ_MIN_POPULATION,
     ):
         if order not in self.ORDERS:
             raise ValueError(f"unknown order {order!r}; pick from {self.ORDERS}")
         self._registry = registry if registry is not None else DEFAULT_REGISTRY
         self._order = order
         self._memo_capacity = memo_capacity
+        self._amq_enabled = amq
+        self._amq_min_population = amq_min_population
+        self._amq: Optional[AdaptiveQuotientFilter] = None
+        self._amq_stale = 0
         self._uids = itertools.count(1)
         self._seqs = itertools.count(1)
         self._by_request: Dict[SearchRequest, Candidate] = {}
         self._atom_postings: Dict[Atom, Set[Candidate]] = {}
-        self._region_postings: Dict[Tuple, Set[Candidate]] = {}
         self._memo: Dict[SearchRequest, Candidate] = {}
         # plain-int accounting; owners mirror these into metric counters
         self.probes = 0
@@ -254,11 +273,18 @@ class ContainmentIndex:
         self._by_request[request] = cand
         for atom in cand.atoms:
             self._atom_postings.setdefault(atom, set()).add(cand)
-        self._region_postings.setdefault(cand.region, set()).add(cand)
+            if self._amq is not None:
+                self._amq.add(atom)
         return cand
 
     def remove(self, request: SearchRequest) -> bool:
-        """Unregister *request*; memo entries die by liveness check."""
+        """Unregister *request*; memo entries die by liveness check.
+
+        The AMQ cannot delete: removed guard atoms stay as stale
+        "maybe" entries (sound — they only re-admit the dict probe the
+        prescreen would have skipped) until staleness reaches the live
+        population, at which point the summary is rebuilt.
+        """
         cand = self._by_request.pop(request, None)
         if cand is None:
             return False
@@ -268,11 +294,11 @@ class ContainmentIndex:
                 postings.discard(cand)
                 if not postings:
                     del self._atom_postings[atom]
-        postings = self._region_postings.get(cand.region)
-        if postings is not None:
-            postings.discard(cand)
-            if not postings:
-                del self._region_postings[cand.region]
+        if self._amq is not None:
+            self._amq_stale += len(cand.atoms)
+            if self._amq_stale > max(64, len(self._atom_postings)):
+                self._amq = None  # rebuilt lazily on the next prescreen
+                self._amq_stale = 0
         return True
 
     def touch(self, request: SearchRequest) -> None:
@@ -284,14 +310,40 @@ class ContainmentIndex:
     def clear(self) -> None:
         self._by_request.clear()
         self._atom_postings.clear()
-        self._region_postings.clear()
         self._memo.clear()
+        self._amq = None
+        self._amq_stale = 0
 
     def __len__(self) -> int:
         return len(self._by_request)
 
     def __contains__(self, request: SearchRequest) -> bool:
         return request in self._by_request
+
+    # ------------------------------------------------------------------
+    # AMQ prescreen
+    # ------------------------------------------------------------------
+    @property
+    def amq(self) -> Optional[AdaptiveQuotientFilter]:
+        """The live guard-atom summary (None while inactive)."""
+        return self._amq
+
+    def _active_amq(self) -> Optional[AdaptiveQuotientFilter]:
+        """The prescreen summary, (re)built once the population
+        justifies it; None below the activation threshold."""
+        if not self._amq_enabled:
+            return None
+        if len(self._by_request) < self._amq_min_population:
+            return None
+        if self._amq is None:
+            summary = AdaptiveQuotientFilter(
+                expected_items=max(64, 2 * len(self._atom_postings))
+            )
+            for atom in self._atom_postings:
+                summary.add(atom)
+            self._amq = summary
+            self._amq_stale = 0
+        return self._amq
 
     # ------------------------------------------------------------------
     # candidate routing
@@ -303,25 +355,33 @@ class ContainmentIndex:
         probes of ``request.base.reversed_key()`` — a registered query
         can only contain *request* when its base is an ancestor-or-self
         of the request's base (:func:`~repro.core.containment.
-        region_contained_in`), i.e. its region key is a prefix.
+        region_contained_in`), i.e. its region key is one of the
+        ``len(rk) + 1`` prefixes of the request's own key.  The region
+        test is a per-candidate membership check against that small
+        prefix set, so its cost tracks the matched candidates, not the
+        population.  With the AMQ prescreen active, probe atoms the
+        summary rules out skip the posting map entirely; the summary
+        has no false negatives, so the matched set — and therefore the
+        returned candidates — are identical with and without it.
         """
         self.probes += 1
         if not self._by_request:
             return []
+        amq = self._active_amq()
+        atoms: Iterable[Atom] = probe_atoms(request.filter, self._registry)
+        if amq is not None:
+            atoms = amq.screen(atoms)
         matched: Set[Candidate] = set()
-        for atom in probe_atoms(request.filter, self._registry):
-            postings = self._atom_postings.get(atom)
+        postings_get = self._atom_postings.get
+        for atom in atoms:
+            postings = postings_get(atom)
             if postings:
                 matched |= postings
         if not matched:
             return []
-        region: Set[Candidate] = set()
         rk = request.base.reversed_key()
-        for i in range(len(rk) + 1):
-            postings = self._region_postings.get(rk[:i])
-            if postings:
-                region |= postings
-        matched &= region
+        prefixes = {rk[:i] for i in range(len(rk) + 1)}
+        matched = {c for c in matched if c.region in prefixes}
         if self._order == "insertion":
             ordered = sorted(matched, key=lambda c: c.uid)
         else:

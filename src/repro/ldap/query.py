@@ -111,6 +111,17 @@ class SearchRequest:
             return entry.copy()
         return entry.project(self.attributes)
 
+    def __hash__(self) -> int:
+        # Requests key the stored-filter map, the routing memo, the QC
+        # window, and the negative result caches — several probes per
+        # answered query on the same object.  The generated dataclass
+        # hash walks the whole filter tree each call; memoize it.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.base, self.scope, self.filter, self.attributes))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     # ------------------------------------------------------------------
     # derived requests
     # ------------------------------------------------------------------

@@ -1,0 +1,124 @@
+"""AdaptiveQuotientFilter: the no-false-negative contract.
+
+The AMQ is only usable as a prescreen because a negative answer is a
+*proof* of absence — every wiring site (docs/ROUTING.md §10) skips real
+work on it.  The properties here drive the filter through adaptive
+extensions (small sizing hints force doublings) and require that every
+inserted key is still reported present afterwards; a single false
+negative would silently drop answers at all three prescreen sites.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AdaptiveQuotientFilter
+from repro.core.amq import LOAD_FACTOR, SLOTS_PER_BUCKET
+
+_keys = st.one_of(
+    st.text(max_size=12),
+    st.integers(),
+    st.tuples(st.sampled_from(["eq", "pfx", "attr", "rk"]), st.text(max_size=8)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_keys, max_size=100), st.integers(min_value=0, max_value=2**32))
+def test_never_a_false_negative(keys, seed):
+    amq = AdaptiveQuotientFilter(expected_items=1, seed=seed)
+    for i, key in enumerate(keys):
+        amq.add(key)
+        # Every key inserted so far stays visible at every step —
+        # including immediately after any extension the insert caused.
+        for earlier in keys[: i + 1]:
+            assert earlier in amq
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32))
+def test_no_false_negative_through_forced_extensions(seed):
+    """≥2 doublings (the acceptance floor) with all keys retained."""
+    amq = AdaptiveQuotientFilter(expected_items=1, seed=seed)
+    keys = [("eq", "serialnumber", f"{i:06d}US") for i in range(1_000)]
+    for key in keys:
+        amq.add(key)
+    assert amq.extensions >= 2
+    assert all(key in amq for key in keys)
+
+
+def test_extension_preserves_false_positive_bound():
+    """FPR stays near the 2^-rbits design point across many doublings.
+
+    Fingerprints inserted after an extension carry one more bit, so the
+    union-bound estimate — and the observed rate — must not scale with
+    the number of doublings (the Aleph/Telescoping property)."""
+    amq = AdaptiveQuotientFilter(expected_items=4, seed=3)
+    for i in range(20_000):
+        amq.add(("k", i))
+    assert amq.extensions >= 5
+    assert all(("k", i) in amq for i in range(0, 20_000, 97))
+    absent = sum(1 for i in range(50_000) if ("absent", i) in amq)
+    observed = absent / 50_000
+    # rbits=16 and ~20k occupied slots put the union bound around
+    # 20k * 2^-16 ≈ 0.0004; a flat 1% ceiling still catches any
+    # per-extension FPR growth by an order of magnitude.
+    assert observed <= 0.01
+    assert amq.fpr() <= 0.01
+
+
+def test_duplicates_absorbed_and_len_tracks_items():
+    amq = AdaptiveQuotientFilter(expected_items=16)
+    for _ in range(5):
+        amq.add("same-key")
+    assert len(amq) == 1
+    assert "same-key" in amq
+
+
+def test_clear_empties_without_shrinking():
+    amq = AdaptiveQuotientFilter(expected_items=4)
+    for i in range(200):
+        amq.add(i)
+    slots = amq.slot_count
+    amq.clear()
+    assert len(amq) == 0
+    assert amq.slot_count == slots
+    # A cleared table holds nothing, so every probe is a definite no.
+    assert not any(i in amq for i in range(200))
+    amq.add("fresh")
+    assert "fresh" in amq
+
+
+def test_seeds_give_independent_summaries():
+    a = AdaptiveQuotientFilter(expected_items=64, seed=1)
+    b = AdaptiveQuotientFilter(expected_items=64, seed=2)
+    for i in range(64):
+        a.add(("k", i))
+        b.add(("k", i))
+    # Same keys, both complete…
+    assert all(("k", i) in a and ("k", i) in b for i in range(64))
+
+
+def test_stats_shape_and_accounting():
+    amq = AdaptiveQuotientFilter(expected_items=32)
+    for i in range(10):
+        amq.add(i)
+    amq.contains(5_000)  # one lookup, hit or miss
+    stats = amq.stats()
+    for field in (
+        "items",
+        "slots",
+        "occupancy",
+        "spilled",
+        "extensions",
+        "lookups",
+        "negatives",
+        "fpr",
+    ):
+        assert field in stats
+    assert stats["items"] == 10
+    assert stats["lookups"] == 1
+    assert 0.0 <= stats["occupancy"] <= 1.0
+
+
+def test_sizing_hint_respects_load_factor():
+    amq = AdaptiveQuotientFilter(expected_items=1_000)
+    assert amq.slot_count * LOAD_FACTOR >= 1_000
+    assert amq.slot_count % SLOTS_PER_BUCKET == 0

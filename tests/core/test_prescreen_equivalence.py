@@ -1,0 +1,340 @@
+"""Prescreened answering must be byte-identical to ``amq=False``.
+
+``FilterReplica(amq=False)`` bypasses every docs/ROUTING.md §10
+prescreen — the routing index's guard-atom AMQ, the content indexes'
+equality/DN AMQ, and both negative result caches — while keeping the
+routed machinery in place.  The properties drive both configurations
+through identical stored-filter sets, query streams, and cache
+feedback (and, for the sync-path property, identical ``FaultyNetwork``
+fault schedules) and require identical answers: status, entry list
+*including order*, ``answered_by`` attribution, and referrals.
+
+The AMQ prescreens are forced on even at tiny populations by
+``amq_min_population=0`` in the structure-level properties, so the
+tests exercise the prescreen code path rather than the inactive-
+below-threshold shortcut.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FilterReplica
+from repro.core.routing import ContainmentIndex
+from repro.ldap import (
+    And,
+    DN,
+    Entry,
+    Equality,
+    GreaterOrEqual,
+    LessOrEqual,
+    Not,
+    Or,
+    Present,
+    Scope,
+    SearchRequest,
+    Substring,
+)
+from repro.server import DirectoryServer
+from repro.server.faults import FaultPlan, FaultSpec, FaultyNetwork
+from repro.server.network import TransportError
+from repro.server.indexes import ContentIndex
+from repro.sync import ResyncProvider
+from repro.sync.consumer import SyncedContent
+
+_ATTRS = ["sn", "uid", "l"]
+_VALUES = ["a", "ab", "abc", "b", "ba", "c"]
+_attr = st.sampled_from(_ATTRS)
+_value = st.sampled_from(_VALUES)
+
+_leaves = st.one_of(
+    st.builds(Equality, _attr, _value),
+    st.builds(GreaterOrEqual, _attr, _value),
+    st.builds(LessOrEqual, _attr, _value),
+    st.builds(Present, _attr),
+    st.builds(lambda a, v: Substring(a, initial=v), _attr, _value),
+    st.builds(lambda a, v: Substring(a, final=v), _attr, _value),
+)
+
+_filters = st.recursive(
+    _leaves,
+    lambda kids: st.one_of(
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: And(tuple(cs))),
+        st.lists(kids, min_size=1, max_size=3).map(lambda cs: Or(tuple(cs))),
+        kids.map(Not),
+    ),
+    max_leaves=5,
+)
+
+_BASES = ["", "o=xyz", "c=us,o=xyz"]
+_requests = st.builds(
+    SearchRequest,
+    st.sampled_from(_BASES),
+    st.sampled_from([Scope.SUB, Scope.ONE, Scope.BASE]),
+    _filters,
+)
+
+_DN_POOL = [
+    "o=xyz",
+    "c=us,o=xyz",
+    "cn=p0,c=us,o=xyz",
+    "cn=p1,c=us,o=xyz",
+    "cn=p2,o=xyz",
+    "cn=p3,o=xyz",
+]
+
+_entry_values = st.lists(_value, max_size=2)
+_entries = st.builds(
+    lambda dn, svals, uvals, lvals: Entry(
+        DN.parse(dn),
+        {
+            "objectClass": ["person"],
+            "cn": "x",
+            **({"sn": svals} if svals else {}),
+            **({"uid": uvals} if uvals else {}),
+            **({"l": lvals} if lvals else {}),
+        },
+    ),
+    st.sampled_from(_DN_POOL),
+    _entry_values,
+    _entry_values,
+    _entry_values,
+)
+
+
+def _entry_fp(entry):
+    return (
+        str(entry.dn),
+        sorted((n, tuple(entry.get(n))) for n in entry.attribute_names()),
+    )
+
+
+def _answer_fp(answer):
+    return (
+        answer.status,
+        [_entry_fp(e) for e in answer.entries],
+        answer.answered_by,
+        answer.referrals,
+    )
+
+
+# ----------------------------------------------------------------------
+# replica-level property: answers identical with prescreens on vs off
+# ----------------------------------------------------------------------
+def _drive(amq, directory, stored_requests, queries, capacity, unions, policy):
+    replica = FilterReplica(
+        "r",
+        cache_capacity=capacity,
+        compose_unions=unions,
+        cache_policy=policy,
+        amq=amq,
+    )
+    for request in stored_requests:
+        replica.load_directly(request, [e for e in directory if request.selects(e)])
+    outcomes = []
+    for query in queries:
+        answer = replica.answer(query)
+        outcomes.append(_answer_fp(answer))
+        if not answer.is_hit:
+            replica.observe_miss(query, [e for e in directory if query.selects(e)])
+    return outcomes
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(_entries, min_size=1, max_size=8, unique_by=lambda e: str(e.dn)),
+    st.lists(_requests, min_size=1, max_size=6),
+    st.lists(_requests, min_size=1, max_size=12),
+    st.sampled_from([0, 3]),
+    st.booleans(),
+    st.sampled_from(["fifo", "lru"]),
+)
+def test_prescreened_answers_equal_unprescreened(
+    directory, stored_requests, queries, capacity, unions, policy
+):
+    # Repeat every query so the negative caches answer the second pass.
+    stream = list(queries) + list(queries)
+    on = _drive(True, directory, stored_requests, stream, capacity, unions, policy)
+    off = _drive(False, directory, stored_requests, stream, capacity, unions, policy)
+    assert on == off
+
+
+# ----------------------------------------------------------------------
+# routing-index property: candidate lists identical, prescreen forced on
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(_requests, min_size=1, max_size=10),
+    st.lists(_requests, min_size=1, max_size=10),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=4),
+)
+def test_containment_index_candidates_identical(stored, probes, removals):
+    with_amq = ContainmentIndex(amq=True, amq_min_population=0)
+    without = ContainmentIndex(amq=False)
+    for request in stored:
+        with_amq.add(request, handle=request)
+        without.add(request, handle=request)
+    for i in removals:
+        if i < len(stored):
+            with_amq.remove(stored[i])
+            without.remove(stored[i])
+    for probe in probes:
+        got = [c.request for c in with_amq.candidates(probe)]
+        want = [c.request for c in without.candidates(probe)]
+        assert got == want
+
+
+# ----------------------------------------------------------------------
+# content-index property: evaluation identical through adds and deletes
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(_entries, min_size=1, max_size=8, unique_by=lambda e: str(e.dn)),
+    st.lists(_requests, min_size=1, max_size=8),
+    st.lists(st.integers(min_value=0, max_value=7), max_size=3),
+)
+def test_content_index_candidates_sound(directory, queries, deletions):
+    entries = {e.dn: e for e in directory}
+    on = ContentIndex(dict(entries), amq=True)
+    off = ContentIndex(dict(entries), amq=False)
+    live = dict(entries)
+    for query in queries:  # build some equality indexes (and the AMQ)
+        on.candidates(query)
+        off.candidates(query)
+    for i in deletions:
+        dns = list(live)
+        if i < len(dns):
+            dn = dns[i]
+            old = live.pop(dn)
+            on.discard(dn, old)
+            off.discard(dn, old)
+    for query in queries:
+        got = on.candidates(query)
+        want = off.candidates(query)
+        if got is None or want is None:
+            assert got == want
+            continue
+        # Both are candidate supersets; after re-verification against
+        # the live content they must select the same entries.
+        def verify(cands):
+            return {
+                dn
+                for dn in cands
+                if dn in live and query.in_scope(dn) and query.selects(live[dn])
+            }
+
+        assert verify(got) == verify(want)
+
+
+# ----------------------------------------------------------------------
+# sync path: prescreens on vs off under injected faults
+# ----------------------------------------------------------------------
+def _person(name, dept):
+    return Entry(
+        f"cn={name},o=xyz",
+        {
+            "objectClass": ["person"],
+            "cn": name,
+            "sn": "T",
+            "departmentNumber": dept,
+        },
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**16),
+    st.floats(min_value=0.0, max_value=0.4),
+    st.lists(_requests, min_size=1, max_size=8),
+)
+def test_prescreened_answers_equal_under_faulty_sync(seed, rate, queries):
+    """Same fault schedule, same polls → byte-identical answers."""
+    stored = [
+        SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)"),
+        SearchRequest("o=xyz", Scope.SUB, "(sn=T)"),
+    ]
+
+    def drive(amq):
+        master = DirectoryServer("M")
+        master.add_naming_context("o=xyz")
+        master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+        for i in range(30):
+            master.add(_person(f"P{i}", "42" if i % 2 == 0 else "99"))
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(FaultPlan(FaultSpec.uniform(rate), seed=seed))
+        replica = FilterReplica("r", network=net, cache_capacity=4, amq=amq)
+        for request in stored:
+            content = SyncedContent(request, network=net, amq=amq)
+            try:
+                content.resilient_poll(provider)
+            except TransportError:
+                # The schedule exhausted the retry budget — identical on
+                # both drives (same seed); finish the load fault-free.
+                net.heal()
+                content.resilient_poll(provider)
+            replica.load_directly(request, list(content.entries.values()))
+        outcomes = []
+        for query in queries + [stored[0], stored[1]] + queries:
+            answer = replica.answer(query)
+            outcomes.append(_answer_fp(answer))
+            if not answer.is_hit:
+                replica.observe_miss(query, master.search(query).entries)
+        return outcomes
+
+    assert drive(True) == drive(False)
+
+
+# ----------------------------------------------------------------------
+# negative-cache regressions
+# ----------------------------------------------------------------------
+def test_stored_negative_cache_invalidated_by_add_filter():
+    """A recorded miss must not survive a filter that now contains it."""
+    replica = FilterReplica("r")
+    query = SearchRequest("o=xyz", Scope.SUB, "(sn=ab)")
+    assert not replica.answer(query).is_hit
+    assert not replica.answer(query).is_hit  # negcache path, still a miss
+    assert replica._negative is not None and replica._negative.hits >= 1
+    wide = SearchRequest("o=xyz", Scope.SUB, "(sn=ab)")
+    replica.load_directly(
+        wide,
+        [
+            Entry(
+                "cn=s,o=xyz",
+                {"objectClass": ["person"], "cn": "s", "sn": ["ab"]},
+            )
+        ],
+    )
+    answer = replica.answer(query)
+    assert answer.is_hit
+    assert [str(e.dn) for e in answer.entries] == ["cn=s,o=xyz"]
+
+
+def test_query_cache_negative_cache_invalidated_by_insert():
+    replica = FilterReplica("r", cache_capacity=4)
+    narrow = SearchRequest("o=xyz", Scope.SUB, "(sn=ab)")
+    assert not replica.answer(narrow).is_hit
+    assert not replica.answer(narrow).is_hit  # miss memoized
+    wide = SearchRequest("o=xyz", Scope.SUB, "(sn=a*)")
+    replica.observe_miss(
+        wide,
+        [
+            Entry(
+                "cn=s,o=xyz",
+                {"objectClass": ["person"], "cn": "s", "sn": ["ab"]},
+            )
+        ],
+    )
+    answer = replica.answer(narrow)
+    assert answer.is_hit and answer.answered_by.startswith("cache:")
+
+
+def test_negative_cache_counters_surface_in_metrics():
+    replica = FilterReplica("r", cache_capacity=4)
+    miss = SearchRequest("o=xyz", Scope.SUB, "(uid=zzz)")
+    replica.answer(miss)
+    replica.answer(miss)
+    replica.sync_amq_metrics()
+    hits = replica.metrics.counter("core.qc.negcache.hits", site="stored").value
+    lookups = replica.metrics.counter(
+        "core.qc.negcache.lookups", site="stored"
+    ).value
+    assert hits >= 1
+    assert lookups >= 2
