@@ -446,3 +446,112 @@ def test_replica_scaling_prescreen(benchmark):
         replica.load_directly(_wide_filter(block), [_wide_person(block)])
     sample = SearchRequest("o=xyz", Scope.SUB, "(serialNumber=99990000US)")
     benchmark(lambda: replica.answer(sample))
+
+
+# ----------------------------------------------------------------------
+# E18c — live persist sessions at 10^3..10^4 on the pipelined transport
+# (docs/TRANSPORT.md): §5.2's connection-scaling worry.  The routed
+# sweep above caps at 500 poll sessions; this rung ladder drives the
+# batched fan-out (bench_persist_fanout's replay workload) at 500 and
+# 5000 live persist sessions — 10000 on the opt-in full sweep — and
+# checks that *delivered-notification* throughput stays flat: widening
+# the fan-out 10x may not shrink the per-notification rate below half.
+# ----------------------------------------------------------------------
+SESSION_RUNGS = (500, 5000)
+SESSION_P99_BOUND_MS = 5.0
+
+
+def test_replica_scaling_sessions(benchmark):
+    from .bench_persist_fanout import (
+        BLOCKS as FANOUT_BLOCKS,
+        _fanout_point,
+        _make_update_records,
+    )
+
+    rungs = list(SESSION_RUNGS)
+    if os.environ.get(FULL_SWEEP_ENV):
+        rungs.append(10_000)
+    records = _make_update_records()
+    points = {}
+    rows = []
+    for n in rungs:
+        point, _ = _fanout_point(records, n, pipelined=True)
+        # Delivered-notification rate: each update notifies the target
+        # block's subscribers (n / FANOUT_BLOCKS live sessions).
+        point["notified_per_s"] = point["rate"] * (n / FANOUT_BLOCKS)
+        points[n] = point
+        rows.append(
+            (
+                n,
+                point["rate"],
+                point["notified_per_s"],
+                point["coalescing"],
+                point["p99_ms"],
+            )
+        )
+
+    ref, top = rungs[0], rungs[-1]
+    metrics = {
+        # Gated rates (validate_results: lower is a regression).
+        "sessions_top_updates_per_s": points[SESSION_RUNGS[-1]]["rate"],
+        "sessions_top_notified_per_s": points[SESSION_RUNGS[-1]]["notified_per_s"],
+        # Informational context for the baseline diff.
+        "sessions_ref_updates_per_s": points[ref]["rate"],
+        "sessions_ref_notified_per_s": points[ref]["notified_per_s"],
+        "sessions_top_p99_virtual_ms": points[SESSION_RUNGS[-1]]["p99_ms"],
+    }
+    report(
+        "replica_scaling_sessions",
+        f"Pipelined persist fan-out at {'/'.join(str(n) for n in rungs)} "
+        f"live sessions, {len(records)} updates per pass",
+        ["sessions", "upd/s", "notif/s", "coalesce", "p99_ms"],
+        rows,
+        params={
+            "rungs": "/".join(str(n) for n in rungs),
+            "blocks": FANOUT_BLOCKS,
+            "full_sweep": bool(os.environ.get(FULL_SWEEP_ENV)),
+        },
+        metrics=metrics,
+        paper_expected={
+            "shape": "delivered-notification throughput flat as live "
+            "persist sessions grow 10x; delivery p99 bounded by the batch "
+            "window at every rung"
+        },
+    )
+
+    # Flatness floor (machine-independent: same function, same process):
+    # 10x (or 20x) the live sessions may not halve the per-notification
+    # rate, and the virtual-clock latency bound holds at every rung.
+    for n in rungs:
+        if n == ref:
+            continue
+        assert points[n]["notified_per_s"] >= points[ref]["notified_per_s"] / 2.0, (
+            f"per-notification throughput collapsed at {n} sessions: "
+            f"{points[n]['notified_per_s']:.0f}/s vs "
+            f"{points[ref]['notified_per_s']:.0f}/s at {ref}"
+        )
+    for n in rungs:
+        assert points[n]["p99_ms"] <= SESSION_P99_BOUND_MS
+
+    # Timed unit: one replayed update at the top default rung's batch
+    # config (self-contained single-session net).
+    from repro.server import SimulatedNetwork
+    from repro.sync import SyncedContent
+    from .bench_persist_fanout import BATCH, _block_filter, _fresh_master
+
+    net = SimulatedNetwork(pipelined=True, batch=BATCH, seed=7)
+    master = _fresh_master()
+    net.register(master)
+    provider = ResyncProvider(master)
+    content = SyncedContent(_block_filter(0), network=net)
+    deliveries, _handle = net.persist_exchange(
+        provider, _block_filter(0), content.apply_notification
+    )
+    content.apply(deliveries[-1].response)
+    record = records[0]
+
+    def unit():
+        provider.on_update(record)
+        net.settle()
+
+    benchmark(unit)

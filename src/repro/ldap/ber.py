@@ -53,6 +53,11 @@ __all__ = [
     "decode_search_request",
     "encode_search_result_entry",
     "decode_search_result_entry",
+    "encode_sync_update",
+    "decode_sync_update",
+    "encode_sync_batch",
+    "decode_sync_batch",
+    "encoded_sync_batch_size",
     "encoded_entry_size",
     "encoded_dn_size",
 ]
@@ -68,6 +73,10 @@ TAG_SET = 0x31
 # LDAP application tags (RFC 2251 §4)
 APP_SEARCH_REQUEST = 0x63
 APP_SEARCH_RESULT_ENTRY = 0x64
+# Private-range application tag for a coalesced ReSync notification
+# batch (docs/TRANSPORT.md §4) — RFC 2251 stops at 0x79, so 0x7A is
+# free for the experiment's persist-mode framing.
+APP_SYNC_BATCH = 0x7A
 
 
 class BerError(ValueError):
@@ -334,15 +343,30 @@ def decode_search_request(data: bytes) -> Tuple[int, SearchRequest]:
     return message_id, request
 
 
-def encode_search_result_entry(entry: Entry, message_id: int = 1) -> bytes:
-    """LDAPMessage { messageID, SearchResultEntry } (RFC 2251 §4.5.2)."""
+def _encode_attributes(entry: Entry) -> bytes:
+    """PartialAttributeList: SEQUENCE OF { type, SET OF values }."""
     attributes = b""
     for name, values in sorted(entry, key=lambda item: item[0].lower()):
         vals = b"".join(encode_octet_string(v) for v in values)
         attributes += encode_sequence(
             encode_octet_string(name) + encode_tlv(TAG_SET, vals)
         )
-    body = encode_octet_string(str(entry.dn)) + encode_sequence(attributes)
+    return attributes
+
+
+def _decode_attributes(attrs_bytes: bytes, entry: Entry) -> None:
+    for _t, attr_seq in iter_tlvs(attrs_bytes):
+        attr_pieces = list(iter_tlvs(attr_seq))
+        name = attr_pieces[0][1].decode("utf-8")
+        values = [v.decode("utf-8") for _vt, v in iter_tlvs(attr_pieces[1][1])]
+        entry.put(name, values)
+
+
+def encode_search_result_entry(entry: Entry, message_id: int = 1) -> bytes:
+    """LDAPMessage { messageID, SearchResultEntry } (RFC 2251 §4.5.2)."""
+    body = encode_octet_string(str(entry.dn)) + encode_sequence(
+        _encode_attributes(entry)
+    )
     operation = encode_tlv(APP_SEARCH_RESULT_ENTRY, body)
     return encode_sequence(encode_integer(message_id) + operation)
 
@@ -361,12 +385,104 @@ def decode_search_result_entry(data: bytes) -> Tuple[int, Entry]:
     _tag, dn_bytes, offset = decode_tlv(body, offset)
     _tag, attrs_bytes, offset = decode_tlv(body, offset)
     entry = Entry(dn_bytes.decode("utf-8"))
-    for _t, attr_seq in iter_tlvs(attrs_bytes):
-        attr_pieces = list(iter_tlvs(attr_seq))
-        name = attr_pieces[0][1].decode("utf-8")
-        values = [v.decode("utf-8") for _vt, v in iter_tlvs(attr_pieces[1][1])]
-        entry.put(name, values)
+    _decode_attributes(attrs_bytes, entry)
     return message_id, entry
+
+
+# ----------------------------------------------------------------------
+# coalesced ReSync notification batches (docs/TRANSPORT.md §4)
+# ----------------------------------------------------------------------
+#: ENUMERATED codes of the per-update SyncAction, wire order fixed.
+_SYNC_ACTION_CODES = {"add": 0, "modify": 1, "delete": 2, "retain": 3}
+_SYNC_ACTION_NAMES = {code: name for name, code in _SYNC_ACTION_CODES.items()}
+
+
+def encode_sync_update(update) -> bytes:
+    """One ReSync update PDU::
+
+        SEQUENCE { action ENUMERATED, dn OCTET STRING,
+                   attributes PartialAttributeList (present iff the
+                   action carries an entry) }
+
+    *update* is a :class:`repro.sync.protocol.SyncUpdate` (typed loosely
+    here to keep the layering one-way: ``sync`` imports ``ldap``).
+    """
+    code = _SYNC_ACTION_CODES.get(update.action.value)
+    if code is None:
+        raise BerError(f"cannot encode sync action {update.action!r}")
+    body = encode_integer(code, tag=TAG_ENUMERATED) + encode_octet_string(
+        str(update.dn)
+    )
+    if update.entry is not None:
+        body += encode_sequence(_encode_attributes(update.entry))
+    return encode_sequence(body)
+
+
+def decode_sync_update(data: bytes):
+    """Inverse of :func:`encode_sync_update`."""
+    tag, body, _ = decode_tlv(data)
+    if tag != TAG_SEQUENCE:
+        raise BerError("sync update PDU must be a SEQUENCE")
+    return _decode_sync_update_body(body)
+
+
+def _decode_sync_update_body(body: bytes):
+    from ..sync.protocol import SyncUpdate
+    from .controls import SyncAction
+
+    offset = 0
+    tag, action_bytes, offset = decode_tlv(body, offset)
+    if tag != TAG_ENUMERATED:
+        raise BerError("sync update must start with an ENUMERATED action")
+    name = _SYNC_ACTION_NAMES.get(decode_integer(action_bytes))
+    if name is None:
+        raise BerError(f"unknown sync action code in {action_bytes!r}")
+    action = SyncAction(name)
+    _tag, dn_bytes, offset = decode_tlv(body, offset)
+    dn_text = dn_bytes.decode("utf-8")
+    if offset >= len(body):
+        return SyncUpdate(action, DN.parse(dn_text))
+    _tag, attrs_bytes, offset = decode_tlv(body, offset)
+    entry = Entry(dn_text)
+    _decode_attributes(attrs_bytes, entry)
+    return SyncUpdate(action, entry.dn, entry)
+
+
+def encode_sync_batch(updates, message_id: int = 1) -> bytes:
+    """LDAPMessage { messageID, [APPLICATION 26] SEQUENCE OF update }.
+
+    The wire frame of one coalesced persist-mode notification batch:
+    the pipelined transport's ``bytes_sent`` charges exactly
+    ``len(encode_sync_batch(batch))`` (property-tested in
+    ``tests/ldap/test_ber_batch.py``).
+    """
+    body = b"".join(encode_sync_update(update) for update in updates)
+    operation = encode_tlv(APP_SYNC_BATCH, body)
+    return encode_sequence(encode_integer(message_id) + operation)
+
+
+def decode_sync_batch(data: bytes):
+    """Inverse of :func:`encode_sync_batch`: ``(message_id, updates)``."""
+    tag, message, _ = decode_tlv(data)
+    if tag != TAG_SEQUENCE:
+        raise BerError("LDAPMessage must be a SEQUENCE")
+    pieces = list(iter_tlvs(message))
+    if len(pieces) != 2:
+        raise BerError("LDAPMessage needs messageID + operation")
+    message_id = decode_integer(pieces[0][1])
+    if pieces[1][0] != APP_SYNC_BATCH:
+        raise BerError("not a sync batch")
+    updates = []
+    for tag, body in iter_tlvs(pieces[1][1]):
+        if tag != TAG_SEQUENCE:
+            raise BerError("sync batch elements must be SEQUENCEs")
+        updates.append(_decode_sync_update_body(body))
+    return message_id, updates
+
+
+def encoded_sync_batch_size(updates, message_id: int = 1) -> int:
+    """Wire size of *updates* framed as one sync batch PDU."""
+    return len(encode_sync_batch(updates, message_id))
 
 
 # ----------------------------------------------------------------------

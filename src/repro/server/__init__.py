@@ -7,7 +7,14 @@ network so experiments can measure round trips and transferred entries.
 
 from .backend import EntryStore
 from .client import ChasedResult, LdapClient, ReferralLimitExceeded
-from .connection import BindState, Connection, ConnectionError_, connect
+from .connection import (
+    BindState,
+    Connection,
+    ConnectionError_,
+    PendingOp,
+    RequestPipeline,
+    connect,
+)
 from .directory import DirectoryServer, NamingContext, UpdateListener
 from .faults import ExchangeFaults, FaultPlan, FaultSpec, FaultyNetwork
 from .network import (
@@ -34,6 +41,7 @@ from .operations import (
 )
 from .partition import DistributedDirectory, make_referral_entry
 from .planner import SearchPlan, SearchPlanner
+from .scheduler import DeterministicScheduler, ScheduledEvent
 
 __all__ = [
     "EntryStore",
@@ -42,7 +50,11 @@ __all__ = [
     "Connection",
     "BindState",
     "ConnectionError_",
+    "PendingOp",
+    "RequestPipeline",
     "connect",
+    "DeterministicScheduler",
+    "ScheduledEvent",
     "DirectoryServer",
     "NamingContext",
     "UpdateListener",

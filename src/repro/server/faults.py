@@ -81,6 +81,15 @@ Persist-mode notification streams get their own decision stream
 (``notification_drop`` / ``notification_duplicate``), applied by the
 :meth:`FaultyNetwork.wrap_deliver` wrapper around the consumer's
 deliver callback.
+
+Pipelined (batched) persist streams get yet another independent
+stream, ``:b``: :meth:`FaultyNetwork.deliver_batch` can drop a whole
+flushed batch (``batch_drop``) or truncate it at a batch boundary
+(``batch_truncate`` — the delivered prefix surfaces exactly like
+:class:`ResponseTruncated.partial` does for a cut poll response).
+Synchronous runs never flush batches, so for a given seed their
+exchange/notification schedules stay byte-identical whether or not the
+spec enables batch faults.
 """
 
 from __future__ import annotations
@@ -121,6 +130,8 @@ class FaultSpec:
     crash_length: int = 2
     notification_drop: float = 0.0
     notification_duplicate: float = 0.0
+    batch_drop: float = 0.0
+    batch_truncate: float = 0.0
     journal_truncate: float = 0.0
     journal_corrupt: float = 0.0
     sketch_corrupt: float = 0.0
@@ -139,6 +150,8 @@ class FaultSpec:
             "crash",
             "notification_drop",
             "notification_duplicate",
+            "batch_drop",
+            "batch_truncate",
             "journal_truncate",
             "journal_corrupt",
             "sketch_corrupt",
@@ -167,6 +180,10 @@ class FaultSpec:
             crash=rate / 4,
             notification_drop=rate,
             notification_duplicate=rate,
+            # Only pipelined (batched) persist streams are affected —
+            # the :b stream; synchronous runs never draw from it.
+            batch_drop=rate,
+            batch_truncate=rate,
             # Only durable (journaled) providers are affected; a crash
             # damages the journal at the same modest rate it happens.
             journal_truncate=rate / 4,
@@ -223,6 +240,7 @@ class FaultPlan:
         self.seed = seed
         self._exchange_index = 0
         self._notification_index = 0
+        self._batch_index = 0
         self._journal_index = 0
         self._reconcile_index = 0
         self._snapshot_index = 0
@@ -251,6 +269,19 @@ class FaultPlan:
         return (
             rng.random() < self.spec.notification_drop,
             rng.random() < self.spec.notification_duplicate,
+        )
+
+    def next_batch(self) -> Tuple[bool, bool, float]:
+        """(drop, truncate, keep position) decisions for the next
+        flushed persist batch — its own ``:b`` stream, so synchronous
+        runs (which never flush batches) keep byte-identical
+        exchange/notification schedules for the same seed."""
+        rng = random.Random(f"{self.seed}:b{self._batch_index}")
+        self._batch_index += 1
+        return (
+            rng.random() < self.spec.batch_drop,
+            rng.random() < self.spec.batch_truncate,
+            rng.random(),
         )
 
     def next_journal(self) -> Tuple[bool, bool, float]:
@@ -305,9 +336,12 @@ class FaultyNetwork(SimulatedNetwork):
         plan: Optional[FaultPlan] = None,
         round_trip_latency_ms: float = 0.0,
         registry: Optional[MetricsRegistry] = None,
+        **network_kwargs,
     ):
         super().__init__(
-            round_trip_latency_ms=round_trip_latency_ms, registry=registry
+            round_trip_latency_ms=round_trip_latency_ms,
+            registry=registry,
+            **network_kwargs,
         )
         self.plan = plan
         # server key -> remaining exchanges the server stays down for.
@@ -466,9 +500,7 @@ class FaultyNetwork(SimulatedNetwork):
             raise RequestDropped("subscribe request lost in flight")
 
         self.charge_round_trip()
-        response, handle = provider.persist(
-            request, self.wrap_deliver(deliver), cookie=cookie
-        )
+        response, handle = self._open_persist(provider, request, deliver, cookie)
 
         if faults is not None and (faults.drop_response or faults.truncate):
             # The subscription opened server-side but the client never
@@ -586,8 +618,39 @@ class FaultyNetwork(SimulatedNetwork):
             self._record("snapshot_stale")
             store.damage_stale_cookie()
 
+    def deliver_batch(self, deliver: Callable, updates: List) -> int:
+        """Apply batch-boundary faults to one flushed persist batch.
+
+        Draws from the independent ``:b`` stream.  A dropped batch
+        never reaches the wire (nothing charged, 0 delivered); a
+        truncated batch delivers — and charges — a proper prefix,
+        exactly as :class:`ResponseTruncated.partial` surfaces the
+        delivered prefix of a cut poll response.  The delivering
+        :class:`~repro.sync.delivery.DeliveryQueue` reports the
+        delivered count back to the caller, and the *undelivered* tail
+        is simply gone — convergence then rides on the consumer's
+        resilience ladder, as with every other transport fault.
+        """
+        if self.plan is None or not updates:
+            return super().deliver_batch(deliver, updates)
+        drop, truncate, keep_position = self.plan.next_batch()
+        if drop:
+            self._record("batch_drop")
+            return 0
+        if truncate and len(updates) > 1:
+            keep = min(int(keep_position * len(updates)), len(updates) - 1)
+            self._record("batch_truncate")
+            return super().deliver_batch(deliver, updates[:keep])
+        return super().deliver_batch(deliver, updates)
+
     def wrap_deliver(self, deliver: Callable) -> Callable:
-        """Apply notification-level faults to a persist deliver callback."""
+        """Apply notification-level faults to a persist deliver callback.
+
+        Composes over the base wrapper (wire-accurate charging when
+        enabled) so a duplicated notification charges twice and a
+        dropped one never reaches the wire accounting — drops happen
+        provider-side, before encoding."""
+        deliver = super().wrap_deliver(deliver)
 
         def faulty_deliver(update):
             if self.plan is None:

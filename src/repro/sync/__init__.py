@@ -15,6 +15,7 @@ from .baselines import (
     TombstoneStore,
 )
 from .consumer import SyncedContent
+from .delivery import BatchConfig, DeliveryQueue
 from .durability import (
     AdmissionController,
     DurabilityConfig,
@@ -64,6 +65,8 @@ __all__ = [
     "SessionRouter",
     "RoutedSession",
     "SyncedContent",
+    "BatchConfig",
+    "DeliveryQueue",
     "ResilientConsumer",
     "RetryPolicy",
     "ReconcileRequest",

@@ -168,7 +168,11 @@ class SyncedContent:
 
     def apply_notification(self, update: SyncUpdate) -> None:
         """Apply one persist-mode change notification."""
-        self._charge(update)
+        if not getattr(self.network, "charges_persist_bytes", False):
+            # A pipelined transport already charged the notification as
+            # part of its encoded batch frame (charge_sync_batch);
+            # charging the per-update estimate here would double count.
+            self._charge(update)
         self.updates_applied += 1
         if update.action in (SyncAction.ADD, SyncAction.MODIFY):
             self._upsert(update.dn, update.entry.copy())

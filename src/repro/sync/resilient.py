@@ -544,6 +544,12 @@ class ResilientConsumer:
         refreshes on the policy's interval so divergence from dropped
         notifications is bounded by ``persist_refresh_interval`` cycles.
         """
+        # On a pipelined transport, flush in-flight delivery batches
+        # first: a refresh tears the subscription (and its queue) down,
+        # and liveness decisions should see the delivered state.
+        settle = getattr(self.network, "settle", None)
+        if settle is not None:
+            settle()
         dead = (
             self._handle is None
             or not self._handle.active
@@ -603,8 +609,14 @@ class ResilientConsumer:
         side is already gone; only account the close locally."""
         if self._handle is None:
             return
-        self._handle = None
+        handle, self._handle = self._handle, None
         self._subscribed_epoch = -1
+        queue = getattr(handle, "delivery_queue", None)
+        if queue is not None:
+            # The subscription died with the server incarnation: close
+            # the stale batching queue so nothing queued before the
+            # crash is delivered into the re-subscribed content.
+            queue.close()
         if self.network is not None:
             self.network.connection_closed(self)
 

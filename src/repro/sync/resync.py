@@ -71,12 +71,21 @@ class PersistHandle:
         self._provider = provider
         self._session = session
         self.active = True
+        #: Set by a pipelined network: the per-session batching queue
+        #: the notifications flow through (closed with the handle).
+        self.delivery_queue = None
+
+    @property
+    def session_id(self) -> str:
+        return self._session.session_id
 
     def abandon(self) -> None:
         """Tear down the persistent connection without a sync_end."""
         if self.active:
             self._provider._end_persist(self._session)
             self.active = False
+            if self.delivery_queue is not None:
+                self.delivery_queue.close()
 
 
 class ResyncProvider:
@@ -194,40 +203,68 @@ class ResyncProvider:
         self._maybe_snapshot()
 
     def _on_update_routed(self, record: UpdateRecord) -> None:
-        # Phase 1: route, evaluate the exact membership predicate per
-        # candidate, and advance *all* holder state before any delivery.
-        # A persist deliver callback may update the master and re-enter
-        # on_update mid-flush; with holders already advanced for every
-        # affected session, the nested routing pass is complete, and the
-        # nested visit happens between this record's deliveries exactly
-        # where the linear scan would put it.
-        routed = self.router.route(record)
+        # Phase 1: route, resolve the exact membership predicate per
+        # candidate (pre-resolved by the holder index where it already
+        # knows the answer — SessionRouter.route_verdicts), and advance
+        # *all* holder state before any delivery.  A persist deliver
+        # callback may update the master and re-enter on_update
+        # mid-flush; with holders already advanced for every affected
+        # session, the nested routing pass is complete, and the nested
+        # visit happens between this record's deliveries exactly where
+        # the linear scan would put it.
+        routed = self.router.route_verdicts(record)
         self._route_candidates.inc(len(routed))
         visits = []
-        for rs in routed:
-            session = self.sessions.get(rs.session_id)
+        sessions_get = self.sessions.get
+        same_dn = record.dn == record.effective_dn
+        for rs, verdict in routed:
+            session = sessions_get(rs.session_id)
             if session is None:
                 self.router.unregister(rs.session_id)  # expired meanwhile
                 continue
-            in_before = record.before is not None and rs.selects(record.before)
-            in_after = record.after is not None and rs.selects(record.after)
-            if not in_before and not in_after:
-                continue
-            self.router.note_delivery(
-                rs, in_before, in_after, record.dn, record.effective_dn
-            )
+            if verdict is not None:
+                in_before, in_after = verdict
+            else:
+                in_before = record.before is not None and rs.selects(record.before)
+                in_after = record.after is not None and rs.selects(record.after)
+                if not in_before and not in_after:
+                    continue
+            if not (in_before and in_after and same_dn):
+                # A stayed-in-place modify transitions no holder state.
+                self.router.note_delivery(
+                    rs, in_before, in_after, record.dn, record.effective_dn
+                )
             visits.append((session, in_before, in_after))
         self._route_notified.inc(len(visits))
         # Phase 2: notify, in session-creation order (== linear order).
+        # One shared frozen SyncUpdate per outcome kind serves every
+        # visited session (consumers copy entries on apply), so each PDU
+        # is built once per record instead of once per session.  The
+        # outcome split is exactly Session.observe's.
+        stays = gone = enters = None
+        flush = self._flush_persist
         for session, in_before, in_after in visits:
-            session.observe(
-                in_before=in_before,
-                in_after=in_after,
-                old_dn=record.dn,
-                new_dn=record.effective_dn,
-                after_entry=record.after,
-            )
-            self._flush_persist(session)
+            if in_before and in_after:
+                if same_dn:
+                    if stays is None:
+                        stays = SyncUpdate.modify(record.after)
+                    session.enqueue(stays)
+                else:  # rename kept in content: delete old DN + add new
+                    if gone is None:
+                        gone = SyncUpdate.delete(record.dn)
+                    if enters is None:
+                        enters = SyncUpdate.add(record.after)
+                    session.enqueue(gone)
+                    session.enqueue(enters)
+            elif in_before:
+                if gone is None:
+                    gone = SyncUpdate.delete(record.dn)
+                session.enqueue(gone)
+            else:
+                if enters is None:
+                    enters = SyncUpdate.add(record.after)
+                session.enqueue(enters)
+            flush(session)
 
     def on_update_linear(self, record: UpdateRecord) -> None:
         """The seed linear fan-out — every active session's filter is
@@ -265,11 +302,19 @@ class ResyncProvider:
             # it up after the in-flight batch, preserving order.
             return
         session.draining = True
+        # A batching DeliveryQueue (pipelined transport) takes whole
+        # queued runs at once — one offer per flush instead of one call
+        # per update; a plain callback gets the historical per-update
+        # loop, byte-identically.
+        offer_many = getattr(deliver, "offer_many", None)
         try:
             while session.persist_queue:
                 queued, session.persist_queue = session.persist_queue, []
-                for update in queued:
-                    deliver(update)
+                if offer_many is not None:
+                    offer_many(queued)
+                else:
+                    for update in queued:
+                        deliver(update)
         finally:
             session.draining = False
 

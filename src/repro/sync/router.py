@@ -50,6 +50,10 @@ __all__ = ["SessionRouter", "RoutedSession", "anchor_attrs"]
 
 _EMPTY: FrozenSet["RoutedSession"] = frozenset()
 
+# Pre-resolved membership verdicts (see SessionRouter.route_verdicts).
+_VERDICT_STAYS: Tuple[bool, bool] = (True, True)
+_VERDICT_GONE: Tuple[bool, bool] = (True, False)
+
 
 def anchor_attrs(flt: Filter) -> Optional[FrozenSet[str]]:
     """Attributes of which any entry matching *flt* must hold one.
@@ -267,11 +271,43 @@ class SessionRouter:
         guarantee the equivalence property tests.  The caller still
         evaluates the exact predicate per candidate.
         """
+        return [rs for rs, _ in self.route_verdicts(record)]
+
+    def route_verdicts(
+        self, record: UpdateRecord
+    ) -> List[Tuple[RoutedSession, Optional[Tuple[bool, bool]]]]:
+        """Route *record* and pre-resolve ``(in_before, in_after)`` for
+        the candidates whose verdict the holder index already knows.
+
+        Holder state mirrors each session's content exactly — seeded
+        from the initial search, advanced with the exact verdict on
+        every delivery — so two cases need no filter evaluation:
+
+        * **DELETE**: every candidate is a holder of the deleted DN, so
+          the verdict is ``(True, False)``.
+        * **in-place MODIFY** where the changed attributes miss a
+          holder's filter fingerprint: the compiled verdict cannot flip
+          (``_changed_attrs`` over-approximates the semantic change) and
+          the scope verdict is fixed by the unchanged DN, so the verdict
+          stays ``(True, True)``.
+
+        Every other candidate (adds, renames, holders whose fingerprint
+        meets the changed set, non-holders) carries ``None`` and keeps
+        the caller's exact ``selects`` evaluation.  This is the fan-out
+        fast path: at high session counts most candidates are holders
+        untouched by the changed attributes, and their two filter
+        evaluations per notification disappear.
+        """
         candidates: Set[RoutedSession] = set()
         old_dn = record.dn
         new_dn = record.effective_dn
-        if record.before is not None:
-            candidates |= self._holders.get(old_dn, _EMPTY)
+        holders = (
+            self._holders.get(old_dn, _EMPTY)
+            if record.before is not None
+            else _EMPTY
+        )
+        candidates |= holders
+        changed: Optional[Set[str]] = None
         if record.after is not None:
             if record.before is not None and old_dn == new_dn:
                 # In-place MODIFY: a non-holder's verdict can only flip
@@ -292,4 +328,17 @@ class SessionRouter:
                 for rs in self._region_candidates(new_dn):
                     if rs.anchors is None or rs.anchors & present:
                         candidates.add(rs)
-        return sorted(candidates, key=lambda rs: rs.serial)
+        ordered = sorted(candidates, key=lambda rs: rs.serial)
+        if record.after is None:
+            return [(rs, _VERDICT_GONE) for rs in ordered]
+        if changed is not None:
+            return [
+                (
+                    rs,
+                    _VERDICT_STAYS
+                    if rs in holders and changed.isdisjoint(rs.fingerprint)
+                    else None,
+                )
+                for rs in ordered
+            ]
+        return [(rs, None) for rs in ordered]

@@ -130,6 +130,16 @@ class Session:
             else:
                 self._record(SyncUpdate.modify(after_entry))
 
+    def enqueue(self, update: SyncUpdate) -> None:
+        """Fold one pre-built update into the pending actions.
+
+        Same semantics as :meth:`observe` once the outcome is known; the
+        routed fan-out builds a single shared (frozen) ``SyncUpdate``
+        per record outcome and enqueues it into every visited session
+        instead of constructing one copy per session.
+        """
+        self._record(update)
+
     def _record(self, update: SyncUpdate) -> None:
         if self.persist_queue is not None:
             # Persist mode: notifications flow immediately, no coalescing.

@@ -1,0 +1,119 @@
+"""BER round-tripping of batched sync PDUs (docs/TRANSPORT.md §4).
+
+The pipelined transport frames every coalesced persist batch as one
+real wire PDU through the existing BER encoder, so ``bytes_sent``
+becomes encoded-length-accurate.  Property: encode→decode of *any*
+batch is identity, and the charged byte delta is exactly the frame
+length.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ldap import DN, Entry
+from repro.ldap.ber import (
+    BerError,
+    decode_sync_batch,
+    decode_sync_update,
+    encode_sync_batch,
+    encode_sync_update,
+    encoded_sync_batch_size,
+)
+from repro.server import SimulatedNetwork
+from repro.sync import SyncUpdate
+
+# Printable, LDAP-safe attribute values (no RDN metacharacters in cn).
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    min_size=0,
+    max_size=20,
+)
+
+
+@st.composite
+def entries(draw):
+    name = draw(_names)
+    attrs = {"objectClass": ["person"], "cn": [name]}
+    for attr in draw(st.lists(_names, max_size=3, unique=True)):
+        attrs[attr] = draw(st.lists(_values, min_size=1, max_size=3))
+    return Entry(f"cn={name},o=xyz", attrs)
+
+
+@st.composite
+def sync_updates(draw):
+    kind = draw(st.sampled_from(["add", "modify", "delete", "retain"]))
+    if kind in ("add", "modify"):
+        entry = draw(entries())
+        return SyncUpdate.add(entry) if kind == "add" else SyncUpdate.modify(entry)
+    dn = DN.parse(f"cn={draw(_names)},o=xyz")
+    return SyncUpdate.delete(dn) if kind == "delete" else SyncUpdate.retain(dn)
+
+
+def _canonicalized(entry: Entry) -> Entry:
+    # The wire codec writes canonical attribute names, so an entry built
+    # with an alias ("localityName") round-trips to its canonical
+    # spelling ("l") — semantically the same attribute.
+    return Entry(entry.dn, dict(entry))
+
+
+def assert_update_equal(a: SyncUpdate, b: SyncUpdate) -> None:
+    assert a.action == b.action
+    assert str(a.dn) == str(b.dn)
+    if a.entry is None:
+        assert b.entry is None
+    else:
+        assert str(a.entry.dn) == str(b.entry.dn)
+        assert _canonicalized(a.entry).semantically_equal(_canonicalized(b.entry))
+
+
+class TestSingleUpdate:
+    @given(sync_updates())
+    @settings(max_examples=150)
+    def test_roundtrip_identity(self, update):
+        assert_update_equal(decode_sync_update(encode_sync_update(update)), update)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BerError):
+            decode_sync_update(b"\x04\x03abc")
+
+
+class TestBatchFraming:
+    @given(st.lists(sync_updates(), max_size=12), st.integers(1, 2**20))
+    @settings(max_examples=100)
+    def test_batch_roundtrip_identity(self, updates, message_id):
+        frame = encode_sync_batch(updates, message_id=message_id)
+        decoded_id, decoded = decode_sync_batch(frame)
+        assert decoded_id == message_id
+        assert len(decoded) == len(updates)
+        for a, b in zip(updates, decoded):
+            assert_update_equal(a, b)
+
+    @given(st.lists(sync_updates(), max_size=12))
+    @settings(max_examples=100)
+    def test_size_helper_matches_encoding(self, updates):
+        assert encoded_sync_batch_size(updates) == len(encode_sync_batch(updates))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BerError):
+            decode_sync_batch(b"\x02\x01\x01")
+
+
+class TestBytesCharged:
+    @given(st.lists(sync_updates(), min_size=1, max_size=10))
+    @settings(max_examples=60)
+    def test_deliver_batch_charges_exact_frame_length(self, updates):
+        net = SimulatedNetwork(pipelined=True)
+        before = net.stats.bytes_sent
+        delivered = net.deliver_batch(lambda u: None, updates)
+        assert delivered == len(updates)
+        assert net.stats.bytes_sent - before == len(encode_sync_batch(updates))
+
+    def test_empty_batch_charges_nothing(self):
+        net = SimulatedNetwork(pipelined=True)
+        assert net.deliver_batch(lambda u: None, []) == 0
+        assert net.stats.bytes_sent == 0

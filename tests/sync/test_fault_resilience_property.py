@@ -10,10 +10,14 @@ Two layers:
 
 * **CI fault matrix** — fixed seeds and modes, selectable through the
   ``FAULT_SEEDS`` / ``FAULT_MODES`` environment variables (defaults
-  ``101,202,303`` × ``poll,persist``), so the workflow's ``faults`` job
-  can shard one (seed, mode) cell per matrix entry and any cell can be
-  replayed locally verbatim: ``FAULT_SEEDS=202 FAULT_MODES=persist
-  pytest tests/sync/test_fault_resilience_property.py``.
+  ``101,202,303`` × ``poll,persist,persist-batched``), so the
+  workflow's ``faults`` job can shard one (seed, mode) cell per matrix
+  entry and any cell can be replayed locally verbatim:
+  ``FAULT_SEEDS=202 FAULT_MODES=persist pytest
+  tests/sync/test_fault_resilience_property.py``.  The
+  ``persist-batched`` cells run the same persist consumer over the
+  *pipelined* transport (docs/TRANSPORT.md), adding batch-boundary
+  drops/truncations from the ``:b`` decision stream.
 * **Hypothesis** — randomized seeds, fault rates and update schedules
   on top of the fixed matrix, shrinking towards small counterexamples.
 """
@@ -31,13 +35,34 @@ from repro.server import (
     FaultyNetwork,
     Modification,
 )
-from repro.sync import ResilientConsumer, ResyncProvider, RetryPolicy
+from repro.sync import BatchConfig, ResilientConsumer, ResyncProvider, RetryPolicy
 
 REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
 NAMES = [f"P{i}" for i in range(8)]
 
 SEEDS = [int(s) for s in os.environ.get("FAULT_SEEDS", "101,202,303").split(",")]
-MODES = [m.strip() for m in os.environ.get("FAULT_MODES", "poll,persist").split(",")]
+MODES = [
+    m.strip()
+    for m in os.environ.get("FAULT_MODES", "poll,persist,persist-batched").split(",")
+]
+
+
+def make_network(seed: int, rate: float, mode: str) -> FaultyNetwork:
+    """The matrix network for one cell: ``persist-batched`` runs the
+    pipelined transport (batched fan-out + ``:b`` batch faults), the
+    other modes the historical synchronous one."""
+    kwargs = {}
+    if mode == "persist-batched":
+        kwargs = dict(
+            pipelined=True,
+            batch=BatchConfig(max_batch=4, max_age_ms=2.0, high_water=8),
+            seed=seed,
+        )
+    return FaultyNetwork(FaultPlan(FaultSpec.uniform(rate), seed=seed), **kwargs)
+
+
+def consumer_mode(mode: str) -> str:
+    return "persist" if mode.startswith("persist") else mode
 
 
 def person(name: str, dept: str = "42") -> Entry:
@@ -78,13 +103,13 @@ def run_scenario(seed: int, mode: str, rate: float = 0.3, steps: int = 12) -> No
     """Faulty phase (mutations + sync attempts), heal, converge, check."""
     master = build_master()
     provider = ResyncProvider(master)
-    net = FaultyNetwork(FaultPlan(FaultSpec.uniform(rate), seed=seed))
+    net = make_network(seed, rate, mode)
     consumer = ResilientConsumer(
         REQUEST,
         provider,
         network=net,
         seed=seed,
-        mode=mode,
+        mode=consumer_mode(mode),
         policy=RetryPolicy(max_attempts=4, jitter=0.25, persist_refresh_interval=3),
     )
     for step in range(steps):
@@ -116,19 +141,25 @@ class TestFaultMatrix:
         def counts():
             master = build_master()
             provider = ResyncProvider(master)
-            net = FaultyNetwork(FaultPlan(FaultSpec.uniform(0.4), seed=seed))
+            net = make_network(seed, 0.4, mode)
             consumer = ResilientConsumer(
                 REQUEST,
                 provider,
                 network=net,
                 seed=seed,
-                mode=mode,
+                mode=consumer_mode(mode),
                 policy=RetryPolicy(max_attempts=4, persist_refresh_interval=3),
             )
             for step in range(8):
                 mutate(master, step)
                 consumer.sync_once()
-            return net.fault_counts(), net.stats.round_trips
+            net.settle()
+            return (
+                net.fault_counts(),
+                net.stats.round_trips,
+                net.scheduler.events_run,
+                net.scheduler.now,
+            )
 
         assert counts() == counts()
 

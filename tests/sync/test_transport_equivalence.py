@@ -1,0 +1,281 @@
+"""Pipelined/batched transport vs the synchronous oracle.
+
+The PR 4/PR 8 playbook, applied to the transport (docs/TRANSPORT.md
+§6): the pipelined network is an *optimization*, so its observable
+behaviour must be provably tied to the historical synchronous path.
+
+* **Byte identity** (no overflow): for any update schedule, the
+  concatenated encoded notification stream a persist session receives
+  over the pipelined transport is byte-for-byte the stream the
+  synchronous oracle delivers, and the applied contents match.
+* **Content equivalence** (with overflow): past the high-water mark
+  the queue coalesces per DN — the stream shrinks, but the applied
+  content still converges to the oracle's.
+* **Fault equivalence**: same seeded fault schedule in both modes →
+  after heal, both converge to the same master content.
+* **Determinism**: same seed → identical scheduler event order, clock,
+  metrics and delivered bytes across two in-process runs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ldap import DN, Entry, Scope, SearchRequest
+from repro.ldap.ber import encode_sync_update
+from repro.server import (
+    DirectoryServer,
+    FaultPlan,
+    FaultSpec,
+    FaultyNetwork,
+    Modification,
+    SimulatedNetwork,
+)
+from repro.sync import (
+    BatchConfig,
+    ResilientConsumer,
+    ResyncProvider,
+    RetryPolicy,
+    SyncedContent,
+)
+
+REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
+NAMES = [f"P{i}" for i in range(6)]
+
+
+def person(name: str, dept: str = "42", sn: str = "T") -> Entry:
+    return Entry(
+        f"cn={name},o=xyz",
+        {"objectClass": ["person"], "cn": name, "sn": sn, "departmentNumber": dept},
+    )
+
+
+def build_master() -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i, name in enumerate(NAMES):
+        master.add(person(name, dept="42" if i % 2 == 0 else "99"))
+    return master
+
+
+def mutate(master: DirectoryServer, step: int) -> None:
+    name = NAMES[step % len(NAMES)]
+    dn = f"cn={name},o=xyz"
+    kind = step % 5
+    if kind == 0:
+        master.modify(dn, [Modification.replace("sn", f"S{step}")])
+    elif kind == 1:
+        master.modify(dn, [Modification.replace("departmentNumber", "42")])
+    elif kind == 2:
+        master.modify(dn, [Modification.replace("departmentNumber", "99")])
+    elif kind == 3:
+        master.delete(dn)
+        master.add(person(name))
+    else:
+        extra = f"cn=X{step},o=xyz"
+        if DN.parse(extra) in master.store:  # Hypothesis may repeat a step
+            master.modify(extra, [Modification.replace("sn", f"A{step}")])
+        else:
+            master.add(person(f"X{step}"))
+
+
+def run_persist(steps, net, settle_each=False):
+    """Drive one persist session over *net* through the update schedule;
+    returns (content, delivered-notification byte stream)."""
+    master = build_master()
+    provider = ResyncProvider(master)
+    net.register(master)
+    content = SyncedContent(REQUEST, network=net)
+    stream = bytearray()
+
+    def deliver(update):
+        stream.extend(encode_sync_update(update))
+        content.apply_notification(update)
+
+    deliveries, handle = net.persist_exchange(provider, REQUEST, deliver)
+    content.apply(deliveries[-1].response)
+    for step in steps:
+        mutate(master, step)
+        if settle_each:
+            net.settle()
+    net.settle()
+    return master, content, bytes(stream), handle
+
+
+def assert_same_content(a: SyncedContent, b: SyncedContent) -> None:
+    assert {str(dn) for dn in a.entries} == {str(dn) for dn in b.entries}
+    for dn in a.entries:
+        assert a.entries[dn].semantically_equal(b.entries[dn])
+
+
+class TestByteIdentity:
+    @given(st.lists(st.integers(min_value=0, max_value=29), max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_delivered_stream_is_byte_identical(self, steps):
+        """Below the high-water mark (settled every step so batches stay
+        small), the pipelined session receives the oracle's exact
+        notification sequence — same payload bytes, same content."""
+        _, oracle, oracle_stream, _ = run_persist(steps, SimulatedNetwork())
+        _, piped, piped_stream, _ = run_persist(
+            steps,
+            SimulatedNetwork(
+                pipelined=True,
+                batch=BatchConfig(max_batch=64, max_age_ms=2.0, high_water=4096),
+                seed=1,
+            ),
+            settle_each=True,
+        )
+        assert piped_stream == oracle_stream
+        assert_same_content(oracle, piped)
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_byte_identity_is_seed_independent(self, seed):
+        steps = list(range(20))
+        _, _, oracle_stream, _ = run_persist(steps, SimulatedNetwork())
+        _, _, piped_stream, _ = run_persist(
+            steps,
+            SimulatedNetwork(pipelined=True, seed=seed),
+            settle_each=True,
+        )
+        assert piped_stream == oracle_stream
+
+
+class TestContentEquivalenceUnderCoalescing:
+    @given(st.lists(st.integers(min_value=0, max_value=29), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_coalesced_stream_converges_to_oracle_content(self, steps):
+        """Never settled mid-run and squeezed through a tiny high-water
+        mark, the queue degrades to per-DN coalescing: fewer bytes, the
+        same final content."""
+        _, oracle, oracle_stream, _ = run_persist(steps, SimulatedNetwork())
+        _, piped, piped_stream, handle = run_persist(
+            steps,
+            SimulatedNetwork(
+                pipelined=True,
+                batch=BatchConfig(max_batch=4, max_age_ms=5.0, high_water=4),
+                seed=2,
+            ),
+            settle_each=False,
+        )
+        assert_same_content(oracle, piped)
+        assert len(piped_stream) <= len(oracle_stream)
+
+    def test_backpressured_consumer_still_converges(self):
+        net = SimulatedNetwork(
+            pipelined=True,
+            batch=BatchConfig(max_batch=4, max_age_ms=2.0, high_water=4),
+            seed=3,
+        )
+        master = build_master()
+        provider = ResyncProvider(master)
+        net.register(master)
+        content = SyncedContent(REQUEST, network=net)
+        deliveries, handle = net.persist_exchange(
+            provider, REQUEST, content.apply_notification
+        )
+        content.apply(deliveries[-1].response)
+        handle.delivery_queue.consumer_delay_ms = 100.0  # slow consumer
+        for round_ in range(30):
+            for step in range(6):
+                mutate(master, step)
+        # Queue memory stayed bounded by distinct DNs despite 180
+        # updates against a consumer 100ms-per-batch slow.
+        assert handle.delivery_queue.pending_count <= 8
+        net.settle()
+        assert content.matches_master(master)
+
+
+class TestFaultEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        rate=st.floats(min_value=0.0, max_value=0.5),
+        steps=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_fault_schedule_same_converged_content(self, seed, rate, steps):
+        """One seeded fault schedule, both transports: after heal both
+        resilient consumers converge to the identical master content."""
+
+        def run(pipelined):
+            master = build_master()
+            provider = ResyncProvider(master)
+            kwargs = (
+                dict(
+                    pipelined=True,
+                    batch=BatchConfig(max_batch=4, max_age_ms=2.0, high_water=8),
+                    seed=seed,
+                )
+                if pipelined
+                else {}
+            )
+            net = FaultyNetwork(FaultPlan(FaultSpec.uniform(rate), seed=seed), **kwargs)
+            net.register(master)
+            consumer = ResilientConsumer(
+                REQUEST,
+                provider,
+                network=net,
+                seed=seed,
+                mode="persist",
+                policy=RetryPolicy(
+                    max_attempts=4, jitter=0.25, persist_refresh_interval=3
+                ),
+            )
+            for step in range(steps):
+                mutate(master, step)
+                consumer.sync_once()
+            net.heal()
+            assert consumer.converge(master, max_cycles=16) is not None
+            return master, consumer.content
+
+        master_s, content_s = run(pipelined=False)
+        master_p, content_p = run(pipelined=True)
+        # Identical mutation schedule → identical masters; both replicas
+        # converged to them → identical replica content.
+        assert content_s.matches_master(master_s)
+        assert content_p.matches_master(master_p)
+        assert_same_content(content_s, content_p)
+
+
+class TestDeterminism:
+    def test_two_runs_identical_events_clock_and_bytes(self):
+        def run():
+            net = SimulatedNetwork(
+                pipelined=True,
+                batch=BatchConfig(max_batch=4, max_age_ms=2.0, high_water=8),
+                seed=11,
+            )
+            master, content, stream, handle = run_persist(
+                list(range(25)), net, settle_each=False
+            )
+            return (
+                stream,
+                net.scheduler.events_run,
+                net.scheduler.now,
+                net.stats.as_dict(),
+            )
+
+        assert run() == run()
+
+    def test_two_faulty_runs_identical(self):
+        def run():
+            net = FaultyNetwork(
+                FaultPlan(FaultSpec.uniform(0.3), seed=5),
+                pipelined=True,
+                batch=BatchConfig(max_batch=4, max_age_ms=2.0, high_water=8),
+                seed=5,
+            )
+            try:
+                master, content, stream, handle = run_persist(
+                    list(range(20)), net, settle_each=False
+                )
+            except Exception as exc:  # a seeded subscribe fault is itself replayable
+                return ("raised", type(exc).__name__)
+            return (
+                stream,
+                net.fault_counts(),
+                net.scheduler.events_run,
+                net.scheduler.now,
+                net.stats.as_dict(),
+            )
+
+        assert run() == run()
