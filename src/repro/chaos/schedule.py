@@ -1,0 +1,326 @@
+"""Composable, seed-replayable fault schedules.
+
+The fault primitives live in :mod:`repro.server.faults` and each is
+individually deterministic; what the robustness benches lacked was a
+way to *sequence and overlap* them over a long horizon — "a 30-minute
+partition starting at t=45min, message-level noise from t=60min to
+t=120min, a provider crash in the middle, a slow node for the last
+hour" — as one declarative, replayable object.  A
+:class:`FaultSchedule` is that object:
+
+* windows are declared in **absolute virtual time** and armed onto a
+  :class:`~repro.server.scheduler.DeterministicScheduler` with
+  :meth:`~repro.server.scheduler.DeterministicScheduler.call_at`, so
+  every boundary fires at an exact virtual-clock stamp;
+* **noise** windows carry a :class:`~repro.server.faults.FaultSpec`;
+  overlapping noise windows combine field-wise (per-field maximum) into
+  the plan's live spec.  The schedule drives *one*
+  :class:`~repro.server.faults.FaultPlan` for the whole run and swaps
+  its ``spec`` in place at window boundaries — the plan's per-stream
+  decision indices keep counting across windows, so the entire run
+  replays from ``(schedule, seed)`` alone;
+* **partition**, **slow** and **crash** windows call the network's
+  explicit primitives (:meth:`FaultyNetwork.partition` /
+  :meth:`set_slow` / :meth:`crash`), with per-server depth tracking so
+  overlapping windows nest correctly (the last heal wins, the largest
+  active slowdown applies).
+
+Armed transitions are counted under ``chaos.windows`` (a
+``kind``-labeled counter) and the live overlap under
+``chaos.active_windows`` in the network's registry
+(docs/OBSERVABILITY.md §2), so a soak report can show the schedule it
+actually executed.
+
+One schedule object is immutable once built and can be armed onto any
+number of independent runs (the replay workflow: build once, arm
+twice, compare run fingerprints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple
+
+from ..server.faults import FaultPlan, FaultSpec, FaultyNetwork
+from ..server.scheduler import DeterministicScheduler
+
+__all__ = ["FaultWindow", "FaultSchedule", "combine_specs"]
+
+_KINDS = ("noise", "partition", "slow", "crash")
+
+#: A spec with every probability at zero — what the plan runs between
+#: noise windows (streams keep drawing indices, decisions all miss).
+IDLE_SPEC = FaultSpec()
+
+
+def combine_specs(specs: List[FaultSpec]) -> FaultSpec:
+    """Field-wise maximum of overlapping noise specs.
+
+    Probabilities combine as "the worst active window wins" — max, not
+    sum, so stacking two 0.6-drop windows cannot manufacture an invalid
+    1.2 probability — and the window/length fields (``crash_length``,
+    ``max_delay_ms``, …) take the largest active value too.
+    """
+    if not specs:
+        return IDLE_SPEC
+    merged = {}
+    for f in fields(FaultSpec):
+        merged[f.name] = max(getattr(spec, f.name) for spec in specs)
+    return FaultSpec(**merged)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scheduled fault condition over ``[start_ms, end_ms)``.
+
+    ``kind`` is one of ``noise`` (plan-driven message faults from
+    ``spec``), ``partition`` (reachability cut), ``slow`` (sustained
+    ``latency_ms`` surcharge) or ``crash`` (a point event at
+    ``start_ms``; ``end_ms`` is ignored — the restart window is the
+    spec's ``crash_length``).
+    """
+
+    kind: str
+    start_ms: float
+    end_ms: float
+    spec: Optional[FaultSpec] = None
+    latency_ms: float = 0.0
+    label: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.start_ms < 0:
+            raise ValueError("start_ms must be >= 0")
+        if self.kind != "crash" and self.end_ms < self.start_ms:
+            raise ValueError("end_ms must be >= start_ms")
+        if self.kind == "noise" and self.spec is None:
+            raise ValueError("a noise window needs a FaultSpec")
+        if self.kind == "slow" and self.latency_ms <= 0:
+            raise ValueError("a slow window needs latency_ms > 0")
+
+    def overlaps(self, other: "FaultWindow") -> bool:
+        """True when the two windows share any virtual time (a crash is
+        a point event at its start)."""
+        a0, a1 = self.start_ms, self._effective_end
+        b0, b1 = other.start_ms, other._effective_end
+        return a0 <= b1 and b0 <= a1
+
+    @property
+    def _effective_end(self) -> float:
+        return self.start_ms if self.kind == "crash" else self.end_ms
+
+
+class FaultSchedule:
+    """A composed sequence of :class:`FaultWindow` s, armed as one
+    continuous :class:`FaultPlan`.
+
+    Builder methods return ``self`` so schedules read as one chain::
+
+        schedule = (
+            FaultSchedule(seed=42)
+            .noise(0, 600_000, FaultSpec.uniform(0.1), label="background")
+            .partition(120_000, 300_000)
+            .crash(420_000)
+            .slow(480_000, 600_000, latency_ms=80.0)
+        )
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._windows: List[FaultWindow] = []
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    @classmethod
+    def canonical(cls, seed: int, horizon_ms: float) -> "FaultSchedule":
+        """The acceptance-soak schedule, scaled to *horizon_ms*: nine
+        windows — background message noise spanning the run, two
+        partitions, two slow-node windows, two noise bursts and two
+        provider crashes — with the overlaps the soak invariants are
+        meant to survive (used by ``repro-ldap soak`` and
+        ``benchmarks/bench_soak.py``)."""
+        h = float(horizon_ms)
+        return (
+            cls(seed=seed)
+            .noise(
+                0.05 * h,
+                0.95 * h,
+                FaultSpec.uniform(0.08),
+                label="background",
+            )
+            .partition(0.15 * h, 0.25 * h, label="partition-1")
+            .slow(0.20 * h, 0.40 * h, latency_ms=60.0, label="slow-1")
+            .crash(0.30 * h, label="crash-1")
+            .noise(
+                0.35 * h,
+                0.45 * h,
+                FaultSpec(drop_request=0.3, drop_response=0.3),
+                label="drop-burst",
+            )
+            .partition(0.55 * h, 0.62 * h, label="partition-2")
+            .noise(
+                0.60 * h,
+                0.70 * h,
+                FaultSpec(truncate=0.35, duplicate=0.2),
+                label="truncate-burst",
+            )
+            .slow(0.75 * h, 0.85 * h, latency_ms=120.0, label="slow-2")
+            .crash(0.80 * h, label="crash-2")
+        )
+
+    def add(self, window: FaultWindow) -> "FaultSchedule":
+        self._windows.append(window)
+        return self
+
+    def noise(
+        self, start_ms: float, end_ms: float, spec: FaultSpec, label: str = "noise"
+    ) -> "FaultSchedule":
+        return self.add(FaultWindow("noise", start_ms, end_ms, spec=spec, label=label))
+
+    def partition(
+        self, start_ms: float, end_ms: float, label: str = "partition"
+    ) -> "FaultSchedule":
+        return self.add(FaultWindow("partition", start_ms, end_ms, label=label))
+
+    def slow(
+        self,
+        start_ms: float,
+        end_ms: float,
+        latency_ms: float,
+        label: str = "slow",
+    ) -> "FaultSchedule":
+        return self.add(
+            FaultWindow("slow", start_ms, end_ms, latency_ms=latency_ms, label=label)
+        )
+
+    def crash(self, at_ms: float, label: str = "crash") -> "FaultSchedule":
+        return self.add(FaultWindow("crash", at_ms, at_ms, label=label))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def windows(self) -> Tuple[FaultWindow, ...]:
+        """The windows in deterministic (start, end, kind) order."""
+        return tuple(
+            sorted(
+                self._windows,
+                key=lambda w: (w.start_ms, w._effective_end, w.kind, w.label),
+            )
+        )
+
+    @property
+    def horizon_ms(self) -> float:
+        """Virtual time at which the last window has ended."""
+        return max((w._effective_end for w in self._windows), default=0.0)
+
+    def overlap_count(self) -> int:
+        """Number of window pairs that share virtual time — the
+        "overlapping fault windows" figure a soak report quotes."""
+        ws = self.windows
+        return sum(
+            1
+            for i in range(len(ws))
+            for j in range(i + 1, len(ws))
+            if ws[i].overlaps(ws[j])
+        )
+
+    def describe(self) -> List[dict]:
+        """Plain-data rows (for reports and the bench JSON)."""
+        return [
+            {
+                "kind": w.kind,
+                "label": w.label or w.kind,
+                "start_ms": w.start_ms,
+                "end_ms": w._effective_end,
+            }
+            for w in self.windows
+        ]
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm(
+        self,
+        network: FaultyNetwork,
+        provider,
+        scheduler: Optional[DeterministicScheduler] = None,
+    ) -> None:
+        """Attach this schedule to one run.
+
+        Installs a fresh idle-spec :class:`FaultPlan` seeded with the
+        schedule's seed (unless the network already carries a plan — a
+        pre-seeded plan is kept and only its spec is driven), then
+        schedules every window boundary on the scheduler's virtual
+        clock.  Per-arm state lives in a private closure, so the same
+        schedule object can be armed onto any number of runs.
+        """
+        sched = scheduler if scheduler is not None else network.scheduler
+        if network.plan is None:
+            network.plan = FaultPlan(IDLE_SPEC, seed=self.seed)
+        windows_counter = network.registry.counter("chaos.windows")
+        active_gauge = network.registry.gauge("chaos.active_windows")
+
+        active_noise: List[FaultSpec] = []
+        partition_depth: Dict[str, int] = {}
+        slow_stack: List[float] = []
+        live = {"count": 0}
+
+        def adjust(delta: int) -> None:
+            live["count"] += delta
+            active_gauge.set(live["count"])
+
+        def recompute_noise() -> None:
+            network.plan.spec = combine_specs(active_noise)
+
+        def recompute_slow() -> None:
+            if slow_stack:
+                network.set_slow(provider, max(slow_stack))
+            else:
+                network.clear_slow(provider)
+
+        key = network._server_key(provider)
+
+        def start(window: FaultWindow) -> None:
+            windows_counter.inc()
+            windows_counter.labels(kind=window.kind).inc()
+            adjust(+1)
+            if window.kind == "noise":
+                active_noise.append(window.spec)
+                recompute_noise()
+            elif window.kind == "partition":
+                partition_depth[key] = partition_depth.get(key, 0) + 1
+                network.partition(provider)
+            elif window.kind == "slow":
+                slow_stack.append(window.latency_ms)
+                recompute_slow()
+            elif window.kind == "crash":
+                network.crash(provider)
+                adjust(-1)  # a point event: over as soon as it fired
+
+        def end(window: FaultWindow) -> None:
+            adjust(-1)
+            if window.kind == "noise":
+                active_noise.remove(window.spec)
+                recompute_noise()
+            elif window.kind == "partition":
+                depth = partition_depth.get(key, 1) - 1
+                if depth <= 0:
+                    partition_depth.pop(key, None)
+                    network.heal_partition(provider)
+                else:
+                    partition_depth[key] = depth
+            elif window.kind == "slow":
+                slow_stack.remove(window.latency_ms)
+                recompute_slow()
+
+        for window in self.windows:
+            if window.kind != "crash" and window._effective_end <= window.start_ms:
+                continue  # zero-length: a no-op (and same-stamp event
+                #           order is seeded-random, so arming one could
+                #           run its end before its start)
+            sched.call_at(window.start_ms, start, window)
+            if window.kind != "crash":
+                sched.call_at(window._effective_end, end, window)

@@ -373,6 +373,62 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Chaos soak run with the canonical fault schedule.
+
+    Drives a master plus N tenant replicas (health state machine on)
+    through simulated hours of diurnal updates, flash-crowd query
+    bursts and region renames, under overlapping fault windows —
+    partitions, crashes, slow nodes, message noise — checking the soak
+    invariants continuously (docs/FAULTS.md §5).  Prints the fault
+    schedule, the fleet-status table and the run fingerprint; exits
+    non-zero on an invariant violation, naming the seed and virtual
+    timestamp that replay it.
+    """
+    from .chaos import FaultSchedule, InvariantViolation, SoakConfig, SoakRunner
+
+    config = SoakConfig(
+        seed=args.seed,
+        tenants=args.tenants,
+        employees=args.employees,
+        duration_hours=args.hours,
+    )
+    schedule = FaultSchedule.canonical(
+        args.seed, horizon_ms=args.hours * 3_600_000.0
+    )
+    print(
+        f"soak: seed={args.seed} tenants={args.tenants} "
+        f"horizon={args.hours:g}h windows={len(schedule.windows)} "
+        f"(overlapping pairs: {schedule.overlap_count()})"
+    )
+    for row in schedule.describe():
+        span = f"{row['start_ms'] / 60000.0:6.1f}..{row['end_ms'] / 60000.0:6.1f} min"
+        print(f"  {row['label']:<16} {row['kind']:<10} {span}")
+    runner = SoakRunner(config, schedule)
+    try:
+        report = runner.run()
+    except InvariantViolation as violation:
+        print(f"\nFAIL: {violation}")
+        return 1
+    print()
+    print(report.fleet_table())
+    print()
+    print(f"updates committed  : {report.updates_committed}")
+    print(f"region renames     : {report.renamed_entries} entries moved")
+    print(
+        f"queries served     : {report.queries_served} "
+        f"({report.degraded_queries} stamped degraded)"
+    )
+    print(f"invariant checks   : {report.invariant_checks} (0 violations)")
+    print(f"faults injected    : {sum(report.fault_counts.values())}")
+    for kind, count in sorted(report.fault_counts.items()):
+        print(f"  {kind:<20} {count}")
+    print(f"round trips        : {report.round_trips}")
+    print(f"virtual time       : {report.elapsed_virtual_ms / 60000.0:.1f} min")
+    print(f"fingerprint        : {report.fingerprint()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ldap",
@@ -443,6 +499,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--updates", type=int, default=25)
     p.add_argument("--seed", type=int, default=20050607)
     p.set_defaults(func=_cmd_snapshot)
+
+    p = sub.add_parser(
+        "soak",
+        help="chaos soak: canonical fault schedule + fleet health table",
+    )
+    p.add_argument("--hours", type=float, default=1.0)
+    p.add_argument("--tenants", type=int, default=3)
+    p.add_argument("--employees", type=int, default=240)
+    p.add_argument("--seed", type=int, default=20050607)
+    p.set_defaults(func=_cmd_soak)
 
     return parser
 

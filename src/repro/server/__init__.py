@@ -19,6 +19,7 @@ from .directory import DirectoryServer, NamingContext, UpdateListener
 from .faults import ExchangeFaults, FaultPlan, FaultSpec, FaultyNetwork
 from .network import (
     Delivery,
+    NetworkPartitioned,
     OperationTimeout,
     RequestDropped,
     ResponseDropped,
@@ -69,6 +70,7 @@ __all__ = [
     "ResponseDropped",
     "ResponseTruncated",
     "ServerUnavailable",
+    "NetworkPartitioned",
     "OperationTimeout",
     "ServerBusy",
     "FaultSpec",

@@ -69,7 +69,23 @@ snapshot_stale      the snapshot is intact but its cookie has aged out
                     of the provider's session table: content restores,
                     the first poll is refused, and the consumer climbs
                     the ladder (sketch reconcile, then rebuild)
+partition           provider↔consumer reachability is cut: exchanges
+                    raise :class:`NetworkPartitioned` until the window
+                    ends (``partition_length`` exchanges, or an explicit
+                    :meth:`FaultyNetwork.heal_partition`); the server is
+                    healthy throughout — session state survives and
+                    persist cookies resume after the heal
+slow                slow-node injection: the exchange succeeds but
+                    carries up to ``slow_latency_ms`` added latency,
+                    charged to the virtual clock and to the delivery's
+                    ``delay_ms`` (so per-operation timeouts fire)
 ==================  ====================================================
+
+Partition and slow decisions ride their own ``:p`` stream, drawn only
+when the spec enables them — plans without reachability faults keep
+byte-identical schedules on every other stream for the same seed.
+Explicit :meth:`FaultyNetwork.partition` / ``set_slow`` windows (the
+chaos schedule's tool) need no plan at all.
 
 Snapshot damage is applied at replica-restart time — the moment the
 restarting consumer is about to read its snapshot — via
@@ -101,6 +117,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..obs.registry import MetricsRegistry
 from .network import (
     Delivery,
+    NetworkPartitioned,
     RequestDropped,
     ResponseDropped,
     ResponseTruncated,
@@ -138,6 +155,10 @@ class FaultSpec:
     snapshot_truncate: float = 0.0
     snapshot_corrupt: float = 0.0
     snapshot_stale: float = 0.0
+    partition: float = 0.0
+    partition_length: int = 2
+    slow: float = 0.0
+    slow_latency_ms: float = 50.0
 
     def __post_init__(self):
         for name in (
@@ -158,12 +179,18 @@ class FaultSpec:
             "snapshot_truncate",
             "snapshot_corrupt",
             "snapshot_stale",
+            "partition",
+            "slow",
         ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value!r}")
         if self.crash_length < 1:
             raise ValueError("crash_length must be >= 1")
+        if self.partition_length < 1:
+            raise ValueError("partition_length must be >= 1")
+        if self.slow_latency_ms < 0:
+            raise ValueError("slow_latency_ms must be >= 0")
 
     @classmethod
     def uniform(cls, rate: float, **overrides) -> "FaultSpec":
@@ -195,6 +222,10 @@ class FaultSpec:
             snapshot_truncate=rate / 4,
             snapshot_corrupt=rate / 4,
             snapshot_stale=rate / 4,
+            # Reachability faults (partition / slow, the :p stream) stay
+            # opt-in: uniform() predates them and committed fault-matrix
+            # baselines depend on its historical behavior.  Enable them
+            # per-run via overrides or a chaos FaultSchedule window.
         )
         params.update(overrides)
         return cls(**params)
@@ -244,6 +275,7 @@ class FaultPlan:
         self._journal_index = 0
         self._reconcile_index = 0
         self._snapshot_index = 0
+        self._partition_index = 0
 
     def next_exchange(self) -> ExchangeFaults:
         """Fault decisions for the next poll/subscribe exchange."""
@@ -306,6 +338,20 @@ class FaultPlan:
         self._reconcile_index += 1
         return (rng.random() < self.spec.sketch_corrupt, rng.random())
 
+    def next_partition(self) -> Tuple[bool, bool, float]:
+        """(partition, slow, added latency ms) decisions for the next
+        exchange's reachability — its own ``:p`` stream, drawn only
+        when the spec enables partition or slow faults, so plans
+        without reachability faults keep byte-identical schedules on
+        every other stream for the same seed."""
+        rng = random.Random(f"{self.seed}:p{self._partition_index}")
+        self._partition_index += 1
+        return (
+            rng.random() < self.spec.partition,
+            rng.random() < self.spec.slow,
+            rng.uniform(0.0, self.spec.slow_latency_ms),
+        )
+
     def next_snapshot(self) -> Tuple[bool, bool, bool, float]:
         """(truncate, corrupt, stale, position) decisions for the next
         replica restart that reads a content snapshot — its own ``:s``
@@ -346,6 +392,11 @@ class FaultyNetwork(SimulatedNetwork):
         self.plan = plan
         # server key -> remaining exchanges the server stays down for.
         self._down_for: Dict[str, int] = {}
+        # server key -> remaining exchanges unreachable; -1 = cut until
+        # heal_partition() (the chaos schedule's explicit windows).
+        self._partitioned: Dict[str, int] = {}
+        # server key -> sustained added latency per exchange (slow node).
+        self._slow: Dict[str, float] = {}
         self._fault_total = self.registry.counter("net.fault.injected")
         self._fault_delay_ms = self.registry.gauge("net.fault.delay_ms")
 
@@ -353,9 +404,12 @@ class FaultyNetwork(SimulatedNetwork):
     # plan control
     # ------------------------------------------------------------------
     def heal(self) -> None:
-        """Stop injecting: drop the plan and end any crash window."""
+        """Stop injecting: drop the plan and end every crash window,
+        partition and slow-node condition."""
         self.plan = None
         self._down_for.clear()
+        self._partitioned.clear()
+        self._slow.clear()
 
     def fault_counts(self) -> Dict[str, int]:
         """``{fault kind: injections}`` — the ``net.fault.injected``
@@ -434,16 +488,106 @@ class FaultyNetwork(SimulatedNetwork):
         raise ServerUnavailable(f"server {key} is restarting")
 
     # ------------------------------------------------------------------
+    # partitions and slow nodes
+    # ------------------------------------------------------------------
+    def partition(self, provider) -> None:
+        """Cut provider↔consumer reachability until
+        :meth:`heal_partition` — the chaos schedule's explicit window.
+
+        Open connections drop (a partition looks like a dead TCP peer),
+        but unlike :meth:`crash` the server's session state survives
+        and ``crash_epoch`` does not bump: once healed, a persist
+        session resumes from its cookie.
+        """
+        key = self._server_key(provider)
+        self._partitioned[key] = -1
+        self.disconnect_server(key)
+
+    def heal_partition(self, provider=None) -> None:
+        """End the partition for *provider* (every partition when
+        ``None``); queued traffic flows again on the next exchange."""
+        if provider is None:
+            self._partitioned.clear()
+        else:
+            self._partitioned.pop(self._server_key(provider), None)
+
+    def is_partitioned(self, provider) -> bool:
+        return self._server_key(provider) in self._partitioned
+
+    def set_slow(self, provider, added_latency_ms: float) -> None:
+        """Inflate every exchange with *provider* by a fixed added
+        latency (slow-node injection).  The surcharge lands on
+        ``net.latency.elapsed_ms`` — the same virtual-clock ledger the
+        scheduler and backoff ride — and on each delivery's
+        ``delay_ms``, so per-operation timeouts fire exactly as they
+        would against a congested peer.  ``0`` clears it.
+        """
+        key = self._server_key(provider)
+        if added_latency_ms > 0:
+            self._slow[key] = added_latency_ms
+        else:
+            self._slow.pop(key, None)
+
+    def clear_slow(self, provider=None) -> None:
+        if provider is None:
+            self._slow.clear()
+        else:
+            self._slow.pop(self._server_key(provider), None)
+
+    def _check_reachable(self, provider) -> float:
+        """Partition and slow-node handling for one exchange attempt.
+
+        Draws the plan's ``:p`` decisions (only when the spec enables
+        them — the stream is independent, so other streams never
+        shift), raises :class:`NetworkPartitioned` while a partition is
+        cut (the attempt still costs a round trip: the client sent a
+        request and waited out its timeout), and returns the added
+        latency this exchange must carry.
+        """
+        key = self._server_key(provider)
+        transient_ms = 0.0
+        if self.plan is not None:
+            spec = self.plan.spec
+            if spec.partition > 0.0 or spec.slow > 0.0:
+                cut, slow, added_ms = self.plan.next_partition()
+                if cut and key not in self._partitioned:
+                    self._partitioned[key] = spec.partition_length
+                    self.disconnect_server(key)
+                if slow:
+                    transient_ms = added_ms
+        remaining = self._partitioned.get(key)
+        if remaining is not None:
+            if remaining > 0:
+                if remaining <= 1:
+                    self._partitioned.pop(key, None)
+                else:
+                    self._partitioned[key] = remaining - 1
+            self.charge_round_trip()
+            self._record("partition")
+            raise NetworkPartitioned(f"no route to server {key}")
+        extra_ms = transient_ms + self._slow.get(key, 0.0)
+        if extra_ms > 0:
+            self._record("slow")
+            self._fault_delay_ms.inc(extra_ms)
+            self.elapsed_ms += extra_ms
+        return extra_ms
+
+    # ------------------------------------------------------------------
     # exchange hooks
     # ------------------------------------------------------------------
     def sync_exchange(self, provider, request, control) -> List[Delivery]:
         if self.plan is None:
             self._check_unavailable(provider)
-            return super().sync_exchange(provider, request, control)
+            extra_ms = self._check_reachable(provider)
+            deliveries = super().sync_exchange(provider, request, control)
+            for delivery in deliveries:
+                delivery.delay_ms += extra_ms
+            return deliveries
         faults = self.plan.next_exchange()
         if faults.crash:
             self._crash(provider)
         self._check_unavailable(provider)
+        extra_ms = self._check_reachable(provider)
 
         if faults.cookie_invalidate and control.cookie is not None:
             control = self._invalidate_cookie(provider, control)
@@ -469,11 +613,12 @@ class FaultyNetwork(SimulatedNetwork):
         if faults.delay_ms > 0:
             self._record("delay")
             self._fault_delay_ms.inc(faults.delay_ms)
-        deliveries = [Delivery(response, delay_ms=faults.delay_ms)]
+        delay_ms = faults.delay_ms + extra_ms
+        deliveries = [Delivery(response, delay_ms=delay_ms)]
         if faults.duplicate:
             self._record("duplicate")
             deliveries.append(
-                Delivery(response, delay_ms=faults.delay_ms, duplicate=True)
+                Delivery(response, delay_ms=delay_ms, duplicate=True)
             )
         return deliveries
 
@@ -482,6 +627,7 @@ class FaultyNetwork(SimulatedNetwork):
         if faults is not None and faults.crash:
             self._crash(provider)
         self._check_unavailable(provider)
+        extra_ms = self._check_reachable(provider)
 
         if (
             faults is not None
@@ -515,16 +661,18 @@ class FaultyNetwork(SimulatedNetwork):
                 "initial content cut mid-delivery",
                 partial=self._truncated(response, faults.truncate_keep),
             )
-        return [Delivery(response)], handle
+        return [Delivery(response, delay_ms=extra_ms)], handle
 
     def reconcile_exchange(self, provider, request, rreq):
         if self.plan is None:
             self._check_unavailable(provider)
+            self._check_reachable(provider)
             return super().reconcile_exchange(provider, request, rreq)
         faults = self.plan.next_exchange()
         if faults.crash:
             self._crash(provider)
         self._check_unavailable(provider)
+        self._check_reachable(provider)
 
         if faults.drop_request:
             self.charge_round_trip()
@@ -557,11 +705,16 @@ class FaultyNetwork(SimulatedNetwork):
     def reconcile_fetch_exchange(self, provider, request, fetch):
         if self.plan is None:
             self._check_unavailable(provider)
-            return super().reconcile_fetch_exchange(provider, request, fetch)
+            extra_ms = self._check_reachable(provider)
+            deliveries = super().reconcile_fetch_exchange(provider, request, fetch)
+            for delivery in deliveries:
+                delivery.delay_ms += extra_ms
+            return deliveries
         faults = self.plan.next_exchange()
         if faults.crash:
             self._crash(provider)
         self._check_unavailable(provider)
+        extra_ms = self._check_reachable(provider)
 
         if faults.drop_request:
             self.charge_round_trip()
@@ -585,11 +738,12 @@ class FaultyNetwork(SimulatedNetwork):
         if faults.delay_ms > 0:
             self._record("delay")
             self._fault_delay_ms.inc(faults.delay_ms)
-        deliveries = [Delivery(response, delay_ms=faults.delay_ms)]
+        delay_ms = faults.delay_ms + extra_ms
+        deliveries = [Delivery(response, delay_ms=delay_ms)]
         if faults.duplicate:
             self._record("duplicate")
             deliveries.append(
-                Delivery(response, delay_ms=faults.delay_ms, duplicate=True)
+                Delivery(response, delay_ms=delay_ms, duplicate=True)
             )
         return deliveries
 

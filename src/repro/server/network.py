@@ -55,6 +55,7 @@ __all__ = [
     "ResponseDropped",
     "ResponseTruncated",
     "ServerUnavailable",
+    "NetworkPartitioned",
     "OperationTimeout",
     "ServerBusy",
 ]
@@ -105,6 +106,21 @@ class ServerUnavailable(TransportError):
     """The server is inside a crash/restart window."""
 
     fault = "crash"
+
+
+class NetworkPartitioned(TransportError):
+    """No route between the consumer and the server: the network is
+    partitioned.
+
+    Unlike :class:`ServerUnavailable` the server itself is healthy —
+    its session state survives, so a persist session resumes from its
+    cookie once the partition heals (no crash epoch bump).  Cut and
+    healed by :meth:`repro.server.faults.FaultyNetwork.partition` /
+    ``heal_partition``, or probabilistically from the plan's ``:p``
+    stream.
+    """
+
+    fault = "partition"
 
 
 class OperationTimeout(TransportError):

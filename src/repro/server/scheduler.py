@@ -118,6 +118,15 @@ class DeterministicScheduler:
         """Schedule *callback(*args)* at the current virtual time."""
         return self.call_later(0.0, callback, *args)
 
+    def call_at(self, due_ms: float, callback: Callable, *args) -> ScheduledEvent:
+        """Schedule *callback(*args)* at the absolute virtual time
+        *due_ms* (clamped to now — the past runs immediately, like
+        :meth:`run_next`'s no-backwards-clock rule).  The chaos
+        :class:`~repro.chaos.FaultSchedule` arms its fault windows with
+        this, so window boundaries land at exact virtual-clock stamps
+        independent of when the schedule was armed."""
+        return self.call_later(max(0.0, due_ms - self._now), callback, *args)
+
     def cancel(self, event: ScheduledEvent) -> None:
         """Cancel a scheduled event (no-op if it already ran)."""
         event.cancelled = True

@@ -40,7 +40,7 @@ from .reconcile import (
     entry_fingerprint,
     entry_key,
 )
-from .resilient import ResilientConsumer, RetryPolicy
+from .resilient import HEALTH_STATES, HealthPolicy, ResilientConsumer, RetryPolicy
 from .resync import PersistHandle, ResyncProvider, RetainResyncProvider
 from .snapshot import (
     FileSnapshotStore,
@@ -69,6 +69,8 @@ __all__ = [
     "DeliveryQueue",
     "ResilientConsumer",
     "RetryPolicy",
+    "HealthPolicy",
+    "HEALTH_STATES",
     "ReconcileRequest",
     "ReconcileResponse",
     "ReconcileFetch",

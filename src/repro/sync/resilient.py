@@ -50,6 +50,33 @@ recorded under ``sync.resilient.*`` metrics (docs/OBSERVABILITY.md §2)
 next to the network's ``net.fault.*`` counters, so benches can report
 convergence cost against fault rates
 (``benchmarks/bench_fault_convergence.py``).
+
+**Health state machine** (opt-in via :class:`HealthPolicy`,
+docs/FAULTS.md §4): the legacy consumer retries forever — every cycle
+spends up to ``max_attempts`` transport attempts no matter how long the
+provider has been gone.  A consumer built with a ``health`` policy
+instead walks an explicit machine::
+
+    healthy → degraded → quarantined → recovering → gave_up
+
+* a **capped total retry budget** (attempts and virtual wall-clock)
+  replaces unbounded backoff: once either cap is spent the consumer
+  lands terminally in ``gave_up`` — zero further provider attempts,
+  zero busy-looping;
+* a **circuit breaker** trips open after ``breaker_threshold``
+  consecutive transport faults; while open the consumer sleeps out the
+  cooldown on the virtual clock, then probes **half-open** with a
+  single attempt (state ``recovering``) before resuming full service;
+* after ``quarantine_after`` breaker trips the consumer is
+  **quarantined**: its persist subscription is torn down, its poll
+  session is parked at the provider's eq.-3 retain tier
+  (:meth:`~repro.sync.resync.ResyncProvider.park_session`) so the
+  provider stops accumulating history for it, and it re-probes only on
+  ``quarantine_probe_ms`` intervals instead of hammering the provider.
+
+Every transition lands on ``sync.health.*`` metrics (per-consumer
+labels), rolled up fleet-wide by ``repro-ldap soak`` and the chaos
+:class:`~repro.chaos.SoakRunner`.
 """
 
 from __future__ import annotations
@@ -83,7 +110,13 @@ from .reconcile import (
 )
 from .snapshot import SnapshotRecoverer, SnapshotStore
 
-__all__ = ["RetryPolicy", "ResilientConsumer"]
+__all__ = ["RetryPolicy", "HealthPolicy", "ResilientConsumer", "HEALTH_STATES"]
+
+#: The consumer health states, in escalation order; the
+#: ``sync.health.state`` gauge carries the index.
+HEALTH_STATES = ("healthy", "degraded", "quarantined", "recovering", "gave_up")
+
+_BREAKER_STATES = ("closed", "open", "half_open")
 
 
 @dataclass(frozen=True)
@@ -128,6 +161,44 @@ class RetryPolicy:
         return base * (1.0 - self.jitter * rng.random())
 
 
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Caps and thresholds for the consumer health state machine.
+
+    Attributes:
+        max_total_attempts: lifetime transport-attempt budget; spent
+            attempts never replenish, and exhaustion lands the consumer
+            terminally in ``gave_up``.
+        max_total_backoff_ms: lifetime retry-wait budget on the virtual
+            clock (backoff sleeps only — breaker cooldowns and
+            quarantine parking are the *graceful* part and do not burn
+            it); exhaustion also lands in ``gave_up``.
+        breaker_threshold: consecutive transport faults that trip the
+            circuit breaker open.
+        breaker_cooldown_ms: virtual-clock wait while the breaker is
+            open, before the single half-open probe.
+        quarantine_after: breaker trips before the consumer is
+            quarantined (parked at the provider's eq.-3 retain tier).
+        quarantine_probe_ms: virtual-clock interval between quarantine
+            re-probes.
+    """
+
+    max_total_attempts: int = 64
+    max_total_backoff_ms: float = 600_000.0
+    breaker_threshold: int = 5
+    breaker_cooldown_ms: float = 5_000.0
+    quarantine_after: int = 2
+    quarantine_probe_ms: float = 30_000.0
+
+    def __post_init__(self):
+        if self.max_total_attempts < 1:
+            raise ValueError("max_total_attempts must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+
+
 class ResilientConsumer:
     """A replica-side sync driver that survives an unreliable network.
 
@@ -154,6 +225,12 @@ class ResilientConsumer:
             tier (a restarted replica boots empty, the pre-snapshot
             behavior).
         snapshot_interval: successful cycles between snapshot saves.
+        health: opt-in :class:`HealthPolicy` enabling the health state
+            machine (budgeted retries, circuit breaker, quarantine);
+            None keeps the legacy unbounded-retry behavior
+            byte-identical.
+        name: fleet identity for per-consumer ``sync.health.*`` metric
+            labels and status rollups (default: ``consumer-<seed>``).
     """
 
     def __init__(
@@ -168,6 +245,8 @@ class ResilientConsumer:
         reconcile_config: Optional[ReconcileConfig] = ReconcileConfig(),
         snapshot_store: Optional[SnapshotStore] = None,
         snapshot_interval: int = 1,
+        health: Optional[HealthPolicy] = None,
+        name: Optional[str] = None,
     ):
         if mode not in ("poll", "persist"):
             raise ValueError(f"mode must be 'poll' or 'persist', got {mode!r}")
@@ -177,8 +256,15 @@ class ResilientConsumer:
         self.reconcile_config = reconcile_config
         self.replica_server = replica_server
         self.mode = mode
+        self.name = name if name is not None else f"consumer-{seed}"
         self.content = SyncedContent(request, network=network)
         self._rng = random.Random(f"resilient:{seed}")
+        # The reconcile sketch salt draws from its own stream: sharing
+        # the jitter RNG would shift every backoff draw after the first
+        # reconcile, making fault traces depend on whether the ladder
+        # ran (the cross-stream coupling tests/server/test_faults.py
+        # guards against at the network layer).
+        self._salt_rng = random.Random(f"resilient-salt:{seed}")
         self._is_degraded = False
         self._consecutive_failed_cycles = 0
         # persist-mode subscription state
@@ -204,6 +290,37 @@ class ResilientConsumer:
         self._rec_delta = registry.counter("sync.reconcile.delta_entries")
         self._rec_fetched = registry.counter("sync.reconcile.fetched_entries")
         self._rec_deleted = registry.counter("sync.reconcile.deleted_entries")
+
+        # Health state machine (opt-in; None keeps the legacy unbounded
+        # retry behavior byte-identical).
+        self.health = health
+        self._health_state = "healthy"
+        self._breaker = "closed"
+        self._consecutive_faults = 0
+        self._breaker_trips = 0
+        self._attempts_spent = 0
+        self._backoff_budget_spent = 0.0
+        self._breaker_open_until: Optional[float] = None
+        self._quarantine_until: Optional[float] = None
+        self._probe_origin: Optional[str] = None
+        if health is not None:
+            labels = {"consumer": self.name}
+            self._h_state = registry.gauge("sync.health.state").labels(**labels)
+            self._h_breaker = registry.gauge(
+                "sync.health.breaker_state"
+            ).labels(**labels)
+            self._h_transitions = registry.counter("sync.health.transitions")
+            self._h_trips = registry.counter("sync.health.breaker_trips")
+            self._h_probes = registry.counter("sync.health.probes")
+            self._h_quarantines = registry.counter("sync.health.quarantines")
+            self._h_parked = registry.counter("sync.health.parked")
+            self._h_gave_up = registry.counter("sync.health.gave_up")
+            self._h_attempts = registry.counter(
+                "sync.health.attempts_spent"
+            ).labels(**labels)
+            self._h_budget_ms = registry.gauge(
+                "sync.health.backoff_budget_ms"
+            ).labels(**labels)
 
         # Snapshot warm-start tier (docs/RECOVERY.md first rung): a
         # store means this consumer is a restart of a replica that may
@@ -241,6 +358,37 @@ class ResilientConsumer:
         return self._is_degraded
 
     @property
+    def health_state(self) -> str:
+        """The consumer's current health state (one of
+        :data:`HEALTH_STATES`).  Without a :class:`HealthPolicy` the
+        machine collapses to the legacy two states."""
+        if self.health is None:
+            return "degraded" if self._is_degraded else "healthy"
+        return self._health_state
+
+    @property
+    def breaker_state(self) -> str:
+        """Circuit breaker state: ``closed`` / ``open`` / ``half_open``."""
+        return self._breaker
+
+    def health_snapshot(self) -> dict:
+        """One fleet-status row: the machine's externally visible state
+        (rolled up by ``repro-ldap soak`` and the chaos SoakRunner)."""
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "state": self.health_state,
+            "breaker": self._breaker,
+            "degraded": self._is_degraded,
+            "breaker_trips": self._breaker_trips,
+            "attempts_spent": self._attempts_spent,
+            "backoff_budget_ms": round(self._backoff_budget_spent, 3),
+            "consecutive_faults": self._consecutive_faults,
+            "failed_cycles": self._consecutive_failed_cycles,
+            "entries": len(self.content),
+        }
+
+    @property
     def snapshot_recoverer(self) -> Optional[SnapshotRecoverer]:
         """The warm-start driver (stage inspection), or None when the
         consumer was built without a snapshot store."""
@@ -265,10 +413,20 @@ class ResilientConsumer:
         response, or None when every attempt failed — the consumer is
         then counting toward (or in) degraded mode.  Local content
         survives any failure.
+
+        With a :class:`HealthPolicy`, the health state machine gates
+        the cycle first: ``gave_up`` is terminal (no provider contact,
+        no clock advance), an open breaker or a quarantine window is
+        slept out on the virtual clock before a single-attempt
+        ``recovering`` probe, and every transport fault is charged
+        against the lifetime retry budget.
         """
+        if self.health is not None and not self._health_gate():
+            return None
         self._cycles.inc()
         failures = 0
-        while failures < self.policy.max_attempts:
+        attempt_cap = self._cycle_attempt_cap()
+        while failures < attempt_cap:
             try:
                 if self.mode == "poll":
                     response = self.content.poll(
@@ -307,6 +465,8 @@ class ResilientConsumer:
                 # is honored as a floor under the computed backoff.
                 self._note_transport_fault(exc, failures)
                 failures += 1
+                if self.health is not None and self._retries_suspended():
+                    break  # breaker tripped / quarantined / gave up
                 continue
             self._cycle_succeeded()
             return response
@@ -389,7 +549,7 @@ class ResilientConsumer:
             return None
         self._rec_attempts.inc()
         cells: Optional[int] = None
-        salt = self._rng.getrandbits(32)
+        salt = self._salt_rng.getrandbits(32)
         prev_cookie: Optional[str] = None
         transport_failures = 0
         while True:
@@ -513,10 +673,33 @@ class ResilientConsumer:
 
     def _note_transport_fault(self, exc: TransportError, failure: int) -> None:
         """Count one transport fault and wait out its backoff (shared by
-        the poll loop and the reconcile ladder)."""
+        the poll loop and the reconcile ladder).  With a health policy
+        the fault is also charged against the lifetime budget and may
+        trip the circuit breaker."""
         self._retries.inc()
         self._retries.labels(kind=exc.fault).inc()
-        self._backoff(failure, minimum=getattr(exc, "retry_after_ms", 0.0))
+        delay = self._backoff(failure, minimum=getattr(exc, "retry_after_ms", 0.0))
+        if self.health is None:
+            return
+        self._attempts_spent += 1
+        self._h_attempts.inc()
+        self._backoff_budget_spent += delay
+        self._h_budget_ms.set(self._backoff_budget_spent)
+        self._consecutive_faults += 1
+        if (
+            self._attempts_spent >= self.health.max_total_attempts
+            or self._backoff_budget_spent >= self.health.max_total_backoff_ms
+        ):
+            self._give_up()
+            return
+        if self._breaker == "half_open":
+            # The half-open probe failed: reopen with a fresh cooldown.
+            self._trip_breaker()
+        elif (
+            self._breaker == "closed"
+            and self._consecutive_faults >= self.health.breaker_threshold
+        ):
+            self._trip_breaker()
 
     def _end_reconcile_session(self, cookie: Optional[str]) -> None:
         """Best-effort sync_end for an abandoned reconcile session, so
@@ -646,14 +829,16 @@ class ResilientConsumer:
     # ------------------------------------------------------------------
     # pacing and degradation
     # ------------------------------------------------------------------
-    def _backoff(self, failure: int, minimum: float = 0.0) -> None:
+    def _backoff(self, failure: int, minimum: float = 0.0) -> float:
         """Wait out the backoff for the zero-based *failure*-th failure —
         on the network's simulated clock, no real sleeping.  *minimum*
-        floors the jittered delay (a ``ServerBusy`` retry-after hint)."""
+        floors the jittered delay (a ``ServerBusy`` retry-after hint).
+        Returns the waited delay (budget accounting)."""
         delay = max(self.policy.backoff_ms(failure, self._rng), minimum)
         self._backoff_total.inc(delay)
         if self.network is not None:
             self.network.elapsed_ms += delay
+        return delay
 
     def _cycle_succeeded(self) -> None:
         self._consecutive_failed_cycles = 0
@@ -662,6 +847,17 @@ class ResilientConsumer:
             self._degraded_gauge.set(0)
             if self.replica_server is not None:
                 self.replica_server.exit_degraded()
+        if self.health is not None:
+            self._consecutive_faults = 0
+            if self._probe_origin == "quarantine":
+                # A successful re-probe out of quarantine is a fresh
+                # start: the trip history that parked us is spent.
+                self._breaker_trips = 0
+            self._probe_origin = None
+            self._breaker_set("closed")
+            self._breaker_open_until = None
+            self._quarantine_until = None
+            self._transition("healthy")
         if self._recoverer is not None:
             if self._snapshot_restored:
                 self._snapshot_restored = False
@@ -678,7 +874,165 @@ class ResilientConsumer:
             not self._is_degraded
             and self._consecutive_failed_cycles >= self.policy.degraded_after
         ):
-            self._is_degraded = True
-            self._degraded_gauge.set(1)
-            if self.replica_server is not None:
-                self.replica_server.enter_degraded()
+            self._enter_degraded()
+        if self.health is None:
+            return
+        if self._health_state == "recovering":
+            origin, self._probe_origin = self._probe_origin, None
+            if origin == "quarantine":
+                # The re-probe failed: back to the bench for another
+                # interval, never a tight retry loop.
+                self._quarantine_until = (
+                    self._virtual_now_ms() + self.health.quarantine_probe_ms
+                )
+                self._transition("quarantined")
+                return
+            # A failed half-open probe: _note_transport_fault already
+            # re-tripped the breaker (possibly into quarantine or
+            # gave_up); if we are still nominally recovering, settle
+            # back on the read-path truth.
+            self._transition("degraded" if self._is_degraded else "healthy")
+        if self._health_state == "healthy" and self._is_degraded:
+            self._transition("degraded")
+
+    def _enter_degraded(self) -> None:
+        if self._is_degraded:
+            return
+        self._is_degraded = True
+        self._degraded_gauge.set(1)
+        if self.replica_server is not None:
+            self.replica_server.enter_degraded()
+
+    # ------------------------------------------------------------------
+    # health state machine (opt-in, docs/FAULTS.md §4)
+    # ------------------------------------------------------------------
+    def _health_gate(self) -> bool:
+        """Decide whether this cycle may contact the provider.
+
+        ``gave_up`` blocks forever (and advances nothing — no busy
+        loop, no clock drift).  A quarantine window or an open breaker
+        is slept out on the virtual clock, then the cycle proceeds as a
+        single-attempt ``recovering`` probe.
+        """
+        if self._health_state == "gave_up":
+            return False
+        now = self._virtual_now_ms()
+        if self._health_state == "quarantined":
+            if self._quarantine_until is not None and now < self._quarantine_until:
+                self._sleep_ms(self._quarantine_until - now)
+            self._quarantine_until = None
+            self._probe_origin = "quarantine"
+            self._h_probes.inc()
+            self._h_probes.labels(origin="quarantine").inc()
+            self._transition("recovering")
+            return True
+        if self._breaker == "open":
+            if (
+                self._breaker_open_until is not None
+                and now < self._breaker_open_until
+            ):
+                self._sleep_ms(self._breaker_open_until - now)
+            self._breaker_open_until = None
+            self._breaker_set("half_open")
+            self._probe_origin = "breaker"
+            self._h_probes.inc()
+            self._h_probes.labels(origin="breaker").inc()
+            self._transition("recovering")
+        return True
+
+    def _cycle_attempt_cap(self) -> int:
+        """Transport attempts this cycle may spend: one for a probe,
+        the policy's cap otherwise, never more than the remaining
+        lifetime budget."""
+        if self.health is None:
+            return self.policy.max_attempts
+        cap = 1 if self._health_state == "recovering" else self.policy.max_attempts
+        remaining = self.health.max_total_attempts - self._attempts_spent
+        return max(0, min(cap, remaining))
+
+    def _retries_suspended(self) -> bool:
+        """True when the machine decided mid-cycle that further retries
+        are wasted provider work (breaker no longer closed, parked, or
+        out of budget)."""
+        return (
+            self._health_state in ("gave_up", "quarantined")
+            or self._breaker != "closed"
+        )
+
+    def _trip_breaker(self) -> None:
+        """One breaker trip: open with a cooldown, or — for a repeat
+        offender — escalate to quarantine."""
+        self._breaker_trips += 1
+        self._h_trips.inc()
+        if self._breaker_trips >= self.health.quarantine_after:
+            self._enter_quarantine()
+            return
+        self._breaker_set("open")
+        self._breaker_open_until = (
+            self._virtual_now_ms() + self.health.breaker_cooldown_ms
+        )
+
+    def _enter_quarantine(self) -> None:
+        """Park a flapping consumer: tear down any persist subscription,
+        park the poll session at the provider's eq.-3 retain tier, and
+        re-probe only on the configured interval.  Reads go degraded —
+        quarantined content is stale by definition, and it must never
+        be served as fresh."""
+        self._h_quarantines.inc()
+        self._breaker_set("open")
+        self._breaker_open_until = None
+        if self.mode == "persist":
+            self._teardown_subscription()
+        else:
+            cookie = self.content.cookie
+            park = getattr(self.provider, "park_session", None)
+            if cookie is not None and callable(park) and park(cookie):
+                self._h_parked.inc()
+        self._enter_degraded()
+        self._quarantine_until = (
+            self._virtual_now_ms() + self.health.quarantine_probe_ms
+        )
+        self._transition("quarantined")
+
+    def _give_up(self) -> None:
+        """Terminal: the lifetime retry budget is spent.  The final
+        ``sync.health.state`` sample is the gave_up index; no further
+        provider attempts, ever."""
+        self._h_gave_up.inc()
+        if self.mode == "persist":
+            self._teardown_subscription()
+        self._quarantine_until = None
+        self._breaker_open_until = None
+        self._enter_degraded()
+        self._transition("gave_up")
+
+    def _transition(self, state: str) -> None:
+        if state == self._health_state:
+            return
+        self._health_state = state
+        self._h_state.set(HEALTH_STATES.index(state))
+        self._h_transitions.inc()
+        self._h_transitions.labels(to=state).inc()
+
+    def _breaker_set(self, state: str) -> None:
+        if state != self._breaker:
+            self._breaker = state
+            self._h_breaker.set(_BREAKER_STATES.index(state))
+
+    def _virtual_now_ms(self) -> float:
+        """The consumer's monotone virtual clock: accumulated simulated
+        latency plus the scheduler's event-loop time (both only ever
+        advance)."""
+        if self.network is None:
+            return 0.0
+        scheduler = getattr(self.network, "scheduler", None)
+        now = self.network.elapsed_ms
+        if scheduler is not None:
+            now += scheduler.now
+        return now
+
+    def _sleep_ms(self, delay: float) -> None:
+        """Sleep on the virtual clock (cooldowns and quarantine waits —
+        deliberately not charged to the retry budget)."""
+        if self.network is not None and delay > 0:
+            self.network.elapsed_ms += delay

@@ -152,6 +152,7 @@ class ResyncProvider:
         self._dropped = metrics.counter("sync.durability.dropped_records")
         self._overflows = metrics.counter("sync.durability.history_overflow")
         self._degraded_resumes = metrics.counter("sync.durability.degraded_resumes")
+        self._parked = metrics.counter("sync.durability.parked_sessions")
         self._sessions_lost = metrics.counter("sync.durability.sessions_lost")
         self._reconcile_served = metrics.counter("sync.reconcile.served")
         self._reconcile_fetches = metrics.counter("sync.reconcile.fetches")
@@ -600,6 +601,45 @@ class ResyncProvider:
         :class:`SyncProtocolError`."""
         self._end_session(cookie)
 
+    def park_session(self, cookie: str) -> bool:
+        """Park the session named by *cookie* at the eq.-3 retain tier
+        (quarantine relief, docs/RECOVERY.md §5).
+
+        The per-session history is abandoned *now* — the provider stops
+        accumulating update state for a flapping consumer — and the next
+        poll is served as an incomplete-history resume
+        (:meth:`_serve_degraded`): full entries for what changed since
+        the consumer's last drain, DN-only ``retain`` actions for the
+        unchanged rest, cookie stamped ``:h``.  Journaled and replayed
+        like any other session transition, so a recovered provider
+        holds identically-parked state.
+
+        Returns True when the session existed and was parked.  Unknown
+        cookies are a counted no-op (``sync.session.unknown_cookie``),
+        like :meth:`_end_session` — quarantine is best-effort relief,
+        never a new failure mode.  Providers without durability have no
+        eq.-3 resume path and refuse (False).
+        """
+        if self.durability is None:
+            return False
+        session = self.sessions.get(cookie.split(":", 1)[0])
+        if session is None:
+            self._unknown_cookie.inc()
+            return False
+        self._park(session)
+        self._journal_event({"t": "park", "sid": session.session_id})
+        if not self._replaying:
+            self._parked.inc()
+        return True
+
+    @staticmethod
+    def _park(session: Session) -> None:
+        """Fold a park into session state — shared by the live path and
+        journal replay."""
+        session.history_overflowed = True
+        session._pending.clear()
+        session.pending_bytes = 0
+
     def _end_session(self, cookie: str) -> None:
         """Terminate a session and drop its routing registration.
 
@@ -908,6 +948,10 @@ class ResyncProvider:
             self._apply_resume(
                 session, rec["first"], rec["since"], rec["content"], rec["csn"]
             )
+        elif kind == "park":
+            session = self.sessions.get(rec["sid"])
+            if session is not None:
+                self._park(session)
         elif kind == "end":
             self.sessions.drop(rec["sid"])
         # Unknown kinds (a newer writer) are skipped, not fatal.

@@ -17,6 +17,7 @@ from .datagen import (
 )
 from .distributions import TemporalMixer, WeightedChoice, ZipfSampler
 from .querygen import WorkloadConfig, WorkloadGenerator
+from .scenario import RegionRenamer, ScenarioConfig, SoakScenario, TickLoad
 from .trace import QueryRecord, QueryType, Trace
 
 __all__ = [
@@ -33,6 +34,10 @@ __all__ = [
     "QueryRecord",
     "QueryType",
     "Trace",
+    "ScenarioConfig",
+    "SoakScenario",
+    "TickLoad",
+    "RegionRenamer",
     "ZipfSampler",
     "WeightedChoice",
     "TemporalMixer",

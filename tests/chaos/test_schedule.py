@@ -1,0 +1,202 @@
+"""FaultSchedule composition and arming semantics.
+
+The schedule is the chaos engine's declarative core: windows in
+absolute virtual time, armed as one continuous FaultPlan whose spec is
+swapped in place at boundaries.  The load-bearing properties: spec
+combination is field-wise max, overlap accounting matches set
+intersection, armed transitions fire at their exact virtual stamps, and
+one schedule object arms onto any number of independent runs.
+"""
+
+import pytest
+
+from repro.chaos import FaultSchedule, FaultWindow, combine_specs
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import (
+    DirectoryServer,
+    FaultSpec,
+    FaultyNetwork,
+    NetworkPartitioned,
+)
+from repro.sync import ResyncProvider, SyncedContent
+
+REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
+
+
+def build_master(n: int = 4) -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(n):
+        master.add(
+            Entry(
+                f"cn=E{i},o=xyz",
+                {
+                    "objectClass": ["person"],
+                    "cn": f"E{i}",
+                    "sn": "T",
+                    "departmentNumber": "42",
+                },
+            )
+        )
+    return master
+
+
+class TestCombineSpecs:
+    def test_empty_is_idle(self):
+        assert combine_specs([]) == FaultSpec()
+
+    def test_fieldwise_max(self):
+        merged = combine_specs(
+            [
+                FaultSpec(drop_request=0.6, truncate=0.1, max_delay_ms=100.0),
+                FaultSpec(drop_request=0.2, truncate=0.4, crash_length=5),
+            ]
+        )
+        assert merged.drop_request == 0.6  # max, never 0.8
+        assert merged.truncate == 0.4
+        assert merged.max_delay_ms == 1000.0  # the default is the larger
+        assert merged.crash_length == 5
+
+    def test_max_never_exceeds_one(self):
+        merged = combine_specs(
+            [FaultSpec(drop_request=0.9), FaultSpec(drop_request=0.9)]
+        )
+        assert merged.drop_request == 0.9
+
+
+class TestFaultWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow("bogus", 0, 10)
+        with pytest.raises(ValueError):
+            FaultWindow("noise", 0, 10)  # noise needs a spec
+        with pytest.raises(ValueError):
+            FaultWindow("slow", 0, 10)  # slow needs latency_ms > 0
+        with pytest.raises(ValueError):
+            FaultWindow("partition", 10, 5)  # end before start
+
+    def test_overlaps(self):
+        a = FaultWindow("partition", 10, 20)
+        b = FaultWindow("partition", 15, 30)
+        c = FaultWindow("partition", 25, 40)
+        crash = FaultWindow("crash", 18, 18)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+        assert a.overlaps(crash)  # a point event inside the window
+        assert not c.overlaps(crash)
+
+
+class TestComposition:
+    def test_windows_sorted_and_horizon(self):
+        schedule = (
+            FaultSchedule(seed=1)
+            .crash(250.0)
+            .partition(100.0, 300.0)
+            .slow(200.0, 600.0, latency_ms=20.0)
+        )
+        assert [w.kind for w in schedule.windows] == ["partition", "slow", "crash"]
+        assert schedule.horizon_ms == 600.0
+        assert schedule.overlap_count() == 3  # every pair shares time
+
+    def test_canonical_is_the_acceptance_shape(self):
+        schedule = FaultSchedule.canonical(7, horizon_ms=3_600_000.0)
+        kinds = [w.kind for w in schedule.windows]
+        assert len(schedule.windows) == 9
+        assert kinds.count("partition") == 2
+        assert kinds.count("crash") == 2
+        assert kinds.count("slow") == 2
+        assert kinds.count("noise") == 3
+        assert schedule.overlap_count() >= 8
+        assert schedule.horizon_ms <= 3_600_000.0
+
+    def test_describe_rows(self):
+        schedule = FaultSchedule(seed=1).partition(10.0, 20.0, label="p1")
+        assert schedule.describe() == [
+            {"kind": "partition", "label": "p1", "start_ms": 10.0, "end_ms": 20.0}
+        ]
+
+
+class TestArming:
+    def test_partition_window_cuts_and_heals_on_the_virtual_clock(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork(seed=3)
+        content = SyncedContent(REQUEST, network=net)
+        schedule = FaultSchedule(seed=3).partition(100.0, 200.0)
+        schedule.arm(net, provider)
+        sched = net.scheduler
+
+        content.poll(provider)  # before the window: clean
+        sched.run_for(150.0 - sched.now)
+        assert net.is_partitioned(provider)
+        with pytest.raises(NetworkPartitioned):
+            content.poll(provider)
+        sched.run_for(250.0 - sched.now)
+        assert not net.is_partitioned(provider)
+        content.poll(provider)  # healed: the same session resumes
+        assert net.registry.gauge("chaos.active_windows").value == 0
+        assert net.registry.counter("chaos.windows").value == 1
+
+    def test_noise_window_swaps_the_live_spec_in_place(self):
+        net = FaultyNetwork(seed=4)
+        provider = ResyncProvider(build_master())
+        spec = FaultSpec(drop_request=0.5)
+        schedule = FaultSchedule(seed=4).noise(100.0, 200.0, spec)
+        schedule.arm(net, provider)
+        plan = net.plan
+        assert plan.spec == FaultSpec()  # idle before the window
+        net.scheduler.run_for(150.0)
+        assert net.plan is plan  # same plan object: indices keep counting
+        assert plan.spec == spec
+        net.scheduler.run_for(100.0)
+        assert plan.spec == FaultSpec()
+
+    def test_overlapping_slow_windows_apply_the_largest(self):
+        net = FaultyNetwork(seed=5)
+        provider = ResyncProvider(build_master())
+        schedule = (
+            FaultSchedule(seed=5)
+            .slow(0.0, 400.0, latency_ms=30.0)
+            .slow(100.0, 200.0, latency_ms=90.0)
+        )
+        schedule.arm(net, provider)
+        key = net._server_key(provider)
+        net.scheduler.run_for(50.0)
+        assert net._slow[key] == 30.0
+        net.scheduler.run_for(100.0)
+        assert net._slow[key] == 90.0  # the larger overlap wins
+        net.scheduler.run_for(100.0)
+        assert net._slow[key] == 30.0  # inner window ended
+        net.scheduler.run_for(200.0)
+        assert key not in net._slow
+
+    def test_zero_length_windows_are_skipped(self):
+        net = FaultyNetwork(seed=6)
+        provider = ResyncProvider(build_master())
+        schedule = FaultSchedule(seed=6).partition(100.0, 100.0)
+        schedule.arm(net, provider)
+        net.scheduler.run_for(500.0)
+        # Never armed: same-stamp event order is seeded-random, so a
+        # zero-length window could heal before it cut.
+        assert not net.is_partitioned(provider)
+        assert net.registry.counter("chaos.windows").value == 0
+
+    def test_one_schedule_arms_many_runs_identically(self):
+        schedule = FaultSchedule.canonical(9, horizon_ms=60_000.0)
+
+        def run():
+            master = build_master()
+            provider = ResyncProvider(master)
+            net = FaultyNetwork(seed=9)
+            schedule.arm(net, provider)
+            content = SyncedContent(REQUEST, network=net)
+            for tick in range(12):
+                net.scheduler.run_for(5_000.0)
+                try:
+                    content.poll(provider)
+                except Exception as exc:
+                    pass
+            return net.fault_counts(), net.stats.round_trips
+
+        assert run() == run()

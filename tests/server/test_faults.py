@@ -9,6 +9,8 @@ byte-identical schedules — because the CI fault matrix replays fixed
 seeds.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.ldap import Entry, ReSyncControl, Scope, SearchRequest, SyncMode
@@ -17,13 +19,20 @@ from repro.server import (
     FaultPlan,
     FaultSpec,
     FaultyNetwork,
+    NetworkPartitioned,
     RequestDropped,
     ResponseDropped,
     ResponseTruncated,
     ServerUnavailable,
+    TransportError,
     connect,
 )
-from repro.sync import ResyncProvider, SyncProtocolError, SyncedContent
+from repro.sync import (
+    ResilientConsumer,
+    ResyncProvider,
+    SyncProtocolError,
+    SyncedContent,
+)
 
 REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
 
@@ -284,3 +293,162 @@ class TestNotificationFaults:
         assert "cn=E10,o=xyz" in {str(dn) for dn in content.dns()}
         assert net.fault_counts()["notification_duplicate"] == 1
         handle.abandon()
+
+
+class TestReachabilityFaults:
+    def test_explicit_partition_heals_with_session_intact(self):
+        net = FaultyNetwork()
+        master = build_master()
+        provider = ResyncProvider(master)
+        content = SyncedContent(REQUEST, network=net)
+        content.poll(provider)
+        epoch = net.crash_epoch
+        net.partition(provider)
+        assert net.is_partitioned(provider)
+        with pytest.raises(NetworkPartitioned):
+            content.poll(provider)
+        # The attempt still cost a round trip (request sent, timeout
+        # waited out) and was recorded under the partition kind.
+        assert net.fault_counts() == {"partition": 1}
+        assert net.stats.round_trips == 2
+        net.heal_partition(provider)
+        assert not net.is_partitioned(provider)
+        # Unlike a crash, the server's session state survived: the same
+        # cookie resumes and crash_epoch never bumped.
+        master.add(person("E9"))
+        content.poll(provider)
+        assert net.crash_epoch == epoch
+        assert "cn=E9,o=xyz" in {str(dn) for dn in content.dns()}
+        assert provider.active_session_count == 1
+
+    def test_plan_driven_partition_window_self_heals(self):
+        net = faulty(FaultSpec(partition=1.0, partition_length=2))
+        provider = ResyncProvider(build_master())
+        content = SyncedContent(REQUEST, network=net)
+        for _ in range(2):
+            with pytest.raises(NetworkPartitioned):
+                content.poll(provider)
+        # The cut lasted partition_length attempts; with the plan
+        # swapped idle the window has expired and service resumes.
+        net.plan = FaultPlan(FaultSpec(), seed=0)
+        content.poll(provider)
+        assert net.fault_counts() == {"partition": 2}
+        assert len(content) == 4
+
+    def test_slow_node_inflates_elapsed_and_records(self):
+        net = FaultyNetwork()
+        provider = ResyncProvider(build_master())
+        content = SyncedContent(REQUEST, network=net)
+        content.poll(provider)
+        base = net.elapsed_ms
+        net.set_slow(provider, 40.0)
+        content.poll(provider)
+        assert net.elapsed_ms >= base + 40.0
+        assert net.fault_counts() == {"slow": 1}
+        net.clear_slow(provider)
+        content.poll(provider)
+        assert net.fault_counts() == {"slow": 1}  # surcharge gone
+
+    def test_plan_driven_slow_adds_transient_latency(self):
+        net = faulty(FaultSpec(slow=1.0, slow_latency_ms=25.0))
+        provider = ResyncProvider(build_master())
+        content = SyncedContent(REQUEST, network=net)
+        content.poll(provider)
+        counts = net.fault_counts()
+        assert counts.get("slow") == 1
+        assert net.elapsed_ms > 0
+
+
+class TestStreamIndependence:
+    """Satellite regression: enabling one seed stream must never shift
+    another stream's draw sequence (each decision *i* of stream *s* is
+    ``Random(f"{seed}:{s}{i}")``, keyed by index alone)."""
+
+    def test_unrelated_draws_do_not_shift_exchange_stream(self):
+        spec = FaultSpec.uniform(0.3)
+        plain = FaultPlan(spec, seed=9)
+        expected = [plain.next_exchange() for _ in range(10)]
+        noisy = FaultPlan(spec, seed=9)
+        got = []
+        for _ in range(10):
+            noisy.next_batch()
+            noisy.next_journal()
+            noisy.next_reconcile()
+            noisy.next_snapshot()
+            noisy.next_partition()
+            got.append(noisy.next_exchange())
+        assert got == expected
+
+    @staticmethod
+    def _drive(spec: FaultSpec, cycles: int = 12):
+        """A fixed mutate+poll loop; returns the observable trace."""
+        net = faulty(spec, seed=5)
+        master = build_master()
+        provider = ResyncProvider(master)
+        content = SyncedContent(REQUEST, network=net)
+        for i in range(cycles):
+            master.add(person(f"X{i}"))
+            try:
+                content.poll(provider)
+            except TransportError:
+                pass
+        return {
+            "faults": net.fault_counts(),
+            "round_trips": net.stats.round_trips,
+            "elapsed_ms": net.elapsed_ms,
+            "dns": sorted(str(dn) for dn in content.dns()),
+        }
+
+    def test_enabling_unrelated_streams_keeps_fault_trace_identical(self):
+        # A plain poll loop never flushes persist batches, never crashes
+        # a journaled provider, never reconciles and never reads a
+        # snapshot — so cranking those streams to 0.9 must leave the
+        # exchange-stream trace byte-identical.
+        base = FaultSpec(
+            drop_request=0.35,
+            drop_response=0.25,
+            truncate=0.3,
+            duplicate=0.25,
+            delay=0.3,
+            max_delay_ms=20.0,
+        )
+        loud = replace(
+            base,
+            batch_drop=0.9,
+            batch_truncate=0.9,
+            journal_truncate=0.9,
+            journal_corrupt=0.9,
+            sketch_corrupt=0.9,
+            snapshot_truncate=0.9,
+            snapshot_corrupt=0.9,
+            snapshot_stale=0.9,
+        )
+        assert self._drive(base) == self._drive(loud)
+
+    def test_partition_stream_gating_leaves_exchange_trace_identical(self):
+        # Enabling the :p stream with a zero-latency slow fault draws
+        # reachability decisions every exchange but changes nothing
+        # observable — the :x stream must not shift.
+        base = FaultSpec(
+            drop_request=0.35,
+            drop_response=0.25,
+            truncate=0.3,
+            duplicate=0.25,
+            delay=0.3,
+            max_delay_ms=20.0,
+        )
+        gated = replace(base, slow=1.0, slow_latency_ms=0.0)
+        assert self._drive(base) == self._drive(gated)
+
+    def test_salt_rng_does_not_perturb_backoff_jitter(self):
+        # Regression: the reconcile salt draws from its own RNG; one
+        # consumer reconciling must not shift its backoff jitter
+        # sequence relative to an identical consumer that never did.
+        provider = ResyncProvider(build_master())
+        a = ResilientConsumer(REQUEST, provider, seed=3, name="a")
+        b = ResilientConsumer(REQUEST, provider, seed=3, name="b")
+        for _ in range(5):
+            a._salt_rng.getrandbits(32)
+        assert [a._rng.random() for _ in range(10)] == [
+            b._rng.random() for _ in range(10)
+        ]

@@ -143,3 +143,25 @@ class TestDeterminism:
         sched.run_until_idle()
         assert registry.counter("net.sched.events").value == 1
         assert registry.gauge("net.sched.now_ms").value == 4.0
+
+
+class TestCallAt:
+    def test_absolute_time_scheduling(self):
+        sched = DeterministicScheduler(seed=1)
+        ran = []
+        sched.call_at(50.0, ran.append, "late")
+        sched.call_at(10.0, ran.append, "early")
+        sched.run_until_idle()
+        assert ran == ["early", "late"]
+        assert sched.now == 50.0
+
+    def test_past_due_time_clamps_to_now(self):
+        sched = DeterministicScheduler()
+        sched.call_later(25.0, lambda: None)
+        sched.run_until_idle()
+        assert sched.now == 25.0
+        ran = []
+        sched.call_at(10.0, ran.append, "past")  # already behind the clock
+        sched.run_until_idle()
+        assert ran == ["past"]
+        assert sched.now == 25.0  # ran immediately, no time travel

@@ -1,0 +1,269 @@
+"""The consumer health state machine: terminal states, quarantine
+re-probes, breaker half-open behavior (docs/FAULTS.md §4).
+
+Every test drives a :class:`ResilientConsumer` built with a
+:class:`HealthPolicy` against an explicitly partitioned provider — the
+cleanest sustained-fault source: every attempt raises
+``NetworkPartitioned``, costs one round trip and nothing else.  The
+load-bearing properties:
+
+* budget exhaustion lands terminally in ``gave_up`` with the final
+  ``sync.health.state`` sample at the gave_up index — and *stays* there
+  without busy-looping (zero further round trips, zero clock drift);
+* a quarantined consumer re-probes only on the configured virtual-clock
+  interval, never in a tight loop;
+* an open breaker sleeps out its cooldown, probes half-open with a
+  single attempt, and either closes (success) or re-trips (failure).
+"""
+
+from repro.ldap import Entry, Scope, SearchRequest
+from repro.server import DirectoryServer, FaultyNetwork
+from repro.sync import (
+    HEALTH_STATES,
+    DurabilityConfig,
+    HealthPolicy,
+    MemoryJournal,
+    ResilientConsumer,
+    ResyncProvider,
+    RetryPolicy,
+)
+
+REQUEST = SearchRequest("o=xyz", Scope.SUB, "(departmentNumber=42)")
+
+POLICY = RetryPolicy(
+    max_attempts=2, base_backoff_ms=10.0, max_backoff_ms=100.0, degraded_after=2
+)
+
+
+def person(name: str) -> Entry:
+    return Entry(
+        f"cn={name},o=xyz",
+        {"objectClass": ["person"], "cn": name, "sn": "T", "departmentNumber": "42"},
+    )
+
+
+def build_master(n: int = 4) -> DirectoryServer:
+    master = DirectoryServer("M")
+    master.add_naming_context("o=xyz")
+    master.add(Entry("o=xyz", {"objectClass": ["organization"], "o": "xyz"}))
+    for i in range(n):
+        master.add(person(f"E{i}"))
+    return master
+
+
+def build_cell(health: HealthPolicy, name: str = "cell", mode: str = "poll"):
+    """(master, provider, net, consumer) with one clean initial sync,
+    then the provider partitioned away."""
+    master = build_master()
+    provider = ResyncProvider(master)
+    net = FaultyNetwork()
+    consumer = ResilientConsumer(
+        REQUEST,
+        provider,
+        network=net,
+        seed=1,
+        mode=mode,
+        policy=POLICY,
+        health=health,
+        name=name,
+    )
+    assert consumer.sync_once() is not None
+    assert consumer.health_state == "healthy"
+    net.partition(provider)
+    return master, provider, net, consumer
+
+
+def state_gauge(net: FaultyNetwork, name: str) -> float:
+    return net.registry.gauge("sync.health.state").labels(consumer=name).value
+
+
+class TestTerminalGaveUp:
+    def test_attempt_budget_exhaustion_lands_in_gave_up(self):
+        health = HealthPolicy(
+            max_total_attempts=6,
+            breaker_threshold=100,  # keep the breaker out of the way
+            quarantine_after=100,
+        )
+        _, _, net, consumer = build_cell(health, name="budget")
+        for _ in range(10):
+            consumer.sync_once()
+            if consumer.health_state == "gave_up":
+                break
+        assert consumer.health_state == "gave_up"
+        snap = consumer.health_snapshot()
+        assert snap["attempts_spent"] == health.max_total_attempts
+        # The final state sample is the terminal index.
+        assert state_gauge(net, "budget") == HEALTH_STATES.index("gave_up")
+        assert net.registry.counter("sync.health.gave_up").value == 1
+        # gave_up reads are stale by definition: degraded, never fresh.
+        assert consumer.degraded
+
+    def test_backoff_budget_exhaustion_also_gives_up(self):
+        health = HealthPolicy(
+            max_total_attempts=10_000,
+            max_total_backoff_ms=30.0,  # a handful of 10ms-scale waits
+            breaker_threshold=100,
+            quarantine_after=100,
+        )
+        _, _, _, consumer = build_cell(health, name="wallclock")
+        for _ in range(20):
+            consumer.sync_once()
+            if consumer.health_state == "gave_up":
+                break
+        assert consumer.health_state == "gave_up"
+        snap = consumer.health_snapshot()
+        assert snap["backoff_budget_ms"] >= health.max_total_backoff_ms
+
+    def test_gave_up_is_terminal_and_never_busy_loops(self):
+        health = HealthPolicy(
+            max_total_attempts=4, breaker_threshold=100, quarantine_after=100
+        )
+        _, _, net, consumer = build_cell(health, name="terminal")
+        while consumer.health_state != "gave_up":
+            consumer.sync_once()
+        trips = net.stats.round_trips
+        clock = net.elapsed_ms + net.scheduler.now
+        for _ in range(50):
+            assert consumer.sync_once() is None
+        # Zero further provider contact, zero virtual-clock drift: the
+        # terminal state costs nothing, forever.
+        assert net.stats.round_trips == trips
+        assert net.elapsed_ms + net.scheduler.now == clock
+        assert consumer.health_state == "gave_up"
+
+
+class TestQuarantineReprobe:
+    HEALTH = HealthPolicy(
+        max_total_attempts=10_000,
+        max_total_backoff_ms=10_000_000.0,
+        breaker_threshold=2,
+        breaker_cooldown_ms=500.0,
+        quarantine_after=1,  # first trip escalates straight to quarantine
+        quarantine_probe_ms=5_000.0,
+    )
+
+    def test_quarantined_reprobes_on_the_configured_interval(self):
+        _, _, net, consumer = build_cell(self.HEALTH, name="parked")
+        consumer.sync_once()  # 2 faults -> breaker trip -> quarantine
+        assert consumer.health_state == "quarantined"
+        for _ in range(3):
+            before = net.stats.round_trips
+            clock = net.elapsed_ms + net.scheduler.now
+            consumer.sync_once()  # sleeps the interval, probes once
+            assert net.stats.round_trips == before + 1  # single attempt
+            waited = (net.elapsed_ms + net.scheduler.now) - clock
+            assert waited >= self.HEALTH.quarantine_probe_ms
+            assert consumer.health_state == "quarantined"  # re-benched
+        assert net.registry.counter("sync.health.probes").value == 3
+
+    def test_quarantine_parks_the_poll_session(self):
+        # Parking is the durable provider's eq.-3 retain tier; a
+        # provider without a journal refuses (best-effort relief).
+        master = build_master()
+        provider = ResyncProvider(
+            master, durability=DurabilityConfig(), journal=MemoryJournal()
+        )
+        net = FaultyNetwork()
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            seed=1,
+            policy=POLICY,
+            health=self.HEALTH,
+            name="eq3",
+        )
+        assert consumer.sync_once() is not None
+        net.partition(provider)
+        assert consumer.content.cookie is not None
+        consumer.sync_once()
+        assert consumer.health_state == "quarantined"
+        # The provider stopped accumulating per-session history: the
+        # session was parked at the eq.-3 retain tier.
+        assert net.registry.counter("sync.health.parked").value == 1
+        assert (
+            provider.server.metrics.counter("sync.durability.parked_sessions").value
+            == 1
+        )
+
+    def test_successful_probe_leaves_quarantine_with_clean_slate(self):
+        master, _, net, consumer = build_cell(self.HEALTH, name="comeback")
+        consumer.sync_once()
+        assert consumer.health_state == "quarantined"
+        master.add(person("E9"))
+        net.heal_partition()
+        assert consumer.sync_once() is not None  # the probe succeeds
+        assert consumer.health_state == "healthy"
+        assert consumer.breaker_state == "closed"
+        # The trip history that benched us is spent: the next fault
+        # storm gets the full escalation ladder again.
+        assert consumer.health_snapshot()["breaker_trips"] == 0
+        assert not consumer.degraded
+        assert consumer.content.matches_master(master)
+
+
+class TestBreakerHalfOpen:
+    HEALTH = HealthPolicy(
+        max_total_attempts=10_000,
+        max_total_backoff_ms=10_000_000.0,
+        breaker_threshold=2,
+        breaker_cooldown_ms=500.0,
+        quarantine_after=10,
+        quarantine_probe_ms=5_000.0,
+    )
+
+    def test_open_breaker_cools_down_then_probes_half_open(self):
+        _, _, net, consumer = build_cell(self.HEALTH, name="breaker")
+        consumer.sync_once()  # 2 consecutive faults trip the breaker
+        assert consumer.breaker_state == "open"
+        clock = net.elapsed_ms + net.scheduler.now
+        before = net.stats.round_trips
+        consumer.sync_once()  # cooldown sleep + single half-open probe
+        assert (net.elapsed_ms + net.scheduler.now) - clock >= (
+            self.HEALTH.breaker_cooldown_ms
+        )
+        assert net.stats.round_trips == before + 1
+        # The failed probe re-tripped the breaker open.
+        assert consumer.breaker_state == "open"
+        assert consumer.health_snapshot()["breaker_trips"] == 2
+
+    def test_successful_half_open_probe_closes_the_breaker(self):
+        master, _, net, consumer = build_cell(self.HEALTH, name="closer")
+        consumer.sync_once()
+        assert consumer.breaker_state == "open"
+        master.add(person("E9"))
+        net.heal_partition()
+        assert consumer.sync_once() is not None
+        assert consumer.breaker_state == "closed"
+        assert consumer.health_state == "healthy"
+        assert consumer.content.matches_master(master)
+
+
+class TestPersistModeHealth:
+    def test_gave_up_persist_consumer_tears_down_its_subscription(self):
+        health = HealthPolicy(
+            max_total_attempts=4, breaker_threshold=100, quarantine_after=100
+        )
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = FaultyNetwork()
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            seed=2,
+            mode="persist",
+            policy=POLICY,
+            health=health,
+            name="persist-giveup",
+        )
+        assert consumer.sync_once() is not None
+        net.partition(provider)
+        while consumer.health_state != "gave_up":
+            consumer.sync_once()
+        # No orphaned subscription keeps charging the provider.
+        assert consumer._handle is None
+        trips = net.stats.round_trips
+        for _ in range(20):
+            assert consumer.sync_once() is None
+        assert net.stats.round_trips == trips

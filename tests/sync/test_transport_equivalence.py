@@ -279,3 +279,102 @@ class TestDeterminism:
             )
 
         assert run() == run()
+
+
+class TestCrashMidFlush:
+    """Crash-mid-flush: batches deferred under backpressure when the
+    server dies must be neither lost (the re-subscribed refresh covers
+    them) nor double-applied (the stale queue dies with the old server
+    incarnation and delivers nothing into the new one)."""
+
+    @staticmethod
+    def _pipelined_faulty(seed: int) -> FaultyNetwork:
+        return FaultyNetwork(
+            pipelined=True,
+            batch=BatchConfig(max_batch=4, max_age_ms=2.0, high_water=8),
+            seed=seed,
+        )
+
+    def test_backpressured_batches_survive_crash_resubscribe(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = self._pipelined_faulty(seed=13)
+        net.register(master)
+        consumer = ResilientConsumer(
+            REQUEST,
+            provider,
+            network=net,
+            seed=13,
+            mode="persist",
+            policy=RetryPolicy(max_attempts=6, persist_refresh_interval=10_000),
+        )
+        assert consumer.sync_once() is not None
+        stale_handle = consumer._handle
+        queue = stale_handle.delivery_queue
+        queue.consumer_delay_ms = 50.0  # backpressure: defer flushes
+        for step in range(12):
+            mutate(master, step)
+        assert queue.busy or queue.pending_count > 0  # work in flight
+        epoch = net.crash_epoch
+        net.crash(provider)
+        # The connection dropped with the server incarnation: the
+        # consumer was forcibly disconnected and the stale queue closed
+        # with its pending batches discarded (they were never acked).
+        assert net.crash_epoch == epoch + 1
+        assert consumer._handle is None
+        assert queue.pending_count == 0
+        assert queue.flush() == 0
+        # Re-subscribing replaces the content wholesale, so nothing the
+        # stale queue held is lost; the live tail then flows through
+        # the *new* incarnation's queue only.
+        assert consumer.sync_once() is not None
+        assert consumer._handle is not None
+        assert consumer._handle is not stale_handle
+        for step in range(6):
+            mutate(master, step + 100)
+        net.settle()
+        assert consumer.content.matches_master(master)
+
+    def test_stale_queue_never_delivers_after_crash(self):
+        master = build_master()
+        provider = ResyncProvider(master)
+        net = self._pipelined_faulty(seed=17)
+        net.register(master)
+        content = SyncedContent(REQUEST, network=net)
+        applied = []
+
+        def deliver(update):
+            applied.append(str(update.dn))
+            content.apply_notification(update)
+
+        deliveries, handle = net.persist_exchange(provider, REQUEST, deliver)
+        content.apply(deliveries[-1].response)
+        queue = handle.delivery_queue
+        queue.consumer_delay_ms = 50.0
+        for step in range(10):
+            mutate(master, step)
+        # Mid-flight: the consumer is busy applying a batch and/or more
+        # batches sit deferred behind it, with retry/ack events armed
+        # on the scheduler.
+        assert queue.busy or queue.pending_count > 0
+        before = len(applied)
+        net.crash(provider)
+        handle.abandon()  # what the forced disconnect does client-side
+        net.settle()
+        # Every armed retry/ack ran — and the closed queue delivered
+        # nothing: no double-apply into the next incarnation.
+        assert len(applied) == before
+        assert queue.pending_count == 0
+
+        # Re-subscribe past the restart window: the initial refresh
+        # replaces the content, covering whatever the stale queue
+        # discarded; the live tail applies exactly once per update.
+        with pytest.raises(Exception):
+            net.persist_exchange(provider, REQUEST, deliver)  # restarting
+        deliveries2, handle2 = net.persist_exchange(provider, REQUEST, deliver)
+        content.apply(deliveries2[-1].response)
+        for step in range(6):
+            mutate(master, step + 50)
+        net.settle()
+        assert content.matches_master(master)
+        handle2.abandon()

@@ -1,0 +1,79 @@
+"""The soak load plan: diurnal waves, flash crowds, region renames."""
+
+import pytest
+
+from repro.workload import (
+    DirectoryConfig,
+    RegionRenamer,
+    ScenarioConfig,
+    SoakScenario,
+    generate_directory,
+)
+from repro.server import DirectoryServer
+
+
+class TestScenarioPlan:
+    def test_deterministic_from_seed(self):
+        a = SoakScenario(ScenarioConfig(seed=5))
+        b = SoakScenario(ScenarioConfig(seed=5))
+        assert a.ticks == b.ticks
+        assert SoakScenario(ScenarioConfig(seed=6)).ticks != a.ticks
+
+    def test_tick_count_matches_horizon(self):
+        scenario = SoakScenario(
+            ScenarioConfig(duration_hours=0.5, tick_ms=60_000.0)
+        )
+        assert len(scenario.ticks) == 30
+        assert scenario.horizon_ms == 30 * 60_000.0
+        assert [t.tick for t in scenario.ticks] == list(range(30))
+
+    def test_diurnal_wave_trough_at_start(self):
+        # The cosine wave troughs at t=0 and peaks half a period in:
+        # across a full day the early mean must sit well below the
+        # midday mean.
+        cfg = ScenarioConfig(
+            duration_hours=24.0, base_updates_per_tick=8.0, flash_crowds=0
+        )
+        scenario = SoakScenario(cfg)
+        early = scenario.ticks[: len(scenario.ticks) // 6]
+        midday = scenario.ticks[
+            len(scenario.ticks) * 5 // 12 : len(scenario.ticks) * 7 // 12
+        ]
+        mean = lambda ts: sum(t.updates for t in ts) / len(ts)
+        assert mean(early) < mean(midday)
+
+    def test_flash_crowds_spike_queries(self):
+        cfg = ScenarioConfig(
+            flash_crowds=2, flash_crowd_queries=40, base_queries_per_tick=2
+        )
+        scenario = SoakScenario(cfg)
+        crowd_ticks = [t for t in scenario.ticks if t.flash_crowd]
+        assert len(crowd_ticks) >= cfg.flash_crowd_ticks
+        assert all(t.queries >= cfg.flash_crowd_queries for t in crowd_ticks)
+        calm = [t for t in scenario.ticks if not t.flash_crowd]
+        assert all(t.queries == cfg.base_queries_per_tick for t in calm)
+
+    def test_region_renames_scheduled(self):
+        scenario = SoakScenario(ScenarioConfig(region_renames=2))
+        assert sum(1 for t in scenario.ticks if t.region_rename) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration_hours=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(diurnal_amplitude=1.5)
+
+
+class TestRegionRenamer:
+    def test_wave_moves_a_division(self):
+        directory = generate_directory(DirectoryConfig(employees=120, seed=3))
+        master = DirectoryServer("M")
+        master.add_naming_context(directory.suffix)
+        master.load(directory.entries)
+        renamer = RegionRenamer(directory, master, seed=3)
+        moved = renamer.wave()
+        assert moved > 0
+        assert renamer.renamed_entries == moved
+        # Another wave targets the next division round-robin.
+        assert renamer.wave() > 0
+        assert renamer.renamed_entries > moved
